@@ -1,0 +1,323 @@
+(* Benchmark harness.
+
+   Running this executable does two things:
+
+   1. Regenerates every table and figure of the paper (the same rows
+      and series the paper reports) by running the full experiment
+      registry — this is the reproduction output.
+
+   2. Times the computational kernel behind each table/figure with
+      Bechamel (one [Test.make] per experiment), plus the substrate
+      micro-kernels, and prints an OLS summary. *)
+
+open Bechamel
+open Toolkit
+
+let p = Swap.Params.defaults
+
+(* --- kernels: one per table/figure ------------------------------------ *)
+
+let stage = Staged.stage
+
+let kernel_tab1 =
+  Test.make ~name:"tab1/protocol-run"
+    (stage (fun () -> ignore (Swap.Protocol.run p ~p_star:2.)))
+
+let kernel_tab3 =
+  Test.make ~name:"tab3/params-validate"
+    (stage (fun () -> ignore (Swap.Params.validate p)))
+
+let kernel_fig2 =
+  Test.make ~name:"fig2/timeline"
+    (stage (fun () ->
+         let tl = Swap.Timeline.ideal p in
+         ignore (Swap.Timeline.check p tl)))
+
+let kernel_fig3 =
+  Test.make ~name:"fig3/a-t3-utilities"
+    (stage (fun () ->
+         for i = 1 to 100 do
+           let x = 0.04 *. float_of_int i in
+           ignore (Swap.Utility.a_t3_cont p ~p_t3:x)
+         done;
+         ignore (Swap.Cutoff.p_t3_low p ~p_star:2.)))
+
+let kernel_fig4 =
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star:2. in
+  Test.make ~name:"fig4/b-t2-curve"
+    (stage (fun () ->
+         for i = 1 to 100 do
+           let x = 0.045 *. float_of_int i in
+           ignore (Swap.Utility.b_t2_cont p ~p_star:2. ~k3 ~p_t2:x)
+         done))
+
+let kernel_fig5 =
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star:2. in
+  let band = Swap.Cutoff.p_t2_band p ~p_star:2. in
+  Test.make ~name:"fig5/a-t1-cont"
+    (stage (fun () -> ignore (Swap.Utility.a_t1_cont p ~p_star:2. ~k3 ~band)))
+
+let kernel_eq29 =
+  Test.make ~name:"eq29/p-star-band"
+    (stage (fun () -> ignore (Swap.Cutoff.p_star_band_endpoints p)))
+
+let kernel_fig6 =
+  Test.make ~name:"fig6/sr-eval"
+    (stage (fun () -> ignore (Swap.Success.analytic p ~p_star:2.)))
+
+let kernel_fig7 =
+  let c = Swap.Collateral.symmetric p ~q:0.5 in
+  Test.make ~name:"fig7/t2-cont-set"
+    (stage (fun () -> ignore (Swap.Collateral.cont_set_t2 c ~p_star:2.)))
+
+let kernel_fig8 =
+  let c = Swap.Collateral.symmetric p ~q:0.5 in
+  Test.make ~name:"fig8/t1-utilities"
+    (stage (fun () ->
+         ignore (Swap.Collateral.a_t1_cont c ~p_star:2.);
+         ignore (Swap.Collateral.b_t1_cont c ~p_star:2.)))
+
+let kernel_fig9 =
+  let c = Swap.Collateral.symmetric p ~q:0.5 in
+  Test.make ~name:"fig9/sr-collateral"
+    (stage (fun () -> ignore (Swap.Collateral.success_rate c ~p_star:2.)))
+
+let kernel_mc =
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  Test.make ~name:"mc/simulate-1k"
+    (stage (fun () ->
+         ignore (Swap.Montecarlo.run ~trials:1_000 p ~p_star:2. ~policy)))
+
+let kernel_lattice =
+  Test.make ~name:"lattice/solve-30x30"
+    (stage (fun () ->
+         let spec =
+           Swap.Lattice_game.make_spec ~steps_a:30 ~steps_b:30 p ~p_star:2.
+         in
+         ignore (Swap.Lattice_game.solve spec)))
+
+let kernel_baselines =
+  let c = Swap.Collateral.symmetric p ~q:0.5 in
+  Test.make ~name:"baselines/mc-collateral-1k"
+    (stage (fun () ->
+         ignore (Swap.Montecarlo.run_collateral ~trials:1_000 c ~p_star:2.)))
+
+let kernel_jumps =
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  let jd =
+    Stochastic.Jump_diffusion.create ~mu:p.Swap.Params.mu ~sigma:0.07
+      ~lambda:0.05 ~jump_mean:(-0.02) ~jump_stddev:0.3
+  in
+  Test.make ~name:"jumps/mc-1k"
+    (stage (fun () ->
+         ignore
+           (Swap.Montecarlo.run ~trials:1_000
+              ~sampler:(Swap.Montecarlo.jump_sampler jd)
+              p ~p_star:2. ~policy)))
+
+let kernel_optionality =
+  Test.make ~name:"optionality/option-values"
+    (stage (fun () -> ignore (Swap.Optionality.option_values p ~p_star:2.)))
+
+let kernel_selection =
+  Test.make ~name:"selection/assess-menu"
+    (stage (fun () ->
+         ignore
+           (Swap.Selection.menu p ~p_star:2.
+              [ Swap.Selection.Plain; Swap.Selection.Collateral 0.5 ])))
+
+let kernel_frictions =
+  Test.make ~name:"frictions/staking-and-fees"
+    (stage (fun () ->
+         let s = Swap.Staking.create p ~yield_a:0.002 ~yield_b:0.002 in
+         ignore (Swap.Staking.success_rate s ~p_star:2.);
+         let f = Swap.Fees.create p ~fee_a:0.05 ~fee_b:0.05 in
+         ignore (Swap.Fees.success_rate f ~p_star:2.)))
+
+let kernel_backtest =
+  (* A small fixed market so the kernel stays sub-second. *)
+  let path, _ =
+    Market.Regimes.sample
+      (Numerics.Rng.create ~seed:7 ())
+      Market.Regimes.default_spec ~p0:2. ~dt:0.5 ~steps:600
+  in
+  Test.make ~name:"backtest/fit-quote-one-trade"
+    (stage (fun () ->
+         match Market.Calibrate.fit_window path ~until:250. ~window:168. with
+         | Error _ -> ()
+         | Ok fit ->
+           let params =
+             Market.Calibrate.to_params fit
+               ~spot:(Stochastic.Path.at path 250.)
+           in
+           ignore (Swap.Success.maximize params)))
+
+let kernel_crash =
+  Test.make ~name:"crash/protocol-with-crash"
+    (stage (fun () ->
+         ignore (Swap.Protocol.run ~bob_offline_from:7.5 p ~p_star:2.)))
+
+let kernel_ac3 =
+  Test.make ~name:"ac3/witness-protocol-run"
+    (stage (fun () -> ignore (Swap.Ac3.run p ~p_star:2.)))
+
+let kernel_waiting =
+  Test.make ~name:"waiting/slacked-sr"
+    (stage (fun () ->
+         let m = Swap.Margins.create p ~delay_t2:2. ~delay_t3:2. in
+         ignore (Swap.Margins.success_rate m ~p_star:2.)))
+
+let kernel_stablecoin =
+  let ou = Stochastic.Exp_ou.create ~kappa:0.1 ~theta_price:2. ~sigma:0.1 in
+  let model = Swap.Generic_model.exp_ou ou in
+  Test.make ~name:"stablecoin/generic-sr"
+    (stage (fun () -> ignore (Swap.Generic_model.success_rate p model ~p_star:2.)))
+
+let kernel_negotiation =
+  Test.make ~name:"negotiation/nash-rate"
+    (stage (fun () -> ignore (Swap.Bargaining.nash_rate ~grid:20 p)))
+
+let kernel_security =
+  Test.make ~name:"security/griefing+reputation"
+    (stage (fun () ->
+         ignore (Swap.Griefing.analyse p ~p_star:2.);
+         ignore
+           (Swap.Repeated.solve p ~p_star:2.
+              { Swap.Repeated.trades_per_week = 14.; horizon_weeks = 26. })))
+
+let kernel_presets =
+  Test.make ~name:"presets/pair-assessment"
+    (stage (fun () ->
+         ignore (Swap.Presets.assess Swap.Presets.btc_like Swap.Presets.eth_like)))
+
+let kernel_scorecard =
+  Test.make ~name:"scorecard/eq18-claim"
+    (stage (fun () -> ignore (Swap.Cutoff.p_t3_low p ~p_star:2.)))
+
+let kernel_attribution =
+  Test.make ~name:"attribution/decomposition"
+    (stage (fun () -> ignore (Swap.Outcomes.distribution p ~p_star:2.)))
+
+let kernel_ac3wn =
+  Test.make ~name:"ac3/witness-network-run"
+    (stage (fun () -> ignore (Swap.Ac3wn.run p ~p_star:2.)))
+
+let kernel_uncertainty =
+  let b = Swap.Bayesian.belief [ (0.5, 0.1); (0.5, 0.5) ] in
+  Test.make ~name:"uncertainty/ex-ante-sr"
+    (stage (fun () ->
+         ignore (Swap.Bayesian.ex_ante_success_rate p ~belief_on_alice:b ~p_star:2.)))
+
+let kernel_multihop =
+  let spec = Swap.Multihop.make ~parties:4 ~p_star:2. p in
+  Test.make ~name:"multihop/4-party-run"
+    (stage (fun () ->
+         ignore (Swap.Multihop.run ~price_paths:(fun _ _ -> 2.) spec)))
+
+(* --- substrate micro-kernels -------------------------------------------- *)
+
+let kernel_sha256 =
+  let payload = String.make 1024 'x' in
+  Test.make ~name:"substrate/sha256-1KiB"
+    (stage (fun () -> ignore (Chainsim.Sha256.digest payload)))
+
+let kernel_erfc =
+  Test.make ~name:"substrate/erfc"
+    (stage (fun () -> ignore (Numerics.Special.erfc 1.234)))
+
+let kernel_gbm_sample =
+  let rng = Numerics.Rng.create ~seed:1 () in
+  let gbm = Swap.Params.gbm p in
+  Test.make ~name:"substrate/gbm-sample"
+    (stage (fun () -> ignore (Stochastic.Gbm.sample rng gbm ~p0:2. ~tau:4.)))
+
+let kernel_quadrature =
+  Test.make ~name:"substrate/gauss-legendre-96"
+    (stage (fun () ->
+         ignore
+           (Numerics.Integrate.gauss_legendre ~n:96
+              (fun x -> exp (-.x *. x))
+              ~a:0. ~b:3.)))
+
+let kernel_chain_cycle =
+  Test.make ~name:"substrate/chain-htlc-cycle"
+    (stage (fun () ->
+         let c =
+           Chainsim.Chain.create ~name:"bench" ~token:"T" ~tau:1.
+             ~mempool_delay:0.1
+         in
+         Chainsim.Chain.mint c ~account:"a" ~amount:10.;
+         let s = Chainsim.Secret.of_preimage "bench" in
+         ignore
+           (Chainsim.Chain.submit c ~at:0.
+              (Chainsim.Tx.Htlc_lock
+                 { contract_id = "h"; sender = "a"; recipient = "b";
+                   amount = 4.; hash = s.Chainsim.Secret.hash; expiry = 5. }));
+         ignore
+           (Chainsim.Chain.submit c ~at:1.5
+              (Chainsim.Tx.Htlc_claim
+                 { contract_id = "h"; preimage = s.Chainsim.Secret.preimage }));
+         ignore (Chainsim.Chain.advance c ~until:10.)))
+
+let all_tests =
+  [
+    kernel_tab1; kernel_tab3; kernel_fig2; kernel_fig3; kernel_fig4;
+    kernel_fig5; kernel_eq29; kernel_fig6; kernel_fig7; kernel_fig8;
+    kernel_fig9; kernel_mc; kernel_lattice; kernel_baselines; kernel_jumps;
+    kernel_optionality; kernel_selection; kernel_frictions; kernel_backtest;
+    kernel_crash; kernel_ac3; kernel_waiting; kernel_stablecoin;
+    kernel_negotiation; kernel_security; kernel_multihop; kernel_uncertainty;
+    kernel_ac3wn; kernel_attribution; kernel_presets; kernel_scorecard;
+    kernel_sha256; kernel_erfc; kernel_gbm_sample; kernel_quadrature;
+    kernel_chain_cycle;
+  ]
+
+let run_benchmarks () =
+  let grouped = Test.make_grouped ~name:"swap" all_tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  Printf.printf "%-38s %16s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, ns, r2) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.1f ns" ns
+      in
+      Printf.printf "%-38s %16s %8.4f\n" name human r2)
+    sorted
+
+let () =
+  print_endline
+    "================================================================";
+  print_endline " Reproduction output: every table and figure of the paper";
+  print_endline
+    "================================================================\n";
+  print_string (Experiments.Registry.run_all ());
+  print_endline
+    "\n================================================================";
+  print_endline " Bechamel timings (one kernel per table/figure + substrates)";
+  print_endline
+    "================================================================\n";
+  run_benchmarks ()

@@ -1,0 +1,381 @@
+(* Command-line interface to the atomic-swap game library.
+
+   Subcommands:
+     cutoffs        decision thresholds for a parameterisation
+     success-rate   analytic SR, optionally with collateral
+     sweep          SR across a range of exchange rates
+     simulate       Monte-Carlo estimate under a chosen policy
+     protocol       run one swap end-to-end on the chain simulator
+     experiment     regenerate a paper table/figure (or all) *)
+
+open Cmdliner
+
+(* --- shared parameter flags ------------------------------------------- *)
+
+let params_term =
+  let alpha_a =
+    Arg.(value & opt float 0.3 & info [ "alpha-a" ] ~doc:"Alice's success premium.")
+  in
+  let alpha_b =
+    Arg.(value & opt float 0.3 & info [ "alpha-b" ] ~doc:"Bob's success premium.")
+  in
+  let r_a =
+    Arg.(value & opt float 0.01 & info [ "r-a" ] ~doc:"Alice's hourly discount rate.")
+  in
+  let r_b =
+    Arg.(value & opt float 0.01 & info [ "r-b" ] ~doc:"Bob's hourly discount rate.")
+  in
+  let tau_a =
+    Arg.(value & opt float 3. & info [ "tau-a" ] ~doc:"Chain_a confirmation time (h).")
+  in
+  let tau_b =
+    Arg.(value & opt float 4. & info [ "tau-b" ] ~doc:"Chain_b confirmation time (h).")
+  in
+  let eps_b =
+    Arg.(value & opt float 1. & info [ "eps-b" ] ~doc:"Chain_b mempool delay (h).")
+  in
+  let p0 = Arg.(value & opt float 2. & info [ "p0" ] ~doc:"Spot price of Token_b.") in
+  let mu = Arg.(value & opt float 0.002 & info [ "mu" ] ~doc:"Hourly drift.") in
+  let sigma =
+    Arg.(value & opt float 0.1 & info [ "sigma" ] ~doc:"Hourly volatility.")
+  in
+  let build alpha_a alpha_b r_a r_b tau_a tau_b eps_b p0 mu sigma =
+    Swap.Params.create
+      ~alice:{ Swap.Params.alpha = alpha_a; r = r_a }
+      ~bob:{ Swap.Params.alpha = alpha_b; r = r_b }
+      ~tau_a ~tau_b ~eps_b ~p0 ~mu ~sigma ()
+  in
+  Term.(
+    const build $ alpha_a $ alpha_b $ r_a $ r_b $ tau_a $ tau_b $ eps_b $ p0
+    $ mu $ sigma)
+
+let p_star_term =
+  Arg.(value & opt float 2. & info [ "p-star" ] ~doc:"Agreed exchange rate.")
+
+let q_term =
+  Arg.(value & opt float 0. & info [ "q" ] ~doc:"Symmetric collateral deposit.")
+
+(* --- cutoffs ------------------------------------------------------------ *)
+
+let cutoffs_cmd =
+  let run params p_star q =
+    Printf.printf "Parameters: %s\n" (Swap.Params.to_string params);
+    Printf.printf "P* = %g, Q = %g\n\n" p_star q;
+    if q = 0. then begin
+      Printf.printf "t3 cutoff (Eq. 18):   P_t3_low = %.4f\n"
+        (Swap.Cutoff.p_t3_low params ~p_star);
+      (match Swap.Cutoff.p_t2_band_endpoints params ~p_star with
+      | Some (lo, hi) ->
+        Printf.printf "t2 band (Eq. 24):     (%.4f, %.4f)\n" lo hi
+      | None -> print_endline "t2 band: empty (Bob never continues)");
+      match Swap.Cutoff.p_star_band_endpoints params with
+      | Some (lo, hi) ->
+        Printf.printf "feasible P* (Eq. 29): (%.4f, %.4f)\n" lo hi
+      | None -> print_endline "feasible P*: empty (never initiated)"
+    end
+    else begin
+      let c = Swap.Collateral.symmetric params ~q in
+      Printf.printf "t3 cutoff (Eq. 34):   P_t3_low,c = %.4f\n"
+        (Swap.Collateral.p_t3_low c ~p_star);
+      Printf.printf "t2 set:               %s\n"
+        (Swap.Intervals.to_string (Swap.Collateral.cont_set_t2 c ~p_star));
+      Printf.printf "initiation set:       %s\n"
+        (Swap.Intervals.to_string (Swap.Collateral.initiation_set c))
+    end
+  in
+  Cmd.v
+    (Cmd.info "cutoffs" ~doc:"Decision thresholds from backward induction.")
+    Term.(const run $ params_term $ p_star_term $ q_term)
+
+(* --- success-rate ------------------------------------------------------- *)
+
+let success_cmd =
+  let run params p_star q =
+    let sr =
+      if q = 0. then Swap.Success.analytic params ~p_star
+      else
+        Swap.Collateral.success_rate
+          (Swap.Collateral.symmetric params ~q)
+          ~p_star
+    in
+    Printf.printf "SR(P* = %g, Q = %g) = %.4f\n" p_star q sr
+  in
+  Cmd.v
+    (Cmd.info "success-rate" ~doc:"Analytic success rate (Eq. 31 / Eq. 40).")
+    Term.(const run $ params_term $ p_star_term $ q_term)
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let lo = Arg.(value & opt float 1.5 & info [ "lo" ] ~doc:"Lowest P*.") in
+  let hi = Arg.(value & opt float 2.5 & info [ "hi" ] ~doc:"Highest P*.") in
+  let n = Arg.(value & opt int 21 & info [ "n" ] ~doc:"Grid points.") in
+  let run params q lo hi n =
+    let p_stars = Numerics.Grid.linspace ~lo ~hi ~n in
+    Printf.printf "p_star,sr\n";
+    Array.iter
+      (fun p_star ->
+        let sr =
+          if q = 0. then Swap.Success.analytic params ~p_star
+          else
+            Swap.Collateral.success_rate
+              (Swap.Collateral.symmetric params ~q)
+              ~p_star
+        in
+        Printf.printf "%.6g,%.6g\n" p_star sr)
+      p_stars
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"CSV of SR across exchange rates.")
+    Term.(const run $ params_term $ q_term $ lo $ hi $ n)
+
+(* --- simulate ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let trials =
+    Arg.(value & opt int 20000 & info [ "trials" ] ~doc:"Monte-Carlo paths.")
+  in
+  let seed = Arg.(value & opt int 0x51ab & info [ "seed" ] ~doc:"RNG seed.") in
+  let policy_name =
+    Arg.(
+      value
+      & opt (enum [ ("rational", `Rational); ("honest", `Honest); ("myopic", `Myopic) ])
+          `Rational
+      & info [ "policy" ] ~doc:"Agent policy: rational, honest or myopic.")
+  in
+  let run params p_star q trials seed policy_name =
+    let result =
+      if q > 0. then
+        Swap.Montecarlo.run_collateral ~trials ~seed
+          (Swap.Collateral.symmetric params ~q)
+          ~p_star
+      else
+        let policy =
+          match policy_name with
+          | `Rational -> Swap.Agent.rational params ~p_star
+          | `Honest -> Swap.Agent.honest
+          | `Myopic -> Swap.Agent.myopic params ~p_star
+        in
+        Swap.Montecarlo.run ~trials ~seed params ~p_star ~policy
+    in
+    let lo, hi = result.Swap.Montecarlo.ci95 in
+    Printf.printf "trials      %d\n" result.Swap.Montecarlo.trials;
+    Printf.printf "initiated   %d\n" result.Swap.Montecarlo.initiated;
+    Printf.printf "successes   %d\n" result.Swap.Montecarlo.successes;
+    Printf.printf "aborts      t1=%d t2=%d t3=%d\n"
+      result.Swap.Montecarlo.abort_t1 result.Swap.Montecarlo.abort_t2
+      result.Swap.Montecarlo.abort_t3;
+    Printf.printf "SR          %.4f  [%.4f, %.4f]\n" result.Swap.Montecarlo.rate
+      lo hi;
+    Printf.printf "mean U (A)  %.4f\n" result.Swap.Montecarlo.mean_utility_alice;
+    Printf.printf "mean U (B)  %.4f\n" result.Swap.Montecarlo.mean_utility_bob
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo simulation of the swap game.")
+    Term.(
+      const run $ params_term $ p_star_term $ q_term $ trials $ seed
+      $ policy_name)
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let protocol_cmd =
+  let reveal_delay =
+    Arg.(
+      value & opt float 0.
+      & info [ "reveal-delay" ]
+          ~doc:"Extra hours before Alice submits her claim (timing attack).")
+  in
+  let run params p_star q reveal_delay =
+    let result = Swap.Protocol.run ~q ~reveal_delay params ~p_star in
+    Printf.printf "outcome: %s\n\n"
+      (Swap.Protocol.outcome_to_string result.Swap.Protocol.outcome);
+    List.iter
+      (fun (t, msg) -> Printf.printf "  [%6.2f h] %s\n" t msg)
+      result.Swap.Protocol.trace;
+    Printf.printf "\nbalance changes:\n";
+    Printf.printf "  alice: %+g Token_a, %+g Token_b\n"
+      result.Swap.Protocol.alice_delta_a result.Swap.Protocol.alice_delta_b;
+    Printf.printf "  bob:   %+g Token_a, %+g Token_b\n"
+      result.Swap.Protocol.bob_delta_a result.Swap.Protocol.bob_delta_b;
+    Printf.printf "secret observable at t4: %b\n"
+      result.Swap.Protocol.secret_observed_at_t4
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:"Execute one swap end-to-end on the two-chain simulator.")
+    Term.(const run $ params_term $ p_star_term $ q_term $ reveal_delay)
+
+(* --- ac3 ------------------------------------------------------------------ *)
+
+let ac3_cmd =
+  let witness_crash =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "witness-crash" ] ~doc:"Witness goes offline at this hour.")
+  in
+  let run params p_star witness_crash =
+    Printf.printf "SR: HTLC %.4f vs AC3 %.4f\n"
+      (Swap.Success.analytic params ~p_star)
+      (Swap.Ac3.success_rate params ~p_star);
+    (match Swap.Ac3.feasible_band params with
+    | Some (lo, hi) -> Printf.printf "AC3 feasible P*: (%.4f, %.4f)\n" lo hi
+    | None -> print_endline "AC3 feasible P*: none");
+    let result =
+      Swap.Ac3.run ?witness_offline_from:witness_crash params ~p_star
+    in
+    Printf.printf "\nwitness-protocol run: %s\n"
+      (Swap.Ac3.outcome_to_string result.Swap.Ac3.outcome);
+    List.iter
+      (fun (t, msg) -> Printf.printf "  [%6.2f h] %s\n" t msg)
+      result.Swap.Ac3.trace;
+    Printf.printf "balance changes: alice %+g / %+g, bob %+g / %+g\n"
+      result.Swap.Ac3.alice_delta_a result.Swap.Ac3.alice_delta_b
+      result.Swap.Ac3.bob_delta_a result.Swap.Ac3.bob_delta_b
+  in
+  Cmd.v
+    (Cmd.info "ac3"
+       ~doc:"Witness-based atomic commitment (AC3TW-style) vs the HTLC.")
+    Term.(const run $ params_term $ p_star_term $ witness_crash)
+
+(* --- backtest --------------------------------------------------------------- *)
+
+let backtest_cmd =
+  let csv =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "csv" ] ~doc:"CSV price series (time,price; hours).")
+  in
+  let days =
+    Arg.(
+      value & opt int 60
+      & info [ "days" ]
+          ~doc:"Length of the synthetic regime-switching market when no CSV \
+                is given.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Synthetic-market seed.") in
+  let run params csv days seed =
+    let path =
+      match csv with
+      | Some file -> (
+        match Market.Csv.load file with
+        | Ok p -> p
+        | Error e ->
+          Printf.eprintf "cannot read %s: %s\n" file e;
+          exit 1)
+      | None ->
+        let rng = Numerics.Rng.create ~seed () in
+        let steps = days * 48 in
+        fst
+          (Market.Regimes.sample rng Market.Regimes.default_spec
+             ~p0:params.Swap.Params.p0 ~dt:0.5 ~steps)
+    in
+    let trades = Market.Backtest.run ~base:params path in
+    let s = Market.Backtest.summarize trades in
+    Printf.printf "trades            %d\n" s.Market.Backtest.trades;
+    Printf.printf "skipped           %d\n" s.Market.Backtest.skipped;
+    Printf.printf "initiated         %d\n" s.Market.Backtest.initiated;
+    Printf.printf "succeeded         %d\n" s.Market.Backtest.succeeded;
+    Printf.printf "realized SR       %.4f\n" s.Market.Backtest.realized_sr;
+    Printf.printf "mean predicted SR %.4f\n" s.Market.Backtest.mean_predicted_sr
+  in
+  Cmd.v
+    (Cmd.info "backtest"
+       ~doc:"Walk-forward backtest on a CSV price series or a synthetic \
+             regime-switching market.")
+    Term.(const run $ params_term $ csv $ days $ seed)
+
+(* --- experiment ---------------------------------------------------------- *)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "list"
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id (see 'list'), or 'all' to run every one.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ]
+          ~doc:"Also write the experiment's data series as CSV files into \
+                this directory (experiments with natural series only).")
+  in
+  let write_datasets dir (e : Experiments.Registry.experiment) =
+    match e.Experiments.Registry.datasets with
+    | None -> ()
+    | Some datasets ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (filename, contents) ->
+          let path = Filename.concat dir filename in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc contents);
+          Printf.eprintf "wrote %s\n" path)
+        (datasets ())
+  in
+  let run which csv_dir =
+    match which with
+    | "list" ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-12s %s%s\n" e.Experiments.Registry.name
+            e.Experiments.Registry.description
+            (if e.Experiments.Registry.datasets <> None then " [csv]" else ""))
+        Experiments.Registry.all
+    | "all" ->
+      print_string (Experiments.Registry.run_all ());
+      Option.iter
+        (fun dir -> List.iter (write_datasets dir) Experiments.Registry.all)
+        csv_dir
+    | id -> (
+      match Experiments.Registry.find id with
+      | Some e ->
+        print_string (e.Experiments.Registry.run ());
+        Option.iter (fun dir -> write_datasets dir e) csv_dir
+      | None ->
+        Printf.eprintf "unknown experiment %S; try 'list'\n" id;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by id.")
+    Term.(const run $ which $ csv_dir)
+
+(* --- quote ----------------------------------------------------------------- *)
+
+let quote_cmd =
+  let run params =
+    Printf.printf "Parameters: %s\n\n" (Swap.Params.to_string params);
+    (match Swap.Success.maximize params with
+    | Some { Swap.Success.p_star; sr } ->
+      Printf.printf "SR-optimal quote:  P* = %.4f (SR = %.4f)\n" p_star sr
+    | None -> print_endline "SR-optimal quote:  none (no feasible rate)");
+    (match Swap.Bargaining.nash_rate params with
+    | Some split ->
+      Printf.printf
+        "Nash bargain:      P* = %.4f (Alice +%.4f, Bob +%.4f, SR = %.4f)\n"
+        split.Swap.Bargaining.p_star split.Swap.Bargaining.alice_gain
+        split.Swap.Bargaining.bob_gain
+        (Swap.Success.analytic params ~p_star:split.Swap.Bargaining.p_star)
+    | None -> print_endline "Nash bargain:      no mutually profitable rate");
+    match Swap.Cutoff.p_star_band_endpoints params with
+    | Some (lo, hi) -> Printf.printf "Feasible rates:    (%.4f, %.4f)\n" lo hi
+    | None -> print_endline "Feasible rates:    none"
+  in
+  Cmd.v
+    (Cmd.info "quote"
+       ~doc:"Quote a swap: SR-optimal and Nash-bargained exchange rates.")
+    Term.(const run $ params_term)
+
+let main_cmd =
+  let doc = "Game-theoretic analysis of cross-chain atomic swaps with HTLCs" in
+  Cmd.group
+    (Cmd.info "swap_cli" ~version:"1.0.0" ~doc)
+    [
+      cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
+      ac3_cmd; backtest_cmd; quote_cmd; experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,66 @@
+(* Scenario: an exchange operator chooses between pure HTLCs and a
+   witness-based commit protocol (AC3TW-style) for its cross-chain
+   settlement rail, weighing strategic reliability, crash tolerance and
+   the trust assumption.
+
+     dune exec examples/witness_vs_htlc.exe *)
+
+let () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  print_endline "Choosing a settlement rail: HTLC vs witness commitment\n";
+
+  (* 1. Strategic reliability across volatility regimes. *)
+  Printf.printf "%-8s %-10s %-10s %-24s\n" "sigma" "SR HTLC" "SR AC3"
+    "AC3 viable rates";
+  List.iter
+    (fun sigma ->
+      let p' = Swap.Params.with_sigma p sigma in
+      let band =
+        match Swap.Ac3.feasible_band p' with
+        | Some (lo, hi) -> Printf.sprintf "(%.2f, %.2f)" lo hi
+        | None -> "none"
+      in
+      Printf.printf "%-8g %-10.4f %-10.4f %-24s\n" sigma
+        (Swap.Success.analytic p' ~p_star)
+        (Swap.Ac3.success_rate p' ~p_star)
+        band)
+    [ 0.05; 0.1; 0.15; 0.2 ];
+
+  (* 2. Crash robustness, demonstrated on the simulator. *)
+  print_endline "\nCrash robustness (honest agents, live simulator runs):";
+  let show label htlc ac3 =
+    Printf.printf "  %-26s htlc: %-52s ac3: %s\n" label htlc ac3
+  in
+  let htlc_out r = Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome in
+  let ac3_out r = Swap.Ac3.outcome_to_string r.Swap.Ac3.outcome in
+  show "no crash"
+    (htlc_out (Swap.Protocol.run p ~p_star))
+    (ac3_out (Swap.Ac3.run p ~p_star));
+  show "bob offline from 7.5 h"
+    (htlc_out (Swap.Protocol.run ~bob_offline_from:7.5 p ~p_star))
+    (ac3_out (Swap.Ac3.run ~bob_offline_from:7.5 p ~p_star));
+  show "both offline from 5 h"
+    (htlc_out
+       (Swap.Protocol.run ~alice_offline_from:5. ~bob_offline_from:5. p ~p_star))
+    (ac3_out
+       (Swap.Ac3.run ~alice_offline_from:5. ~bob_offline_from:5. p ~p_star));
+  show "witness offline from 5 h" "n/a (no witness)"
+    (ac3_out (Swap.Ac3.run ~witness_offline_from:5. p ~p_star));
+
+  (* 3. What the witness costs in trust: quantify what it replaces. *)
+  let ov = Swap.Optionality.option_values p ~p_star in
+  Printf.printf
+    "\nThe witness removes Alice's exit option, worth %.4f Token_a to her\n\
+     (and a %.4f drag on Bob).  But a witness colluding with one party\n\
+     could misdirect the full escrowed value (%.1f Token_a per swap by\n\
+     committing one leg and aborting the other) -- the trust trade-off\n\
+     the paper's conclusion warns about.  Collateralised HTLCs buy most\n\
+     of the reliability without the witness:\n"
+    ov.Swap.Optionality.alice_option ov.Swap.Optionality.bob_option
+    (p_star +. p.Swap.Params.p0);
+  List.iter
+    (fun q ->
+      Printf.printf "  collateral Q = %-4g -> SR = %.4f (trustless)\n" q
+        (Swap.Collateral.success_rate (Swap.Collateral.symmetric p ~q) ~p_star))
+    [ 0.25; 0.5; 1. ]

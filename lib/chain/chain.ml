@@ -1,0 +1,332 @@
+type receipt = {
+  time : float;
+  tx_id : Tx.id option;
+  description : string;
+  result : (unit, string) result;
+}
+
+type event_kind =
+  | Confirm of Tx.t
+  | Auto_refund of { contract_id : string }
+  | Auto_escrow_timeout of { contract_id : string }
+type event = { at : float; seq : int; kind : event_kind }
+
+type t = {
+  name : string;
+  token : string;
+  tau : float;
+  mempool_delay : float;
+  mutable fee_per_tx : float;
+  ledger : Ledger.t;
+  htlcs : (string, Htlc.t) Hashtbl.t;
+  escrows : (string, Escrow.t) Hashtbl.t;
+  events : event Heap.t;
+  mutable submitted : Tx.t list;  (** Reverse-chronological. *)
+  mutable receipt_log : receipt list;  (** Reverse-chronological. *)
+  mutable next_tx_id : int;
+  mutable next_seq : int;
+  mutable clock : float;
+}
+
+let miner_account = "miner"
+
+let create ~name ~token ~tau ~mempool_delay =
+  if tau <= 0. then invalid_arg "Chain.create: requires tau > 0";
+  if mempool_delay < 0. || mempool_delay >= tau then
+    invalid_arg "Chain.create: requires 0 <= mempool_delay < tau (Eq. 3)";
+  {
+    name;
+    token;
+    tau;
+    mempool_delay;
+    fee_per_tx = 0.;
+    ledger = Ledger.create ();
+    htlcs = Hashtbl.create 8;
+    escrows = Hashtbl.create 8;
+    events =
+      Heap.create ~cmp:(fun a b ->
+          let c = compare a.at b.at in
+          if c <> 0 then c else compare a.seq b.seq);
+    submitted = [];
+    receipt_log = [];
+    next_tx_id = 0;
+    next_seq = 0;
+    clock = 0.;
+  }
+
+let name t = t.name
+let token t = t.token
+let tau t = t.tau
+let mempool_delay t = t.mempool_delay
+let fee_per_tx t = t.fee_per_tx
+
+let set_fee_per_tx t fee =
+  if fee < 0. then invalid_arg "Chain.set_fee_per_tx: negative fee";
+  t.fee_per_tx <- fee
+let clock t = t.clock
+let mint t ~account ~amount = Ledger.mint t.ledger account amount
+let balance t ~account = Ledger.balance t.ledger account
+let escrow_account ~contract_id = "escrow:" ^ contract_id
+
+let system_transfer t ~from_ ~to_ ~amount =
+  Ledger.transfer t.ledger ~from_ ~to_ ~amount
+
+let push_event t ~at kind =
+  Heap.push t.events { at; seq = t.next_seq; kind };
+  t.next_seq <- t.next_seq + 1
+
+let submit t ~at payload =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Chain.submit(%s): time %g before chain clock %g" t.name
+         at t.clock);
+  let id = t.next_tx_id in
+  t.next_tx_id <- id + 1;
+  let tx = { Tx.id; submitted_at = at; payload } in
+  t.submitted <- tx :: t.submitted;
+  push_event t ~at:(at +. t.tau) (Confirm tx);
+  id
+
+let record t ~time ~tx_id ~description ~result =
+  let r = { time; tx_id; description; result } in
+  t.receipt_log <- r :: t.receipt_log;
+  r
+
+(* The account footing a transaction's fee. *)
+let fee_payer t (payload : Tx.payload) =
+  match payload with
+  | Tx.Transfer { from_; _ } -> Some from_
+  | Tx.Htlc_lock { sender; _ } -> Some sender
+  | Tx.Htlc_claim { contract_id; _ } ->
+    Option.map (fun (h : Htlc.t) -> h.Htlc.recipient)
+      (Hashtbl.find_opt t.htlcs contract_id)
+  | Tx.Htlc_refund { contract_id } ->
+    Option.map (fun (h : Htlc.t) -> h.Htlc.sender)
+      (Hashtbl.find_opt t.htlcs contract_id)
+  | Tx.Escrow_lock { owner; _ } -> Some owner
+  | Tx.Escrow_decide { by; _ } -> Some by
+
+(* Best-effort fee collection: fees never fail a valid transaction. *)
+let collect_fee t payload =
+  if t.fee_per_tx > 0. then
+    match fee_payer t payload with
+    | None -> ()
+    | Some payer ->
+      let payable = min t.fee_per_tx (Ledger.balance t.ledger payer) in
+      if payable > 0. then
+        Ledger.transfer t.ledger ~from_:payer ~to_:miner_account
+          ~amount:payable
+
+(* Execute a confirmed transaction at its confirmation time [now]. *)
+let execute_tx t now (tx : Tx.t) =
+  let describe = Tx.payload_to_string tx.payload in
+  let result =
+    match tx.payload with
+    | Tx.Transfer { from_; to_; amount } -> (
+      try
+        Ledger.transfer t.ledger ~from_ ~to_ ~amount;
+        Ok ()
+      with Ledger.Insufficient_funds { have; need; _ } ->
+        Error (Printf.sprintf "insufficient funds: have %g, need %g" have need))
+    | Tx.Htlc_lock { contract_id; sender; recipient; amount; hash; expiry } -> (
+      if Hashtbl.mem t.htlcs contract_id then
+        Error (Printf.sprintf "contract %s already exists" contract_id)
+      else if expiry <= now then
+        Error "cannot deploy an HTLC that is already expired"
+      else
+        try
+          Ledger.transfer t.ledger ~from_:sender
+            ~to_:(escrow_account ~contract_id) ~amount;
+          let contract =
+            Htlc.create ~contract_id ~sender ~recipient ~amount ~hash ~expiry
+              ~created_at:now
+          in
+          Hashtbl.replace t.htlcs contract_id contract;
+          (* Funds return automatically if no claim lands by the expiry;
+             the sender is credited one confirmation delay later. *)
+          push_event t ~at:(expiry +. t.tau) (Auto_refund { contract_id });
+          Ok ()
+        with Ledger.Insufficient_funds { have; need; _ } ->
+          Error
+            (Printf.sprintf "insufficient funds to lock: have %g, need %g" have
+               need))
+    | Tx.Htlc_claim { contract_id; preimage } -> (
+      match Hashtbl.find_opt t.htlcs contract_id with
+      | None -> Error (Printf.sprintf "unknown contract %s" contract_id)
+      | Some contract -> (
+        match Htlc.try_claim contract ~preimage ~at:now with
+        | Error e -> Error e
+        | Ok claimed ->
+          Hashtbl.replace t.htlcs contract_id claimed;
+          Ledger.transfer t.ledger
+            ~from_:(escrow_account ~contract_id)
+            ~to_:contract.Htlc.recipient ~amount:contract.Htlc.amount;
+          Ok ()))
+    | Tx.Htlc_refund { contract_id } -> (
+      match Hashtbl.find_opt t.htlcs contract_id with
+      | None -> Error (Printf.sprintf "unknown contract %s" contract_id)
+      | Some contract -> (
+        match Htlc.try_refund contract ~at:now with
+        | Error e -> Error e
+        | Ok refunded ->
+          Hashtbl.replace t.htlcs contract_id refunded;
+          Ledger.transfer t.ledger
+            ~from_:(escrow_account ~contract_id)
+            ~to_:contract.Htlc.sender ~amount:contract.Htlc.amount;
+          Ok ()))
+    | Tx.Escrow_lock { contract_id; owner; counterparty; amount; arbiter; expiry }
+      -> (
+      if Hashtbl.mem t.escrows contract_id then
+        Error (Printf.sprintf "escrow %s already exists" contract_id)
+      else if expiry <= now then
+        Error "cannot deploy an escrow that is already expired"
+      else
+        try
+          Ledger.transfer t.ledger ~from_:owner
+            ~to_:(escrow_account ~contract_id) ~amount;
+          let contract =
+            Escrow.create ~contract_id ~owner ~counterparty ~amount ~arbiter
+              ~expiry ~created_at:now
+          in
+          Hashtbl.replace t.escrows contract_id contract;
+          (* Undecided escrows abort at expiry; the owner is credited
+             one confirmation delay later. *)
+          push_event t ~at:(expiry +. t.tau) (Auto_escrow_timeout { contract_id });
+          Ok ()
+        with Ledger.Insufficient_funds { have; need; _ } ->
+          Error
+            (Printf.sprintf "insufficient funds to lock: have %g, need %g" have
+               need))
+    | Tx.Escrow_decide { contract_id; by; commit } -> (
+      match Hashtbl.find_opt t.escrows contract_id with
+      | None -> Error (Printf.sprintf "unknown escrow %s" contract_id)
+      | Some contract -> (
+        match Escrow.decide contract ~by ~commit ~at:now with
+        | Error e -> Error e
+        | Ok decided ->
+          Hashtbl.replace t.escrows contract_id decided;
+          let to_ =
+            if commit then contract.Escrow.counterparty
+            else contract.Escrow.owner
+          in
+          Ledger.transfer t.ledger
+            ~from_:(escrow_account ~contract_id)
+            ~to_ ~amount:contract.Escrow.amount;
+          Ok ()))
+  in
+  (* Fees are charged after the effect and only on executed
+     transactions, so they can never fail an otherwise-valid one. *)
+  if Result.is_ok result then collect_fee t tx.payload;
+  record t ~time:now ~tx_id:(Some tx.Tx.id) ~description:describe ~result
+
+let execute_escrow_timeout t now ~contract_id =
+  match Hashtbl.find_opt t.escrows contract_id with
+  | None ->
+    record t ~time:now ~tx_id:None
+      ~description:(Printf.sprintf "escrow-timeout %s" contract_id)
+      ~result:(Error "unknown escrow")
+  | Some contract ->
+    if not (Escrow.is_held contract) then
+      record t ~time:now ~tx_id:None
+        ~description:(Printf.sprintf "escrow-timeout %s (noop)" contract_id)
+        ~result:(Ok ())
+    else begin
+      match Escrow.try_timeout contract ~at:contract.Escrow.expiry with
+      | Error e ->
+        record t ~time:now ~tx_id:None
+          ~description:(Printf.sprintf "escrow-timeout %s" contract_id)
+          ~result:(Error e)
+      | Ok aborted ->
+        Hashtbl.replace t.escrows contract_id aborted;
+        Ledger.transfer t.ledger
+          ~from_:(escrow_account ~contract_id)
+          ~to_:contract.Escrow.owner ~amount:contract.Escrow.amount;
+        record t ~time:now ~tx_id:None
+          ~description:
+            (Printf.sprintf "escrow-timeout %s: %g returned to %s" contract_id
+               contract.Escrow.amount contract.Escrow.owner)
+          ~result:(Ok ())
+    end
+
+let execute_auto_refund t now ~contract_id =
+  match Hashtbl.find_opt t.htlcs contract_id with
+  | None ->
+    record t ~time:now ~tx_id:None
+      ~description:(Printf.sprintf "auto-refund %s" contract_id)
+      ~result:(Error "unknown contract")
+  | Some contract ->
+    if not (Htlc.is_locked contract) then
+      (* Already claimed or explicitly refunded: nothing to do. *)
+      record t ~time:now ~tx_id:None
+        ~description:(Printf.sprintf "auto-refund %s (noop)" contract_id)
+        ~result:(Ok ())
+    else begin
+      (* The lock expired at [contract.expiry]; funds are credited now
+         (= expiry + tau). *)
+      match Htlc.try_refund contract ~at:contract.Htlc.expiry with
+      | Error e ->
+        record t ~time:now ~tx_id:None
+          ~description:(Printf.sprintf "auto-refund %s" contract_id)
+          ~result:(Error e)
+      | Ok refunded ->
+        Hashtbl.replace t.htlcs contract_id refunded;
+        Ledger.transfer t.ledger
+          ~from_:(escrow_account ~contract_id)
+          ~to_:contract.Htlc.sender ~amount:contract.Htlc.amount;
+        record t ~time:now ~tx_id:None
+          ~description:
+            (Printf.sprintf "auto-refund %s: %g returned to %s" contract_id
+               contract.Htlc.amount contract.Htlc.sender)
+          ~result:(Ok ())
+    end
+
+let advance t ~until =
+  if until < t.clock then
+    invalid_arg
+      (Printf.sprintf "Chain.advance(%s): until %g before clock %g" t.name
+         until t.clock);
+  let produced = ref [] in
+  let rec loop () =
+    match Heap.peek t.events with
+    | Some ev when ev.at <= until ->
+      ignore (Heap.pop_exn t.events);
+      t.clock <- ev.at;
+      let receipt =
+        match ev.kind with
+        | Confirm tx -> execute_tx t ev.at tx
+        | Auto_refund { contract_id } ->
+          execute_auto_refund t ev.at ~contract_id
+        | Auto_escrow_timeout { contract_id } ->
+          execute_escrow_timeout t ev.at ~contract_id
+      in
+      produced := receipt :: !produced;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  t.clock <- until;
+  List.rev !produced
+
+let htlc t ~contract_id = Hashtbl.find_opt t.htlcs contract_id
+let escrow t ~contract_id = Hashtbl.find_opt t.escrows contract_id
+let receipts t = List.rev t.receipt_log
+
+let observable_txs t ~at =
+  List.rev
+    (List.filter
+       (fun (tx : Tx.t) -> tx.Tx.submitted_at +. t.mempool_delay <= at)
+       t.submitted)
+
+let observed_preimage t ~at ~hash =
+  let visible = observable_txs t ~at in
+  List.find_map
+    (fun (tx : Tx.t) ->
+      match Tx.reveals_preimage tx.Tx.payload with
+      | Some preimage when Secret.verify ~hash ~preimage -> Some preimage
+      | _ -> None)
+    visible
+
+let total_supply t = Ledger.total_supply t.ledger
+
+let accounts t =
+  List.map (fun a -> (a, Ledger.balance t.ledger a)) (Ledger.accounts t.ledger)

@@ -1,0 +1,97 @@
+(** Deterministic single-token blockchain simulator.
+
+    Matches the paper's chain abstraction (Assumptions 1–2):
+    - a transaction submitted at time [s] is confirmed (executed) at
+      [s + tau], where [tau] is the chain's constant confirmation time;
+    - a submitted transaction becomes visible in the mempool at
+      [s + mempool_delay] (the paper's [eps]), before confirmation;
+    - transaction fees are zero;
+    - an HTLC whose time lock expires at [e] with no successful claim
+      returns its funds to the sender, credited at [e + tau]
+      (Eqs. 10–11: [t7 = t_b + tau_b], [t8 = t_a + tau_a]). *)
+
+type t
+
+type receipt = {
+  time : float;  (** When the effect was applied (confirmation time). *)
+  tx_id : Tx.id option;  (** [None] for auto-refunds. *)
+  description : string;
+  result : (unit, string) result;
+}
+
+val create : name:string -> token:string -> tau:float -> mempool_delay:float -> t
+(** @raise Invalid_argument unless [0 <= mempool_delay < tau] (Eq. 3)
+    and [tau > 0].  Transaction fees default to 0, matching the paper's
+    Assumption 2; see {!set_fee_per_tx}. *)
+
+val miner_account : string
+(** Account accumulating transaction fees. *)
+
+val fee_per_tx : t -> float
+
+val set_fee_per_tx : t -> float -> unit
+(** Configure a flat per-transaction fee, charged at confirmation —
+    after the transaction's effect, and only on successfully executed
+    transactions — to the initiating account (sender / claimer /
+    owner / arbiter) and credited to {!miner_account}.  When the
+    initiator cannot pay the full fee the remainder is forgiven, so
+    fees never make an otherwise-valid transaction fail.
+    @raise Invalid_argument on negative fees. *)
+
+val name : t -> string
+val token : t -> string
+val tau : t -> float
+val mempool_delay : t -> float
+
+val clock : t -> float
+(** Time up to which events have been processed. *)
+
+val mint : t -> account:string -> amount:float -> unit
+(** Bootstrap balances (genesis allocation). *)
+
+val balance : t -> account:string -> float
+
+val system_transfer : t -> from_:string -> to_:string -> amount:float -> unit
+(** Immediate ledger transfer bypassing confirmation delay.  Models the
+    collateral contract's "special permission to charge each agent
+    simultaneously" (Section IV, assumption 1) — not reachable through
+    ordinary transactions.
+    @raise Ledger.Insufficient_funds if [from_] lacks the amount. *)
+
+val submit : t -> at:float -> Tx.payload -> Tx.id
+(** Queues a transaction at time [at]; it executes at [at + tau].
+    @raise Invalid_argument if [at] is before the chain clock. *)
+
+val advance : t -> until:float -> receipt list
+(** Processes every confirmation and expiry event with time [<= until],
+    in chronological order (FIFO within equal times), advances the
+    clock, and returns the receipts produced by this call in order.
+    @raise Invalid_argument if [until] is before the clock. *)
+
+val htlc : t -> contract_id:string -> Htlc.t option
+(** Contract state as of the current clock. *)
+
+val escrow : t -> contract_id:string -> Escrow.t option
+(** Arbitrated-escrow state as of the current clock. *)
+
+val receipts : t -> receipt list
+(** All receipts so far, chronological. *)
+
+val observable_txs : t -> at:float -> Tx.t list
+(** Transactions visible at time [at]: submitted no later than
+    [at - mempool_delay] (mempool visibility; confirmed transactions
+    remain visible).  Chronological by submission. *)
+
+val observed_preimage : t -> at:float -> hash:string -> string option
+(** Watches the mempool: the preimage of [hash] if some visible claim
+    transaction reveals it — how Bob learns the secret at
+    [t4 = t3 + eps_b] (Eq. 7). *)
+
+val escrow_account : contract_id:string -> string
+(** The internal account holding an HTLC's locked funds. *)
+
+val total_supply : t -> float
+(** Conservation check: constant across all operations. *)
+
+val accounts : t -> (string * float) list
+(** Every account with its balance, in unspecified order. *)

@@ -1,0 +1,37 @@
+(** Arbitrated escrow contract — the on-chain half of witness-based
+    atomic commitment (AC3TW, Zakhary et al. [31]): funds locked by the
+    owner are released to the counterparty on the arbiter's [commit]
+    verdict, returned to the owner on [abort], and returned
+    automatically if the arbiter never decides by the expiry (crash
+    tolerance for the witness itself). *)
+
+type state =
+  | Held
+  | Committed of { at : float }  (** Paid to the counterparty. *)
+  | Aborted of { at : float }  (** Returned to the owner. *)
+
+type t = {
+  contract_id : string;
+  owner : string;
+  counterparty : string;
+  amount : float;
+  arbiter : string;  (** Only this account's verdict is accepted. *)
+  expiry : float;
+  created_at : float;
+  state : state;
+}
+
+val create :
+  contract_id:string -> owner:string -> counterparty:string -> amount:float ->
+  arbiter:string -> expiry:float -> created_at:float -> t
+(** @raise Invalid_argument if [amount < 0.] or [expiry <= created_at]. *)
+
+val decide : t -> by:string -> commit:bool -> at:float -> (t, string) result
+(** The arbiter's verdict; rejected from any other account, after the
+    expiry, or once the contract is settled. *)
+
+val try_timeout : t -> at:float -> (t, string) result
+(** Aborts an undecided contract at or after the expiry. *)
+
+val is_held : t -> bool
+val state_to_string : state -> string

@@ -1,0 +1,22 @@
+(** Block-explorer-style views over a simulated chain: receipts grouped
+    into pseudo-blocks by confirmation instant, plus balance and
+    contract summaries.  Purely observational — used by examples,
+    traces, and debugging. *)
+
+type block = {
+  height : int;  (** 0-based, in confirmation order. *)
+  time : float;  (** The shared confirmation instant. *)
+  events : string list;  (** Human-readable receipt lines. *)
+}
+
+val blocks : Chain.t -> block list
+(** All processed activity, grouped by confirmation time (our
+    deterministic-delay chain confirms everything submitted at the same
+    instant together — the closest analogue of a block). *)
+
+val render : ?max_blocks:int -> Chain.t -> string
+(** Pretty text dump: chain header, the last [max_blocks] blocks
+    (default all), and nonzero balances. *)
+
+val balances : Chain.t -> (string * float) list
+(** Nonzero account balances, largest first. *)

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap, the event queue of the discrete-event
+    simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Not_found on an empty heap. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap in ascending order (the heap itself is
+    unchanged). *)

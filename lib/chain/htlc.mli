@@ -1,0 +1,37 @@
+(** Hash time lock contract state machine.
+
+    Lifecycle: [Locked] at deployment; then exactly one of
+    [Claimed] (recipient supplied the preimage before expiry) or
+    [Refunded] (expiry passed, funds returned to the sender). *)
+
+type state =
+  | Locked
+  | Claimed of { at : float; preimage : string }
+  | Refunded of { at : float }
+
+type t = {
+  contract_id : string;
+  sender : string;
+  recipient : string;
+  amount : float;
+  hash : string;
+  expiry : float;
+  created_at : float;
+  state : state;
+}
+
+val create :
+  contract_id:string -> sender:string -> recipient:string -> amount:float ->
+  hash:string -> expiry:float -> created_at:float -> t
+(** @raise Invalid_argument if [amount < 0.] or [expiry <= created_at]. *)
+
+val try_claim : t -> preimage:string -> at:float -> (t, string) result
+(** Succeeds iff the contract is still [Locked], the preimage hashes to
+    the commitment, and [at <= expiry] (Eq. 8/9: the claim must be
+    confirmed no later than the time lock). *)
+
+val try_refund : t -> at:float -> (t, string) result
+(** Succeeds iff the contract is still [Locked] and [at >= expiry]. *)
+
+val is_locked : t -> bool
+val state_to_string : state -> string

@@ -1,0 +1,25 @@
+(** Single-token account ledger of one chain.  Amounts are nonnegative
+    floats (the paper's model is real-valued; transaction fees are
+    assumed negligible, Assumption 2). *)
+
+type account = string
+
+type t
+
+exception Insufficient_funds of { account : account; have : float; need : float }
+
+val create : unit -> t
+val balance : t -> account -> float
+(** 0. for unknown accounts. *)
+
+val mint : t -> account -> float -> unit
+(** Creates [amount] tokens in [account] (test/bootstrap helper).
+    @raise Invalid_argument on negative amounts. *)
+
+val transfer : t -> from_:account -> to_:account -> amount:float -> unit
+(** @raise Insufficient_funds if [from_] lacks the amount (with a small
+    epsilon tolerance for float rounding).
+    @raise Invalid_argument on negative amounts. *)
+
+val total_supply : t -> float
+val accounts : t -> account list

@@ -1,0 +1,45 @@
+type t = {
+  chain : Chain.t;
+  alice : string;
+  bob : string;
+  q : float;
+  vault : string;
+  mutable is_deposited : bool;
+  mutable released : float;
+}
+
+let counter = ref 0
+
+let create chain ~alice ~bob ~q =
+  if q < 0. then invalid_arg "Oracle.create: negative collateral";
+  incr counter;
+  {
+    chain;
+    alice;
+    bob;
+    q;
+    vault = Printf.sprintf "oracle:vault:%d" !counter;
+    is_deposited = false;
+    released = 0.;
+  }
+
+let q t = t.q
+let vault_account t = t.vault
+
+let deposit t ~at:_ =
+  if t.is_deposited then invalid_arg "Oracle.deposit: already deposited";
+  (* Instantaneous charge per the paper's special-permission assumption:
+     both debits happen atomically, before any swap action. *)
+  Chain.system_transfer t.chain ~from_:t.alice ~to_:t.vault ~amount:t.q;
+  Chain.system_transfer t.chain ~from_:t.bob ~to_:t.vault ~amount:t.q;
+  t.is_deposited <- true
+
+let release t ~at ~to_ ~amount =
+  if amount < 0. then invalid_arg "Oracle.release: negative amount";
+  if t.released +. amount > (2. *. t.q) +. 1e-9 then
+    invalid_arg "Oracle.release: vault overdrawn";
+  t.released <- t.released +. amount;
+  Chain.submit t.chain ~at (Tx.Transfer { from_ = t.vault; to_; amount })
+
+let released_total t = t.released
+let deposited t = t.is_deposited

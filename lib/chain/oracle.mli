@@ -1,0 +1,34 @@
+(** Collateral Oracle of Section IV: a trusted contract on Chain_a that
+    charges both agents the same collateral [q] before the swap, watches
+    the outcome on both chains, and settles:
+
+    - swap succeeds: each agent gets their own collateral back;
+    - an agent stops: the {e other} agent receives both deposits (2q).
+
+    Deposits are taken instantaneously at [deposit] time — the paper
+    grants the contract "special permission to charge each of them
+    simultaneously" (Section IV, assumption 1). Releases are ordinary
+    chain transfers from the vault and take one confirmation delay to
+    credit, matching the [t + tau_a] receipt times in the paper. *)
+
+type t
+
+val create : Chain.t -> alice:string -> bob:string -> q:float -> t
+(** @raise Invalid_argument if [q < 0.]. *)
+
+val q : t -> float
+val vault_account : t -> string
+
+val deposit : t -> at:float -> unit
+(** Charges [q] from each agent into the vault (instantaneous ledger
+    debit, per the special-permission assumption).
+    @raise Ledger.Insufficient_funds if either agent cannot pay.
+    @raise Invalid_argument if called twice. *)
+
+val release : t -> at:float -> to_:string -> amount:float -> Tx.id
+(** Submits a vault transfer; credited at [at + tau_a].
+    @raise Invalid_argument if the vault would be overdrawn by the total
+    amount released so far. *)
+
+val released_total : t -> float
+val deposited : t -> bool

@@ -1,0 +1,22 @@
+open Numerics
+
+type t = { preimage : string; hash : string }
+
+let of_preimage preimage = { preimage; hash = Sha256.digest preimage }
+
+let generate rng =
+  let b = Bytes.create 32 in
+  for i = 0 to 3 do
+    let word = Rng.bits64 rng in
+    for j = 0 to 7 do
+      Bytes.set b
+        ((i * 8) + j)
+        (Char.chr
+           (Int64.to_int
+              (Int64.logand (Int64.shift_right_logical word (8 * j)) 0xFFL)))
+    done
+  done;
+  of_preimage (Bytes.to_string b)
+
+let verify ~hash ~preimage = String.equal (Sha256.digest preimage) hash
+let hash_hex t = Sha256.hex_of_bytes t.hash

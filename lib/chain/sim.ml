@@ -1,0 +1,53 @@
+type pending = { at : float; seq : int; name : string; run : t -> unit }
+
+and t = {
+  queue : pending Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable log : (float * string) list;  (** Reverse-chronological. *)
+  mutable executed : int;
+}
+
+let create () =
+  {
+    queue =
+      Heap.create ~cmp:(fun a b ->
+          let c = compare a.at b.at in
+          if c <> 0 then c else compare a.seq b.seq);
+    clock = 0.;
+    next_seq = 0;
+    log = [];
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at ~name run =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: %s at %g is before now (%g)" name at
+         t.clock);
+  Heap.push t.queue { at; seq = t.next_seq; name; run };
+  t.next_seq <- t.next_seq + 1
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.at;
+    t.log <- (ev.at, ev.name) :: t.log;
+    t.executed <- t.executed + 1;
+    ev.run t;
+    true
+
+let rec run t = if step t then run t
+
+let rec run_until t limit =
+  match Heap.peek t.queue with
+  | Some ev when ev.at <= limit ->
+    ignore (step t);
+    run_until t limit
+  | _ -> ()
+
+let trace t = List.rev t.log
+let executed_count t = t.executed

@@ -1,0 +1,25 @@
+(** Minimal discrete-event simulation loop: schedule named callbacks at
+    absolute times; events run in (time, insertion) order.  The protocol
+    runner uses it to interleave agent decisions with chain events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Time of the event currently executing (0. before the first). *)
+
+val schedule : t -> at:float -> name:string -> (t -> unit) -> unit
+(** @raise Invalid_argument when scheduling strictly before [now t]. *)
+
+val run : t -> unit
+(** Runs until the event queue is empty.  Events may schedule further
+    events. *)
+
+val run_until : t -> float -> unit
+(** Runs events with time [<= limit]; later events stay queued. *)
+
+val trace : t -> (float * string) list
+(** Names of executed events, chronological. *)
+
+val executed_count : t -> int

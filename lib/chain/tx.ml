@@ -1,0 +1,51 @@
+type payload =
+  | Transfer of { from_ : string; to_ : string; amount : float }
+  | Htlc_lock of {
+      contract_id : string;
+      sender : string;
+      recipient : string;
+      amount : float;
+      hash : string;
+      expiry : float;
+    }
+  | Htlc_claim of { contract_id : string; preimage : string }
+  | Htlc_refund of { contract_id : string }
+  | Escrow_lock of {
+      contract_id : string;
+      owner : string;
+      counterparty : string;
+      amount : float;
+      arbiter : string;
+      expiry : float;
+    }
+  | Escrow_decide of { contract_id : string; by : string; commit : bool }
+
+type id = int
+type t = { id : id; submitted_at : float; payload : payload }
+
+let pp_payload fmt = function
+  | Transfer { from_; to_; amount } ->
+    Format.fprintf fmt "transfer %g from %s to %s" amount from_ to_
+  | Htlc_lock { contract_id; sender; recipient; amount; expiry; _ } ->
+    Format.fprintf fmt "htlc-lock %s: %g from %s to %s, expires %g"
+      contract_id amount sender recipient expiry
+  | Htlc_claim { contract_id; _ } ->
+    Format.fprintf fmt "htlc-claim %s (preimage revealed)" contract_id
+  | Htlc_refund { contract_id } ->
+    Format.fprintf fmt "htlc-refund %s" contract_id
+  | Escrow_lock { contract_id; owner; counterparty; amount; arbiter; expiry } ->
+    Format.fprintf fmt
+      "escrow-lock %s: %g from %s to %s, arbiter %s, expires %g" contract_id
+      amount owner counterparty arbiter expiry
+  | Escrow_decide { contract_id; by; commit } ->
+    Format.fprintf fmt "escrow-decide %s: %s by %s" contract_id
+      (if commit then "commit" else "abort")
+      by
+
+let payload_to_string p = Format.asprintf "%a" pp_payload p
+
+let reveals_preimage = function
+  | Htlc_claim { preimage; _ } -> Some preimage
+  | Transfer _ | Htlc_lock _ | Htlc_refund _ | Escrow_lock _
+  | Escrow_decide _ ->
+    None

@@ -1,0 +1,115 @@
+(* Witness-based atomic commitment (AC3TW, Zakhary et al. [31]) built
+   on the same chain simulator and utility model: removes Alice's t3
+   exit (higher SR), survives every agent crash, but reintroduces a
+   trusted third party. *)
+
+let name = "ac3"
+let description = "Witness commitment (AC3TW/AC3WN) vs HTLC: SR, crashes, trust"
+
+let crash_matrix () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let cases =
+    [
+      ("nobody", None);
+      ("alice @ 5h", Some (`Alice, 5.));
+      ("alice @ 7.5h", Some (`Alice, 7.5));
+      ("bob @ 5h", Some (`Bob, 5.));
+      ("bob @ 7.5h", Some (`Bob, 7.5));
+      ("witness @ 5h", Some (`Witness, 5.));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, crash) ->
+        let htlc =
+          match crash with
+          | None -> Swap.Protocol.run p ~p_star
+          | Some (`Alice, at) -> Swap.Protocol.run ~alice_offline_from:at p ~p_star
+          | Some (`Bob, at) -> Swap.Protocol.run ~bob_offline_from:at p ~p_star
+          | Some (`Witness, _) -> Swap.Protocol.run p ~p_star
+        in
+        let ac3 =
+          match crash with
+          | None -> Swap.Ac3.run p ~p_star
+          | Some (`Alice, at) -> Swap.Ac3.run ~alice_offline_from:at p ~p_star
+          | Some (`Bob, at) -> Swap.Ac3.run ~bob_offline_from:at p ~p_star
+          | Some (`Witness, at) -> Swap.Ac3.run ~witness_offline_from:at p ~p_star
+        in
+        let ac3wn =
+          match crash with
+          | None -> Swap.Ac3wn.run p ~p_star
+          | Some (`Alice, at) -> Swap.Ac3wn.run ~alice_offline_from:at p ~p_star
+          | Some (`Bob, at) -> Swap.Ac3wn.run ~bob_offline_from:at p ~p_star
+          | Some (`Witness, _) -> Swap.Ac3wn.run p ~p_star
+        in
+        let htlc_str =
+          match crash with
+          | Some (`Witness, _) -> "n/a (no witness)"
+          | _ -> Swap.Protocol.outcome_to_string htlc.Swap.Protocol.outcome
+        in
+        let ac3wn_str =
+          match crash with
+          | Some (`Witness, _) -> "n/a (chain, not a process)"
+          | _ -> Swap.Ac3wn.outcome_to_string ac3wn.Swap.Ac3wn.outcome
+        in
+        [ label; htlc_str;
+          Swap.Ac3.outcome_to_string ac3.Swap.Ac3.outcome; ac3wn_str ])
+      cases
+  in
+  Render.table
+    ~header:[ "crash"; "HTLC outcome"; "AC3TW outcome"; "AC3WN outcome" ]
+    ~rows
+
+let sr_comparison () =
+  let base = Swap.Params.defaults in
+  let rows =
+    List.map
+      (fun sigma ->
+        let p = Swap.Params.with_sigma base sigma in
+        let htlc = Swap.Success.analytic p ~p_star:2. in
+        let ac3 = Swap.Ac3.success_rate p ~p_star:2. in
+        let band =
+          match Swap.Ac3.feasible_band p with
+          | Some (lo, hi) -> Printf.sprintf "(%.3f, %.3f)" lo hi
+          | None -> "infeasible"
+        in
+        [ Render.fmt sigma; Render.fmt htlc; Render.fmt ac3; band ])
+      [ 0.05; 0.1; 0.15; 0.2 ]
+  in
+  Render.table
+    ~header:[ "sigma"; "SR HTLC"; "SR AC3"; "AC3 feasible P*" ]
+    ~rows
+
+let latency_block () =
+  let p = Swap.Params.defaults in
+  let tl = Swap.Timeline.ideal p in
+  let htlc = Swap.Timeline.duration_success tl in
+  let ac3tw = tl.Swap.Timeline.t3 +. max p.Swap.Params.tau_a p.Swap.Params.tau_b in
+  let ac3wn = Swap.Ac3wn.happy_path_hours p in
+  Render.table
+    ~header:[ "protocol"; "happy-path hours"; "extra vs HTLC" ]
+    ~rows:
+      [
+        [ "HTLC"; Render.fmt htlc; "-" ];
+        [ "AC3TW"; Render.fmt ac3tw; Render.fmt (ac3tw -. htlc) ];
+        [ "AC3WN"; Render.fmt ac3wn; Render.fmt (ac3wn -. htlc) ];
+      ]
+
+let run () =
+  Render.section "Crash tolerance (honest agents)"
+  ^ crash_matrix ()
+  ^ "\nAC3TW never loses atomicity: after both escrows lock, the witness\n\
+     settles both chains even with both agents offline, and a crashed\n\
+     witness only delays everyone until the timeout refunds.  AC3WN\n\
+     removes the witness process entirely -- the decision lives on a\n\
+     witness blockchain and any surviving party can trigger settlement --\n\
+     at the price of one extra chain confirmation of latency:\n\n"
+  ^ latency_block () ^ "\n"
+  ^ Render.section "Strategic success rate (rational agents, P* = 2)"
+  ^ sr_comparison ()
+  ^ "\nAC3 removes Alice's reveal option (its SR equals the alice-committed\n\
+     regime of the optionality experiment) and stays viable at higher\n\
+     volatility than the pure HTLC.  The price is a trusted witness --\n\
+     exactly the trade-off the paper's conclusion points at: disciplinary\n\
+     mechanisms help, but today they need a third party.\n"

@@ -1,0 +1,66 @@
+(* Failure attribution: the paper's headline claim is that BOTH agents
+   rationally walk away, at different times and in different price
+   directions.  This experiment decomposes every initiated swap's fate
+   and attributes failures to the responsible agent. *)
+
+let name = "attribution"
+let description = "Who kills the swap? Outcome decomposition by agent and price move"
+
+let by_rate_block () =
+  let p = Swap.Params.defaults in
+  let rows =
+    List.map
+      (fun p_star ->
+        let d = Swap.Outcomes.distribution p ~p_star in
+        [
+          Render.fmt p_star;
+          Render.fmt d.Swap.Outcomes.success;
+          Render.fmt d.Swap.Outcomes.bob_balks_low;
+          Render.fmt d.Swap.Outcomes.bob_balks_high;
+          Render.fmt d.Swap.Outcomes.alice_reneges;
+          Render.fmt (Swap.Outcomes.blame_share_bob d);
+        ])
+      [ 1.6; 1.8; 2.0; 2.2; 2.4 ]
+  in
+  Render.table
+    ~header:
+      [ "P*"; "success"; "Bob balks (price low)"; "Bob balks (price high)";
+        "Alice reneges"; "Bob's failure share" ]
+    ~rows
+
+let by_sigma_block () =
+  let base = Swap.Params.defaults in
+  let rows =
+    List.map
+      (fun sigma ->
+        let p = Swap.Params.with_sigma base sigma in
+        let d = Swap.Outcomes.distribution p ~p_star:2. in
+        let dur = Swap.Outcomes.durations p ~p_star:2. in
+        [
+          Render.fmt sigma;
+          Render.fmt d.Swap.Outcomes.success;
+          Render.fmt (Swap.Outcomes.blame_share_bob d);
+          Render.fmt dur.Swap.Outcomes.expected_hours;
+        ])
+      [ 0.05; 0.08; 0.1; 0.12; 0.15 ]
+  in
+  Render.table
+    ~header:[ "sigma"; "success"; "Bob's failure share"; "expected hours" ]
+    ~rows
+
+let run () =
+  Render.section "Outcome decomposition across exchange rates"
+  ^ by_rate_block ()
+  ^ "\nAt low rates the failures are Bob's: the rate underpays him, so\n\
+     unless Token_b cheapens he keeps it (the high-price balk prior work\n\
+     neglected).  At high rates they are Alice's: her P*-sized refund\n\
+     beats delivering whenever Token_b cheapens.  Near the SR-optimal\n\
+     rate blame splits about evenly -- both of the paper's exit channels\n\
+     are live at once.\n\n"
+  ^ Render.section "Attribution across volatility (P* = 2)"
+  ^ by_sigma_block ()
+  ^ "\nAt the common quoted rate the blame stays close to an even split\n\
+     across volatilities (slightly Bob-heavy in calm markets, where only\n\
+     his two-sided band ever binds).  The expected swap duration rises\n\
+     with failure risk because failures wait for the time locks\n\
+     (Eqs. 10-11).\n"

@@ -1,0 +1,64 @@
+(* Walk-forward backtest on synthetic market data (Section V:
+   "simulation studies can be performed based on our model framework
+   ... using real market data").  Real exchange feeds are not available
+   in this environment, so the market is a regime-switching process —
+   the stylised fact (volatility clustering) that a plain GBM misses
+   and the one that drives the Bisq failure anecdote. *)
+
+let name = "backtest"
+let description = "Walk-forward backtest on regime-switching synthetic markets"
+
+let run () =
+  let rng = Numerics.Rng.create ~seed:90210 () in
+  let spec = Market.Regimes.default_spec in
+  let dt = 0.5 in
+  (* 120 days of half-hourly data. *)
+  let steps = int_of_float (120. *. 24. /. dt) in
+  let path, states = Market.Regimes.sample rng spec ~p0:2. ~dt ~steps in
+  let trades = Market.Backtest.run path in
+  let by_regime =
+    Market.Backtest.summarize_by trades ~classify:(fun t ->
+        Market.Regimes.state_at states ~dt ~t:t.Market.Backtest.start)
+  in
+  let overall = Market.Backtest.summarize trades in
+  let row label (s : Market.Backtest.summary) =
+    [
+      label;
+      string_of_int s.Market.Backtest.trades;
+      string_of_int s.Market.Backtest.skipped;
+      string_of_int s.Market.Backtest.initiated;
+      Render.fmt s.Market.Backtest.mean_predicted_sr;
+      Render.fmt s.Market.Backtest.realized_sr;
+    ]
+  in
+  let rows =
+    row "overall" overall
+    :: List.map
+         (fun (state, s) -> row (Market.Regimes.state_to_string state) s)
+         by_regime
+  in
+  (* Calibration-quality check: fit the whole path and per-regime vols. *)
+  let fit_info =
+    match Market.Calibrate.fit path with
+    | Ok f ->
+      Printf.sprintf
+        "Whole-path GBM fit: mu = %.4g +/- %.2g, sigma = %.4g +/- %.2g \
+         (true regime sigmas: %.2g calm / %.2g turbulent, %.0f%% turbulent)\n"
+        f.Market.Calibrate.mu f.Market.Calibrate.mu_stderr
+        f.Market.Calibrate.sigma f.Market.Calibrate.sigma_stderr
+        spec.Market.Regimes.sigma_calm spec.Market.Regimes.sigma_turbulent
+        (100. *. Market.Regimes.stationary_turbulent_share spec)
+    | Error e -> "fit failed: " ^ e ^ "\n"
+  in
+  Render.section "Walk-forward backtest (120 days, trade every 12 h, 1-week calibration)"
+  ^ fit_info ^ "\n"
+  ^ Render.table
+      ~header:
+        [ "regime at quote"; "trades"; "skipped"; "initiated";
+          "mean predicted SR"; "realized SR" ]
+      ~rows
+  ^ "\nThe trailing-window quote inherits the past week's regime mixture,\n\
+     so it is systematically conservative in calm markets (realized SR\n\
+     above prediction) and optimistic when the quote lands in turbulence\n\
+     (realized far below prediction) -- the calibration-lag model risk\n\
+     behind failure spikes in volatile periods (Section II-A).\n"

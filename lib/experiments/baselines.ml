@@ -1,0 +1,85 @@
+(* Protocol/mechanism comparison under calm and volatile markets:
+   honest agents (protocol ideal), rational agents (the paper),
+   myopic agents (no look-ahead), premium-HTLC (Han et al.-style) and
+   symmetric collateral (Section IV).  Also reproduces the Bisq
+   anecdote from Section II-A: a few percent of trades fail, more in
+   volatile markets. *)
+
+let name = "baselines"
+let description = "Mechanism comparison across volatility regimes (incl. Bisq check)"
+
+let trials = 40_000
+
+let regime_row (p : Swap.Params.t) label =
+  let p_star = 2. in
+  let rational = Swap.Agent.rational p ~p_star in
+  let honest = Swap.Agent.honest in
+  let myopic = Swap.Agent.myopic p ~p_star in
+  let mc policy = Swap.Montecarlo.run ~trials p ~p_star ~policy in
+  let r_rational = mc rational and r_honest = mc honest and r_myopic = mc myopic in
+  let premium = Swap.Premium.create p ~w:0.5 in
+  let r_premium =
+    Swap.Montecarlo.run_collateral ~trials
+      (Swap.Premium.as_collateral premium)
+      ~p_star
+  in
+  let collateral = Swap.Collateral.symmetric p ~q:0.5 in
+  let r_collateral = Swap.Montecarlo.run_collateral ~trials collateral ~p_star in
+  let cell (r : Swap.Montecarlo.result) =
+    if r.Swap.Montecarlo.initiated = 0 then "never initiated"
+    else Render.fmt r.Swap.Montecarlo.rate
+  in
+  [
+    label;
+    cell r_honest;
+    cell r_rational;
+    cell r_myopic;
+    cell r_premium;
+    cell r_collateral;
+  ]
+
+let bisq_check () =
+  (* Bisq community: 3-5% of trades fail and go to arbitration, more
+     during volatile periods.  Bisq trades post collateral, so the
+     right comparison is the collateralised game at a market-like
+     sigma.  We report the failure rate 1 - SR for a range of
+     volatilities with Q = 0.5. *)
+  let rows =
+    List.map
+      (fun sigma ->
+        let p = Swap.Params.with_sigma Swap.Params.defaults sigma in
+        let c = Swap.Collateral.symmetric p ~q:0.5 in
+        let sr = Swap.Collateral.success_rate c ~p_star:2. in
+        [ Render.fmt sigma; Render.fmt sr; Render.fmt (1. -. sr) ])
+      [ 0.05; 0.08; 0.1; 0.15; 0.2 ]
+  in
+  "Bisq plausibility check (collateralised game, Q = 0.5, P* = 2):\n"
+  ^ Render.table
+      ~header:[ "sigma (/sqrt h)"; "SR"; "failure rate" ]
+      ~rows
+  ^ "Failure rates in the low single-digit percents at moderate volatility,\n\
+     rising with sigma -- in line with the 3-5% arbitration anecdote of\n\
+     Section II-A.\n"
+
+let run () =
+  let defaults = Swap.Params.defaults in
+  let calm = Swap.Params.with_sigma defaults 0.05 in
+  let volatile = Swap.Params.with_sigma defaults 0.2 in
+  let rows =
+    [
+      regime_row calm "calm (sigma=0.05)";
+      regime_row defaults "default (sigma=0.1)";
+      regime_row volatile "volatile (sigma=0.2)";
+    ]
+  in
+  Render.section "Mechanism comparison: success rate at P* = 2"
+  ^ Render.table
+      ~header:
+        [ "regime"; "honest"; "rational"; "myopic"; "premium w=0.5";
+          "collateral Q=0.5" ]
+      ~rows
+  ^ "\nHonest agents always complete (SR = 1) -- failures are purely\n\
+     strategic.  Rational agents defect more as volatility grows; deposits\n\
+     recover most of the gap; the premium helps only Alice's t3 defection,\n\
+     so it sits between rational and full collateral.\n\n"
+  ^ bisq_check ()

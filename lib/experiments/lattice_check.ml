@@ -1,0 +1,73 @@
+(* Game-tree cross-check: the swap rebuilt as a finite extensive-form
+   game on a GBM-calibrated lattice and solved by generic backward
+   induction converges to the analytic solution as the lattice is
+   refined. *)
+
+let name = "lattice"
+let description = "Game-tree/lattice cross-check of the backward induction"
+
+let collateral_block () =
+  let p = Swap.Params.defaults in
+  let rows =
+    List.map
+      (fun q ->
+        let spec =
+          Swap.Lattice_game.make_spec ~steps_a:120 ~steps_b:120 ~q p ~p_star:2.
+        in
+        let sol = Swap.Lattice_game.solve spec in
+        let c = Swap.Collateral.symmetric p ~q in
+        [
+          Render.fmt q;
+          Render.fmt sol.Swap.Lattice_game.success_rate;
+          Render.fmt (Swap.Collateral.success_rate c ~p_star:2.);
+          (match sol.Swap.Lattice_game.t3_boundary with
+          | Some b -> Render.fmt b
+          | None -> "-");
+          Render.fmt (Swap.Collateral.p_t3_low c ~p_star:2.);
+        ])
+      [ 0.; 0.25; 0.5; 1. ]
+  in
+  Render.section "Collateral game on the lattice (Section IV cross-check)"
+  ^ Render.table
+      ~header:
+        [ "Q"; "SPE SR"; "Eq. 40 SR"; "lattice t3 boundary"; "Eq. 34 cutoff" ]
+      ~rows
+  ^ "\nThe generic solver also recovers the Section IV equilibrium: deposit\n\
+     flows in the terminal payoffs reproduce both the lowered reveal\n\
+     cutoffs and the higher success rates.\n"
+
+let run () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let analytic_sr = Swap.Success.analytic p ~p_star in
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star in
+  let rows =
+    List.map
+      (fun steps ->
+        let spec =
+          Swap.Lattice_game.make_spec ~steps_a:steps ~steps_b:steps p ~p_star
+        in
+        let sol = Swap.Lattice_game.solve spec in
+        [
+          string_of_int steps;
+          string_of_int sol.Swap.Lattice_game.nodes;
+          Render.fmt sol.Swap.Lattice_game.success_rate;
+          Render.fmt (abs_float (sol.Swap.Lattice_game.success_rate -. analytic_sr));
+          (match sol.Swap.Lattice_game.t3_boundary with
+          | Some b -> Render.fmt b
+          | None -> "-");
+          string_of_bool sol.Swap.Lattice_game.alice_initiates;
+        ])
+      [ 10; 20; 40; 80; 160 ]
+  in
+  Render.section "Game-tree cross-check (generic SPE solver on a lattice)"
+  ^ Printf.sprintf "Analytic: SR = %.4f, Alice's t3 cutoff = %.4f (P* = %g)\n\n"
+      analytic_sr k3 p_star
+  ^ Render.table
+      ~header:
+        [ "lattice steps"; "game nodes"; "SPE SR"; "|SR - analytic|";
+          "t3 boundary"; "initiates" ]
+      ~rows
+  ^ "\nThe SPE of the discretised game converges to the closed-form backward\n\
+     induction: same decisions, same success probability in the limit.\n\n"
+  ^ collateral_block ()

@@ -1,0 +1,59 @@
+(* Quantifying the embedded American-style options (Sections I/II-C/V):
+   the paper's qualitative claim is that BOTH agents hold an exit
+   option; here each option is priced by comparing the rational
+   equilibrium against commitment regimes. *)
+
+let name = "optionality"
+let description = "Pricing both agents' exit options across volatilities"
+
+let run () =
+  let base = Swap.Params.defaults in
+  let p_star = 2. in
+  let rows =
+    List.map
+      (fun sigma ->
+        let p = Swap.Params.with_sigma base sigma in
+        let ov = Swap.Optionality.option_values p ~p_star in
+        [
+          Render.fmt sigma;
+          Render.fmt ov.Swap.Optionality.alice_option;
+          Render.fmt ov.Swap.Optionality.bob_option;
+          Render.fmt ov.Swap.Optionality.sr_rational;
+          Render.fmt ov.Swap.Optionality.sr_all_committed;
+        ])
+      [ 0.05; 0.08; 0.1; 0.15; 0.2 ]
+  in
+  let regimes =
+    List.map
+      (fun (label, regime) ->
+        let v = Swap.Optionality.value base ~p_star regime in
+        [
+          label;
+          Render.fmt v.Swap.Optionality.alice_t1;
+          Render.fmt v.Swap.Optionality.bob_t1;
+          Render.fmt v.Swap.Optionality.success_rate;
+        ])
+      [
+        ("rational (paper)", Swap.Optionality.rational);
+        ("alice committed", Swap.Optionality.alice_committed);
+        ("bob committed", Swap.Optionality.bob_committed);
+        ("both committed", Swap.Optionality.both_committed);
+      ]
+  in
+  Render.section "Commitment regimes at Table III defaults (P* = 2)"
+  ^ Render.table
+      ~header:[ "regime"; "U^A_t1(cont)"; "U^B_t1(cont)"; "SR" ]
+      ~rows:regimes
+  ^ "\n"
+  ^ Render.section "Option values vs volatility"
+  ^ Render.table
+      ~header:
+        [ "sigma"; "Alice's option"; "Bob's option"; "SR rational";
+          "SR committed" ]
+      ~rows
+  ^ "\nBoth agents' exit options carry positive value that grows with\n\
+     volatility -- quantifying the paper's claim that not only the swap\n\
+     initiator can exploit price moves; at high volatility Bob's t2\n\
+     option is worth several times Alice's t3 option.  Each agent's\n\
+     commitment RAISES the counterparty's utility and the success rate\n\
+     (the externality the premium and collateral mechanisms monetise).\n"

@@ -1,0 +1,49 @@
+(* Which chain pairings can support HTLC swaps at crypto volatility?
+   Maps the model across ledger technologies (Section III-D calibrates
+   to hour-scale PoW; faster finality changes the answer). *)
+
+let name = "presets"
+let description = "Feasibility matrix across chain technologies"
+
+let matrix_block base label =
+  let rows =
+    List.map
+      (fun (a : Swap.Presets.assessment) ->
+        match (a.Swap.Presets.feasible, a.Swap.Presets.best) with
+        | Some (lo, hi), Some best ->
+          [
+            a.Swap.Presets.chain_a;
+            a.Swap.Presets.chain_b;
+            Printf.sprintf "(%.3f, %.3f)" lo hi;
+            Render.fmt best.Swap.Success.sr;
+            Render.fmt a.Swap.Presets.swap_hours;
+          ]
+        | _ ->
+          [
+            a.Swap.Presets.chain_a;
+            a.Swap.Presets.chain_b;
+            "infeasible";
+            "-";
+            Render.fmt a.Swap.Presets.swap_hours;
+          ])
+      (Swap.Presets.standard_matrix ~base ())
+  in
+  Render.section label
+  ^ Render.table
+      ~header:
+        [ "chain_a tech"; "chain_b tech"; "feasible P*"; "max SR";
+          "swap duration (h)" ]
+      ~rows
+
+let run () =
+  let default = Swap.Params.defaults in
+  let volatile = Swap.Params.with_sigma default 0.2 in
+  matrix_block default "Feasibility at sigma = 0.1 (paper's default)"
+  ^ "\n"
+  ^ matrix_block volatile "Feasibility at sigma = 0.2 (turbulent market)"
+  ^ "\nFinality speed is decisive: at the paper's volatility every pairing\n\
+     works but hour-scale PoW caps the best SR near 0.76, while sub-hour\n\
+     finality pushes it past 0.99.  In turbulent markets the PoW-PoW\n\
+     pairing barely functions (more than every third initiated swap\n\
+     fails) while fast-finality rails stay near-certain -- why production\n\
+     atomic-swap venues live on fast chains or add deposits.\n"

@@ -1,0 +1,90 @@
+let fmt x =
+  if Float.is_integer x && abs_float x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+  ^ "\n"
+
+let csv ~header ~rows =
+  let line cells = String.concat "," cells in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let section title =
+  title ^ "\n" ^ String.make (String.length title) '=' ^ "\n"
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '~'; '$' |]
+
+let ascii_plot ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
+    series =
+  let all_points = List.concat_map (fun (_, pts) -> Array.to_list pts) series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | _ ->
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_min = List.fold_left min infinity xs in
+    let x_max = List.fold_left max neg_infinity xs in
+    let y_min = List.fold_left min infinity ys in
+    let y_max = List.fold_left max neg_infinity ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float
+                  ((y -. y_min) /. y_span *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- glyph)
+          pts)
+      series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %s to %s\n" y_label (fmt y_min) (fmt y_max));
+    Array.iter
+      (fun line ->
+        Buffer.add_string buf "  |";
+        Buffer.add_string buf (String.init width (fun i -> line.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %s to %s\n" x_label (fmt x_min) (fmt x_max));
+    List.iteri
+      (fun si (label, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "   [%c] %s\n" glyphs.(si mod Array.length glyphs)
+             label))
+      series;
+    Buffer.contents buf

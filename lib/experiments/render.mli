@@ -1,0 +1,20 @@
+(** Text rendering for experiment reports: aligned tables, CSV, and
+    ASCII line plots (the repository's stand-in for the paper's
+    figures). *)
+
+val table : header:string list -> rows:string list list -> string
+(** Column-aligned plain-text table. *)
+
+val csv : header:string list -> rows:string list list -> string
+
+val fmt : float -> string
+(** Compact numeric formatting used across reports ("%.4g"). *)
+
+val ascii_plot :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  (string * (float * float) array) list -> string
+(** Multi-series scatter/line plot on a character grid; each series gets
+    a distinct glyph, listed in the legend.  Ranges are data-driven. *)
+
+val section : string -> string
+(** Underlined section heading. *)

@@ -1,0 +1,124 @@
+(* Security economics: lockup griefing (the attack Arwen [30] targets)
+   and reputation as an endogenous success premium (Section III-F1's
+   reading of alpha). *)
+
+let name = "security"
+let description = "Lockup-griefing economics and endogenous reputation premia"
+
+let griefing_block () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let rows =
+    List.map
+      (fun (label, params, q_alice) ->
+        let g = Swap.Griefing.analyse ~q_alice params ~p_star in
+        [
+          label;
+          Render.fmt q_alice;
+          Render.fmt g.Swap.Griefing.attacker_cost;
+          Render.fmt g.Swap.Griefing.victim_damage;
+          Render.fmt g.Swap.Griefing.victim_lock_hours;
+          Render.fmt g.Swap.Griefing.griefing_factor;
+        ])
+      [
+        ("symmetric agents", p, 0.);
+        ("impatient victim (r_B=0.03)", Swap.Params.with_r_bob p 0.03, 0.);
+        ("impatient victim + premium", Swap.Params.with_r_bob p 0.03, 0.25);
+        ("slow chains (tau x2)",
+         Swap.Params.with_tau_a (Swap.Params.with_tau_b p 8.) 6., 0.);
+      ]
+  in
+  let deterrence =
+    match
+      Swap.Griefing.deterrence_deposit (Swap.Params.with_r_bob p 0.03) ~p_star
+    with
+    | Some q -> Printf.sprintf "%.4f Token_a" q
+    | None -> "not reachable"
+  in
+  Render.section "Lockup griefing: attacker cost vs victim damage"
+  ^ Render.table
+      ~header:
+        [ "scenario"; "attacker deposit"; "attacker cost"; "victim damage";
+          "victim lock (h)"; "griefing factor" ]
+      ~rows
+  ^ Printf.sprintf
+      "\nAgainst an impatient victim the attack inflicts ~2.6x its cost; the\n\
+       smallest attacker-side deposit restoring factor <= 1 is %s --\n\
+       the quantitative version of Arwen's premium prescription.  Slow\n\
+       chains amplify the attack by stretching the victim's lock.\n\n"
+      deterrence
+
+let reputation_block () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let rows =
+    List.map
+      (fun (label, trades_per_week, horizon_weeks) ->
+        let rel = { Swap.Repeated.trades_per_week; horizon_weeks } in
+        let fp = Swap.Repeated.solve p ~p_star rel in
+        [
+          label;
+          Render.fmt trades_per_week;
+          Render.fmt horizon_weeks;
+          Render.fmt fp.Swap.Repeated.alpha_endogenous;
+          Render.fmt fp.Swap.Repeated.sr_endogenous;
+        ])
+      [
+        ("one-off counterparty", 0.01, 1.);
+        ("occasional (1/week, 6 months)", 1., 26.);
+        ("regular (1/day, 6 months)", 7., 26.);
+        ("active desk (2/day, 6 months)", 14., 26.);
+        ("market maker (8/day, 1 year)", 56., 52.);
+      ]
+  in
+  let fp_mm =
+    Swap.Repeated.solve p ~p_star
+      { Swap.Repeated.trades_per_week = 56.; horizon_weeks = 52. }
+  in
+  Render.section "Endogenous success premium from repeated trading"
+  ^ Render.table
+      ~header:
+        [ "relationship"; "trades/week"; "horizon (weeks)";
+          "endogenous alpha"; "SR" ]
+      ~rows
+  ^ Printf.sprintf
+      "\nThe reputation map is bistable.  Anonymous or low-frequency\n\
+       relationships unravel completely (SR = %.2f at alpha ~ 0): at a 1%%\n\
+       hourly discount rate a week of future surplus is nearly worthless.\n\
+       Past roughly a trade per day the fixed point jumps to a premium at\n\
+       or above the paper's exogenous 0.3 (here capped at %.1f), making\n\
+       the swap near-certain.  Table III's alpha is thus the signature of\n\
+       an ongoing relationship, and HTLC venues lean on repeat market\n\
+       makers for a reason.\n"
+      fp_mm.Swap.Repeated.sr_one_shot fp_mm.Swap.Repeated.alpha_endogenous
+
+let relationship_block () =
+  let p = Swap.Params.defaults in
+  let open Swap.Relationship in
+  let rows =
+    List.map
+      (fun (label, a, b, q) ->
+        let ma, mb, rounds =
+          mean_totals ~relationships:300 ~q p ~alice:a ~bob:b
+        in
+        [ label; Render.fmt rounds; Render.fmt ma; Render.fmt mb ])
+      [
+        ("faithful / faithful", Faithful, Faithful, 0.);
+        ("faithful / opportunist", Faithful, Opportunist, 0.);
+        ("opportunist / opportunist", Opportunist, Opportunist, 0.);
+        ("faithful pair + Q=0.5", Faithful, Faithful, 0.5);
+        ("opportunist pair + Q=0.5", Opportunist, Opportunist, 0.5);
+      ]
+  in
+  Render.section "Grim-trigger relationships in simulation (100-round horizon)"
+  ^ Render.table
+      ~header:
+        [ "pair"; "mean swaps completed"; "Alice total"; "Bob total" ]
+      ~rows
+  ^ "\nOpportunists earn a fraction of what faithful pairs do: the exits\n\
+     they take end the stream almost immediately.  A Section IV deposit\n\
+     multiplies relationship length tenfold and roughly doubles wealth\n\
+     even for faithful pairs -- the operational counterpart of the\n\
+     endogenous-premium fixed point above.\n"
+
+let run () = griefing_block () ^ reputation_block () ^ "\n" ^ relationship_block ()

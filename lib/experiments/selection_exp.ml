@@ -1,0 +1,54 @@
+(* Protocol selection (Section V): given a menu of mechanisms, which
+   would rational agents adopt, and which maximises joint surplus? *)
+
+let name = "selection"
+let description = "Which protocol would the agents select? (Section V)"
+
+let menu =
+  [
+    Swap.Selection.Plain;
+    Swap.Selection.Premium 0.25;
+    Swap.Selection.Premium 0.5;
+    Swap.Selection.Collateral 0.25;
+    Swap.Selection.Collateral 0.5;
+    Swap.Selection.Collateral 1.;
+  ]
+
+let regime_block label p =
+  let p_star = 2. in
+  let assessments = Swap.Selection.menu p ~p_star menu in
+  let rows =
+    List.map
+      (fun (a : Swap.Selection.assessment) ->
+        [
+          Swap.Selection.mechanism_to_string a.Swap.Selection.mechanism;
+          Render.fmt a.Swap.Selection.alice_net;
+          Render.fmt a.Swap.Selection.bob_net;
+          Render.fmt a.Swap.Selection.success_rate;
+          (if a.Swap.Selection.adoptable then "yes" else "no");
+        ])
+      assessments
+  in
+  let choice = Swap.Selection.choose p ~p_star menu in
+  let show = function
+    | Some m -> Swap.Selection.mechanism_to_string m
+    | None -> "none adoptable"
+  in
+  Render.section (label ^ " (P* = 2)")
+  ^ Render.table
+      ~header:[ "mechanism"; "Alice net"; "Bob net"; "SR"; "adoptable" ]
+      ~rows
+  ^ Printf.sprintf "Alice prefers: %s\nBob prefers:   %s\nJoint surplus: %s\n\n"
+      (show choice.Swap.Selection.alice_best)
+      (show choice.Swap.Selection.bob_best)
+      (show choice.Swap.Selection.joint)
+
+let run () =
+  let defaults = Swap.Params.defaults in
+  regime_block "Default market (sigma = 0.1)" defaults
+  ^ regime_block "Volatile market (sigma = 0.18)"
+      (Swap.Params.with_sigma defaults 0.18)
+  ^ "Collateral mechanisms dominate on joint surplus because they raise\n\
+     the completion probability for both sides; in volatile markets the\n\
+     plain HTLC stops being adoptable at all while moderate deposits keep\n\
+     the market open.\n"

@@ -1,0 +1,52 @@
+(* Mean-reverting (stablecoin-like) Token_b: the paper's GBM cannot
+   express a pegged token, but the backward induction is not specific
+   to GBM -- the generic solver re-derives cutoffs, bands and success
+   rates under exponential-OU prices with exact transitions. *)
+
+let name = "stablecoin"
+let description = "Swap reliability for pegged (mean-reverting) tokens"
+
+let run () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let gbm_model = Swap.Generic_model.gbm p in
+  let gbm_sr = Swap.Generic_model.success_rate p gbm_model ~p_star in
+  let rows =
+    List.map
+      (fun kappa ->
+        let ou =
+          Stochastic.Exp_ou.create ~kappa ~theta_price:2. ~sigma:p.Swap.Params.sigma
+        in
+        let m = Swap.Generic_model.exp_ou ou in
+        let analytic = Swap.Generic_model.success_rate p m ~p_star in
+        let mc =
+          Swap.Montecarlo.run ~trials:30_000
+            ~sampler:(Swap.Generic_model.sampler m)
+            p ~p_star
+            ~policy:(Swap.Generic_model.policy p m ~p_star)
+        in
+        [
+          Render.fmt kappa;
+          Printf.sprintf "%.1f" (Stochastic.Exp_ou.half_life ou);
+          Render.fmt (Swap.Generic_model.p_t3_low p m ~p_star);
+          Render.fmt analytic;
+          Render.fmt mc.Swap.Montecarlo.rate;
+        ])
+      [ 0.005; 0.02; 0.05; 0.1; 0.25; 0.5 ]
+  in
+  Render.section "Mean-reverting Token_b (peg at 2, same instantaneous sigma)"
+  ^ Printf.sprintf
+      "GBM baseline (kappa -> 0, generic solver): SR = %.4f, cutoff = %.4f\n\n"
+      gbm_sr
+      (Swap.Generic_model.p_t3_low p gbm_model ~p_star)
+  ^ Render.table
+      ~header:
+        [ "kappa (/h)"; "half-life (h)"; "Alice's t3 cutoff"; "SR analytic";
+          "SR Monte-Carlo" ]
+      ~rows
+  ^ "\nThe stronger the peg, the lower Alice's defection cutoff (deviations\n\
+     from the peg are expected to revert before her receipt) and the\n\
+     higher the success rate: with an hours-scale half-life the swap is\n\
+     near-certain at the same instantaneous volatility that dooms a\n\
+     free-floating token.  HTLC fragility is a property of persistent\n\
+     price moves, not of noise per se.\n"

@@ -1,0 +1,37 @@
+(* Waiting-time ablation: Section III-C argues each agent wants the
+   shortest schedule; the Margins module makes the cost of slack
+   explicit. *)
+
+let name = "waiting"
+let description = "Cost of waiting time: the Eq. 13 zero-wait schedule is optimal"
+
+let run () =
+  let p = Swap.Params.defaults in
+  let p_star = 2. in
+  let rows =
+    List.map
+      (fun (d2, d3) ->
+        let m = Swap.Margins.create p ~delay_t2:d2 ~delay_t3:d3 in
+        let loss_a, loss_b =
+          Swap.Margins.schedule_cost p ~p_star ~delay_t2:d2 ~delay_t3:d3
+        in
+        [
+          Render.fmt d2;
+          Render.fmt d3;
+          Render.fmt (Swap.Margins.success_rate m ~p_star);
+          Render.fmt loss_a;
+          Render.fmt loss_b;
+        ])
+      [ (0., 0.); (0., 2.); (0., 6.); (2., 0.); (6., 0.); (2., 2.); (4., 4.) ]
+  in
+  Render.section "Utility and success-rate cost of schedule slack (P* = 2)"
+  ^ Render.table
+      ~header:
+        [ "Bob's slack at t2 (h)"; "Alice's slack at t3 (h)"; "SR";
+          "Alice's t1 loss"; "Bob's t1 loss" ]
+      ~rows
+  ^ "\nEvery hour of slack strictly hurts BOTH agents and the success rate:\n\
+     the extra diffusion feeds the counterparty's (and one's own) exit\n\
+     option while discounting erodes all receipts.  Agreeing on the\n\
+     zero-waiting schedule of Eq. 13 is therefore incentive-compatible,\n\
+     which is the formal content of Section III-C.\n"

@@ -1,0 +1,25 @@
+(** Classic extensive-form games with known subgame-perfect equilibria,
+    used to validate the {!Solve} engine. *)
+
+val centipede : rounds:int -> pot0:float -> growth:float -> Game.t
+(** Rosenthal's centipede game for two players.  At each round the
+    mover either [take]s (gets [2/3] of the pot, opponent [1/3]) or
+    [pass]es, multiplying the pot by [growth > 1].  After the final
+    pass the pot is split evenly.  SPE: player 0 takes immediately.
+    @raise Invalid_argument if [rounds < 1] or [growth <= 1.]. *)
+
+val ultimatum : levels:int -> Game.t
+(** Discrete ultimatum game over a pie of size [levels]: player 0
+    offers [k] in [0..levels] to player 1, who accepts or rejects
+    (both get 0 on reject).  With the responder accepting at
+    indifference, SPE offer is 0.  Action order places [accept] first
+    so ties resolve to acceptance. *)
+
+val entry_deterrence : Game.t
+(** Entrant (player 0) chooses [enter]/[stay_out]; incumbent (player 1)
+    then [accommodate]s or [fight]s.  SPE: enter, accommodate. *)
+
+val coin_then_choice : Game.t
+(** A chance node (fair coin) followed by a decision, exercising
+    chance-node expectation: player 0 should pick the risky arm with
+    expected 1.5 over the safe 1.0. *)

@@ -1,0 +1,142 @@
+open Stochastic
+
+type config = { window : float; every : float; warmup : float }
+
+let default_config = { window = 168.; every = 12.; warmup = 168. }
+
+type trade = {
+  start : float;
+  spot : float;
+  fitted_mu : float;
+  fitted_sigma : float;
+  p_star : float option;
+  predicted_sr : float option;
+  outcome : Swap.Protocol.outcome option;
+}
+
+let swap_horizon (p : Swap.Params.t) =
+  let tl = Swap.Timeline.ideal p in
+  max tl.Swap.Timeline.t7 tl.Swap.Timeline.t8 +. 1.
+
+let run ?(config = default_config) ?(base = Swap.Params.defaults)
+    ?quote_table (path : Path.t) =
+  let times = path.Path.times in
+  let last_time = times.(Array.length times - 1) in
+  let first_time = times.(0) in
+  let trades = ref [] in
+  let start = ref (first_time +. config.warmup) in
+  let horizon = swap_horizon base in
+  while !start +. horizon < last_time do
+    let t0 = !start in
+    (match Calibrate.fit_window path ~until:t0 ~window:config.window with
+    | Error _ -> ()
+    | Ok fit ->
+      let spot = Path.at path t0 in
+      let params = Calibrate.to_params ~base fit ~spot in
+      let quote =
+        match quote_table with
+        | Some table -> (
+          match
+            Quote_table.quote table ~mu:fit.Calibrate.mu
+              ~sigma:fit.Calibrate.sigma ~spot
+          with
+          | Some q ->
+            Some { Swap.Success.p_star = q.Quote_table.p_star; sr = q.Quote_table.sr }
+          | None -> None)
+        | None -> (
+          match Swap.Params.validate params with
+          | Error _ -> None
+          | Ok () -> Swap.Success.maximize params)
+      in
+      let trade =
+        match quote with
+        | None ->
+          {
+            start = t0;
+            spot;
+            fitted_mu = fit.Calibrate.mu;
+            fitted_sigma = fit.Calibrate.sigma;
+            p_star = None;
+            predicted_sr = None;
+            outcome = None;
+          }
+        | Some { Swap.Success.p_star; sr } ->
+          let policy = Swap.Agent.rational params ~p_star in
+          let shifted t = Path.at path (t +. t0) in
+          let result =
+            Swap.Protocol.run ~policy ~price:shifted params ~p_star
+          in
+          {
+            start = t0;
+            spot;
+            fitted_mu = fit.Calibrate.mu;
+            fitted_sigma = fit.Calibrate.sigma;
+            p_star = Some p_star;
+            predicted_sr = Some sr;
+            outcome = Some result.Swap.Protocol.outcome;
+          }
+      in
+      trades := trade :: !trades);
+    start := !start +. config.every
+  done;
+  List.rev !trades
+
+type summary = {
+  trades : int;
+  skipped : int;
+  initiated : int;
+  succeeded : int;
+  realized_sr : float;
+  mean_predicted_sr : float;
+}
+
+let summarize trades =
+  let total = List.length trades in
+  let skipped = ref 0
+  and initiated = ref 0
+  and succeeded = ref 0
+  and sr_sum = ref 0.
+  and sr_n = ref 0 in
+  List.iter
+    (fun t ->
+      (match t.predicted_sr with
+      | Some sr ->
+        sr_sum := !sr_sum +. sr;
+        incr sr_n
+      | None -> ());
+      match t.outcome with
+      | None | Some Swap.Protocol.Abort_t1 -> incr skipped
+      | Some Swap.Protocol.Success ->
+        incr initiated;
+        incr succeeded
+      | Some (Swap.Protocol.Abort_t2 | Swap.Protocol.Abort_t3
+             | Swap.Protocol.Anomalous _) ->
+        incr initiated)
+    trades;
+  {
+    trades = total;
+    skipped = !skipped;
+    initiated = !initiated;
+    succeeded = !succeeded;
+    realized_sr =
+      (if !initiated = 0 then 0.
+       else float_of_int !succeeded /. float_of_int !initiated);
+    mean_predicted_sr =
+      (if !sr_n = 0 then 0. else !sr_sum /. float_of_int !sr_n);
+  }
+
+let summarize_by trades ~classify =
+  let keys = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let key = classify t in
+      if not (Hashtbl.mem table key) then begin
+        keys := key :: !keys;
+        Hashtbl.add table key []
+      end;
+      Hashtbl.replace table key (t :: Hashtbl.find table key))
+    trades;
+  List.rev_map
+    (fun key -> (key, summarize (List.rev (Hashtbl.find table key))))
+    !keys

@@ -1,0 +1,76 @@
+open Stochastic
+
+type fit = {
+  mu : float;
+  sigma : float;
+  n : int;
+  span : float;
+  mu_stderr : float;
+  sigma_stderr : float;
+  log_likelihood : float;
+}
+
+let fit_arrays times values =
+  let n = Array.length times - 1 in
+  if n < 2 then Error "Calibrate.fit: needs at least 3 samples"
+  else begin
+    let ok = ref true in
+    Array.iter (fun v -> if v <= 0. then ok := false) values;
+    if not !ok then Error "Calibrate.fit: nonpositive price"
+    else begin
+      let rets = Array.init n (fun i -> log (values.(i + 1) /. values.(i))) in
+      let dts = Array.init n (fun i -> times.(i + 1) -. times.(i)) in
+      let span = times.(n) -. times.(0) in
+      let sum_r = Array.fold_left ( +. ) 0. rets in
+      (* MLE of the log drift m = mu - sigma^2/2. *)
+      let m_hat = sum_r /. span in
+      let sq = ref 0. in
+      for i = 0 to n - 1 do
+        let e = rets.(i) -. (m_hat *. dts.(i)) in
+        sq := !sq +. (e *. e /. dts.(i))
+      done;
+      let sigma2 = !sq /. float_of_int n in
+      let sigma = sqrt sigma2 in
+      if sigma <= 0. then Error "Calibrate.fit: degenerate (constant) path"
+      else begin
+        let mu = m_hat +. (0.5 *. sigma2) in
+        (* Gaussian log likelihood of the observed returns. *)
+        let ll = ref 0. in
+        for i = 0 to n - 1 do
+          let var = sigma2 *. dts.(i) in
+          let e = rets.(i) -. (m_hat *. dts.(i)) in
+          ll := !ll -. (0.5 *. (log (2. *. Numerics.Special.pi *. var)
+                               +. (e *. e /. var)))
+        done;
+        Ok
+          {
+            mu;
+            sigma;
+            n;
+            span;
+            mu_stderr = sigma /. sqrt span;
+            sigma_stderr = sigma /. sqrt (2. *. float_of_int n);
+            log_likelihood = !ll;
+          }
+      end
+    end
+  end
+
+let fit (path : Path.t) = fit_arrays path.Path.times path.Path.values
+
+let fit_window (path : Path.t) ~until ~window =
+  let times = path.Path.times and values = path.Path.values in
+  let lo = until -. window in
+  let idx = ref [] in
+  Array.iteri (fun i t -> if t > lo && t <= until then idx := i :: !idx) times;
+  let idx = Array.of_list (List.rev !idx) in
+  if Array.length idx < 3 then Error "Calibrate.fit_window: too few samples"
+  else
+    fit_arrays
+      (Array.map (fun i -> times.(i)) idx)
+      (Array.map (fun i -> values.(i)) idx)
+
+let to_params ?(base = Swap.Params.defaults) fit ~spot =
+  Swap.Params.with_p0
+    (Swap.Params.with_sigma (Swap.Params.with_mu base fit.mu) fit.sigma)
+    spot

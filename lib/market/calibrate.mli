@@ -1,0 +1,30 @@
+(** Maximum-likelihood GBM calibration from a sampled price path, with
+    irregular sampling supported.
+
+    Under Eq. 1 the log returns satisfy
+    [r_i ~ N ((mu - sigma^2/2) dt_i, sigma^2 dt_i)]; the MLE is
+    closed-form: [m_hat = sum r_i / sum dt_i] for the log drift and
+    [sigma_hat^2 = (1/n) sum (r_i - m_hat dt_i)^2 / dt_i]. *)
+
+type fit = {
+  mu : float;  (** Drift per unit time (paper's [mu]). *)
+  sigma : float;  (** Volatility per sqrt unit time. *)
+  n : int;  (** Number of return observations. *)
+  span : float;  (** Total time covered. *)
+  mu_stderr : float;
+      (** Standard error of [mu] (dominated by [sigma / sqrt span] —
+          drift is hard to estimate, the classic result). *)
+  sigma_stderr : float;  (** Approximately [sigma / sqrt (2 n)]. *)
+  log_likelihood : float;
+}
+
+val fit : Stochastic.Path.t -> (fit, string) result
+(** Requires at least 3 samples and positive prices. *)
+
+val fit_window : Stochastic.Path.t -> until:float -> window:float -> (fit, string) result
+(** Fit on the samples in [(until - window, until]] — the trailing
+    window used by the backtest. *)
+
+val to_params : ?base:Swap.Params.t -> fit -> spot:float -> Swap.Params.t
+(** Table III defaults (or [base]) with [mu], [sigma] and [p0 = spot]
+    replaced by the calibrated values. *)

@@ -1,0 +1,55 @@
+open Numerics
+
+type t = {
+  ratio : Interp.Bilinear.t;  (** Optimal [p_star / p0]. *)
+  sr : Interp.Bilinear.t;
+  n_mu : int;
+  n_sigma : int;
+}
+
+type quote = { p_star : float; sr : float }
+
+(* The GBM game is homogeneous of degree one in the price level: scaling
+   the spot and the rate together scales every utility, so decisions and
+   SR depend only on the rate-to-spot ratio.  One table serves all
+   spots. *)
+let build ?mus ?sigmas (base : Swap.Params.t) =
+  let mus =
+    Option.value ~default:(Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:9) mus
+  in
+  let sigmas =
+    Option.value ~default:(Grid.linspace ~lo:0.02 ~hi:0.16 ~n:8) sigmas
+  in
+  let ratio = Array.make_matrix (Array.length mus) (Array.length sigmas) nan in
+  let sr = Array.make_matrix (Array.length mus) (Array.length sigmas) nan in
+  Array.iteri
+    (fun i mu ->
+      Array.iteri
+        (fun j sigma ->
+          let p = Swap.Params.with_sigma (Swap.Params.with_mu base mu) sigma in
+          match Swap.Params.validate p with
+          | Error _ -> ()
+          | Ok () -> (
+            match Swap.Success.maximize p with
+            | Some best ->
+              ratio.(i).(j) <- best.Swap.Success.p_star /. p.Swap.Params.p0;
+              sr.(i).(j) <- best.Swap.Success.sr
+            | None -> ()))
+        sigmas)
+    mus;
+  {
+    ratio = Interp.Bilinear.create ~xs:mus ~ys:sigmas ~values:ratio;
+    sr = Interp.Bilinear.create ~xs:mus ~ys:sigmas ~values:sr;
+    n_mu = Array.length mus;
+    n_sigma = Array.length sigmas;
+  }
+
+let quote t ~mu ~sigma ~spot =
+  match
+    ( Interp.Bilinear.eval t.ratio ~x:mu ~y:sigma,
+      Interp.Bilinear.eval t.sr ~x:mu ~y:sigma )
+  with
+  | Some ratio, Some sr when spot > 0. -> Some { p_star = ratio *. spot; sr }
+  | _ -> None
+
+let nodes t = (t.n_mu, t.n_sigma)

@@ -1,0 +1,25 @@
+(** Precomputed quoting surface: the SR-optimal exchange rate and its
+    success rate over a grid of calibrated (mu, sigma), interpolated
+    bilinearly.  Building the table costs one sweep of full solves;
+    each subsequent quote is microseconds — what a trading venue would
+    actually deploy, and what makes large backtests cheap. *)
+
+type t
+
+type quote = { p_star : float; sr : float }
+
+val build :
+  ?mus:float array -> ?sigmas:float array -> Swap.Params.t -> t
+(** Solves [Swap.Success.maximize] at every grid node (relative to the
+    base parameters; [p0] is factored out by quoting the {e ratio}
+    [p_star / p0], so one table serves every spot level).  Defaults:
+    mus from -0.01 to 0.01 (9 nodes), sigmas from 0.02 to 0.16 (8
+    nodes).  Infeasible nodes are recorded as gaps. *)
+
+val quote : t -> mu:float -> sigma:float -> spot:float -> quote option
+(** Interpolated quote at the calibrated parameters, scaled to the
+    current spot; [None] outside the grid or next to infeasible
+    nodes. *)
+
+val nodes : t -> int * int
+(** Grid dimensions (mus, sigmas). *)

@@ -1,0 +1,113 @@
+let simpson ?(n = 256) f ~a ~b =
+  if n <= 0 || n mod 2 <> 0 then
+    invalid_arg "Integrate.simpson: n must be a positive even integer";
+  let h = (b -. a) /. float_of_int n in
+  let sum = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let x = a +. (float_of_int i *. h) in
+    let w = if i mod 2 = 1 then 4. else 2. in
+    sum := !sum +. (w *. f x)
+  done;
+  !sum *. h /. 3.
+
+let trapezoid ?(n = 256) f ~a ~b =
+  if n <= 0 then invalid_arg "Integrate.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let sum = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    sum := !sum +. f (a +. (float_of_int i *. h))
+  done;
+  !sum *. h
+
+(* Adaptive Simpson with the classic 1/15 Richardson criterion. *)
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) f ~a ~b =
+  let simpson_step a fa b fb fm = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a fa b fb m fm whole tol depth =
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_step a fa m fm flm in
+    let right = simpson_step m fm b fb frm in
+    let delta = left +. right -. whole in
+    if depth <= 0 || abs_float delta <= 15. *. tol then
+      left +. right +. (delta /. 15.)
+    else
+      go a fa m fm lm flm left (tol /. 2.) (depth - 1)
+      +. go m fm b fb rm frm right (tol /. 2.) (depth - 1)
+  in
+  (* Seed with a few fixed panels so that narrow interior features cannot
+     be missed by an accidentally small first-level error estimate. *)
+  let panels = 8 in
+  let h = (b -. a) /. float_of_int panels in
+  let total = ref 0. in
+  for i = 0 to panels - 1 do
+    let a' = a +. (float_of_int i *. h) in
+    let b' = a' +. h in
+    let fa' = f a' and fb' = f b' in
+    let m = 0.5 *. (a' +. b') in
+    let fm = f m in
+    total :=
+      !total
+      +. go a' fa' b' fb' m fm
+           (simpson_step a' fa' b' fb' fm)
+           (tol /. float_of_int panels)
+           max_depth
+  done;
+  !total
+
+(* Gauss-Legendre nodes on [-1, 1] by Newton iteration on P_n, using the
+   standard three-term recurrence; symmetric, so only half are solved. *)
+let gl_table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+
+let compute_gl_nodes n =
+  if n <= 0 then invalid_arg "Integrate.gauss_legendre_nodes: n must be > 0";
+  let nodes = Array.make n (0., 0.) in
+  let m = (n + 1) / 2 in
+  let nf = float_of_int n in
+  for i = 0 to m - 1 do
+    (* Chebyshev-style initial guess for the i-th root. *)
+    let x = ref (cos (Special.pi *. (float_of_int i +. 0.75) /. (nf +. 0.5))) in
+    let pp = ref 0. in
+    let continue = ref true in
+    while !continue do
+      (* Evaluate P_n(x) and P_{n-1}(x) by recurrence. *)
+      let p0 = ref 1. and p1 = ref 0. in
+      for j = 0 to n - 1 do
+        let jf = float_of_int j in
+        let p2 = !p1 in
+        p1 := !p0;
+        p0 := (((2. *. jf) +. 1.) *. !x *. !p1 -. (jf *. p2)) /. (jf +. 1.)
+      done;
+      (* Derivative via P'_n = n (x P_n - P_{n-1}) / (x^2 - 1). *)
+      pp := nf *. ((!x *. !p0) -. !p1) /. ((!x *. !x) -. 1.);
+      let dx = !p0 /. !pp in
+      x := !x -. dx;
+      if abs_float dx < 1e-15 then continue := false
+    done;
+    let w = 2. /. ((1. -. (!x *. !x)) *. !pp *. !pp) in
+    nodes.(i) <- (-. !x, w);
+    nodes.(n - 1 - i) <- (!x, w)
+  done;
+  nodes
+
+let gauss_legendre_nodes n =
+  match Hashtbl.find_opt gl_table n with
+  | Some nodes -> nodes
+  | None ->
+    let nodes = compute_gl_nodes n in
+    Hashtbl.replace gl_table n nodes;
+    nodes
+
+let gauss_legendre ?(n = 64) f ~a ~b =
+  let nodes = gauss_legendre_nodes n in
+  let c = 0.5 *. (b -. a) and mid = 0.5 *. (a +. b) in
+  let sum = ref 0. in
+  Array.iter (fun (x, w) -> sum := !sum +. (w *. f (mid +. (c *. x)))) nodes;
+  c *. !sum
+
+let semi_infinite ?(n = 128) f ~a =
+  (* x = a + t/(1-t), dx = dt/(1-t)^2, t in [0,1). *)
+  let g t =
+    let u = 1. -. t in
+    if u <= 0. then 0. else f (a +. (t /. u)) /. (u *. u)
+  in
+  gauss_legendre ~n g ~a:0. ~b:1.

@@ -1,0 +1,39 @@
+let phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tol = 1e-9) ?(max_iter = 200) f ~a ~b =
+  if b <= a then invalid_arg "Minimize.golden_section: requires a < b";
+  (* Maintain interior probes c < d; keep the half containing the
+     smaller value. *)
+  let rec iterate a b c fc d fd i =
+    if i = 0 || b -. a < tol then
+      let x = 0.5 *. (a +. b) in
+      (x, f x)
+    else if fc < fd then
+      let b = d in
+      let d = c and fd = fc in
+      let c = b -. (phi *. (b -. a)) in
+      iterate a b c (f c) d fd (i - 1)
+    else
+      let a = c in
+      let c = d and fc = fd in
+      let d = a +. (phi *. (b -. a)) in
+      iterate a b c fc d (f d) (i - 1)
+  in
+  let c = b -. (phi *. (b -. a)) in
+  let d = a +. (phi *. (b -. a)) in
+  iterate a b c (f c) d (f d) max_iter
+
+let maximize ?tol ?max_iter f ~a ~b =
+  let x, neg = golden_section ?tol ?max_iter (fun x -> -.f x) ~a ~b in
+  (x, -.neg)
+
+let grid_then_golden ?(grid = 40) ?tol f ~a ~b =
+  if b <= a then invalid_arg "Minimize.grid_then_golden: requires a < b";
+  let n = max 3 grid in
+  let xs = Grid.linspace ~lo:a ~hi:b ~n in
+  let values = Array.map f xs in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > values.(!best) then best := i) values;
+  let cell_lo = xs.(max 0 (!best - 1)) in
+  let cell_hi = xs.(min (n - 1) (!best + 1)) in
+  maximize ?tol f ~a:cell_lo ~b:cell_hi

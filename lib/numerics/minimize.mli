@@ -1,0 +1,22 @@
+(** One-dimensional optimisation. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float * float
+(** [golden_section f ~a ~b] minimises a unimodal [f] on [[a, b]];
+    returns [(argmin, min)].  [tol] is the bracket-width target
+    (default [1e-9]).
+    @raise Invalid_argument if [b <= a]. *)
+
+val maximize :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float * float
+(** Golden-section maximisation of a unimodal function. *)
+
+val grid_then_golden :
+  ?grid:int -> ?tol:float -> (float -> float) -> a:float -> b:float ->
+  float * float
+(** Multimodal-tolerant maximisation: a coarse grid (default 40 points)
+    locates the best cell, golden section refines inside it.  Exact for
+    unimodal functions; for multimodal ones it returns the best local
+    maximum whose basin the grid resolves. *)

@@ -1,0 +1,109 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_normal : float option;
+}
+
+(* splitmix64: expands a 64-bit seed into arbitrarily many well-mixed
+   words; the recommended way to seed xoshiro generators. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ?(seed = 0x5eed) () =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; cached_normal = None }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; cached_normal = None }
+
+let uniform t =
+  (* Top 53 bits -> float in [0, 1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let uniform_range t ~lo ~hi =
+  if hi <= lo then invalid_arg "Rng.uniform_range: requires lo < hi";
+  lo +. ((hi -. lo) *. uniform t)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: requires n > 0";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let x = Int64.shift_right_logical (bits64 t) 1 in
+    (* x uniform in [0, 2^63) *)
+    let r = Int64.rem x n64 in
+    if Int64.sub x r > Int64.sub (Int64.sub Int64.max_int n64) Int64.one then
+      draw ()
+    else Int64.to_int r
+  in
+  draw ()
+
+let normal t =
+  match t.cached_normal with
+  | Some z ->
+    t.cached_normal <- None;
+    z
+  | None ->
+    let rec polar () =
+      let u = (2. *. uniform t) -. 1. in
+      let v = (2. *. uniform t) -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then polar ()
+      else
+        let m = sqrt (-2. *. log s /. s) in
+        (u *. m, v *. m)
+    in
+    let z0, z1 = polar () in
+    t.cached_normal <- Some z1;
+    z0
+
+let gaussian t ~mean ~stddev = mean +. (stddev *. normal t)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: requires rate > 0";
+  -.log (1. -. uniform t) /. rate
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. normal t))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,134 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if fa *. fb > 0. then
+    invalid_arg "Root.bisect: endpoints do not bracket a root"
+  else
+    let rec go a fa b i =
+      let m = 0.5 *. (a +. b) in
+      if b -. a < tol || i >= max_iter then m
+      else
+        let fm = f m in
+        if fm = 0. then m
+        else if fa *. fm < 0. then go a fa m (i + 1)
+        else go m fm b (i + 1)
+    in
+    if a <= b then go a fa b 0 else go b fb a 0
+
+(* Brent's method, following the classic Brent (1973) formulation. *)
+let brent ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if fa *. fb > 0. then
+    invalid_arg "Root.brent: endpoints do not bracket a root"
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let result = ref nan in
+    (try
+       for _ = 1 to max_iter do
+         if !fb = 0. || abs_float (!b -. !a) < tol then begin
+           result := !b;
+           raise Exit
+         end;
+         let s =
+           if !fa <> !fc && !fb <> !fc then
+             (* Inverse quadratic interpolation. *)
+             (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+             +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+             +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+           else
+             (* Secant. *)
+             !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+         in
+         let lo = ((3. *. !a) +. !b) /. 4. and hi = !b in
+         let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+         let use_bisection =
+           s < lo || s > hi
+           || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
+           || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
+           || (!mflag && abs_float (!b -. !c) < tol)
+           || ((not !mflag) && abs_float (!c -. !d) < tol)
+         in
+         let s = if use_bisection then 0.5 *. (!a +. !b) else s in
+         mflag := use_bisection;
+         let fs = f s in
+         d := !c;
+         c := !b;
+         fc := !fb;
+         if !fa *. fs < 0. then begin b := s; fb := fs end
+         else begin a := s; fa := fs end;
+         if abs_float !fa < abs_float !fb then begin
+           let t = !a in a := !b; b := t;
+           let t = !fa in fa := !fb; fb := t
+         end
+       done;
+       result := !b
+     with Exit -> ());
+    !result
+  end
+
+let newton ?(tol = 1e-13) ?(max_iter = 100) ~f ~df x0 =
+  let rec go x i =
+    if i >= max_iter then failwith "Root.newton: did not converge"
+    else
+      let fx = f x in
+      let dfx = df x in
+      if dfx = 0. then failwith "Root.newton: zero derivative"
+      else
+        let x' = x -. (fx /. dfx) in
+        if abs_float (x' -. x) < tol then x' else go x' (i + 1)
+  in
+  go x0 0
+
+let scan_brackets points f =
+  let n = Array.length points in
+  let acc = ref [] in
+  let fprev = ref (f points.(0)) in
+  for i = 1 to n - 1 do
+    let x0 = points.(i - 1) and x1 = points.(i) in
+    let f1 = f x1 in
+    if !fprev = 0. then acc := (x0, x0) :: !acc
+    else if !fprev *. f1 < 0. then acc := (x0, x1) :: !acc;
+    fprev := f1
+  done;
+  if !fprev = 0. then acc := (points.(n - 1), points.(n - 1)) :: !acc;
+  List.rev !acc
+
+let find_brackets ?(n = 256) f ~a ~b =
+  if n <= 0 then invalid_arg "Root.find_brackets: n must be positive";
+  let points =
+    Array.init (n + 1) (fun i ->
+        a +. ((b -. a) *. float_of_int i /. float_of_int n))
+  in
+  scan_brackets points f
+
+let find_brackets_log ?(n = 256) f ~a ~b =
+  if a <= 0. || b <= a then
+    invalid_arg "Root.find_brackets_log: requires 0 < a < b";
+  let la = log a and lb = log b in
+  let points =
+    Array.init (n + 1) (fun i ->
+        exp (la +. ((lb -. la) *. float_of_int i /. float_of_int n)))
+  in
+  scan_brackets points f
+
+let refine_all ?tol f brackets =
+  List.map
+    (fun (x0, x1) ->
+      if x0 = x1 then x0
+      else brent ?tol f ~a:x0 ~b:x1)
+    brackets
+
+let find_all_roots ?n ?tol f ~a ~b = refine_all ?tol f (find_brackets ?n f ~a ~b)
+
+let find_all_roots_log ?n ?tol f ~a ~b =
+  refine_all ?tol f (find_brackets_log ?n f ~a ~b)

@@ -1,0 +1,43 @@
+(** Scalar root finding. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float
+(** [bisect f ~a ~b] finds a root of [f] in [[a, b]] by bisection.
+    @raise Invalid_argument if [f a] and [f b] have the same (nonzero)
+    sign.  [tol] is the bracket-width target (default [1e-12]). *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float
+(** Brent's method (inverse quadratic interpolation + secant + bisection).
+    Same bracketing precondition as {!bisect}; typically far fewer
+    function evaluations. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> float
+(** [newton ~f ~df x0] runs Newton–Raphson from [x0].  @raise Failure if it does not converge
+    within [max_iter] (default 100) iterations. *)
+
+val find_brackets :
+  ?n:int -> (float -> float) -> a:float -> b:float -> (float * float) list
+(** [find_brackets f ~a ~b] scans [n] (default 256) equal subintervals of
+    [[a, b]] and returns those whose endpoints have opposite signs, in
+    increasing order.  Exact zeros at gridpoints are returned as
+    degenerate brackets. *)
+
+val find_all_roots :
+  ?n:int -> ?tol:float -> (float -> float) -> a:float -> b:float -> float list
+(** All sign-change roots found by {!find_brackets} refined with
+    {!brent}, in increasing order.  Roots of even multiplicity that do
+    not change sign on the grid are not detected. *)
+
+val find_brackets_log :
+  ?n:int -> (float -> float) -> a:float -> b:float -> (float * float) list
+(** Like {!find_brackets} but on a logarithmically spaced grid;
+    requires [0 < a < b].  Suited to price domains spanning decades. *)
+
+val find_all_roots_log :
+  ?n:int -> ?tol:float -> (float -> float) -> a:float -> b:float -> float list
+(** Log-grid variant of {!find_all_roots}. *)

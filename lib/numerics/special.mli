@@ -1,0 +1,43 @@
+(** Special functions implemented from scratch (no external dependency).
+
+    Accuracy targets: relative error below [1e-12] on the tested domains,
+    which is ample for the utility and success-rate integrals of the swap
+    model (the paper reports two to three significant digits). *)
+
+val pi : float
+(** The constant pi. *)
+
+val sqrt2 : float
+(** sqrt 2. *)
+
+val sqrt_2pi : float
+(** sqrt (2 pi). *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is the natural logarithm of the Gamma function for
+    [x > 0].  Lanczos approximation (g = 7, 9 coefficients).
+    @raise Invalid_argument if [x <= 0.]. *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularised lower incomplete gamma function
+    P(a, x) = gamma(a, x) / Gamma(a), for [a > 0] and [x >= 0].
+    Series expansion for [x < a +. 1.], continued fraction otherwise. *)
+
+val gamma_q : float -> float -> float
+(** [gamma_q a x = 1. -. gamma_p a x], the regularised upper incomplete
+    gamma function, computed directly to avoid cancellation. *)
+
+val erf : float -> float
+(** Error function, via the incomplete gamma function. *)
+
+val erfc : float -> float
+(** Complementary error function; accurate in the tails (no [1 - erf]
+    cancellation). *)
+
+val erfc_inv : float -> float
+(** [erfc_inv y] solves [erfc x = y] for [y] in (0, 2).
+    Initial rational estimate refined by two Halley steps.
+    @raise Invalid_argument if [y <= 0.] or [y >= 2.]. *)
+
+val erf_inv : float -> float
+(** [erf_inv y] solves [erf x = y] for [y] in (-1, 1). *)

@@ -1,0 +1,38 @@
+open Numerics
+
+type t = { kappa : float; theta : float; sigma : float }
+
+let create ~kappa ~theta_price ~sigma =
+  if kappa <= 0. then invalid_arg "Exp_ou.create: requires kappa > 0";
+  if theta_price <= 0. then
+    invalid_arg "Exp_ou.create: requires theta_price > 0";
+  if sigma <= 0. then invalid_arg "Exp_ou.create: requires sigma > 0";
+  { kappa; theta = log theta_price; sigma }
+
+let moments t ~p0 ~tau =
+  if p0 <= 0. then invalid_arg "Exp_ou: requires p0 > 0";
+  if tau <= 0. then invalid_arg "Exp_ou: requires tau > 0";
+  let decay = exp (-.t.kappa *. tau) in
+  let mean = t.theta +. ((log p0 -. t.theta) *. decay) in
+  let var = t.sigma *. t.sigma *. (1. -. (decay *. decay)) /. (2. *. t.kappa) in
+  (mean, sqrt var)
+
+let transition t ~p0 ~tau =
+  let mu, sigma = moments t ~p0 ~tau in
+  Lognormal.create ~mu ~sigma
+
+let expectation t ~p0 ~tau = Lognormal.mean (transition t ~p0 ~tau)
+let cdf t ~x ~p0 ~tau = Lognormal.cdf (transition t ~p0 ~tau) x
+let sf t ~x ~p0 ~tau = Lognormal.sf (transition t ~p0 ~tau) x
+let pdf t ~x ~p0 ~tau = Lognormal.pdf (transition t ~p0 ~tau) x
+
+let sample rng t ~p0 ~tau =
+  let mu, sigma = moments t ~p0 ~tau in
+  Rng.lognormal rng ~mu ~sigma
+
+let stationary t =
+  Lognormal.create ~mu:t.theta
+    ~sigma:(t.sigma /. sqrt (2. *. t.kappa))
+
+let half_life t = log 2. /. t.kappa
+let equivalent_short_run_sigma t = t.sigma

@@ -1,0 +1,41 @@
+(** Exponential Ornstein–Uhlenbeck (Schwartz one-factor) price model:
+    the log price mean-reverts,
+
+    {v d ln P = kappa (theta - ln P) dt + sigma dW v}
+
+    with exact Gaussian transitions.  This is the natural model for a
+    {e stablecoin-like} Token_b whose price is pulled back to a peg —
+    a regime the paper's GBM cannot express and one where HTLC swaps
+    behave very differently (see the "stablecoin" experiment). *)
+
+type t = private {
+  kappa : float;  (** Mean-reversion speed per unit time, > 0. *)
+  theta : float;  (** Long-run mean of [ln P]. *)
+  sigma : float;  (** Volatility of the log price, > 0. *)
+}
+
+val create : kappa:float -> theta_price:float -> sigma:float -> t
+(** [theta_price] is the long-run {e price} level (its log is stored).
+    @raise Invalid_argument unless [kappa > 0.], [theta_price > 0.],
+    [sigma > 0.]. *)
+
+val transition : t -> p0:float -> tau:float -> Numerics.Lognormal.t
+(** Exact conditional law of [P_{t+tau}] given [P_t = p0]. *)
+
+val expectation : t -> p0:float -> tau:float -> float
+val cdf : t -> x:float -> p0:float -> tau:float -> float
+val sf : t -> x:float -> p0:float -> tau:float -> float
+val pdf : t -> x:float -> p0:float -> tau:float -> float
+
+val sample : Numerics.Rng.t -> t -> p0:float -> tau:float -> float
+(** Exact draw (no discretisation error). *)
+
+val stationary : t -> Numerics.Lognormal.t
+(** The [tau -> infinity] limit law. *)
+
+val half_life : t -> float
+(** Time for a log-price deviation to halve: [ln 2 / kappa]. *)
+
+val equivalent_short_run_sigma : t -> float
+(** The instantaneous log volatility — comparable to a GBM's [sigma]
+    over horizons much shorter than the half life. *)

@@ -1,0 +1,81 @@
+open Numerics
+
+type t = { mu : float; sigma : float }
+
+let create ~mu ~sigma =
+  if sigma <= 0. then invalid_arg "Gbm.create: requires sigma > 0";
+  { mu; sigma }
+
+let check_args ~p0 ~tau =
+  if p0 <= 0. then invalid_arg "Gbm: requires p0 > 0";
+  if tau <= 0. then invalid_arg "Gbm: requires tau > 0"
+
+let log_return_mean { mu; sigma } ~tau = (mu -. (0.5 *. sigma *. sigma)) *. tau
+let log_return_stddev { sigma; _ } ~tau = sigma *. sqrt tau
+
+let transition t ~p0 ~tau =
+  check_args ~p0 ~tau;
+  Lognormal.create
+    ~mu:(log p0 +. log_return_mean t ~tau)
+    ~sigma:(log_return_stddev t ~tau)
+
+let expectation t ~p0 ~tau =
+  check_args ~p0 ~tau;
+  p0 *. exp (t.mu *. tau)
+
+let pdf t ~x ~p0 ~tau = Lognormal.pdf (transition t ~p0 ~tau) x
+
+(* The paper's printed form:
+   C(x, P_t, tau) = 1/2 erfc ((ln (x / P_t) - (mu - sigma^2/2) tau)
+                               / (sqrt (2 tau) sigma))
+   Note the sign: this equals P[P_{t+tau} <= x] because
+   erfc(-z)/2 = Phi(z sqrt 2); we keep the exact expression. *)
+let cdf t ~x ~p0 ~tau =
+  check_args ~p0 ~tau;
+  if x <= 0. then 0.
+  else
+    let z =
+      (log (x /. p0) -. log_return_mean t ~tau)
+      /. (sqrt (2. *. tau) *. t.sigma)
+    in
+    0.5 *. Special.erfc (-.z)
+
+let sf t ~x ~p0 ~tau =
+  check_args ~p0 ~tau;
+  if x <= 0. then 1.
+  else
+    let z =
+      (log (x /. p0) -. log_return_mean t ~tau)
+      /. (sqrt (2. *. tau) *. t.sigma)
+    in
+    0.5 *. Special.erfc z
+
+let quantile t ~p ~p0 ~tau = Lognormal.quantile (transition t ~p0 ~tau) p
+
+let partial_expectation_above t ~k ~p0 ~tau =
+  Lognormal.partial_expectation_above (transition t ~p0 ~tau) k
+
+let partial_expectation_below t ~k ~p0 ~tau =
+  Lognormal.partial_expectation_below (transition t ~p0 ~tau) k
+
+let sample rng t ~p0 ~tau =
+  check_args ~p0 ~tau;
+  p0
+  *. exp
+       (log_return_mean t ~tau +. (log_return_stddev t ~tau *. Rng.normal rng))
+
+let sample_path rng t ~p0 ~times =
+  if p0 <= 0. then invalid_arg "Gbm.sample_path: requires p0 > 0";
+  let n = Array.length times in
+  let out = Array.make n p0 in
+  let prev_t = ref 0. and prev_p = ref p0 in
+  for i = 0 to n - 1 do
+    let dt = times.(i) -. !prev_t in
+    if dt <= 0. then
+      invalid_arg "Gbm.sample_path: times must be strictly increasing (> 0)";
+    let p = sample rng t ~p0:!prev_p ~tau:dt in
+    out.(i) <- p;
+    prev_t := times.(i);
+    prev_p := p
+  done;
+  out

@@ -1,0 +1,53 @@
+(** Geometric Brownian motion — the token-price model of the paper
+    (Assumption 4, Eq. 1):
+
+    {v ln (P_{t+tau} / P_t) = (mu - sigma^2/2) tau + sigma (W_{t+tau} - W_t) v}
+
+    All closed forms below are exactly the paper's [E], [P] (pdf) and [C]
+    (cdf) of Section III-A. *)
+
+type t = private { mu : float; sigma : float }
+(** [mu] is the drift per unit time, [sigma] the volatility per square
+    root of unit time (hours in the paper's calibration). *)
+
+val create : mu:float -> sigma:float -> t
+(** @raise Invalid_argument if [sigma <= 0.]. *)
+
+val transition : t -> p0:float -> tau:float -> Numerics.Lognormal.t
+(** The lognormal law of [P_{t+tau}] given [P_t = p0].
+    @raise Invalid_argument if [p0 <= 0.] or [tau <= 0.]. *)
+
+val expectation : t -> p0:float -> tau:float -> float
+(** Paper's [E(P_t, tau) = P_t exp (mu tau)]. *)
+
+val pdf : t -> x:float -> p0:float -> tau:float -> float
+(** Paper's [P(x, P_t, tau)]: transition density at [x]. *)
+
+val cdf : t -> x:float -> p0:float -> tau:float -> float
+(** Paper's [C(x, P_t, tau)], computed with the same [erfc] form as
+    printed in the paper. *)
+
+val sf : t -> x:float -> p0:float -> tau:float -> float
+(** [1 - cdf], cancellation-free. *)
+
+val quantile : t -> p:float -> p0:float -> tau:float -> float
+
+val partial_expectation_above : t -> k:float -> p0:float -> tau:float -> float
+(** [E[P_{t+tau} 1_{P_{t+tau} > k} | P_t = p0]] — closed form used by the
+    time-[t2] utilities. *)
+
+val partial_expectation_below : t -> k:float -> p0:float -> tau:float -> float
+
+val sample : Numerics.Rng.t -> t -> p0:float -> tau:float -> float
+(** Exact draw from the transition law (no discretisation error). *)
+
+val sample_path :
+  Numerics.Rng.t -> t -> p0:float -> times:float array -> float array
+(** Exact joint draw of the path at the given strictly increasing times
+    (starting after 0; [P_0 = p0] is implicit). *)
+
+val log_return_mean : t -> tau:float -> float
+(** [(mu - sigma^2/2) tau]. *)
+
+val log_return_stddev : t -> tau:float -> float
+(** [sigma sqrt tau]. *)

@@ -1,0 +1,62 @@
+open Numerics
+
+type t = { times : float array; values : float array }
+
+let create ~times ~values =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Path.create: empty";
+  if Array.length values <> n then invalid_arg "Path.create: length mismatch";
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Path.create: times must be strictly increasing"
+  done;
+  { times; values }
+
+let length p = Array.length p.times
+
+(* Binary search for the largest index with times.(i) <= t. *)
+let index_before p t =
+  let n = Array.length p.times in
+  if t < p.times.(0) then
+    invalid_arg "Path.at: time precedes first sample";
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if p.times.(mid) <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let at p t = p.values.(index_before p t)
+
+let at_linear p t =
+  let n = Array.length p.times in
+  if t <= p.times.(0) then p.values.(0)
+  else if t >= p.times.(n - 1) then p.values.(n - 1)
+  else
+    let i = index_before p t in
+    let t0 = p.times.(i) and t1 = p.times.(i + 1) in
+    let v0 = p.values.(i) and v1 = p.values.(i + 1) in
+    v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+
+let map_values f p = { p with values = Array.map f p.values }
+
+let last p =
+  let n = Array.length p.times in
+  (p.times.(n - 1), p.values.(n - 1))
+
+let first p = (p.times.(0), p.values.(0))
+
+let log_returns p =
+  let n = Array.length p.values in
+  Array.init (n - 1) (fun i ->
+      let a = p.values.(i) and b = p.values.(i + 1) in
+      if a <= 0. || b <= 0. then
+        invalid_arg "Path.log_returns: nonpositive value";
+      log (b /. a))
+
+let realized_volatility p =
+  let n = Array.length p.times in
+  if n < 3 then invalid_arg "Path.realized_volatility: needs >= 3 samples";
+  let rets = log_returns p in
+  let mean_dt = (p.times.(n - 1) -. p.times.(0)) /. float_of_int (n - 1) in
+  Stats.stddev rets /. sqrt mean_dt

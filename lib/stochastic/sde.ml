@@ -1,0 +1,61 @@
+open Numerics
+
+type coeffs = {
+  drift : float -> float -> float;
+  diffusion : float -> float -> float;
+}
+
+let gbm_coeffs ~mu ~sigma =
+  {
+    drift = (fun _t x -> mu *. x);
+    diffusion = (fun _t x -> sigma *. x);
+  }
+
+let check ~t0 ~t1 ~steps =
+  if steps <= 0 then invalid_arg "Sde: requires steps > 0";
+  if t1 <= t0 then invalid_arg "Sde: requires t1 > t0"
+
+let euler_maruyama rng { drift; diffusion } ~x0 ~t0 ~t1 ~steps =
+  check ~t0 ~t1 ~steps;
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let sqrt_dt = sqrt dt in
+  let out = Array.make (steps + 1) x0 in
+  let x = ref x0 in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. dt) in
+    let dw = sqrt_dt *. Rng.normal rng in
+    x := !x +. (drift t !x *. dt) +. (diffusion t !x *. dw);
+    out.(i) <- !x
+  done;
+  out
+
+let milstein rng { drift; diffusion } ~diffusion_dx ~x0 ~t0 ~t1 ~steps =
+  check ~t0 ~t1 ~steps;
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let sqrt_dt = sqrt dt in
+  let out = Array.make (steps + 1) x0 in
+  let x = ref x0 in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. dt) in
+    let dw = sqrt_dt *. Rng.normal rng in
+    let b = diffusion t !x in
+    x :=
+      !x
+      +. (drift t !x *. dt)
+      +. (b *. dw)
+      +. (0.5 *. b *. diffusion_dx t !x *. ((dw *. dw) -. dt));
+    out.(i) <- !x
+  done;
+  out
+
+let terminal rng { drift; diffusion } ~x0 ~t0 ~t1 ~steps =
+  check ~t0 ~t1 ~steps;
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let sqrt_dt = sqrt dt in
+  let x = ref x0 in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. dt) in
+    let dw = sqrt_dt *. Rng.normal rng in
+    x := !x +. (drift t !x *. dt) +. (diffusion t !x *. dw)
+  done;
+  !x

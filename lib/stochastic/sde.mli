@@ -1,0 +1,30 @@
+(** Generic scalar stochastic differential equations
+    [dX = drift(t, X) dt + diffusion(t, X) dW] and discretisation
+    schemes.  Used to cross-check the exact GBM sampler and to support
+    price models without closed-form transitions. *)
+
+type coeffs = {
+  drift : float -> float -> float;  (** [drift t x] *)
+  diffusion : float -> float -> float;  (** [diffusion t x] *)
+}
+
+val gbm_coeffs : mu:float -> sigma:float -> coeffs
+(** [drift = mu x], [diffusion = sigma x]. *)
+
+val euler_maruyama :
+  Numerics.Rng.t -> coeffs -> x0:float -> t0:float -> t1:float -> steps:int ->
+  float array
+(** Euler–Maruyama path with [steps] uniform steps on [[t0, t1]]; returns
+    [steps + 1] values including [x0].  Weak order 1, strong order 1/2.
+    @raise Invalid_argument if [steps <= 0] or [t1 <= t0]. *)
+
+val milstein :
+  Numerics.Rng.t -> coeffs -> diffusion_dx:(float -> float -> float) ->
+  x0:float -> t0:float -> t1:float -> steps:int -> float array
+(** Milstein scheme (strong order 1); [diffusion_dx t x] is the spatial
+    derivative of the diffusion coefficient. *)
+
+val terminal :
+  Numerics.Rng.t -> coeffs -> x0:float -> t0:float -> t1:float -> steps:int ->
+  float
+(** Last value of an Euler–Maruyama path, without storing the path. *)

@@ -1,0 +1,33 @@
+open Numerics
+
+let increment rng ~dt =
+  if dt <= 0. then invalid_arg "Wiener.increment: requires dt > 0";
+  sqrt dt *. Rng.normal rng
+
+let sample_path rng ~times =
+  let n = Array.length times in
+  if n = 0 then [||]
+  else begin
+    if times.(0) < 0. then
+      invalid_arg "Wiener.sample_path: times must be nonnegative";
+    let out = Array.make n 0. in
+    let prev_t = ref 0. and prev_w = ref 0. in
+    for i = 0 to n - 1 do
+      let dt = times.(i) -. !prev_t in
+      if dt < 0. || (i > 0 && dt = 0.) then
+        invalid_arg "Wiener.sample_path: times must be strictly increasing";
+      let w = if dt = 0. then !prev_w else !prev_w +. increment rng ~dt in
+      out.(i) <- w;
+      prev_t := times.(i);
+      prev_w := w
+    done;
+    out
+  end
+
+let bridge rng ~t0 ~w0 ~t1 ~w1 ~t =
+  if not (t0 < t && t < t1) then
+    invalid_arg "Wiener.bridge: requires t0 < t < t1";
+  let alpha = (t -. t0) /. (t1 -. t0) in
+  let mean = w0 +. (alpha *. (w1 -. w0)) in
+  let var = (t -. t0) *. (t1 -. t) /. (t1 -. t0) in
+  mean +. (sqrt var *. Rng.normal rng)

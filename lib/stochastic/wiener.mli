@@ -1,0 +1,17 @@
+(** Standard Wiener process (Brownian motion) sampling. *)
+
+val increment : Numerics.Rng.t -> dt:float -> float
+(** One increment [W_{t+dt} - W_t ~ N(0, dt)].
+    @raise Invalid_argument if [dt <= 0.]. *)
+
+val sample_path : Numerics.Rng.t -> times:float array -> float array
+(** Path values at the given (strictly increasing, nonnegative) [times];
+    [W_0 = 0.] is implicit, the returned array has one value per entry of
+    [times].  @raise Invalid_argument if [times] is not strictly
+    increasing or starts below 0. *)
+
+val bridge :
+  Numerics.Rng.t -> t0:float -> w0:float -> t1:float -> w1:float -> t:float ->
+  float
+(** Brownian bridge: samples [W_t] conditional on [W_{t0} = w0] and
+    [W_{t1} = w1] for [t0 < t < t1]. *)

@@ -1,0 +1,80 @@
+type split = {
+  p_star : float;
+  alice_gain : float;
+  bob_gain : float;
+  nash_product : float;
+}
+
+let gains ?quad_nodes (p : Params.t) ~p_star =
+  let k3 = Cutoff.p_t3_low p ~p_star in
+  let band = Cutoff.p_t2_band p ~p_star in
+  ( Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+    -. Utility.a_t1_stop ~p_star,
+    Utility.b_t1_cont ?quad_nodes p ~p_star ~k3 ~band -. Utility.b_t1_stop p )
+
+let nash_rate ?(grid = 60) ?quad_nodes (p : Params.t) =
+  match Cutoff.p_star_band_endpoints p with
+  | None -> None
+  | Some (lo, hi) ->
+    let product p_star =
+      let a, b = gains ?quad_nodes p ~p_star in
+      if a <= 0. || b <= 0. then neg_infinity else a *. b
+    in
+    let xs = Numerics.Grid.linspace ~lo:(lo +. 1e-6) ~hi:(hi -. 1e-6) ~n:grid in
+    let best = ref None in
+    Array.iter
+      (fun p_star ->
+        let v = product p_star in
+        match !best with
+        | Some (_, bv) when bv >= v -> ()
+        | _ -> if v > neg_infinity then best := Some (p_star, v))
+      xs;
+    Option.map
+      (fun (p_star, nash_product) ->
+        let alice_gain, bob_gain = gains ?quad_nodes p ~p_star in
+        { p_star; alice_gain; bob_gain; nash_product })
+      !best
+
+let engagement_game ?quad_nodes (c : Collateral.t) ~p_star =
+  let p = c.Collateral.params in
+  let qa = c.Collateral.q_alice in
+  let both_a = Collateral.a_t1_cont ?quad_nodes c ~p_star in
+  let both_b = Collateral.b_t1_cont ?quad_nodes c ~p_star in
+  let out_a = Collateral.a_t1_stop c ~p_star in
+  let out_b = Collateral.b_t1_stop c in
+  (* Engaging alone: Alice's lock spends one refund round (her HTLC
+     deploys and times out); Bob's engagement costs nothing until
+     Alice's contract exists. *)
+  let alone_a =
+    (p_star *. Utility.discount ~r:p.Params.alice.r ~horizon:(2. *. p.Params.tau_a))
+    +. qa
+  in
+  Gametree.Normal_form.create
+    ~row_actions:[| "engage"; "stay_out" |]
+    ~col_actions:[| "engage"; "stay_out" |]
+    ~row_payoffs:[| [| both_a; alone_a |]; [| out_a; out_a |] |]
+    ~col_payoffs:[| [| both_b; out_b |]; [| out_b; out_b |] |]
+
+type engagement = {
+  equilibria : (string * string) list;
+  both_engage_is_equilibrium : bool;
+  coordination_failure_possible : bool;
+}
+
+let analyse_engagement ?quad_nodes (c : Collateral.t) ~p_star =
+  let g = engagement_game ?quad_nodes c ~p_star in
+  let pure = Gametree.Normal_form.pure_nash g in
+  let named =
+    List.map
+      (fun (i, j) ->
+        (g.Gametree.Normal_form.row_actions.(i),
+         g.Gametree.Normal_form.col_actions.(j)))
+      pure
+  in
+  {
+    equilibria = named;
+    both_engage_is_equilibrium = List.mem ("engage", "engage") named;
+    coordination_failure_possible =
+      List.mem ("stay_out", "stay_out") named
+      && List.mem ("engage", "engage") named;
+  }

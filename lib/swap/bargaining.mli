@@ -1,0 +1,40 @@
+(** How the exchange rate gets agreed (Section III-E4 notes only that
+    [P*] "must lie within a range"; this module adds the standard
+    bargaining answers) and the [t1] stage of the collateral game as a
+    proper simultaneous-move game (Section IV-4).
+
+    The disagreement point is the outside option: Alice keeps her
+    [P*]-worth of Token_a, Bob his Token_b. *)
+
+type split = {
+  p_star : float;
+  alice_gain : float;  (** Alice's [t1] surplus over not trading. *)
+  bob_gain : float;
+  nash_product : float;
+}
+
+val nash_rate : ?grid:int -> ?quad_nodes:int -> Params.t -> split option
+(** The Nash bargaining solution: the rate maximising
+    [alice_gain * bob_gain] over the rates where both gains are
+    positive; [None] when no rate gives both agents a surplus. *)
+
+val gains : ?quad_nodes:int -> Params.t -> p_star:float -> float * float
+(** [(alice_gain, bob_gain)] at a candidate rate. *)
+
+val engagement_game :
+  ?quad_nodes:int -> Collateral.t -> p_star:float -> Gametree.Normal_form.t
+(** The simultaneous [t1] stage of the collateral game as a 2x2
+    bimatrix game with actions [engage]/[stay_out] for each agent.
+    Staying out keeps token plus deposit; engaging alone briefly locks
+    Alice's Token_a (one refund round) while costing Bob nothing. *)
+
+type engagement = {
+  equilibria : (string * string) list;  (** Pure Nash action pairs. *)
+  both_engage_is_equilibrium : bool;
+  coordination_failure_possible : bool;
+      (** [stay_out/stay_out] is also an equilibrium although
+          [engage/engage] Pareto-dominates it. *)
+}
+
+val analyse_engagement :
+  ?quad_nodes:int -> Collateral.t -> p_star:float -> engagement

@@ -1,0 +1,104 @@
+open Numerics
+open Stochastic
+
+type belief = { weights : float array; alphas : float array }
+
+let belief pairs =
+  if pairs = [] then invalid_arg "Bayesian.belief: empty belief";
+  List.iter
+    (fun (w, a) ->
+      if w <= 0. then invalid_arg "Bayesian.belief: nonpositive weight";
+      if a <= -1. then invalid_arg "Bayesian.belief: alpha <= -1")
+    pairs;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. pairs in
+  {
+    weights = Array.of_list (List.map (fun (w, _) -> w /. total) pairs);
+    alphas = Array.of_list (List.map snd pairs);
+  }
+
+let point_belief alpha = belief [ (1., alpha) ]
+
+let mean_alpha b =
+  let acc = ref 0. in
+  Array.iteri (fun i w -> acc := !acc +. (w *. b.alphas.(i))) b.weights;
+  !acc
+
+let mix b f =
+  let acc = ref 0. in
+  Array.iteri (fun i w -> acc := !acc +. (w *. f b.alphas.(i))) b.weights;
+  !acc
+
+(* Alice's Eq. 18 cutoff as a function of her type. *)
+let cutoff_of_type (p : Params.t) ~p_star alpha =
+  Cutoff.p_t3_low (Params.with_alpha_alice p alpha) ~p_star
+
+(* --- Bob uncertain about Alice ------------------------------------------ *)
+
+(* Eq. 21 with the indicator of Alice's continuation replaced by its
+   belief-expectation: each type has its own cutoff, so the survival
+   and lower-partial-expectation terms mix. *)
+let b_t2_cont_mixed (p : Params.t) ~belief_on_alice ~p_star ~p_t2 =
+  let gbm = Params.gbm p in
+  let term alpha =
+    let k3 = cutoff_of_type p ~p_star alpha in
+    (Gbm.sf gbm ~x:k3 ~p0:p_t2 ~tau:p.Params.tau_b
+     *. Utility.b_t3_cont p ~p_star)
+    +. (exp (2. *. (p.Params.mu -. p.Params.bob.r) *. p.Params.tau_b)
+       *. Gbm.partial_expectation_below gbm ~k:k3 ~p0:p_t2 ~tau:p.Params.tau_b)
+  in
+  mix belief_on_alice term
+  *. Utility.discount ~r:p.Params.bob.r ~horizon:p.Params.tau_b
+
+let p_t2_band_mixed ?(scan_points = 600) (p : Params.t) ~belief_on_alice
+    ~p_star =
+  let g x =
+    b_t2_cont_mixed p ~belief_on_alice ~p_star ~p_t2:x
+    -. Utility.b_t2_stop ~p_t2:x
+  in
+  let domain_lo, domain_hi = Cutoff.scan_domain p ~p_star in
+  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
+  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let success_rate_given_alice ?quad_nodes (p : Params.t) ~belief_on_alice
+    ~true_alpha_alice ~p_star =
+  let gbm = Params.gbm p in
+  let band = p_t2_band_mixed p ~belief_on_alice ~p_star in
+  if Intervals.is_empty band then 0.
+  else begin
+    let k3_true = cutoff_of_type p ~p_star true_alpha_alice in
+    Utility.integrate_over ?quad_nodes band ~f:(fun x ->
+        Gbm.pdf gbm ~x ~p0:p.Params.p0 ~tau:p.Params.tau_a
+        *. Gbm.sf gbm ~x:k3_true ~p0:x ~tau:p.Params.tau_b)
+  end
+
+let ex_ante_success_rate ?quad_nodes (p : Params.t) ~belief_on_alice ~p_star =
+  mix belief_on_alice (fun alpha ->
+      success_rate_given_alice ?quad_nodes p ~belief_on_alice
+        ~true_alpha_alice:alpha ~p_star)
+
+(* --- Alice uncertain about Bob ------------------------------------------- *)
+
+let a_t1_cont_mixed ?quad_nodes (p : Params.t) ~belief_on_bob ~p_star =
+  let k3 = Cutoff.p_t3_low p ~p_star in
+  mix belief_on_bob (fun alpha_b ->
+      let p_b = Params.with_alpha_bob p alpha_b in
+      let band = Cutoff.p_t2_band p_b ~p_star in
+      Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band)
+
+let p_star_band_mixed ?(scan_points = 120) ?quad_nodes (p : Params.t)
+    ~belief_on_bob =
+  let f p_star =
+    a_t1_cont_mixed ?quad_nodes p ~belief_on_bob ~p_star
+    -. Utility.a_t1_stop ~p_star
+  in
+  let domain_lo = p.Params.p0 *. 0.05 and domain_hi = p.Params.p0 *. 20. in
+  let roots = Root.find_all_roots_log ~n:scan_points f ~a:domain_lo ~b:domain_hi in
+  match
+    Intervals.intervals
+      (Intervals.of_sign_changes ~f ~roots ~domain_lo:0. ~domain_hi:infinity)
+  with
+  | [] -> None
+  | ivs ->
+    let lo = (List.hd ivs).Intervals.lo in
+    let hi = (List.nth ivs (List.length ivs - 1)).Intervals.hi in
+    Some (lo, hi)

@@ -1,0 +1,52 @@
+open Numerics
+
+let p_t3_low (p : Params.t) ~p_star =
+  let exponent =
+    ((p.alice.r -. p.mu) *. p.tau_b)
+    -. (p.alice.r *. (p.eps_b +. (2. *. p.tau_a)))
+  in
+  exp exponent *. p_star /. (1. +. p.alice.alpha)
+
+(* Scan domain for t2 roots: wide enough that the lognormal transition
+   mass outside is negligible and the decision is unambiguous.  Scale
+   with both the agreed rate and the current price. *)
+let scan_domain (p : Params.t) ~p_star =
+  let anchor = max p_star p.Params.p0 in
+  (anchor *. 1e-4, anchor *. 1e4)
+
+let p_t2_band ?(scan_points = 600) (p : Params.t) ~p_star =
+  let k3 = p_t3_low p ~p_star in
+  let g x = Utility.b_t2_cont p ~p_star ~k3 ~p_t2:x -. Utility.b_t2_stop ~p_t2:x in
+  let domain_lo, domain_hi = scan_domain p ~p_star in
+  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
+  (* The region where g > 0; near 0 and at infinity Bob stops in the
+     standard parameterisation, but both cases are decided by probing. *)
+  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let p_t2_band_endpoints ?scan_points p ~p_star =
+  match Intervals.intervals (p_t2_band ?scan_points p ~p_star) with
+  | [] -> None
+  | ivs ->
+    let lo = (List.hd ivs).Intervals.lo in
+    let hi = (List.nth ivs (List.length ivs - 1)).Intervals.hi in
+    Some (lo, hi)
+
+let a_t1_net ?quad_nodes (p : Params.t) ~p_star =
+  let k3 = p_t3_low p ~p_star in
+  let band = p_t2_band p ~p_star in
+  Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+  -. Utility.a_t1_stop ~p_star
+
+let p_star_band ?(scan_points = 160) ?quad_nodes (p : Params.t) =
+  let f p_star = a_t1_net ?quad_nodes p ~p_star in
+  let domain_lo = p.Params.p0 *. 0.05 and domain_hi = p.Params.p0 *. 20. in
+  let roots = Root.find_all_roots_log ~n:scan_points f ~a:domain_lo ~b:domain_hi in
+  Intervals.of_sign_changes ~f ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let p_star_band_endpoints ?scan_points ?quad_nodes p =
+  match Intervals.intervals (p_star_band ?scan_points ?quad_nodes p) with
+  | [] -> None
+  | ivs ->
+    let lo = (List.hd ivs).Intervals.lo in
+    let hi = (List.nth ivs (List.length ivs - 1)).Intervals.hi in
+    Some (lo, hi)

@@ -1,0 +1,33 @@
+(** Equilibrium cutoffs from backward induction (Section III-E).
+
+    - [t4]: Bob always continues (claiming dominates; no cutoff).
+    - [t3]: Alice continues iff [P_t3 > p_t3_low] (Eq. 18/19).
+    - [t2]: Bob continues iff [P_t2] lies in {!p_t2_band} (Eq. 24).
+    - [t1]: Alice initiates iff [P*] lies in {!p_star_band} (Eq. 30). *)
+
+val p_t3_low : Params.t -> p_star:float -> float
+(** Eq. 18:
+    [e^{(r_A - mu) tau_b - r_A (eps_b + 2 tau_a)} P* / (1 + alpha_A)]. *)
+
+val p_t2_band : ?scan_points:int -> Params.t -> p_star:float -> Intervals.t
+(** The set of [P_t2] where [U^B_t2(cont) > U^B_t2(stop)] — typically a
+    single interval [(P_t2_low, P_t2_high)], possibly empty when
+    [alpha_B] is too small (Section III-E3). *)
+
+val p_t2_band_endpoints :
+  ?scan_points:int -> Params.t -> p_star:float -> (float * float) option
+(** [(lo, hi)] of the band when it is a single interval; [None] when
+    empty. *)
+
+val p_star_band :
+  ?scan_points:int -> ?quad_nodes:int -> Params.t -> Intervals.t
+(** Feasible exchange rates: the set of rates where Alice's
+    continuation utility at [t1] exceeds [P_star]; Eq. 29 evaluates to
+    approximately (1.5, 2.5) under Table III defaults. *)
+
+val p_star_band_endpoints :
+  ?scan_points:int -> ?quad_nodes:int -> Params.t -> (float * float) option
+
+val scan_domain : Params.t -> p_star:float -> float * float
+(** The (log-scaled) price interval scanned for [t2] roots; exposed for
+    diagnostics and reuse by the collateral variant. *)

@@ -1,0 +1,75 @@
+type report = {
+  equilibrium_value : float;
+  best_deviation_value : float;
+  best_deviation : string;
+  is_best_response : bool;
+}
+
+let build_report ~equilibrium_value deviations ~tol =
+  let best_deviation, best_deviation_value =
+    List.fold_left
+      (fun ((_, bv) as best) ((_, v) as cand) ->
+        if v > bv then cand else best)
+      ("none", neg_infinity) deviations
+  in
+  {
+    equilibrium_value;
+    best_deviation_value;
+    best_deviation;
+    is_best_response = best_deviation_value <= equilibrium_value +. tol;
+  }
+
+(* Alice's t1 value when her t3 rule uses an arbitrary cutoff [k],
+   against Bob's equilibrium band.  Note: Bob's band is solved against
+   her *equilibrium* cutoff — exactly the unilateral-deviation setup. *)
+let check_alice_cutoff ?(shifts = [ -0.4; -0.15; -0.05; -0.02; 0.02; 0.05; 0.15; 0.4 ])
+    ?(tol = 1e-6) (p : Params.t) ~p_star =
+  let k3 = Cutoff.p_t3_low p ~p_star in
+  let band = Cutoff.p_t2_band p ~p_star in
+  let value k = Utility.a_t1_cont p ~p_star ~k3:k ~band in
+  let equilibrium_value = value k3 in
+  let deviations =
+    List.map
+      (fun s ->
+        let k = k3 *. (1. +. s) in
+        (Printf.sprintf "cutoff %+.0f%%" (100. *. s), value k))
+      shifts
+  in
+  build_report ~equilibrium_value deviations ~tol
+
+let default_deformations =
+  [
+    ("widen 10%", (fun lo -> lo *. 0.9), fun hi -> hi *. 1.1);
+    ("narrow 10%", (fun lo -> lo *. 1.1), fun hi -> hi *. 0.9);
+    ("shift up 10%", (fun lo -> lo *. 1.1), fun hi -> hi *. 1.1);
+    ("shift down 10%", (fun lo -> lo *. 0.9), fun hi -> hi *. 0.9);
+    ("widen 30%", (fun lo -> lo *. 0.7), fun hi -> hi *. 1.3);
+    ("narrow 30%", (fun lo -> lo *. 1.3), fun hi -> hi *. 0.7);
+  ]
+
+let check_bob_band ?(deformations = default_deformations) ?(tol = 1e-6)
+    (p : Params.t) ~p_star =
+  let k3 = Cutoff.p_t3_low p ~p_star in
+  match Cutoff.p_t2_band_endpoints p ~p_star with
+  | None ->
+    {
+      equilibrium_value = Utility.b_t1_stop p;
+      best_deviation_value = neg_infinity;
+      best_deviation = "none";
+      is_best_response = true;
+    }
+  | Some (lo, hi) ->
+    let value band = Utility.b_t1_cont p ~p_star ~k3 ~band in
+    let equilibrium_value = value (Cutoff.p_t2_band p ~p_star) in
+    let deviations =
+      List.filter_map
+        (fun (label, f_lo, f_hi) ->
+          let lo' = f_lo lo and hi' = f_hi hi in
+          if lo' >= hi' then None
+          else
+            Some
+              (label,
+               value (Intervals.of_list [ { Intervals.lo = lo'; hi = hi' } ])))
+        deformations
+    in
+    build_report ~equilibrium_value deviations ~tol

@@ -1,0 +1,26 @@
+(** Best-response verification: direct evidence that the backward
+    induction's thresholds are mutual best responses, obtained by
+    evaluating each agent's value under {e perturbed} strategies rather
+    than by trusting the derivation.  Complements the lattice-SPE
+    cross-check with a continuous-strategy test. *)
+
+type report = {
+  equilibrium_value : float;
+  best_deviation_value : float;  (** Highest value over the probed deviations. *)
+  best_deviation : string;  (** Description of the most tempting one. *)
+  is_best_response : bool;
+      (** No probed deviation improves by more than the tolerance. *)
+}
+
+val check_alice_cutoff :
+  ?shifts:float list -> ?tol:float -> Params.t -> p_star:float -> report
+(** Evaluates Alice's [t1] value when her [t3] reveal cutoff is shifted
+    multiplicatively (default shifts: ±2%, ±5%, ±15%, ±40%), holding
+    Bob's equilibrium band fixed.  Eq. 18 should (weakly) dominate. *)
+
+val check_bob_band :
+  ?deformations:(string * (float -> float) * (float -> float)) list ->
+  ?tol:float -> Params.t -> p_star:float -> report
+(** Evaluates Bob's [t1] value under deformed continuation bands
+    (endpoints moved by the given maps; defaults widen, narrow and
+    shift the band), holding Alice's cutoff fixed. *)

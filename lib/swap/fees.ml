@@ -1,0 +1,99 @@
+open Numerics
+open Stochastic
+
+type t = {
+  params : Params.t;
+  fee_a : float;
+  fee_b : float;
+  notional : float;
+}
+
+let create ?(notional = 1.) params ~fee_a ~fee_b =
+  if fee_a < 0. || fee_b < 0. then invalid_arg "Fees.create: negative fee";
+  if notional <= 0. then invalid_arg "Fees.create: nonpositive notional";
+  { params; fee_a; fee_b; notional }
+
+(* Alice at t3 trades n units: continuing costs the Chain_b claim fee
+   immediately, so the per-unit stop value is effectively raised by
+   fee_b / n. *)
+let p_t3_low { params = p; fee_b; notional; _ } ~p_star =
+  let stop_per_unit =
+    (p_star *. exp (-.p.Params.alice.r *. (p.Params.eps_b +. (2. *. p.Params.tau_a))))
+    +. (fee_b /. notional)
+  in
+  stop_per_unit
+  *. exp ((p.Params.alice.r -. p.Params.mu) *. p.Params.tau_b)
+  /. (1. +. p.Params.alice.alpha)
+
+let b_t2_cont ({ params = p; fee_a; fee_b; notional; _ } as t) ~p_star ~p_t2 =
+  let k3 = p_t3_low t ~p_star in
+  let gbm = Params.gbm p in
+  let prob_alice_continues = Gbm.sf gbm ~x:k3 ~p0:p_t2 ~tau:p.Params.tau_b in
+  let claim_fee_discount =
+    exp (-.p.Params.bob.r *. (p.Params.tau_b +. p.Params.eps_b))
+  in
+  (notional *. Utility.b_t2_cont p ~p_star ~k3 ~p_t2)
+  -. fee_b
+  -. (prob_alice_continues *. fee_a *. claim_fee_discount)
+
+let p_t2_band ?(scan_points = 600) t ~p_star =
+  let p = t.params in
+  let g x =
+    b_t2_cont t ~p_star ~p_t2:x -. (t.notional *. Utility.b_t2_stop ~p_t2:x)
+  in
+  let domain_lo, domain_hi = Cutoff.scan_domain p ~p_star in
+  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
+  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let success_rate ?quad_nodes t ~p_star =
+  let k3 = p_t3_low t ~p_star in
+  let band = p_t2_band t ~p_star in
+  if Intervals.is_empty band then 0.
+  else Success.analytic_given ?quad_nodes t.params ~k3 ~band
+
+let a_t1_net ?quad_nodes ({ params = p; fee_a; fee_b; notional; _ } as t)
+    ~p_star =
+  let k3 = p_t3_low t ~p_star in
+  let band = p_t2_band t ~p_star in
+  let gross =
+    notional
+    *. (Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+       -. Utility.a_t1_stop ~p_star)
+  in
+  (* The t3 claim fee is paid exactly when the swap will complete. *)
+  let expected_claim_fee =
+    Success.analytic_given ?quad_nodes p ~k3 ~band
+    *. fee_b
+    *. exp (-.p.Params.alice.r *. (p.Params.tau_a +. p.Params.tau_b))
+  in
+  gross -. fee_a -. expected_claim_fee
+
+let p_star_band ?(scan_points = 120) ?quad_nodes t =
+  let p = t.params in
+  let f p_star = a_t1_net ?quad_nodes t ~p_star in
+  let domain_lo = p.Params.p0 *. 0.05 and domain_hi = p.Params.p0 *. 20. in
+  let roots = Root.find_all_roots_log ~n:scan_points f ~a:domain_lo ~b:domain_hi in
+  match
+    Intervals.intervals
+      (Intervals.of_sign_changes ~f ~roots ~domain_lo:0. ~domain_hi:infinity)
+  with
+  | [] -> None
+  | ivs ->
+    let lo = (List.hd ivs).Intervals.lo in
+    let hi = (List.nth ivs (List.length ivs - 1)).Intervals.hi in
+    Some (lo, hi)
+
+let break_even_notional ?quad_nodes ?(hi = 1e4) t ~p_star =
+  let net n = a_t1_net ?quad_nodes { t with notional = n } ~p_star in
+  if net hi <= 0. then None
+  else begin
+    let lo = ref 1e-6 and hi = ref hi in
+    if net !lo > 0. then Some !lo
+    else begin
+      while !hi -. !lo > 1e-4 *. !hi do
+        let mid = sqrt (!lo *. !hi) in
+        if net mid > 0. then hi := mid else lo := mid
+      done;
+      Some !hi
+    end
+  end

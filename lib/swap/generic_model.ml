@@ -1,0 +1,98 @@
+open Numerics
+
+type price_model = {
+  label : string;
+  transition : p0:float -> tau:float -> Lognormal.t;
+}
+
+let gbm (p : Params.t) =
+  let g = Params.gbm p in
+  {
+    label = "gbm";
+    transition = (fun ~p0 ~tau -> Stochastic.Gbm.transition g ~p0 ~tau);
+  }
+
+let exp_ou ou =
+  {
+    label = "exp-ou";
+    transition = (fun ~p0 ~tau -> Stochastic.Exp_ou.transition ou ~p0 ~tau);
+  }
+
+let expectation model ~p0 ~tau = Lognormal.mean (model.transition ~p0 ~tau)
+
+(* Alice at t3: continue iff the discounted expected Token_b receipt
+   beats the refund.  The left side is increasing in the spot for any
+   lognormal-transition model with positive dependence, so a sign scan
+   plus Brent locates the unique cutoff. *)
+let a_t3_cont (p : Params.t) model ~p_t3 =
+  (1. +. p.Params.alice.alpha)
+  *. expectation model ~p0:p_t3 ~tau:p.Params.tau_b
+  *. Utility.discount ~r:p.Params.alice.r ~horizon:p.Params.tau_b
+
+let p_t3_low (p : Params.t) model ~p_star =
+  let stop = Utility.a_t3_stop p ~p_star in
+  let g x = a_t3_cont p model ~p_t3:x -. stop in
+  let lo = p_star *. 1e-6 and hi = p_star *. 1e6 in
+  if g lo > 0. then 0.
+  else if g hi < 0. then infinity
+  else Root.brent g ~a:lo ~b:hi
+
+let b_t3_stop (p : Params.t) model ~p_t3 =
+  expectation model ~p0:p_t3 ~tau:(2. *. p.Params.tau_b)
+  *. Utility.discount ~r:p.Params.bob.r ~horizon:(2. *. p.Params.tau_b)
+
+let b_t2_cont (p : Params.t) model ~p_star ~p_t2 =
+  let k3 = p_t3_low p model ~p_star in
+  let law = model.transition ~p0:p_t2 ~tau:p.Params.tau_b in
+  let cont_part = Lognormal.sf law k3 *. Utility.b_t3_cont p ~p_star in
+  (* Integral of Bob's refund value over Alice's stop region (0, k3);
+     the integrand need not be linear in the price, so quadrature. *)
+  let stop_part =
+    if k3 <= 0. then 0.
+    else if k3 = infinity then
+      Integrate.semi_infinite ~n:128
+        (fun y -> Lognormal.pdf law y *. b_t3_stop p model ~p_t3:y)
+        ~a:1e-12
+    else
+      Integrate.gauss_legendre ~n:128
+        (fun y -> Lognormal.pdf law y *. b_t3_stop p model ~p_t3:y)
+        ~a:1e-12 ~b:k3
+  in
+  (cont_part +. stop_part)
+  *. Utility.discount ~r:p.Params.bob.r ~horizon:p.Params.tau_b
+
+let p_t2_band ?(scan_points = 400) (p : Params.t) model ~p_star =
+  let g x = b_t2_cont p model ~p_star ~p_t2:x -. Utility.b_t2_stop ~p_t2:x in
+  let domain_lo, domain_hi = Cutoff.scan_domain p ~p_star in
+  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
+  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let success_rate ?(quad_nodes = 96) (p : Params.t) model ~p_star =
+  let k3 = p_t3_low p model ~p_star in
+  let band = p_t2_band p model ~p_star in
+  if Intervals.is_empty band then 0.
+  else
+    let law_t2 = model.transition ~p0:p.Params.p0 ~tau:p.Params.tau_a in
+    Utility.integrate_over ~quad_nodes band ~f:(fun x ->
+        Lognormal.pdf law_t2 x
+        *. Lognormal.sf (model.transition ~p0:x ~tau:p.Params.tau_b) k3)
+
+let sampler model : Montecarlo.sampler =
+ fun rng ~p0 ~tau ->
+  let law = model.transition ~p0 ~tau in
+  Rng.lognormal rng ~mu:law.Lognormal.mu ~sigma:law.Lognormal.sigma
+
+let policy (p : Params.t) model ~p_star =
+  let k3 = p_t3_low p model ~p_star in
+  let band = p_t2_band p model ~p_star in
+  {
+    Agent.name = "rational (" ^ model.label ^ ")";
+    alice_t1 =
+      (fun ~p_star:_ ->
+        if Intervals.is_empty band then Agent.Stop else Agent.Cont);
+    bob_t2 =
+      (fun ~p_t2 ->
+        if Intervals.contains band p_t2 then Agent.Cont else Agent.Stop);
+    alice_t3 = (fun ~p_t3 -> if p_t3 > k3 then Agent.Cont else Agent.Stop);
+    bob_t4 = Agent.Cont;
+  }

@@ -1,0 +1,60 @@
+type analysis = {
+  attacker_cost : float;
+  victim_damage : float;
+  victim_lock_hours : float;
+  griefing_factor : float;
+}
+
+(* Absolute times from t1 under the Eq. 13 schedule. *)
+let schedule (p : Params.t) =
+  let tl = Timeline.ideal p in
+  ( tl.Timeline.t8 -. tl.Timeline.t1,  (* attacker's Token_a refund *)
+    tl.Timeline.t7 -. tl.Timeline.t1,  (* victim's Token_b refund *)
+    tl.Timeline.t3 +. p.Params.tau_a -. tl.Timeline.t1,
+    (* victim's own deposit back *)
+    tl.Timeline.t4 +. p.Params.tau_a -. tl.Timeline.t1
+    (* attacker's forfeited deposit credited to the victim *) )
+
+let analyse ?(q_alice = 0.) ?(q_bob = 0.) (p : Params.t) ~p_star =
+  let t_refund_a, t_refund_b, t_qb_back, t_qa_paid = schedule p in
+  let da h = exp (-.p.Params.alice.r *. h) in
+  let db h = exp (-.p.Params.bob.r *. h) in
+  (* Attacker: stays out with P* + q_alice; attacking returns her
+     Token_a at t8 and forfeits the deposit. *)
+  let attacker_cost =
+    (p_star +. q_alice) -. (p_star *. da t_refund_a)
+  in
+  (* Victim: keeps Token_b (worth p0) and his deposit now, versus the
+     doomed swap: Token_b back at t7 (with drift), his own deposit at
+     t3 + tau_a, and the attacker's forfeited deposit at t4 + tau_a. *)
+  let token_back =
+    p.Params.p0 *. exp (p.Params.mu *. t_refund_b) *. db t_refund_b
+  in
+  let victim_damage =
+    (p.Params.p0 +. q_bob)
+    -. (token_back +. (q_bob *. db t_qb_back) +. (q_alice *. db t_qa_paid))
+  in
+  let victim_lock_hours = t_refund_b -. p.Params.tau_a in
+  {
+    attacker_cost;
+    victim_damage;
+    victim_lock_hours;
+    griefing_factor =
+      (if attacker_cost <= 0. then infinity
+       else victim_damage /. attacker_cost);
+  }
+
+let deterrence_deposit ?(tol = 1e-6) ?hi (p : Params.t) ~p_star =
+  let hi = Option.value ~default:(4. *. p.Params.p0) hi in
+  let factor q = (analyse ~q_alice:q p ~p_star).griefing_factor in
+  if factor 0. <= 1. then Some 0.
+  else if factor hi > 1. then None
+  else begin
+    (* The factor is decreasing in the attacker's deposit: bisect. *)
+    let lo = ref 0. and hi = ref hi in
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if factor mid <= 1. then hi := mid else lo := mid
+    done;
+    Some !hi
+  end

@@ -1,0 +1,35 @@
+(** Lockup griefing — the attack the Arwen protocol [30] is built
+    around (Section II-C): a party enters swaps with no intent to
+    complete, purely to lock the counterparty's capital.
+
+    In the baseline HTLC a malicious "Alice" initiates, lets Bob lock
+    his Token_b, and walks away at [t3].  Her cost is only the time
+    value of her own locked Token_a (plus any at-stake premium or
+    collateral); the damage is Bob's capital locked from [t2] until his
+    refund lands at [t7].  The {e griefing factor} — damage inflicted
+    per unit of attacker cost — measures how cheap the attack is;
+    deposit mechanisms work exactly by pushing it below 1. *)
+
+type analysis = {
+  attacker_cost : float;
+      (** Alice's [t1] utility loss from running the attack instead of
+          staying out (discounting on her locked Token_a, forfeited
+          deposits, fees). *)
+  victim_damage : float;
+      (** Bob's [t1] utility loss when he (honestly) enters the doomed
+          swap rather than keeping his token. *)
+  victim_lock_hours : float;  (** Hours Bob's capital is immobilised. *)
+  griefing_factor : float;  (** [victim_damage / attacker_cost]. *)
+}
+
+val analyse :
+  ?q_alice:float -> ?q_bob:float -> Params.t -> p_star:float -> analysis
+(** Attack economics under optional deposits ([q_alice] is what the
+    attacker forfeits — the premium [w] or her collateral; [q_bob] is
+    returned to the honest victim and also paid over on forfeit). *)
+
+val deterrence_deposit :
+  ?tol:float -> ?hi:float -> Params.t -> p_star:float -> float option
+(** Smallest attacker-side deposit making the griefing factor [<= 1]
+    (attack costs at least the damage it causes); [None] if [hi]
+    (default [4 p0]) is insufficient. *)

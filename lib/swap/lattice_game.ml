@@ -1,0 +1,189 @@
+open Stochastic
+
+type spec = {
+  params : Params.t;
+  p_star : float;
+  steps_a : int;
+  steps_b : int;
+  q : float;
+}
+
+let make_spec ?(steps_a = 80) ?(steps_b = 80) ?(q = 0.) params ~p_star =
+  if q < 0. then invalid_arg "Lattice_game.make_spec: negative collateral";
+  { params; p_star; steps_a; steps_b; q }
+
+(* Probability-weighted outcomes of one lattice leg, dropping branches
+   whose binomial weight underflows and renormalising the rest. *)
+let leg_distribution gbm ~p0 ~horizon ~steps =
+  let lat = Lattice.create gbm ~p0 ~horizon ~steps in
+  let prices = Lattice.level_prices lat ~level:steps in
+  let weighted =
+    Array.to_list
+      (Array.mapi
+         (fun index price ->
+           (Lattice.node_probability lat ~level:steps ~index, price))
+         prices)
+  in
+  let kept = List.filter (fun (w, _) -> w > 1e-12) weighted in
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. kept in
+  List.map (fun (w, price) -> (w /. total, price)) kept
+
+let alice = 0
+let bob = 1
+
+let build_initiated spec =
+  let p = spec.params in
+  let gbm = Params.gbm p in
+  let tl = Timeline.ideal p in
+  let da horizon = exp (-.p.Params.alice.r *. horizon) in
+  let db horizon = exp (-.p.Params.bob.r *. horizon) in
+  let t1 = tl.Timeline.t1 in
+  (* Alice's refund on any failure after she locked: credited at t8. *)
+  let alice_refund = spec.p_star *. da (tl.Timeline.t8 -. t1) in
+  let q = spec.q in
+  (* Deposit receipt times per Section IV: Bob's returns at t3 + tau_a
+     once his HTLC stands; Alice's at t4 + tau_a once she revealed; a
+     forfeited deposit reaches the counterparty at the same instants. *)
+  let q_bob_back = q *. db (tl.Timeline.t3 +. p.Params.tau_a -. t1) in
+  let q_alice_back = q *. da (tl.Timeline.t4 +. p.Params.tau_a -. t1) in
+  let q_alice_forfeit_to_bob =
+    q *. db (tl.Timeline.t4 +. p.Params.tau_a -. t1)
+  in
+  let q_both_to_alice =
+    2. *. q *. da (tl.Timeline.t3 +. p.Params.tau_a -. t1)
+  in
+  let t3_subtree p_t3 =
+    let success =
+      Gametree.Game.terminal ~label:"success"
+        [|
+          ((1. +. p.Params.alice.alpha)
+          *. p_t3
+          *. exp (p.Params.mu *. p.Params.tau_b)
+          *. da (tl.Timeline.t5 -. t1))
+          +. q_alice_back;
+          ((1. +. p.Params.bob.alpha)
+          *. spec.p_star
+          *. db (tl.Timeline.t6 -. t1))
+          +. q_bob_back;
+        |]
+    in
+    (* If Bob irrationally declines to claim at t4, Alice keeps both her
+       claimed Token_b and (after expiry) her refunded Token_a. *)
+    let abort_t4 =
+      Gametree.Game.terminal ~label:"abort_t4"
+        [|
+          (p_t3
+          *. exp (p.Params.mu *. p.Params.tau_b)
+          *. da (tl.Timeline.t5 -. t1))
+          +. alice_refund +. q_alice_back;
+          q_bob_back;
+        |]
+    in
+    let bob_t4 =
+      Gametree.Game.decision ~label:"t4" ~player:bob
+        [ ("cont", success); ("stop", abort_t4) ]
+    in
+    let abort_t3 =
+      Gametree.Game.terminal ~label:"abort_t3"
+        [|
+          alice_refund;
+          (p_t3
+          *. exp (2. *. p.Params.mu *. p.Params.tau_b)
+          *. db (tl.Timeline.t7 -. t1))
+          +. q_bob_back +. q_alice_forfeit_to_bob;
+        |]
+    in
+    (* Eq. 19 resolves Alice's tie to stop: list stop first. *)
+    Gametree.Game.decision
+      ~label:(Printf.sprintf "t3@%.12g" p_t3)
+      ~player:alice
+      [ ("stop", abort_t3); ("cont", bob_t4) ]
+  in
+  let t2_subtree p_t2 =
+    let abort_t2 =
+      Gametree.Game.terminal ~label:"abort_t2"
+        [| alice_refund +. q_both_to_alice;
+           p_t2 *. db (tl.Timeline.t2 -. t1) |]
+    in
+    let chance_to_t3 =
+      Gametree.Game.chance ~label:"price t2->t3"
+        (List.map
+           (fun (w, p_t3) -> (w, t3_subtree p_t3))
+           (leg_distribution gbm ~p0:p_t2 ~horizon:p.Params.tau_b
+              ~steps:spec.steps_b))
+    in
+    Gametree.Game.decision
+      ~label:(Printf.sprintf "t2@%.12g" p_t2)
+      ~player:bob
+      [ ("stop", abort_t2); ("cont", chance_to_t3) ]
+  in
+  Gametree.Game.chance ~label:"price t1->t2"
+    (List.map
+       (fun (w, p_t2) -> (w, t2_subtree p_t2))
+       (leg_distribution gbm ~p0:p.Params.p0 ~horizon:p.Params.tau_a
+          ~steps:spec.steps_a))
+
+let build_full spec =
+  let p = spec.params in
+  let abort_t1 =
+    Gametree.Game.terminal ~label:"abort_t1"
+      [| spec.p_star +. spec.q; p.Params.p0 +. spec.q |]
+  in
+  Gametree.Game.decision ~label:"t1" ~player:alice
+    [ ("stop", abort_t1); ("cont", build_initiated spec) ]
+
+type solution = {
+  success_rate : float;
+  alice_value_t1 : float;
+  bob_value_t1 : float;
+  alice_initiates : bool;
+  t3_boundary : float option;
+  nodes : int;
+}
+
+let solve spec =
+  let full = build_full spec in
+  let solved_full = Gametree.Solve.solve full in
+  let initiated = build_initiated spec in
+  let solved = Gametree.Solve.solve initiated in
+  let value = Gametree.Solve.value solved in
+  let success_rate =
+    Gametree.Solve.outcome_probability solved (String.equal "success")
+  in
+  (* Scan Alice's t3 decisions for the lowest price at which she
+     continues. *)
+  let t3_boundary = ref None in
+  let note price =
+    match !t3_boundary with
+    | Some b when b <= price -> ()
+    | _ -> t3_boundary := Some price
+  in
+  let rec walk = function
+    | Gametree.Solve.S_terminal _ -> ()
+    | Gametree.Solve.S_decision { node_label; chosen; branches; _ } ->
+      (if chosen = "cont" && String.length node_label > 3
+       && String.sub node_label 0 3 = "t3@" then
+         match
+           float_of_string_opt
+             (String.sub node_label 3 (String.length node_label - 3))
+         with
+         | Some price -> note price
+         | None -> ());
+      List.iter (fun (_, child) -> walk child) branches
+    | Gametree.Solve.S_chance { branches; _ } ->
+      List.iter (fun (_, child) -> walk child) branches
+  in
+  walk solved;
+  let alice_initiates =
+    match solved_full with
+    | Gametree.Solve.S_decision { chosen; _ } -> chosen = "cont"
+    | _ -> false
+  in
+  {
+    success_rate;
+    alice_value_t1 = value.(alice);
+    bob_value_t1 = value.(bob);
+    alice_initiates;
+    t3_boundary = !t3_boundary;
+    nodes = Gametree.Game.size initiated;
+  }

@@ -1,0 +1,47 @@
+(** Independent cross-check of the analytic backward induction: the
+    swap is rebuilt as a {e finite} extensive-form game
+    ({!Gametree.Game}) over a GBM-calibrated binomial lattice
+    ({!Stochastic.Lattice}) and solved with the generic
+    subgame-perfect-equilibrium engine ({!Gametree.Solve}).
+
+    All payoffs are realised utilities discounted to [t1], each player
+    with their own rate, so decisions at interior nodes are equivalent
+    to the paper's (positive rescaling per player).  As the lattice is
+    refined, the equilibrium success probability converges to Eq. 31
+    and Alice's [t3] decision boundary to Eq. 18. *)
+
+type spec = {
+  params : Params.t;
+  p_star : float;
+  steps_a : int;  (** Lattice steps across [tau_a] ([t1 -> t2]). *)
+  steps_b : int;  (** Lattice steps across [tau_b] ([t2 -> t3]). *)
+  q : float;  (** Symmetric collateral (Section IV); 0 = baseline game. *)
+}
+
+val make_spec :
+  ?steps_a:int -> ?steps_b:int -> ?q:float -> Params.t -> p_star:float -> spec
+(** Defaults: 80 steps per leg, no collateral.  With [q > 0] the
+    terminal payoffs include the Oracle's deposit flows, so the SPE of
+    the discretised game cross-validates the Section IV solution too. *)
+
+val build_initiated : spec -> Gametree.Game.t
+(** The subtree after Alice initiated at [t1]: chance to [P_t2], Bob's
+    decision, chance to [P_t3], Alice's decision, Bob's (dominated)
+    [t4] decision.  Terminal labels: ["success"], ["abort_t2"],
+    ["abort_t3"], ["abort_t4"]. *)
+
+val build_full : spec -> Gametree.Game.t
+(** With Alice's [t1] initiate/stop decision on top. *)
+
+type solution = {
+  success_rate : float;  (** P(success | initiated) at the SPE. *)
+  alice_value_t1 : float;  (** Alice's equilibrium value of initiating. *)
+  bob_value_t1 : float;
+  alice_initiates : bool;  (** SPE choice at the [t1] root. *)
+  t3_boundary : float option;
+      (** Lowest lattice [P_t3] where Alice continues (converges to
+          Eq. 18's cutoff), if she ever continues. *)
+  nodes : int;  (** Game-tree size. *)
+}
+
+val solve : spec -> solution

@@ -1,0 +1,107 @@
+open Numerics
+open Stochastic
+
+type t = { params : Params.t; delay_t2 : float; delay_t3 : float }
+
+let create params ~delay_t2 ~delay_t3 =
+  if delay_t2 < 0. || delay_t3 < 0. then
+    invalid_arg "Margins.create: negative delay";
+  { params; delay_t2; delay_t3 }
+
+let leg_a t = t.params.Params.tau_a +. t.delay_t2
+let leg_b t = t.params.Params.tau_b +. t.delay_t3
+
+(* The reveal decision is local: the same Eq. 18 cutoff. *)
+let p_t3_low t ~p_star = Cutoff.p_t3_low t.params ~p_star
+
+let b_t2_cont t ~p_star ~p_t2 =
+  let p = t.params in
+  let gbm = Params.gbm p in
+  let k3 = p_t3_low t ~p_star in
+  let span = leg_b t in
+  let cont_part =
+    Gbm.sf gbm ~x:k3 ~p0:p_t2 ~tau:span *. Utility.b_t3_cont p ~p_star
+  in
+  let stop_part =
+    exp (2. *. (p.Params.mu -. p.Params.bob.r) *. p.Params.tau_b)
+    *. Gbm.partial_expectation_below gbm ~k:k3 ~p0:p_t2 ~tau:span
+  in
+  (cont_part +. stop_part) *. Utility.discount ~r:p.Params.bob.r ~horizon:span
+
+let a_t2_cont t ~p_star ~p_t2 =
+  let p = t.params in
+  let gbm = Params.gbm p in
+  let k3 = p_t3_low t ~p_star in
+  let span = leg_b t in
+  let cont_part =
+    (1. +. p.Params.alice.alpha)
+    *. exp ((p.Params.mu -. p.Params.alice.r) *. p.Params.tau_b)
+    *. Gbm.partial_expectation_above gbm ~k:k3 ~p0:p_t2 ~tau:span
+  in
+  let stop_part =
+    Gbm.cdf gbm ~x:k3 ~p0:p_t2 ~tau:span *. Utility.a_t3_stop p ~p_star
+  in
+  (cont_part +. stop_part)
+  *. Utility.discount ~r:p.Params.alice.r ~horizon:span
+
+let a_t2_stop t ~p_star =
+  let p = t.params in
+  p_star
+  *. Utility.discount ~r:p.Params.alice.r
+       ~horizon:(leg_b t +. p.Params.eps_b +. (2. *. p.Params.tau_a))
+
+let p_t2_band ?(scan_points = 600) t ~p_star =
+  let g x = b_t2_cont t ~p_star ~p_t2:x -. Utility.b_t2_stop ~p_t2:x in
+  let domain_lo, domain_hi = Cutoff.scan_domain t.params ~p_star in
+  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
+  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+
+let a_t1_cont ?quad_nodes t ~p_star =
+  let p = t.params in
+  let gbm = Params.gbm p in
+  let span = leg_a t in
+  let band = p_t2_band t ~p_star in
+  let pdf x = Gbm.pdf gbm ~x ~p0:p.Params.p0 ~tau:span in
+  let cont_part =
+    Utility.integrate_over ?quad_nodes band ~f:(fun x ->
+        pdf x *. a_t2_cont t ~p_star ~p_t2:x)
+  in
+  let stop_part =
+    (1. -. Utility.transition_mass p ~tau:span ~p0:p.Params.p0 band)
+    *. a_t2_stop t ~p_star
+  in
+  (cont_part +. stop_part)
+  *. Utility.discount ~r:p.Params.alice.r ~horizon:span
+
+let b_t1_cont ?quad_nodes t ~p_star =
+  let p = t.params in
+  let gbm = Params.gbm p in
+  let span = leg_a t in
+  let band = p_t2_band t ~p_star in
+  let pdf x = Gbm.pdf gbm ~x ~p0:p.Params.p0 ~tau:span in
+  let cont_part =
+    Utility.integrate_over ?quad_nodes band ~f:(fun x ->
+        pdf x *. b_t2_cont t ~p_star ~p_t2:x)
+  in
+  let outside =
+    Gbm.expectation gbm ~p0:p.Params.p0 ~tau:span
+    -. Utility.price_mass_inside p ~tau:span ~p0:p.Params.p0 band
+  in
+  (cont_part +. outside) *. Utility.discount ~r:p.Params.bob.r ~horizon:span
+
+let success_rate ?quad_nodes t ~p_star =
+  let p = t.params in
+  let gbm = Params.gbm p in
+  let k3 = p_t3_low t ~p_star in
+  let band = p_t2_band t ~p_star in
+  if Intervals.is_empty band then 0.
+  else
+    Utility.integrate_over ?quad_nodes band ~f:(fun x ->
+        Gbm.pdf gbm ~x ~p0:p.Params.p0 ~tau:(leg_a t)
+        *. Gbm.sf gbm ~x:k3 ~p0:x ~tau:(leg_b t))
+
+let schedule_cost ?quad_nodes (p : Params.t) ~p_star ~delay_t2 ~delay_t3 =
+  let zero = create p ~delay_t2:0. ~delay_t3:0. in
+  let slack = create p ~delay_t2 ~delay_t3 in
+  ( a_t1_cont ?quad_nodes zero ~p_star -. a_t1_cont ?quad_nodes slack ~p_star,
+    b_t1_cont ?quad_nodes zero ~p_star -. b_t1_cont ?quad_nodes slack ~p_star )

@@ -1,0 +1,214 @@
+open Numerics
+open Stochastic
+
+type outcome = Success | Abort_t1 | Abort_t2 | Abort_t3
+
+type result = {
+  trials : int;
+  successes : int;
+  abort_t1 : int;
+  abort_t2 : int;
+  abort_t3 : int;
+  rate : float;
+  initiated : int;
+  ci95 : float * float;
+  mean_utility_alice : float;
+  mean_utility_bob : float;
+}
+
+type sampler = Rng.t -> p0:float -> tau:float -> float
+
+let gbm_sampler (p : Params.t) =
+  let gbm = Params.gbm p in
+  fun rng ~p0 ~tau -> Gbm.sample rng gbm ~p0 ~tau
+
+let jump_sampler jd = fun rng ~p0 ~tau -> Jump_diffusion.sample rng jd ~p0 ~tau
+
+let outcome_to_string = function
+  | Success -> "success"
+  | Abort_t1 -> "abort@t1"
+  | Abort_t2 -> "abort@t2"
+  | Abort_t3 -> "abort@t3"
+
+(* One simulated swap.  Returns the outcome together with each agent's
+   realised utility assessed at t1: (1 + alpha S) * receipt value *
+   e^{-r * (receipt time - t1)}, plus any deposit flows supplied by
+   [deposit_flows outcome] (time-stamped extra Token_a amounts). *)
+let simulate_one rng (p : Params.t) ~p_star ~(policy : Agent.t)
+    ~(sampler : sampler) =
+  let tl = Timeline.ideal p in
+  match policy.Agent.alice_t1 ~p_star with
+  | Agent.Stop -> (Abort_t1, 0., 0., [])
+  | Agent.Cont -> (
+    let p_t2 = sampler rng ~p0:p.p0 ~tau:p.tau_a in
+    match policy.Agent.bob_t2 ~p_t2 with
+    | Agent.Stop ->
+      (* Bob keeps Token_b now; Alice's refund arrives at t8. *)
+      let u_bob = p_t2 *. exp (-.p.bob.r *. (tl.Timeline.t2 -. tl.Timeline.t1)) in
+      let u_alice = p_star *. exp (-.p.alice.r *. (tl.Timeline.t8 -. tl.Timeline.t1)) in
+      (Abort_t2, u_alice, u_bob, [ ("p_t2", p_t2) ])
+    | Agent.Cont -> (
+      let p_t3 = sampler rng ~p0:p_t2 ~tau:p.tau_b in
+      match policy.Agent.alice_t3 ~p_t3 with
+      | Agent.Stop ->
+        (* Alice waives: refunds at t8 (Alice) and t7 (Bob). *)
+        let p_t7 = sampler rng ~p0:p_t3 ~tau:(2. *. p.tau_b) in
+        let u_alice =
+          p_star *. exp (-.p.alice.r *. (tl.Timeline.t8 -. tl.Timeline.t1))
+        in
+        let u_bob =
+          p_t7 *. exp (-.p.bob.r *. (tl.Timeline.t7 -. tl.Timeline.t1))
+        in
+        (Abort_t3, u_alice, u_bob, [ ("p_t2", p_t2); ("p_t3", p_t3) ])
+      | Agent.Cont ->
+        (* Success: Alice receives Token_b at t5, Bob Token_a at t6. *)
+        let p_t5 = sampler rng ~p0:p_t3 ~tau:p.tau_b in
+        let u_alice =
+          (1. +. p.alice.alpha)
+          *. p_t5
+          *. exp (-.p.alice.r *. (tl.Timeline.t5 -. tl.Timeline.t1))
+        in
+        let u_bob =
+          (1. +. p.bob.alpha)
+          *. p_star
+          *. exp (-.p.bob.r *. (tl.Timeline.t6 -. tl.Timeline.t1))
+        in
+        (Success, u_alice, u_bob, [ ("p_t2", p_t2); ("p_t3", p_t3) ])))
+
+let summarise ~trials outcomes =
+  let successes = ref 0
+  and abort_t1 = ref 0
+  and abort_t2 = ref 0
+  and abort_t3 = ref 0 in
+  let sum_ua = ref 0. and sum_ub = ref 0. and initiated = ref 0 in
+  List.iter
+    (fun (outcome, ua, ub) ->
+      (match outcome with
+      | Success -> incr successes
+      | Abort_t1 -> incr abort_t1
+      | Abort_t2 -> incr abort_t2
+      | Abort_t3 -> incr abort_t3);
+      if outcome <> Abort_t1 then begin
+        incr initiated;
+        sum_ua := !sum_ua +. ua;
+        sum_ub := !sum_ub +. ub
+      end)
+    outcomes;
+  let initiated_n = !initiated in
+  let rate =
+    if initiated_n = 0 then 0.
+    else float_of_int !successes /. float_of_int initiated_n
+  in
+  let ci95 =
+    if initiated_n = 0 then (0., 0.)
+    else Stats.wilson_interval ~successes:!successes ~trials:initiated_n ~z:1.96
+  in
+  {
+    trials;
+    successes = !successes;
+    abort_t1 = !abort_t1;
+    abort_t2 = !abort_t2;
+    abort_t3 = !abort_t3;
+    rate;
+    initiated = initiated_n;
+    ci95;
+    mean_utility_alice =
+      (if initiated_n = 0 then 0. else !sum_ua /. float_of_int initiated_n);
+    mean_utility_bob =
+      (if initiated_n = 0 then 0. else !sum_ub /. float_of_int initiated_n);
+  }
+
+let run ?(trials = 20_000) ?(seed = 0x51ab) ?sampler (p : Params.t) ~p_star
+    ~policy =
+  let sampler = Option.value ~default:(gbm_sampler p) sampler in
+  let rng = Rng.create ~seed () in
+  let outcomes = ref [] in
+  for _ = 1 to trials do
+    let outcome, ua, ub, _ = simulate_one rng p ~p_star ~policy ~sampler in
+    outcomes := (outcome, ua, ub) :: !outcomes
+  done;
+  summarise ~trials !outcomes
+
+let utility_samples ?(trials = 20_000) ?(seed = 0x51ab) ?sampler (p : Params.t)
+    ~p_star ~policy =
+  let sampler = Option.value ~default:(gbm_sampler p) sampler in
+  let rng = Rng.create ~seed () in
+  let ua = ref [] and ub = ref [] in
+  for _ = 1 to trials do
+    let outcome, a, b, _ = simulate_one rng p ~p_star ~policy ~sampler in
+    if outcome <> Abort_t1 then begin
+      ua := a :: !ua;
+      ub := b :: !ub
+    end
+  done;
+  (Array.of_list (List.rev !ua), Array.of_list (List.rev !ub))
+
+(* Collateral game: same path logic, but deposits flow per the Oracle
+   rules and decisions use the Section IV thresholds. *)
+let simulate_one_collateral rng (c : Collateral.t) ~p_star
+    ~(policy : Agent.t) ~(sampler : sampler) =
+  let p = c.Collateral.params in
+  let qa = c.Collateral.q_alice and qb = c.Collateral.q_bob in
+  let tl = Timeline.ideal p in
+  let da horizon = exp (-.p.Params.alice.r *. horizon) in
+  let db horizon = exp (-.p.Params.bob.r *. horizon) in
+  match policy.Agent.alice_t1 ~p_star with
+  | Agent.Stop -> (Abort_t1, 0., 0.)
+  | Agent.Cont -> (
+    let p_t2 = sampler rng ~p0:p.Params.p0 ~tau:p.Params.tau_a in
+    match policy.Agent.bob_t2 ~p_t2 with
+    | Agent.Stop ->
+      (* Bob forfeits; Alice receives refund at t8 plus both deposits
+         released at t3, credited t3 + tau_a. *)
+      let u_alice =
+        (p_star *. da (tl.Timeline.t8 -. tl.Timeline.t1))
+        +. ((qa +. qb) *. da (tl.Timeline.t3 +. p.Params.tau_a -. tl.Timeline.t1))
+      in
+      let u_bob = p_t2 *. db (tl.Timeline.t2 -. tl.Timeline.t1) in
+      (Abort_t2, u_alice, u_bob)
+    | Agent.Cont -> (
+      let p_t3 = sampler rng ~p0:p_t2 ~tau:p.Params.tau_b in
+      (* Bob's own deposit returns at t3 + tau_a in all t3 branches. *)
+      let bob_deposit_back =
+        qb *. db (tl.Timeline.t3 +. p.Params.tau_a -. tl.Timeline.t1)
+      in
+      match policy.Agent.alice_t3 ~p_t3 with
+      | Agent.Stop ->
+        let p_t7 = sampler rng ~p0:p_t3 ~tau:(2. *. p.Params.tau_b) in
+        let u_alice = p_star *. da (tl.Timeline.t8 -. tl.Timeline.t1) in
+        let u_bob =
+          (p_t7 *. db (tl.Timeline.t7 -. tl.Timeline.t1))
+          +. bob_deposit_back
+          +. (qa *. db (tl.Timeline.t4 +. p.Params.tau_a -. tl.Timeline.t1))
+        in
+        (Abort_t3, u_alice, u_bob)
+      | Agent.Cont ->
+        let p_t5 = sampler rng ~p0:p_t3 ~tau:p.Params.tau_b in
+        let u_alice =
+          ((1. +. p.Params.alice.alpha)
+          *. p_t5
+          *. da (tl.Timeline.t5 -. tl.Timeline.t1))
+          +. (qa *. da (tl.Timeline.t4 +. p.Params.tau_a -. tl.Timeline.t1))
+        in
+        let u_bob =
+          ((1. +. p.Params.bob.alpha)
+          *. p_star
+          *. db (tl.Timeline.t6 -. tl.Timeline.t1))
+          +. bob_deposit_back
+        in
+        (Success, u_alice, u_bob)))
+
+let run_collateral ?(trials = 20_000) ?(seed = 0x51ab) ?sampler
+    (c : Collateral.t) ~p_star =
+  let p = c.Collateral.params in
+  let sampler = Option.value ~default:(gbm_sampler p) sampler in
+  let policy = Agent.rational_collateral c ~p_star in
+  let rng = Rng.create ~seed () in
+  let outcomes = ref [] in
+  for _ = 1 to trials do
+    let outcome, ua, ub =
+      simulate_one_collateral rng c ~p_star ~policy ~sampler
+    in
+    outcomes := (outcome, ua, ub) :: !outcomes
+  done;
+  summarise ~trials !outcomes

@@ -1,0 +1,53 @@
+(** Monte-Carlo simulation of the swap game: sample price paths, apply
+    the agents' policies at each decision point, and record outcomes and
+    realised utilities.  Cross-validates the analytic success rate
+    (Eq. 31/40) and supports policies and price processes beyond the
+    closed-form model (e.g. jump diffusions). *)
+
+type outcome = Success | Abort_t1 | Abort_t2 | Abort_t3
+
+type result = {
+  trials : int;
+  successes : int;
+  abort_t1 : int;
+  abort_t2 : int;
+  abort_t3 : int;
+  rate : float;  (** Successes / trials {e given initiation} (the paper's
+                     SR conditions on the swap having started; aborts at
+                     [t1] mean zero initiations everywhere). *)
+  initiated : int;
+  ci95 : float * float;  (** Wilson 95% interval on [rate]. *)
+  mean_utility_alice : float;
+      (** Realised [(1 + alpha S) V] discounted to [t1], averaged over
+          initiated trials. *)
+  mean_utility_bob : float;
+}
+
+type sampler = Numerics.Rng.t -> p0:float -> tau:float -> float
+(** One-step price transition sampler. *)
+
+val gbm_sampler : Params.t -> sampler
+(** Exact lognormal transitions of the paper's model. *)
+
+val jump_sampler : Stochastic.Jump_diffusion.t -> sampler
+(** Fat-tailed alternative for the robustness ablation. *)
+
+val run :
+  ?trials:int -> ?seed:int -> ?sampler:sampler -> Params.t ->
+  p_star:float -> policy:Agent.t -> result
+(** Simulates [trials] independent swaps (default 20_000). *)
+
+val utility_samples :
+  ?trials:int -> ?seed:int -> ?sampler:sampler -> Params.t ->
+  p_star:float -> policy:Agent.t -> float array * float array
+(** Realised [(alice, bob)] utilities (discounted to [t1]) for every
+    {e initiated} trial — the raw material for risk views beyond the
+    mean (dispersion, tail quantiles). *)
+
+val run_collateral :
+  ?trials:int -> ?seed:int -> ?sampler:sampler -> Collateral.t ->
+  p_star:float -> result
+(** Section IV game under the rational-with-collateral policy; realised
+    utilities include deposits returned/forfeited per the Oracle rules. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,75 @@
+(** Multi-party cyclic atomic swaps (Herlihy, PODC 2018 [28], discussed
+    in Section II-C): [n] parties on [n] chains, party [i] paying party
+    [i+1 mod n], all locks hashed to one secret held by the leader
+    (party 0), with {e staggered} time locks so every party can still
+    claim after learning the secret.
+
+    The implementation runs the full protocol on [n] simulated chains
+    and measures what the 2-party analysis predicts qualitatively:
+    lock-up time grows linearly in [n], every extra hop adds a
+    strategic exit, and the cycle's success rate decays roughly
+    geometrically in the number of rational parties. *)
+
+type spec = {
+  parties : int;  (** n >= 2. *)
+  params : Params.t;
+      (** Per-leg market/agent parameters (identical legs; [tau_b] is
+          each chain's confirmation time, [eps_b] its mempool delay,
+          [p0]/[mu]/[sigma] the per-leg price of the asset received
+          against the asset given). *)
+  p_star : float;  (** Common per-leg exchange rate. *)
+}
+
+val make : ?parties:int -> ?p_star:float -> Params.t -> spec
+(** Defaults: 3 parties, [p_star = p0].
+    @raise Invalid_argument if [parties < 2]. *)
+
+val lock_phase_hours : spec -> float
+(** Time until every lock is confirmed: [n tau]. *)
+
+val total_success_hours : spec -> float
+(** Time until the last claim confirms on the happy path. *)
+
+val expiry_schedule : spec -> float array
+(** Chain [i]'s time-lock expiry (tight Herlihy staggering: parties
+    that learn the secret later get later deadlines on their incoming
+    leg). *)
+
+type outcome =
+  | Success
+  | Abort_at_lock of int  (** Party [i] declined to lock; earlier legs refund. *)
+  | Abort_no_reveal  (** All locked but the leader withheld the secret. *)
+  | Anomalous of string
+
+type result = {
+  outcome : outcome;
+  deltas : (float * float) array;
+      (** Per party: (outgoing-asset change, incoming-asset change). *)
+  trace : (float * string) list;
+}
+
+val run :
+  ?decisions:(int -> price:float -> Agent.decision) ->
+  ?offline:(int * float) list ->
+  ?price_paths:(int -> float -> float) ->
+  ?seed:int ->
+  spec -> result
+(** Executes the cycle.  [decisions i ~price] is party [i]'s choice at
+    their action point ([i = 0]: reveal at the cascade start; others:
+    lock) given their leg's current price; default: everyone continues.
+    [offline] lists (party, crash time).  [price_paths i t] gives leg
+    [i]'s price (default: constant [p0]). *)
+
+type mc_result = {
+  trials : int;
+  success : int;
+  rate : float;
+  aborted_at : int array;  (** Stage histogram: index n = leader's reveal. *)
+}
+
+val mc_success_rate :
+  ?trials:int -> ?seed:int -> spec -> mc_result
+(** Monte-Carlo success rate when {e every} party applies the 2-party
+    rational rule to their own leg (band test at the lock point; the
+    leader additionally applies the Eq. 18/19 rule at reveal), with
+    i.i.d. GBM leg prices. *)

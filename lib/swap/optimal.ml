@@ -1,0 +1,46 @@
+type q_choice = { q : float; sr : float }
+
+let sr_of_q ?quad_nodes (p : Params.t) ~p_star ~q =
+  let c = Collateral.symmetric p ~q in
+  Collateral.success_rate ?quad_nodes c ~p_star
+
+let min_q_for_sr ?quad_nodes ?(tol = 1e-4) ?q_max (p : Params.t) ~p_star
+    ~target =
+  let q_max = Option.value ~default:(4. *. p.Params.p0) q_max in
+  let sr q = sr_of_q ?quad_nodes p ~p_star ~q in
+  if sr q_max < target then None
+  else if sr 0. >= target then Some { q = 0.; sr = sr 0. }
+  else begin
+    (* SR is nondecreasing in q: bisect on the first crossing. *)
+    let lo = ref 0. and hi = ref q_max in
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if sr mid >= target then hi := mid else lo := mid
+    done;
+    Some { q = !hi; sr = sr !hi }
+  end
+
+let surplus ?quad_nodes (c : Collateral.t) ~p_star =
+  Collateral.a_t1_cont ?quad_nodes c ~p_star
+  -. Collateral.a_t1_stop c ~p_star
+  +. Collateral.b_t1_cont ?quad_nodes c ~p_star
+  -. Collateral.b_t1_stop c
+
+let best_q_for_welfare ?quad_nodes ?q_max ?(grid = 25) (p : Params.t) ~p_star =
+  let q_max = Option.value ~default:(4. *. p.Params.p0) q_max in
+  let eval q =
+    let c = Collateral.symmetric p ~q in
+    (surplus ?quad_nodes c ~p_star, Collateral.success_rate ?quad_nodes c ~p_star)
+  in
+  let qs = Numerics.Grid.linspace ~lo:0. ~hi:q_max ~n:(max 3 grid) in
+  let best_q = ref 0. and best_surplus = ref neg_infinity and best_sr = ref 0. in
+  Array.iter
+    (fun q ->
+      let s, sr = eval q in
+      if s > !best_surplus then begin
+        best_surplus := s;
+        best_q := q;
+        best_sr := sr
+      end)
+    qs;
+  ({ q = !best_q; sr = !best_sr }, !best_surplus)

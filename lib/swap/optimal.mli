@@ -1,0 +1,27 @@
+(** Mechanism tuning: optimal exchange rate and collateral sizing.
+    (Section IV's conclusion that deposits "can be dynamically adjusted
+    depending on the terms of the swap and optimization goal".) *)
+
+type q_choice = { q : float; sr : float }
+
+val sr_of_q :
+  ?quad_nodes:int -> Params.t -> p_star:float -> q:float -> float
+(** Success rate of the symmetric-collateral game at [q]. *)
+
+val min_q_for_sr :
+  ?quad_nodes:int -> ?tol:float -> ?q_max:float -> Params.t ->
+  p_star:float -> target:float -> q_choice option
+(** Smallest symmetric deposit achieving [SR >= target], by bisection
+    (SR is nondecreasing in [q] — Fig. 9); [None] if even [q_max]
+    (default [4 * p0]) falls short. *)
+
+val best_q_for_welfare :
+  ?quad_nodes:int -> ?q_max:float -> ?grid:int -> Params.t ->
+  p_star:float -> q_choice * float
+(** The symmetric deposit maximising total surplus
+    [(U^A_t1(cont) - U^A_t1(stop)) + (U^B_t1(cont) - U^B_t1(stop))];
+    returns the choice and the surplus.  Demonstrates the
+    cost-of-locking vs success-probability trade-off. *)
+
+val surplus : ?quad_nodes:int -> Collateral.t -> p_star:float -> float
+(** Total [t1] surplus of entering the swap over the outside option. *)

@@ -1,0 +1,53 @@
+(** Quantifying the embedded optionality — the paper's central claim
+    (Sections I, II-C, V) is that {e both} agents, not only the swap
+    initiator, hold a free American-style option to abandon the swap
+    when the price moves their way.
+
+    This module prices those options by comparing equilibrium utilities
+    under different commitment regimes: an agent who "commits" is
+    contractually bound to continue at her mid-game decision point
+    (Alice at [t3], Bob at [t2]) and the counterparty best-responds to
+    that commitment.  The utility difference between the rational and
+    the committed regime, evaluated at [t1], is the option value. *)
+
+type regime = {
+  alice_committed : bool;  (** Alice must reveal at [t3]. *)
+  bob_committed : bool;  (** Bob must deploy at [t2]. *)
+}
+
+val rational : regime
+val both_committed : regime
+val alice_committed : regime
+val bob_committed : regime
+
+type valuation = {
+  regime : regime;
+  alice_t1 : float;  (** Alice's Eq. 25-style value of initiating. *)
+  bob_t1 : float;  (** Bob's Eq. 26-style value. *)
+  success_rate : float;  (** SR given initiation under the regime. *)
+}
+
+val value : ?quad_nodes:int -> Params.t -> p_star:float -> regime -> valuation
+(** Equilibrium value at [t1] when the committed agents lose their
+    mid-game exit and the uncommitted ones best-respond (their cutoffs
+    are re-solved against the committed behaviour). *)
+
+type option_values = {
+  alice_option : float;
+      (** Alice's equilibrium gain from keeping her [t3] exit:
+          [alice_t1(rational) - alice_t1(alice_committed)], with Bob
+          best-responding in both regimes.  May be {e negative}: because
+          Bob widens his continuation band when Alice is bound, a
+          credible commitment can be worth more to Alice than the exit
+          itself — the economic rationale for the premium mechanism of
+          Han et al. *)
+  bob_option : float;
+      (** Bob's gain from keeping his [t2] exit, with Alice rational. *)
+  sr_rational : float;
+  sr_all_committed : float;
+      (** 1.0 by construction — both commitments remove every exit. *)
+}
+
+val option_values : ?quad_nodes:int -> Params.t -> p_star:float -> option_values
+(** Headline numbers: each agent's optionality premium and the success
+    rates with and without exits. *)

@@ -1,0 +1,39 @@
+(** Full outcome distribution of an initiated swap — a finer lens than
+    the scalar success rate: {e which agent} walks away, {e in which
+    direction} the price moved, with what probability, and how long the
+    swap takes in each case.  This quantifies the paper's headline
+    claim that "both transacting counterparties can rationally decide
+    to walk away ... and at different times" (Section V). *)
+
+type distribution = {
+  success : float;  (** Eq. 31. *)
+  bob_balks_low : float;
+      (** [P_t2] fell below Bob's band: he expects Alice to renege, so
+          he never deploys (the paper's intuition 1 at [t2]). *)
+  bob_balks_high : float;
+      (** [P_t2] rose above the band: Bob keeps the appreciated
+          Token_b (intuition 2) — the exit "neglected in the
+          literature" that the paper highlights. *)
+  alice_reneges : float;
+      (** Bob deployed but [P_t3] ended below Eq. 18's cutoff: Alice
+          withholds the secret (the Han et al. initiator option). *)
+}
+
+val distribution : ?quad_nodes:int -> Params.t -> p_star:float -> distribution
+(** Probabilities conditional on initiation; they sum to 1 (tested).
+    All-zero with [success = 0.] when Bob's band is empty. *)
+
+val blame_share_bob : distribution -> float
+(** Fraction of failures caused by Bob's [t2] exits — the quantitative
+    form of "not only the swap initiator may leave".  [nan] when there
+    are no failures. *)
+
+type durations = {
+  expected_hours : float;
+      (** Unconditional expected time from [t0] until every receipt has
+          landed. *)
+  success_hours : float;
+  failure_hours : float;  (** Same for every failure mode (Eq. 10/11). *)
+}
+
+val durations : ?quad_nodes:int -> Params.t -> p_star:float -> durations

@@ -1,0 +1,74 @@
+type agent = { alpha : float; r : float }
+
+type t = {
+  alice : agent;
+  bob : agent;
+  tau_a : float;
+  tau_b : float;
+  eps_b : float;
+  p0 : float;
+  mu : float;
+  sigma : float;
+}
+
+let defaults =
+  {
+    alice = { alpha = 0.3; r = 0.01 };
+    bob = { alpha = 0.3; r = 0.01 };
+    tau_a = 3.;
+    tau_b = 4.;
+    eps_b = 1.;
+    p0 = 2.;
+    mu = 0.002;
+    sigma = 0.1;
+  }
+
+let validate t =
+  let check cond msg acc = if cond then acc else Error msg in
+  Ok ()
+  |> check (t.alice.alpha > -1.) "alpha_alice must exceed -1"
+  |> check (t.bob.alpha > -1.) "alpha_bob must exceed -1"
+  |> check (t.alice.r > 0.) "r_alice must be positive"
+  |> check (t.bob.r > 0.) "r_bob must be positive"
+  |> check (t.tau_a > 0.) "tau_a must be positive"
+  |> check (t.tau_b > 0.) "tau_b must be positive"
+  |> check (t.eps_b >= 0.) "eps_b must be nonnegative"
+  |> check (t.eps_b < t.tau_b) "eps_b must be below tau_b (Eq. 3)"
+  |> check (t.p0 > 0.) "p0 must be positive"
+  |> check (t.sigma > 0.) "sigma must be positive"
+
+let create ?alice ?bob ?tau_a ?tau_b ?eps_b ?p0 ?mu ?sigma () =
+  let d = defaults in
+  let t =
+    {
+      alice = Option.value ~default:d.alice alice;
+      bob = Option.value ~default:d.bob bob;
+      tau_a = Option.value ~default:d.tau_a tau_a;
+      tau_b = Option.value ~default:d.tau_b tau_b;
+      eps_b = Option.value ~default:d.eps_b eps_b;
+      p0 = Option.value ~default:d.p0 p0;
+      mu = Option.value ~default:d.mu mu;
+      sigma = Option.value ~default:d.sigma sigma;
+    }
+  in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Params.create: " ^ msg)
+
+let gbm t = Stochastic.Gbm.create ~mu:t.mu ~sigma:t.sigma
+let with_alpha_alice t alpha = { t with alice = { t.alice with alpha } }
+let with_alpha_bob t alpha = { t with bob = { t.bob with alpha } }
+let with_r_alice t r = { t with alice = { t.alice with r } }
+let with_r_bob t r = { t with bob = { t.bob with r } }
+let with_mu t mu = { t with mu }
+let with_sigma t sigma = { t with sigma }
+let with_tau_a t tau_a = { t with tau_a }
+let with_tau_b t tau_b = { t with tau_b }
+let with_p0 t p0 = { t with p0 }
+
+let to_string t =
+  Printf.sprintf
+    "alphaA=%g alphaB=%g rA=%g rB=%g tau_a=%g tau_b=%g eps_b=%g p0=%g mu=%g \
+     sigma=%g"
+    t.alice.alpha t.bob.alpha t.alice.r t.bob.r t.tau_a t.tau_b t.eps_b t.p0
+    t.mu t.sigma

@@ -1,0 +1,51 @@
+(** Model parameters (Section III-A, Table III).
+
+    Alice trades [p_star] Token_a for 1 Token_b; Token_b's price in
+    Token_a follows a GBM.  Time is measured in hours, matching the
+    paper's calibration. *)
+
+type agent = {
+  alpha : float;  (** Success premium (>= -1; honest agents have high alpha). *)
+  r : float;  (** Discount rate per hour, > 0 (Assumption: r > 0). *)
+}
+
+type t = {
+  alice : agent;
+  bob : agent;
+  tau_a : float;  (** Confirmation time on Chain_a (hours). *)
+  tau_b : float;  (** Confirmation time on Chain_b (hours). *)
+  eps_b : float;  (** Mempool discoverability delay on Chain_b; < tau_b (Eq. 3). *)
+  p0 : float;  (** Token_b price at [t0] (= at [t1], Eq. 13). *)
+  mu : float;  (** GBM drift per hour. *)
+  sigma : float;  (** GBM volatility per sqrt hour. *)
+}
+
+val defaults : t
+(** Table III: [alpha = 0.3], [r = 0.01], [tau_a = 3], [tau_b = 4],
+    [eps_b = 1], [p0 = 2], [mu = 0.002], [sigma = 0.1]. *)
+
+val validate : t -> (unit, string) result
+(** Checks every constraint the model imposes (positivity, Eq. 3,
+    [alpha > -1]). *)
+
+val create :
+  ?alice:agent -> ?bob:agent -> ?tau_a:float -> ?tau_b:float ->
+  ?eps_b:float -> ?p0:float -> ?mu:float -> ?sigma:float -> unit -> t
+(** [defaults] overridden field-wise.
+    @raise Invalid_argument if the result fails {!validate}. *)
+
+val gbm : t -> Stochastic.Gbm.t
+(** The price process. *)
+
+val with_alpha_alice : t -> float -> t
+val with_alpha_bob : t -> float -> t
+val with_r_alice : t -> float -> t
+val with_r_bob : t -> float -> t
+val with_mu : t -> float -> t
+val with_sigma : t -> float -> t
+val with_tau_a : t -> float -> t
+val with_tau_b : t -> float -> t
+val with_p0 : t -> float -> t
+
+val to_string : t -> string
+(** One-line rendering for traces and experiment headers. *)

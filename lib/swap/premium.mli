@@ -1,0 +1,28 @@
+(** Premium-HTLC baseline in the spirit of Han, Lin & Yu (AFT 2019)
+    [29]: only the swap {e initiator} (Alice) posts a deposit [w]; she
+    forfeits it to Bob if she walks away after Bob has locked his
+    tokens.  This prices the free "American option" the initiator
+    otherwise holds.
+
+    Implemented as the one-sided case of {!Collateral}
+    ([q_alice = w, q_bob = 0]), so the two mechanisms are directly
+    comparable on the same utility model. *)
+
+type t = private Collateral.t
+
+val create : Params.t -> w:float -> t
+(** @raise Invalid_argument if [w < 0.]. *)
+
+val as_collateral : t -> Collateral.t
+
+val p_t3_low : t -> p_star:float -> float
+(** Alice's [t3] cutoff, lowered by the at-stake premium. *)
+
+val success_rate : ?quad_nodes:int -> t -> p_star:float -> float
+
+val success_curve :
+  ?quad_nodes:int -> t -> p_stars:float array -> Success.point array
+
+val initiation_set :
+  ?rule:Collateral.rule -> ?scan_points:int -> ?quad_nodes:int -> t ->
+  Intervals.t

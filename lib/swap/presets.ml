@@ -1,0 +1,40 @@
+type chain_tech = { label : string; tau : float; mempool_delay : float }
+
+let btc_like = { label = "btc-like"; tau = 1.0; mempool_delay = 0.05 }
+let eth_like = { label = "eth-like"; tau = 0.21; mempool_delay = 0.005 }
+let fast_finality = { label = "fast-bft"; tau = 0.01; mempool_delay = 0.001 }
+let paper_default = { label = "paper-pow"; tau = 3.; mempool_delay = 1. }
+
+let pair ?(base = Params.defaults) ~chain_a ~chain_b () =
+  (* eps_b must stay below tau_b (Eq. 3). *)
+  let eps_b = min chain_b.mempool_delay (0.45 *. chain_b.tau) in
+  Params.create ~alice:base.Params.alice ~bob:base.Params.bob
+    ~tau_a:chain_a.tau ~tau_b:chain_b.tau ~eps_b ~p0:base.Params.p0
+    ~mu:base.Params.mu ~sigma:base.Params.sigma ()
+
+type assessment = {
+  chain_a : string;
+  chain_b : string;
+  feasible : (float * float) option;
+  best : Success.point option;
+  swap_hours : float;
+}
+
+let assess ?base tech_a tech_b =
+  let p = pair ?base ~chain_a:tech_a ~chain_b:tech_b () in
+  let tl = Timeline.ideal p in
+  {
+    chain_a = tech_a.label;
+    chain_b = tech_b.label;
+    feasible = Cutoff.p_star_band_endpoints p;
+    best = Success.maximize p;
+    swap_hours = Timeline.duration_success tl;
+  }
+
+let standard_matrix ?base () =
+  let techs = [ paper_default; btc_like; eth_like; fast_finality ] in
+  let rec pairs = function
+    | [] -> []
+    | t :: rest -> List.map (fun u -> (t, u)) (t :: rest) @ pairs rest
+  in
+  List.map (fun (a, b) -> assess ?base a b) (pairs techs)

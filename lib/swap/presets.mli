@@ -1,0 +1,43 @@
+(** Chain-technology presets: the paper calibrates to hour-scale
+    proof-of-work confirmation (Section III-D); these presets map the
+    same model onto other ledger technologies so the feasibility
+    question becomes concrete — {e which chain pairings can support
+    HTLC swaps at crypto volatility at all?} *)
+
+type chain_tech = {
+  label : string;
+  tau : float;  (** Hours to high-probability finality. *)
+  mempool_delay : float;  (** Hours to mempool visibility. *)
+}
+
+val btc_like : chain_tech
+(** 6 confirmations at 10-minute blocks: [tau = 1.0]. *)
+
+val eth_like : chain_tech
+(** Post-merge finality in ~13 min: [tau ~ 0.21]. *)
+
+val fast_finality : chain_tech
+(** BFT-style chains (seconds): [tau = 0.01]. *)
+
+val paper_default : chain_tech
+(** The paper's hour-scale PoW setting ([tau = 3], matching Chain_a). *)
+
+val pair :
+  ?base:Params.t -> chain_a:chain_tech -> chain_b:chain_tech -> unit ->
+  Params.t
+(** Model parameters for a swap across the two technologies (market
+    parameters from [base], default Table III). *)
+
+type assessment = {
+  chain_a : string;
+  chain_b : string;
+  feasible : (float * float) option;
+  best : Success.point option;
+  swap_hours : float;  (** Happy-path duration. *)
+}
+
+val assess : ?base:Params.t -> chain_tech -> chain_tech -> assessment
+
+val standard_matrix : ?base:Params.t -> unit -> assessment list
+(** All pairings of the four presets (unordered pairs, slow tech listed
+    first). *)

@@ -1,0 +1,314 @@
+open Chainsim
+
+type outcome =
+  | Success
+  | Abort_t1
+  | Abort_t2
+  | Abort_t3
+  | Anomalous of string
+
+type bob_deviation =
+  | Wrong_hash
+  | Short_amount of float
+  | Early_expiry of float
+
+type result = {
+  outcome : outcome;
+  timeline : Timeline.t;
+  alice_delta_a : float;
+  alice_delta_b : float;
+  bob_delta_a : float;
+  bob_delta_b : float;
+  secret_observed_at_t4 : bool;
+  trace : (float * string) list;
+  receipts_a : Chain.receipt list;
+  receipts_b : Chain.receipt list;
+}
+
+let outcome_to_string = function
+  | Success -> "success"
+  | Abort_t1 -> "abort@t1"
+  | Abort_t2 -> "abort@t2"
+  | Abort_t3 -> "abort@t3"
+  | Anomalous s -> "anomalous: " ^ s
+
+let alice = "alice"
+let bob = "bob"
+let contract_a = "htlc:a"
+let contract_b = "htlc:b"
+
+let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
+    ?bob_deviation ?alice_offline_from ?bob_offline_from ?(seed = 0xfeed)
+    (p : Params.t) ~p_star =
+  let price = Option.value ~default:(fun _t -> p.Params.p0) price in
+  let tl = Timeline.ideal p in
+  let trace = ref [] in
+  let log t msg = trace := (t, msg) :: !trace in
+  (* Chain_a's mempool delay never enters the model; zero keeps Eq. 3. *)
+  let chain_a =
+    Chain.create ~name:"chain_a" ~token:"TokenA" ~tau:p.Params.tau_a
+      ~mempool_delay:0.
+  in
+  let chain_b =
+    Chain.create ~name:"chain_b" ~token:"TokenB" ~tau:p.Params.tau_b
+      ~mempool_delay:p.Params.eps_b
+  in
+  Chain.mint chain_a ~account:alice ~amount:(p_star +. q);
+  Chain.mint chain_a ~account:bob ~amount:q;
+  Chain.mint chain_b ~account:bob ~amount:1.;
+  (* Baselines are taken before any collateral is charged, so that a
+     successful swap's deltas equal Table I exactly (the returned
+     deposits cancel). *)
+  let base_a_alice = Chain.balance chain_a ~account:alice in
+  let base_a_bob = Chain.balance chain_a ~account:bob in
+  let base_b_alice = Chain.balance chain_b ~account:alice in
+  let base_b_bob = Chain.balance chain_b ~account:bob in
+  let oracle =
+    if q > 0. then begin
+      let o = Oracle.create chain_a ~alice ~bob ~q in
+      Oracle.deposit o ~at:tl.Timeline.t0;
+      log tl.Timeline.t0 (Printf.sprintf "oracle charged %g from each agent" q);
+      Some o
+    end
+    else None
+  in
+  let oracle_release ~at ~to_ ~amount reason =
+    match oracle with
+    | None -> ()
+    | Some o when amount > 0. ->
+      ignore (Oracle.release o ~at ~to_ ~amount);
+      log at (Printf.sprintf "oracle releases %g to %s (%s)" amount to_ reason)
+    | Some _ -> ()
+  in
+  let online offline_from at =
+    match offline_from with None -> true | Some t -> at < t
+  in
+  let alice_online = online alice_offline_from in
+  let bob_online = online bob_offline_from in
+  let secret = Secret.generate (Numerics.Rng.create ~seed ()) in
+  let horizon = tl.Timeline.t8 +. p.Params.tau_a +. p.Params.tau_b +. 1. in
+  let finish outcome ~secret_observed_at_t4 =
+    ignore (Chain.advance chain_a ~until:horizon);
+    ignore (Chain.advance chain_b ~until:horizon);
+    {
+      outcome;
+      timeline = tl;
+      alice_delta_a = Chain.balance chain_a ~account:alice -. base_a_alice;
+      alice_delta_b = Chain.balance chain_b ~account:alice -. base_b_alice;
+      bob_delta_a = Chain.balance chain_a ~account:bob -. base_a_bob;
+      bob_delta_b = Chain.balance chain_b ~account:bob -. base_b_bob;
+      secret_observed_at_t4;
+      trace = List.rev !trace;
+      receipts_a = Chain.receipts chain_a;
+      receipts_b = Chain.receipts chain_b;
+    }
+  in
+  (* Derive the outcome from final contract states once both chains have
+     been advanced past every relevant deadline. *)
+  let settle ~locked_a ~locked_b ~secret_observed_at_t4 =
+    ignore (Chain.advance chain_a ~until:horizon);
+    ignore (Chain.advance chain_b ~until:horizon);
+    let state_of chain cid =
+      Option.map (fun (h : Htlc.t) -> h.Htlc.state) (Chain.htlc chain ~contract_id:cid)
+    in
+    let outcome =
+      match (locked_a, locked_b) with
+      | false, _ -> Abort_t1
+      | true, false -> Abort_t2
+      | true, true -> (
+        match (state_of chain_a contract_a, state_of chain_b contract_b) with
+        | Some (Htlc.Claimed _), Some (Htlc.Claimed _) -> Success
+        | Some (Htlc.Refunded _), Some (Htlc.Refunded _) -> Abort_t3
+        | Some (Htlc.Claimed _), Some (Htlc.Refunded _) ->
+          Anomalous "Bob claimed Token_a but Alice's claim never landed"
+        | Some (Htlc.Refunded _), Some (Htlc.Claimed _) ->
+          Anomalous "Alice claimed Token_b but Bob's claim never landed"
+        | a, b ->
+          Anomalous
+            (Printf.sprintf "unsettled contracts (a=%s, b=%s)"
+               (match a with
+               | Some s -> Htlc.state_to_string s
+               | None -> "missing")
+               (match b with
+               | Some s -> Htlc.state_to_string s
+               | None -> "missing")))
+    in
+    finish outcome ~secret_observed_at_t4
+  in
+  (* --- t1: Alice decides whether to initiate. ------------------------- *)
+  let alice_t1 =
+    if alice_online tl.Timeline.t1 then policy.Agent.alice_t1 ~p_star
+    else begin
+      log tl.Timeline.t1 "alice is offline (crash): no initiation";
+      Agent.Stop
+    end
+  in
+  match alice_t1 with
+  | Agent.Stop ->
+    log tl.Timeline.t1 "alice stops at t1: swap not initiated";
+    (* Collateral returns to both agents. *)
+    oracle_release ~at:tl.Timeline.t1 ~to_:alice ~amount:q "not initiated";
+    oracle_release ~at:tl.Timeline.t1 ~to_:bob ~amount:q "not initiated";
+    finish Abort_t1 ~secret_observed_at_t4:false
+  | Agent.Cont ->
+    log tl.Timeline.t1 "alice locks Token_a under the hashlock";
+    ignore
+      (Chain.submit chain_a ~at:tl.Timeline.t1
+         (Tx.Htlc_lock
+            {
+              contract_id = contract_a;
+              sender = alice;
+              recipient = bob;
+              amount = p_star;
+              hash = secret.Secret.hash;
+              expiry = tl.Timeline.t_lock_a;
+            }));
+    ignore (Chain.advance chain_a ~until:tl.Timeline.t2);
+    (* --- t2: Bob verifies Alice's confirmed contract, then decides. --- *)
+    let a_contract_ok =
+      match Chain.htlc chain_a ~contract_id:contract_a with
+      | Some h -> Htlc.is_locked h
+      | None -> false
+    in
+    let p_t2 = price tl.Timeline.t2 in
+    if not a_contract_ok then begin
+      log tl.Timeline.t2 "bob aborts: alice's contract not confirmed";
+      oracle_release ~at:tl.Timeline.t2 ~to_:alice ~amount:q "setup failure";
+      oracle_release ~at:tl.Timeline.t2 ~to_:bob ~amount:q "setup failure";
+      settle ~locked_a:true ~locked_b:false ~secret_observed_at_t4:false
+    end
+    else begin
+      let bob_t2 =
+        if bob_online tl.Timeline.t2 then policy.Agent.bob_t2 ~p_t2
+        else begin
+          log tl.Timeline.t2 "bob is offline (crash): no HTLC on chain_b";
+          Agent.Stop
+        end
+      in
+      match bob_t2 with
+      | Agent.Stop ->
+        log tl.Timeline.t2
+          (Printf.sprintf "bob stops at t2 (P_t2 = %g): no HTLC on chain_b" p_t2);
+        (* Bob forfeits: the Oracle pays both deposits to Alice at t3. *)
+        oracle_release ~at:tl.Timeline.t3 ~to_:alice ~amount:(2. *. q)
+          "bob withdrew";
+        settle ~locked_a:true ~locked_b:false ~secret_observed_at_t4:false
+      | Agent.Cont ->
+        (* Bob's deployed contract, possibly deviating from the deal. *)
+        let deployed_amount, deployed_hash, deployed_expiry =
+          match bob_deviation with
+          | None -> (1., secret.Secret.hash, tl.Timeline.t_lock_b)
+          | Some Wrong_hash ->
+            (1., Sha256.digest "not the agreed commitment", tl.Timeline.t_lock_b)
+          | Some (Short_amount a) -> (a, secret.Secret.hash, tl.Timeline.t_lock_b)
+          | Some (Early_expiry hours) ->
+            (1., secret.Secret.hash, tl.Timeline.t_lock_b -. hours)
+        in
+        log tl.Timeline.t2
+          (Printf.sprintf "bob locks Token_b under the same hash (P_t2 = %g)"
+             p_t2);
+        ignore
+          (Chain.submit chain_b ~at:tl.Timeline.t2
+             (Tx.Htlc_lock
+                {
+                  contract_id = contract_b;
+                  sender = bob;
+                  recipient = alice;
+                  amount = deployed_amount;
+                  hash = deployed_hash;
+                  expiry = deployed_expiry;
+                }));
+        ignore (Chain.advance chain_b ~until:tl.Timeline.t3);
+        (* Bob fulfilled his obligations: his deposit returns at t3. *)
+        oracle_release ~at:tl.Timeline.t3 ~to_:bob ~amount:q
+          "bob's obligations fulfilled";
+        (* --- t3: Alice verifies Bob's contract, then decides.  Per
+           Section II-B she checks that the contract is confirmed, uses
+           the agreed hash, carries the full amount, names her as the
+           recipient, and leaves her a safe claim window
+           (t3 + tau_b <= expiry, Eq. 8). --------------------------------- *)
+        let b_contract_problem =
+          match Chain.htlc chain_b ~contract_id:contract_b with
+          | None -> Some "not deployed"
+          | Some h ->
+            if not (Htlc.is_locked h) then Some "not in a locked state"
+            else if not (String.equal h.Htlc.hash secret.Secret.hash) then
+              Some "wrong hashlock commitment"
+            else if h.Htlc.amount < 1. -. 1e-12 then Some "short amount"
+            else if not (String.equal h.Htlc.recipient alice) then
+              Some "wrong recipient"
+            else if h.Htlc.expiry < tl.Timeline.t3 +. p.Params.tau_b then
+              Some "expiry leaves no safe claim window"
+            else None
+        in
+        let p_t3 = price tl.Timeline.t3 in
+        match b_contract_problem with
+        | Some reason ->
+          log tl.Timeline.t3
+            (Printf.sprintf "alice withholds the secret: bob's contract %s"
+               reason);
+          oracle_release ~at:tl.Timeline.t3 ~to_:alice ~amount:q
+            "bob's contract non-conforming";
+          settle ~locked_a:true ~locked_b:true ~secret_observed_at_t4:false
+        | None -> begin
+          let alice_t3 =
+            if alice_online tl.Timeline.t3 then policy.Agent.alice_t3 ~p_t3
+            else begin
+              log tl.Timeline.t3 "alice is offline (crash): secret never revealed";
+              Agent.Stop
+            end
+          in
+          match alice_t3 with
+          | Agent.Stop ->
+            log tl.Timeline.t3
+              (Printf.sprintf "alice stops at t3 (P_t3 = %g): secret withheld"
+                 p_t3);
+            (* Alice forfeits: her deposit goes to Bob at t4. *)
+            oracle_release ~at:tl.Timeline.t4 ~to_:bob ~amount:q
+              "alice withheld the secret";
+            settle ~locked_a:true ~locked_b:true ~secret_observed_at_t4:false
+          | Agent.Cont ->
+            let reveal_at = tl.Timeline.t3 +. reveal_delay in
+            log reveal_at
+              (Printf.sprintf
+                 "alice claims Token_b, revealing the preimage (P_t3 = %g)"
+                 p_t3);
+            ignore
+              (Chain.submit chain_b ~at:reveal_at
+                 (Tx.Htlc_claim
+                    {
+                      contract_id = contract_b;
+                      preimage = secret.Secret.preimage;
+                    }));
+            (* --- t4: Bob watches Chain_b's mempool for the secret. ---- *)
+            let observe_at = reveal_at +. p.Params.eps_b in
+            let observed =
+              Chain.observed_preimage chain_b ~at:observe_at
+                ~hash:secret.Secret.hash
+            in
+            (match observed with
+            | Some preimage ->
+              log observe_at "bob observes the preimage in chain_b's mempool";
+              (* Alice fulfilled everything: her deposit returns at t4. *)
+              oracle_release ~at:observe_at ~to_:alice ~amount:q
+                "alice's obligations fulfilled";
+              if policy.Agent.bob_t4 = Agent.Cont && bob_online observe_at
+              then begin
+                log observe_at "bob claims Token_a with the observed preimage";
+                ignore
+                  (Chain.submit chain_a ~at:observe_at
+                     (Tx.Htlc_claim { contract_id = contract_a; preimage }))
+              end
+              else if not (bob_online observe_at) then
+                log observe_at
+                  "bob is offline (crash): the revealed secret goes unclaimed"
+              else log observe_at "bob (irrationally) declines to claim"
+            | None ->
+              log observe_at "bob cannot find the preimage in the mempool");
+            settle ~locked_a:true ~locked_b:true
+              ~secret_observed_at_t4:(observed <> None)
+        end
+    end
+
+let run_on_path ?q ?policy ?seed (p : Params.t) ~p_star ~path =
+  run ?q ?policy ?seed p ~p_star ~price:(fun t -> Stochastic.Path.at path t)

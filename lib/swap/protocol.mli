@@ -1,0 +1,78 @@
+(** End-to-end execution of the HTLC atomic swap (Section II-B) on the
+    {!Chainsim} two-chain simulator, with decisions delegated to an
+    {!Agent.t} policy at each step of the idealised timeline (Eq. 13).
+
+    The final outcome is {e derived from the chains' contract states},
+    not assumed — late reveals, failed claims and refunds all surface
+    here exactly as they would on a real pair of ledgers. *)
+
+type outcome =
+  | Success  (** Both HTLCs claimed; balances moved per Table I. *)
+  | Abort_t1  (** Alice never initiated. *)
+  | Abort_t2  (** Bob never deployed his HTLC. *)
+  | Abort_t3  (** Alice never revealed; both sides refunded. *)
+  | Anomalous of string
+      (** Atomicity violation (e.g. Alice revealed too late: her claim
+          expired but Bob could still claim hers, or vice versa). *)
+
+type bob_deviation =
+  | Wrong_hash  (** Bob locks under a different commitment. *)
+  | Short_amount of float  (** Bob locks less than 1 Token_b. *)
+  | Early_expiry of float
+      (** Bob's lock expires the given hours before [t_b], leaving
+          Alice no safe claim window. *)
+
+type result = {
+  outcome : outcome;
+  timeline : Timeline.t;
+  alice_delta_a : float;  (** Alice's Token_a balance change. *)
+  alice_delta_b : float;
+  bob_delta_a : float;
+  bob_delta_b : float;
+  secret_observed_at_t4 : bool;
+      (** Whether Bob could read the preimage from Chain_b's mempool at
+          [t4 = t3 + eps_b] (Eq. 7). *)
+  trace : (float * string) list;  (** Chronological event log. *)
+  receipts_a : Chainsim.Chain.receipt list;
+  receipts_b : Chainsim.Chain.receipt list;
+}
+
+val run :
+  ?q:float ->
+  ?policy:Agent.t ->
+  ?price:(float -> float) ->
+  ?reveal_delay:float ->
+  ?bob_deviation:bob_deviation ->
+  ?alice_offline_from:float ->
+  ?bob_offline_from:float ->
+  ?seed:int ->
+  Params.t -> p_star:float -> result
+(** Runs one swap.
+
+    - [q]: symmetric collateral (Section IV; default 0 — no Oracle).
+    - [policy]: decision rules (default {!Agent.honest}).
+    - [price]: Token_b price as a function of absolute time (default
+      constant [p0]); decisions at [t2]/[t3] read it.
+    - [reveal_delay]: extra waiting before Alice submits her claim at
+      [t3] — nonzero values violate Eq. 8 and demonstrate the timing
+      attack surface (the swap degrades to an atomic failure).
+    - [bob_deviation]: Bob deploys a non-conforming HTLC at [t2];
+      Alice's [t3] verification ("Alice can verify the contract
+      deployed on Chain_b", Section II-B) must catch it and withhold
+      the secret.
+    - [alice_offline_from] / [bob_offline_from]: crash-failure
+      injection (Zakhary et al. [31], discussed in Section II-C): the
+      agent takes no further actions from that absolute time on.  Most
+      crash points degrade to atomic failure via the time locks, but
+      Bob crashing after Alice reveals and before his [t4] claim loses
+      his Token_a to the expiry refund while Alice keeps Token_b — the
+      known HTLC atomicity violation, surfaced as [Anomalous].
+    - [seed]: secret generation. *)
+
+val run_on_path :
+  ?q:float -> ?policy:Agent.t -> ?seed:int -> Params.t -> p_star:float ->
+  path:Stochastic.Path.t -> result
+(** Like {!run} with prices read from a sampled path
+    (previous-tick interpolation). *)
+
+val outcome_to_string : outcome -> string

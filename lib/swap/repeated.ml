@@ -1,0 +1,62 @@
+type t = { trades_per_week : float; horizon_weeks : float }
+
+let surplus_per_trade ?quad_nodes (p : Params.t) ~p_star =
+  let k3 = Cutoff.p_t3_low p ~p_star in
+  let band = Cutoff.p_t2_band p ~p_star in
+  Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+  -. Utility.a_t1_stop ~p_star
+  +. Utility.b_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+  -. Utility.b_t1_stop p
+
+let continuation_value ?quad_nodes (p : Params.t) ~p_star rel =
+  if rel.trades_per_week <= 0. || rel.horizon_weeks <= 0. then 0.
+  else begin
+    let per_trade =
+      max 0. (surplus_per_trade ?quad_nodes p ~p_star) /. 2.
+    in
+    let n = int_of_float (rel.trades_per_week *. rel.horizon_weeks) in
+    let gap_hours = 168. /. rel.trades_per_week in
+    let r = 0.5 *. (p.Params.alice.r +. p.Params.bob.r) in
+    let pv = ref 0. in
+    for k = 1 to n do
+      pv := !pv +. (per_trade *. exp (-.r *. gap_hours *. float_of_int k))
+    done;
+    !pv
+  end
+
+type fixed_point = {
+  alpha_endogenous : float;
+  sr_endogenous : float;
+  sr_one_shot : float;
+  iterations : int;
+}
+
+let with_alpha (p : Params.t) alpha =
+  Params.with_alpha_alice (Params.with_alpha_bob p alpha) alpha
+
+let solve ?quad_nodes ?(max_iter = 40) (p : Params.t) ~p_star rel =
+  (* alpha* such that the forfeited continuation value equals the
+     premium earned on the trade's notional (~ one Token_b). *)
+  let alpha_cap = 2. in
+  let next alpha =
+    let p' = with_alpha p alpha in
+    let pv = continuation_value ?quad_nodes p' ~p_star rel in
+    min alpha_cap (pv /. p.Params.p0)
+  in
+  let rec iterate alpha i =
+    if i >= max_iter then (alpha, i)
+    else begin
+      let proposed = next alpha in
+      let damped = (0.5 *. alpha) +. (0.5 *. proposed) in
+      if abs_float (damped -. alpha) < 1e-6 then (damped, i + 1)
+      else iterate damped (i + 1)
+    end
+  in
+  let alpha_endogenous, iterations = iterate p.Params.alice.alpha 0 in
+  let sr_at alpha = Success.analytic ?quad_nodes (with_alpha p alpha) ~p_star in
+  {
+    alpha_endogenous;
+    sr_endogenous = sr_at alpha_endogenous;
+    sr_one_shot = sr_at 1e-9;
+    iterations;
+  }

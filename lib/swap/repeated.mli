@@ -1,0 +1,41 @@
+(** Endogenous success premium from repeated interaction.
+
+    The paper motivates [alpha] as capturing, among other things, "the
+    utility of guarding his/her reputation" (Section III-F1).  This
+    module closes the loop: in a repeated relationship where a defector
+    is excluded from future trades (grim trigger), the discounted value
+    of the future trading surplus acts exactly like a success premium
+    on the current swap.  Solving the fixed point
+    [alpha* = continuation value / trade size] yields an {e endogenous}
+    premium and a relationship-supported success rate — grounding the
+    paper's reduced-form [alpha] in repeated-game fundamentals. *)
+
+type t = {
+  trades_per_week : float;  (** Relationship intensity. *)
+  horizon_weeks : float;  (** Expected remaining relationship length. *)
+}
+
+val surplus_per_trade : ?quad_nodes:int -> Params.t -> p_star:float -> float
+(** One trade's joint surplus over the outside option at the
+    {e exogenous} premium in [Params] (what each future trade is
+    worth, split evenly for the symmetric default). *)
+
+val continuation_value :
+  ?quad_nodes:int -> Params.t -> p_star:float -> t -> float
+(** Discounted value (at the agents' [r], hourly) of the future trade
+    stream a defector forfeits. *)
+
+type fixed_point = {
+  alpha_endogenous : float;
+      (** The premium the relationship itself supports, replacing the
+          exogenous [alpha] of Table III. *)
+  sr_endogenous : float;  (** Success rate at that premium. *)
+  sr_one_shot : float;
+      (** Success rate with [alpha = 0] — anonymous counterparties and
+          no reputation at stake. *)
+  iterations : int;
+}
+
+val solve : ?quad_nodes:int -> ?max_iter:int -> Params.t -> p_star:float -> t -> fixed_point
+(** Iterates [alpha -> continuation value(alpha) / trade value] to a
+    fixed point (damped; converges in a handful of steps). *)

@@ -1,0 +1,73 @@
+type mechanism = Plain | Premium of float | Collateral of float
+
+let mechanism_to_string = function
+  | Plain -> "plain HTLC"
+  | Premium w -> Printf.sprintf "premium (w=%g)" w
+  | Collateral q -> Printf.sprintf "collateral (Q=%g)" q
+
+type assessment = {
+  mechanism : mechanism;
+  alice_net : float;
+  bob_net : float;
+  success_rate : float;
+  adoptable : bool;
+}
+
+let assess ?quad_nodes (p : Params.t) ~p_star mechanism =
+  let alice_net, bob_net, success_rate =
+    match mechanism with
+    | Plain ->
+      let k3 = Cutoff.p_t3_low p ~p_star in
+      let band = Cutoff.p_t2_band p ~p_star in
+      ( Utility.a_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+        -. Utility.a_t1_stop ~p_star,
+        Utility.b_t1_cont ?quad_nodes p ~p_star ~k3 ~band
+        -. Utility.b_t1_stop p,
+        Success.analytic_given ?quad_nodes p ~k3 ~band )
+    | Premium w ->
+      let c = Collateral.create p ~q_alice:w ~q_bob:0. in
+      ( Collateral.a_t1_cont ?quad_nodes c ~p_star
+        -. Collateral.a_t1_stop c ~p_star,
+        Collateral.b_t1_cont ?quad_nodes c ~p_star -. Collateral.b_t1_stop c,
+        Collateral.success_rate ?quad_nodes c ~p_star )
+    | Collateral q ->
+      let c = Collateral.symmetric p ~q in
+      ( Collateral.a_t1_cont ?quad_nodes c ~p_star
+        -. Collateral.a_t1_stop c ~p_star,
+        Collateral.b_t1_cont ?quad_nodes c ~p_star -. Collateral.b_t1_stop c,
+        Collateral.success_rate ?quad_nodes c ~p_star )
+  in
+  {
+    mechanism;
+    alice_net;
+    bob_net;
+    success_rate;
+    adoptable = alice_net >= 0. && bob_net >= 0.;
+  }
+
+let menu ?quad_nodes p ~p_star mechanisms =
+  List.map (assess ?quad_nodes p ~p_star) mechanisms
+
+type choice = {
+  alice_best : mechanism option;
+  bob_best : mechanism option;
+  joint : mechanism option;
+}
+
+let argmax_by f assessments =
+  List.fold_left
+    (fun best a ->
+      match best with
+      | Some b when f b >= f a -> best
+      | _ -> if a.adoptable then Some a else best)
+    None assessments
+  |> Option.map (fun a -> a.mechanism)
+
+let choose ?quad_nodes p ~p_star mechanisms =
+  let assessments = menu ?quad_nodes p ~p_star mechanisms in
+  let adoptable = List.filter (fun a -> a.adoptable) assessments in
+  {
+    alice_best = argmax_by (fun a -> a.alice_net) adoptable;
+    bob_best = argmax_by (fun a -> a.bob_net) adoptable;
+    joint = argmax_by (fun a -> a.alice_net +. a.bob_net) adoptable;
+  }

@@ -1,0 +1,40 @@
+(** Protocol selection (Section V: "which protocol agents would select
+    and why if they were given a choice") — compares the mechanisms
+    implemented in this repository on a common footing.
+
+    For each mechanism the module reports both agents' [t1] values of
+    entering, their outside options, and the success rate, all at a
+    given exchange rate; a mechanism is {e adoptable} when both agents
+    weakly gain over not trading, and {e preferred} by an agent when it
+    maximises that agent's net gain over the menu. *)
+
+type mechanism =
+  | Plain  (** The baseline HTLC of Section III. *)
+  | Premium of float  (** Han et al.-style, Alice posts [w]. *)
+  | Collateral of float  (** Section IV, symmetric deposit [q]. *)
+
+val mechanism_to_string : mechanism -> string
+
+type assessment = {
+  mechanism : mechanism;
+  alice_net : float;  (** Alice's [t1] value of entering minus stopping. *)
+  bob_net : float;
+  success_rate : float;
+  adoptable : bool;  (** Both nets nonnegative. *)
+}
+
+val assess : ?quad_nodes:int -> Params.t -> p_star:float -> mechanism -> assessment
+
+val menu :
+  ?quad_nodes:int -> Params.t -> p_star:float -> mechanism list ->
+  assessment list
+
+type choice = {
+  alice_best : mechanism option;  (** Her favourite among adoptable ones. *)
+  bob_best : mechanism option;
+  joint : mechanism option;
+      (** The adoptable mechanism maximising total net surplus — the
+          natural bargaining prediction. *)
+}
+
+val choose : ?quad_nodes:int -> Params.t -> p_star:float -> mechanism list -> choice

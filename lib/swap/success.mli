@@ -1,0 +1,30 @@
+(** Swap success rate (Eq. 31): the probability that the swap completes
+    {e given} Alice initiated at [t1] — i.e. that [P_{t2}] lands in
+    Bob's continuation band and [P_{t3}] then stays above Alice's
+    cutoff. *)
+
+val analytic : ?quad_nodes:int -> Params.t -> p_star:float -> float
+(** Eq. 31 by Gauss–Legendre quadrature over Bob's band; 0. when the
+    band is empty. *)
+
+val analytic_given :
+  ?quad_nodes:int -> Params.t -> k3:float -> band:Intervals.t -> float
+(** Same integral with precomputed cutoffs — reused by the collateral
+    and premium variants and by sweeps. *)
+
+type point = { p_star : float; sr : float }
+
+val curve :
+  ?quad_nodes:int -> Params.t -> p_stars:float array -> point array
+(** SR at each requested exchange rate. *)
+
+val maximize :
+  ?quad_nodes:int -> ?grid:int -> Params.t -> point option
+(** SR-maximising [P*] within the feasible band ({!Cutoff.p_star_band});
+    [None] when no feasible rate exists.  Grid search refined by golden
+    section. *)
+
+val feasible_and_curve :
+  ?quad_nodes:int -> ?n:int -> Params.t -> (float * float) option * point array
+(** Convenience for the Figure 6 panels: the feasible [P*] band and the
+    SR curve sampled on [n] points across it (empty when infeasible). *)

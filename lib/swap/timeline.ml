@@ -1,0 +1,60 @@
+type t = {
+  t0 : float;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  t4 : float;
+  t5 : float;
+  t6 : float;
+  t7 : float;
+  t8 : float;
+  t_lock_a : float;
+  t_lock_b : float;
+}
+
+let ideal ?(start = 0.) (p : Params.t) =
+  let t0 = start in
+  let t1 = t0 in
+  let t2 = t1 +. p.Params.tau_a in
+  let t3 = t2 +. p.Params.tau_b in
+  let t4 = t3 +. p.Params.eps_b in
+  let t5 = t3 +. p.Params.tau_b in
+  let t6 = t4 +. p.Params.tau_a in
+  let t_lock_b = t5 in
+  let t_lock_a = t6 in
+  let t7 = t_lock_b +. p.Params.tau_b in
+  let t8 = t_lock_a +. p.Params.tau_a in
+  { t0; t1; t2; t3; t4; t5; t6; t7; t8; t_lock_a; t_lock_b }
+
+let check (p : Params.t) t =
+  let tau_a = p.Params.tau_a and tau_b = p.Params.tau_b in
+  let eps_b = p.Params.eps_b in
+  let violations = ref [] in
+  let require cond msg = if not cond then violations := msg :: !violations in
+  (* Eq. 4–11 combined as Eq. 12. *)
+  require (t.t1 >= t.t0) "t1 >= t0 (Eq. 4)";
+  require (t.t2 >= t.t1 +. tau_a) "t2 >= t1 + tau_a (Eq. 5)";
+  require (t.t3 >= t.t2 +. tau_b) "t3 >= t2 + tau_b (Eq. 6)";
+  require (t.t4 >= t.t3 +. eps_b) "t4 >= t3 + eps_b (Eq. 7)";
+  require (eps_b < tau_b) "eps_b < tau_b (Eq. 3)";
+  require
+    (abs_float (t.t5 -. (t.t3 +. tau_b)) < 1e-9 && t.t5 <= t.t_lock_b)
+    "t5 = t3 + tau_b <= t_b (Eq. 8)";
+  require
+    (abs_float (t.t6 -. (t.t4 +. tau_a)) < 1e-9 && t.t6 <= t.t_lock_a)
+    "t6 = t4 + tau_a <= t_a (Eq. 9)";
+  require
+    (abs_float (t.t7 -. (t.t_lock_b +. tau_b)) < 1e-9)
+    "t7 = t_b + tau_b (Eq. 10)";
+  require
+    (abs_float (t.t8 -. (t.t_lock_a +. tau_a)) < 1e-9)
+    "t8 = t_a + tau_a (Eq. 11)";
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let duration_success t = max t.t5 t.t6 -. t.t0
+let duration_failure t = max t.t7 t.t8 -. t.t0
+
+let to_string t =
+  Printf.sprintf
+    "t0=%g t1=%g t2=%g t3=%g t4=%g t5=%g t6=%g t7=%g t8=%g t_a=%g t_b=%g" t.t0
+    t.t1 t.t2 t.t3 t.t4 t.t5 t.t6 t.t7 t.t8 t.t_lock_a t.t_lock_b

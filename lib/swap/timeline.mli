@@ -1,0 +1,33 @@
+(** The swap timeline (Section III-B/C).
+
+    Under the zero-waiting-time idealisation (Eq. 13) every decision
+    and receipt time is pinned down by [tau_a], [tau_b] and [eps_b]. *)
+
+type t = {
+  t0 : float;  (** Agreement; secret generated. *)
+  t1 : float;  (** A locks [p_star] Token_a on Chain_a ([= t0]). *)
+  t2 : float;  (** B locks 1 Token_b on Chain_b ([= t1 + tau_a]). *)
+  t3 : float;  (** A reveals the secret on Chain_b ([= t2 + tau_b]). *)
+  t4 : float;  (** B claims on Chain_a ([= t3 + eps_b]). *)
+  t5 : float;  (** A receives Token_b ([= t3 + tau_b = t_lock_b]). *)
+  t6 : float;  (** B receives Token_a ([= t4 + tau_a = t_lock_a]). *)
+  t7 : float;  (** B's refund receipt on failure ([= t_lock_b + tau_b]). *)
+  t8 : float;  (** A's refund receipt on failure ([= t_lock_a + tau_a]). *)
+  t_lock_a : float;  (** HTLC expiry on Chain_a ([t_a] in the paper). *)
+  t_lock_b : float;  (** HTLC expiry on Chain_b ([t_b] in the paper). *)
+}
+
+val ideal : ?start:float -> Params.t -> t
+(** Eq. 13 schedule starting at [start] (default 0.). *)
+
+val check : Params.t -> t -> (unit, string list) result
+(** Verifies every inequality of Eq. 12 (the general protocol
+    constraints); returns all violations. *)
+
+val duration_success : t -> float
+(** Time from [t0] until the later of [t5] and [t6]. *)
+
+val duration_failure : t -> float
+(** Time from [t0] until the later of [t7] and [t8]. *)
+
+val to_string : t -> string

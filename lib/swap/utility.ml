@@ -1,0 +1,128 @@
+open Numerics
+open Stochastic
+
+let discount ~r ~horizon = exp (-.r *. horizon)
+
+(* --- t3 ------------------------------------------------------------- *)
+
+let a_t3_cont (p : Params.t) ~p_t3 =
+  let expectation = Gbm.expectation (Params.gbm p) ~p0:p_t3 ~tau:p.tau_b in
+  (1. +. p.alice.alpha) *. expectation *. discount ~r:p.alice.r ~horizon:p.tau_b
+
+let b_t3_cont (p : Params.t) ~p_star =
+  (1. +. p.bob.alpha) *. p_star
+  *. discount ~r:p.bob.r ~horizon:(p.eps_b +. p.tau_a)
+
+let a_t3_stop (p : Params.t) ~p_star =
+  p_star *. discount ~r:p.alice.r ~horizon:(p.eps_b +. (2. *. p.tau_a))
+
+let b_t3_stop (p : Params.t) ~p_t3 =
+  let expectation =
+    Gbm.expectation (Params.gbm p) ~p0:p_t3 ~tau:(2. *. p.tau_b)
+  in
+  expectation *. discount ~r:p.bob.r ~horizon:(2. *. p.tau_b)
+
+(* --- t2 ------------------------------------------------------------- *)
+
+let a_t2_stop (p : Params.t) ~p_star =
+  p_star
+  *. discount ~r:p.alice.r ~horizon:(p.tau_b +. p.eps_b +. (2. *. p.tau_a))
+
+let b_t2_stop ~p_t2 = p_t2
+
+(* Eq. 20.  The integrand over (k3, inf) is
+   pdf(x) * (1 + alpha_A) x e^{(mu - r_A) tau_b}, whose integral is the
+   partial expectation E[X 1_{X > k3}] scaled by the constant. *)
+let a_t2_cont (p : Params.t) ~p_star ~k3 ~p_t2 =
+  let gbm = Params.gbm p in
+  let cont_part =
+    (1. +. p.alice.alpha)
+    *. exp ((p.mu -. p.alice.r) *. p.tau_b)
+    *. Gbm.partial_expectation_above gbm ~k:k3 ~p0:p_t2 ~tau:p.tau_b
+  in
+  let stop_part =
+    Gbm.cdf gbm ~x:k3 ~p0:p_t2 ~tau:p.tau_b *. a_t3_stop p ~p_star
+  in
+  (cont_part +. stop_part) *. discount ~r:p.alice.r ~horizon:p.tau_b
+
+(* Eq. 21.  Bob's stop payoff at t3 is x e^{2 (mu - r_B) tau_b}; its
+   integral over (0, k3) is the lower partial expectation. *)
+let b_t2_cont (p : Params.t) ~p_star ~k3 ~p_t2 =
+  let gbm = Params.gbm p in
+  let cont_part =
+    Gbm.sf gbm ~x:k3 ~p0:p_t2 ~tau:p.tau_b *. b_t3_cont p ~p_star
+  in
+  let stop_part =
+    exp (2. *. (p.mu -. p.bob.r) *. p.tau_b)
+    *. Gbm.partial_expectation_below gbm ~k:k3 ~p0:p_t2 ~tau:p.tau_b
+  in
+  (cont_part +. stop_part) *. discount ~r:p.bob.r ~horizon:p.tau_b
+
+(* --- generic quadrature over interval sets --------------------------- *)
+
+let integrate_over ?(quad_nodes = 96) set ~f =
+  List.fold_left
+    (fun acc { Intervals.lo; hi } ->
+      if hi = infinity then
+        acc +. Integrate.semi_infinite ~n:quad_nodes f ~a:lo
+      else acc +. Integrate.gauss_legendre ~n:quad_nodes f ~a:lo ~b:hi)
+    0.
+    (Intervals.intervals set)
+
+(* --- t1 ------------------------------------------------------------- *)
+
+let a_t1_stop ~p_star = p_star
+let b_t1_stop (p : Params.t) = p.Params.p0
+
+(* Probability mass of the transition law inside an interval set. *)
+let transition_mass (p : Params.t) ~tau ~p0 set =
+  let gbm = Params.gbm p in
+  List.fold_left
+    (fun acc { Intervals.lo; hi } ->
+      let upper =
+        if hi = infinity then 1. else Gbm.cdf gbm ~x:hi ~p0 ~tau
+      in
+      acc +. (upper -. Gbm.cdf gbm ~x:lo ~p0 ~tau))
+    0.
+    (Intervals.intervals set)
+
+(* Partial expectation of the price inside the set. *)
+let price_mass_inside (p : Params.t) ~tau ~p0 set =
+  let gbm = Params.gbm p in
+  List.fold_left
+    (fun acc { Intervals.lo; hi } ->
+      let upper =
+        if hi = infinity then Gbm.expectation gbm ~p0 ~tau
+        else Gbm.partial_expectation_below gbm ~k:hi ~p0 ~tau
+      in
+      acc +. (upper -. Gbm.partial_expectation_below gbm ~k:lo ~p0 ~tau))
+    0.
+    (Intervals.intervals set)
+
+let a_t1_cont ?quad_nodes (p : Params.t) ~p_star ~k3 ~band =
+  let gbm = Params.gbm p in
+  let pdf x = Gbm.pdf gbm ~x ~p0:p.p0 ~tau:p.tau_a in
+  let cont_part =
+    integrate_over ?quad_nodes band ~f:(fun x ->
+        pdf x *. a_t2_cont p ~p_star ~k3 ~p_t2:x)
+  in
+  let stop_part =
+    (1. -. transition_mass p ~tau:p.tau_a ~p0:p.p0 band) *. a_t2_stop p ~p_star
+  in
+  (cont_part +. stop_part) *. discount ~r:p.alice.r ~horizon:p.tau_a
+
+(* Expected price mass outside the band:
+   E[X 1_{X outside}] = E[X] - sum over band of segment partial
+   expectations. *)
+let b_t1_cont ?quad_nodes (p : Params.t) ~p_star ~k3 ~band =
+  let gbm = Params.gbm p in
+  let pdf x = Gbm.pdf gbm ~x ~p0:p.p0 ~tau:p.tau_a in
+  let cont_part =
+    integrate_over ?quad_nodes band ~f:(fun x ->
+        pdf x *. b_t2_cont p ~p_star ~k3 ~p_t2:x)
+  in
+  let outside_price_mass =
+    Gbm.expectation gbm ~p0:p.p0 ~tau:p.tau_a
+    -. price_mass_inside p ~tau:p.tau_a ~p0:p.p0 band
+  in
+  (cont_part +. outside_price_mass) *. discount ~r:p.bob.r ~horizon:p.tau_a

@@ -1,0 +1,801 @@
+(* Tests for the execution layer: agent policies, the end-to-end
+   protocol runner on the chain simulator, Monte-Carlo consistency with
+   the analytic model, and the game-tree cross-check. *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+let p = Swap.Params.defaults
+
+(* --- Agent policies ------------------------------------------------------- *)
+
+let test_rational_policy_matches_cutoffs () =
+  let p_star = 2. in
+  let policy = Swap.Agent.rational p ~p_star in
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star in
+  Alcotest.(check bool) "cont above cutoff" true
+    (policy.Swap.Agent.alice_t3 ~p_t3:(k3 +. 0.01) = Swap.Agent.Cont);
+  Alcotest.(check bool) "stop below cutoff" true
+    (policy.Swap.Agent.alice_t3 ~p_t3:(k3 -. 0.01) = Swap.Agent.Stop);
+  Alcotest.(check bool) "stop at cutoff (Eq. 19 tie)" true
+    (policy.Swap.Agent.alice_t3 ~p_t3:k3 = Swap.Agent.Stop);
+  (match Swap.Cutoff.p_t2_band_endpoints p ~p_star with
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "bob cont inside" true
+      (policy.Swap.Agent.bob_t2 ~p_t2:(0.5 *. (lo +. hi)) = Swap.Agent.Cont);
+    Alcotest.(check bool) "bob stop below" true
+      (policy.Swap.Agent.bob_t2 ~p_t2:(lo *. 0.9) = Swap.Agent.Stop);
+    Alcotest.(check bool) "bob stop above" true
+      (policy.Swap.Agent.bob_t2 ~p_t2:(hi *. 1.1) = Swap.Agent.Stop)
+  | None -> Alcotest.fail "band expected");
+  Alcotest.(check bool) "initiates inside feasible band" true
+    (policy.Swap.Agent.alice_t1 ~p_star = Swap.Agent.Cont);
+  Alcotest.(check bool) "t4 always claims" true
+    (policy.Swap.Agent.bob_t4 = Swap.Agent.Cont)
+
+let test_rational_rejects_bad_rate () =
+  let policy = Swap.Agent.rational p ~p_star:5. in
+  Alcotest.(check bool) "won't initiate an absurd rate" true
+    (policy.Swap.Agent.alice_t1 ~p_star:5. = Swap.Agent.Stop)
+
+let test_honest_and_myopic () =
+  Alcotest.(check bool) "honest always" true
+    (Swap.Agent.honest.Swap.Agent.bob_t2 ~p_t2:1e9 = Swap.Agent.Cont);
+  let myopic = Swap.Agent.myopic p ~p_star:2. in
+  Alcotest.(check bool) "myopic bob balks at high price" true
+    (myopic.Swap.Agent.bob_t2 ~p_t2:2.5 = Swap.Agent.Stop);
+  Alcotest.(check bool) "myopic alice balks at low price" true
+    (myopic.Swap.Agent.alice_t3 ~p_t3:1.9 = Swap.Agent.Stop)
+
+(* --- Protocol runner --------------------------------------------------------- *)
+
+let test_protocol_success_table1 () =
+  let r = Swap.Protocol.run p ~p_star:2. in
+  Alcotest.(check string) "outcome" "success"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
+  check_float "alice -P* on a" (-2.) r.Swap.Protocol.alice_delta_a;
+  check_float "alice +1 on b" 1. r.Swap.Protocol.alice_delta_b;
+  check_float "bob +P* on a" 2. r.Swap.Protocol.bob_delta_a;
+  check_float "bob -1 on b" (-1.) r.Swap.Protocol.bob_delta_b;
+  Alcotest.(check bool) "secret seen at t4" true
+    r.Swap.Protocol.secret_observed_at_t4
+
+let test_protocol_abort_paths_are_atomic () =
+  let scenarios =
+    [
+      ( "t1",
+        { Swap.Agent.honest with alice_t1 = (fun ~p_star:_ -> Swap.Agent.Stop) },
+        Swap.Protocol.Abort_t1 );
+      ( "t2",
+        { Swap.Agent.honest with bob_t2 = (fun ~p_t2:_ -> Swap.Agent.Stop) },
+        Swap.Protocol.Abort_t2 );
+      ( "t3",
+        { Swap.Agent.honest with alice_t3 = (fun ~p_t3:_ -> Swap.Agent.Stop) },
+        Swap.Protocol.Abort_t3 );
+    ]
+  in
+  List.iter
+    (fun (label, policy, expected) ->
+      let r = Swap.Protocol.run p ~policy ~p_star:2. in
+      if r.Swap.Protocol.outcome <> expected then
+        Alcotest.failf "%s: wrong outcome %s" label
+          (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
+      check_float (label ^ " alice a") 0. r.Swap.Protocol.alice_delta_a;
+      check_float (label ^ " alice b") 0. r.Swap.Protocol.alice_delta_b;
+      check_float (label ^ " bob a") 0. r.Swap.Protocol.bob_delta_a;
+      check_float (label ^ " bob b") 0. r.Swap.Protocol.bob_delta_b)
+    scenarios
+
+let test_protocol_late_reveal_fails_safe () =
+  (* Alice reveals after the window: the swap fails, but atomically —
+     nobody ends up with both assets. *)
+  let r = Swap.Protocol.run p ~reveal_delay:2. ~p_star:2. in
+  (match r.Swap.Protocol.outcome with
+  | Swap.Protocol.Abort_t3 -> ()
+  | Swap.Protocol.Anomalous _ ->
+    (* Acceptable only if someone gained and lost symmetrically; the
+       equal-expiry schedule of Eq. 13 should prevent this entirely. *)
+    Alcotest.fail "equal-deadline schedule must not produce anomalies"
+  | other ->
+    Alcotest.failf "unexpected outcome %s"
+      (Swap.Protocol.outcome_to_string other));
+  check_float "alice whole" 0. r.Swap.Protocol.alice_delta_a;
+  check_float "bob whole" 0. r.Swap.Protocol.bob_delta_b
+
+let test_protocol_collateral_success_neutral () =
+  let r = Swap.Protocol.run ~q:1. p ~p_star:2. in
+  Alcotest.(check string) "outcome" "success"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
+  (* Deposits returned: deltas match Table I exactly. *)
+  check_float "alice a" (-2.) r.Swap.Protocol.alice_delta_a;
+  check_float "bob a" 2. r.Swap.Protocol.bob_delta_a
+
+let test_protocol_collateral_punishes_bob () =
+  let policy =
+    { Swap.Agent.honest with bob_t2 = (fun ~p_t2:_ -> Swap.Agent.Stop) }
+  in
+  let r = Swap.Protocol.run ~q:1. p ~policy ~p_star:2. in
+  (* Bob forfeits his deposit to Alice. *)
+  check_float "alice gains q" 1. r.Swap.Protocol.alice_delta_a;
+  check_float "bob loses q" (-1.) r.Swap.Protocol.bob_delta_a;
+  check_float "bob keeps token b" 0. r.Swap.Protocol.bob_delta_b
+
+let test_protocol_collateral_punishes_alice () =
+  let policy =
+    { Swap.Agent.honest with alice_t3 = (fun ~p_t3:_ -> Swap.Agent.Stop) }
+  in
+  let r = Swap.Protocol.run ~q:1. p ~policy ~p_star:2. in
+  check_float "alice loses q" (-1.) r.Swap.Protocol.alice_delta_a;
+  check_float "bob gains q" 1. r.Swap.Protocol.bob_delta_a
+
+let test_protocol_on_price_path () =
+  (* A crash between t2 and t3: honest Alice completes anyway, rational
+     Alice walks away at t3. *)
+  let times = [| 0.1; 3.; 7.; 20. |] in
+  let values = [| 2.; 2.; 0.5; 0.5 |] in
+  let path = Stochastic.Path.create ~times ~values in
+  let honest_run =
+    Swap.Protocol.run_on_path ~policy:Swap.Agent.honest p ~p_star:2. ~path
+  in
+  let rational = Swap.Agent.rational p ~p_star:2. in
+  let rational_run =
+    Swap.Protocol.run_on_path ~policy:rational p ~p_star:2. ~path
+  in
+  Alcotest.(check string) "honest completes regardless" "success"
+    (Swap.Protocol.outcome_to_string honest_run.Swap.Protocol.outcome);
+  Alcotest.(check string) "rational alice aborts after crash" "abort@t3"
+    (Swap.Protocol.outcome_to_string rational_run.Swap.Protocol.outcome)
+
+let test_protocol_bob_deviations_caught () =
+  (* Section II-B: Alice verifies Bob's contract before revealing; any
+     deviation must make her withhold the secret, and the swap must
+     fail atomically. *)
+  List.iter
+    (fun (label, deviation) ->
+      let r = Swap.Protocol.run ~bob_deviation:deviation p ~p_star:2. in
+      (match r.Swap.Protocol.outcome with
+      | Swap.Protocol.Abort_t3 -> ()
+      | other ->
+        Alcotest.failf "%s: expected abort@t3, got %s" label
+          (Swap.Protocol.outcome_to_string other));
+      check_float (label ^ ": alice whole on a") 0. r.Swap.Protocol.alice_delta_a;
+      check_float (label ^ ": alice gains nothing on b") 0.
+        r.Swap.Protocol.alice_delta_b;
+      check_float (label ^ ": bob keeps token b") 0. r.Swap.Protocol.bob_delta_b;
+      Alcotest.(check bool)
+        (label ^ ": secret never leaked") false
+        r.Swap.Protocol.secret_observed_at_t4)
+    [
+      ("wrong hash", Swap.Protocol.Wrong_hash);
+      ("short amount", Swap.Protocol.Short_amount 0.7);
+      ("early expiry", Swap.Protocol.Early_expiry 2.);
+    ]
+
+let test_protocol_marginal_early_expiry_tolerated () =
+  (* An expiry that still leaves the full claim window is conforming:
+     t_b - t3 = tau_b = 4 under defaults, so shaving 0 h is fine. *)
+  let r = Swap.Protocol.run ~bob_deviation:(Swap.Protocol.Early_expiry 0.) p
+      ~p_star:2.
+  in
+  Alcotest.(check string) "still succeeds" "success"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome)
+
+let test_protocol_trace_and_receipts () =
+  let r = Swap.Protocol.run p ~p_star:2. in
+  Alcotest.(check bool) "trace nonempty" true (List.length r.Swap.Protocol.trace >= 4);
+  let failed_b =
+    List.filter
+      (fun (x : Chainsim.Chain.receipt) -> Result.is_error x.Chainsim.Chain.result)
+      r.Swap.Protocol.receipts_b
+  in
+  Alcotest.(check int) "no failed chain_b operations" 0 (List.length failed_b)
+
+(* --- Crash failures --------------------------------------------------------------- *)
+
+let test_crash_alice_is_atomic () =
+  List.iter
+    (fun at ->
+      let r = Swap.Protocol.run ~alice_offline_from:at p ~p_star:2. in
+      (match r.Swap.Protocol.outcome with
+      | Swap.Protocol.Anomalous _ ->
+        Alcotest.failf "alice crash at %g must stay atomic" at
+      | _ -> ());
+      check_float "a-chain zero sum" 0.
+        (r.Swap.Protocol.alice_delta_a +. r.Swap.Protocol.bob_delta_a))
+    [ 0.; 1.5; 5. ]
+
+let test_crash_bob_after_lock_violates_atomicity () =
+  (* The Zakhary et al. violation: Bob offline while Alice reveals. *)
+  let r = Swap.Protocol.run ~bob_offline_from:7.5 p ~p_star:2. in
+  (match r.Swap.Protocol.outcome with
+  | Swap.Protocol.Anomalous _ -> ()
+  | other ->
+    Alcotest.failf "expected anomaly, got %s"
+      (Swap.Protocol.outcome_to_string other));
+  (* Alice ends with both assets' value; Bob with neither. *)
+  check_float "alice keeps her Token_a (refund)" 0.
+    r.Swap.Protocol.alice_delta_a;
+  check_float "alice also has Token_b" 1. r.Swap.Protocol.alice_delta_b;
+  check_float "bob got no Token_a" 0. r.Swap.Protocol.bob_delta_a;
+  check_float "bob lost his Token_b" (-1.) r.Swap.Protocol.bob_delta_b
+
+let test_crash_bob_early_is_atomic () =
+  let r = Swap.Protocol.run ~bob_offline_from:1. p ~p_star:2. in
+  Alcotest.(check string) "no HTLC deployed" "abort@t2"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
+  check_float "alice whole" 0. r.Swap.Protocol.alice_delta_a
+
+(* --- AC3 witness protocol ----------------------------------------------------------- *)
+
+let test_ac3_happy_path_table1 () =
+  let r = Swap.Ac3.run p ~p_star:2. in
+  Alcotest.(check string) "success" "success"
+    (Swap.Ac3.outcome_to_string r.Swap.Ac3.outcome);
+  check_float "alice -P*" (-2.) r.Swap.Ac3.alice_delta_a;
+  check_float "alice +1" 1. r.Swap.Ac3.alice_delta_b;
+  check_float "bob +P*" 2. r.Swap.Ac3.bob_delta_a;
+  check_float "bob -1" (-1.) r.Swap.Ac3.bob_delta_b
+
+let test_ac3_survives_agent_crashes () =
+  List.iter
+    (fun (label, run) ->
+      let r = run () in
+      if r.Swap.Ac3.outcome <> Swap.Ac3.Success then
+        Alcotest.failf "%s: expected success, got %s" label
+          (Swap.Ac3.outcome_to_string r.Swap.Ac3.outcome))
+    [
+      ("alice crash after t1",
+       fun () -> Swap.Ac3.run ~alice_offline_from:2. p ~p_star:2.);
+      ("bob crash after t2",
+       fun () -> Swap.Ac3.run ~bob_offline_from:5. p ~p_star:2.);
+      ("both crash after t2",
+       fun () ->
+         Swap.Ac3.run ~alice_offline_from:4. ~bob_offline_from:5. p ~p_star:2.);
+    ]
+
+let test_ac3_witness_crash_fails_atomically () =
+  let r = Swap.Ac3.run ~witness_offline_from:5. p ~p_star:2. in
+  Alcotest.(check string) "timeout" "failed (witness timeout)"
+    (Swap.Ac3.outcome_to_string r.Swap.Ac3.outcome);
+  check_float "alice whole" 0. r.Swap.Ac3.alice_delta_a;
+  check_float "bob whole" 0. r.Swap.Ac3.bob_delta_b
+
+let test_ac3_sr_equals_alice_committed_regime () =
+  let v = Swap.Optionality.value p ~p_star:2. Swap.Optionality.alice_committed in
+  check_float ~tol:1e-6 "SR identity" v.Swap.Optionality.success_rate
+    (Swap.Ac3.success_rate p ~p_star:2.)
+
+let test_ac3_sr_dominates_htlc () =
+  List.iter
+    (fun sigma ->
+      let p' = Swap.Params.with_sigma p sigma in
+      if Swap.Ac3.success_rate p' ~p_star:2.
+         < Swap.Success.analytic p' ~p_star:2. -. 1e-9
+      then Alcotest.failf "AC3 SR below HTLC at sigma=%g" sigma)
+    [ 0.05; 0.1; 0.15 ]
+
+let test_ac3_rational_policy_declines_bad_price () =
+  let policy = Swap.Ac3.rational_policy p ~p_star:2. in
+  let r =
+    Swap.Ac3.run ~policy ~price:(fun t -> if t < 2. then 2. else 5.) p
+      ~p_star:2.
+  in
+  (* Token_b mooned before t2: rational Bob keeps it. *)
+  Alcotest.(check string) "bob declines" "abort@t2"
+    (Swap.Ac3.outcome_to_string r.Swap.Ac3.outcome);
+  check_float "alice refunded" 0. r.Swap.Ac3.alice_delta_a
+
+(* --- AC3WN (witness network) -------------------------------------------------------- *)
+
+let test_ac3wn_happy_path () =
+  let r = Swap.Ac3wn.run p ~p_star:2. in
+  Alcotest.(check string) "success" "success"
+    (Swap.Ac3wn.outcome_to_string r.Swap.Ac3wn.outcome);
+  check_float "alice" (-2.) r.Swap.Ac3wn.alice_delta_a;
+  check_float "bob" 2. r.Swap.Ac3wn.bob_delta_a;
+  (match r.Swap.Ac3wn.decision_confirmed_at with
+  | Some t -> check_float "decision at t3 + tau_w" 10. t
+  | None -> Alcotest.fail "decision expected")
+
+let test_ac3wn_survives_any_single_crash () =
+  List.iter
+    (fun (label, run) ->
+      let r = run () in
+      if r.Swap.Ac3wn.outcome <> Swap.Ac3wn.Success then
+        Alcotest.failf "%s: expected success, got %s" label
+          (Swap.Ac3wn.outcome_to_string r.Swap.Ac3wn.outcome))
+    [
+      ("alice crash after t1",
+       fun () -> Swap.Ac3wn.run ~alice_offline_from:2. p ~p_star:2.);
+      ("bob crash after t2",
+       fun () -> Swap.Ac3wn.run ~bob_offline_from:5. p ~p_star:2.);
+      ("alice crash after posting",
+       fun () -> Swap.Ac3wn.run ~alice_offline_from:8. p ~p_star:2.);
+    ]
+
+let test_ac3wn_all_crash_fails_atomically () =
+  let r =
+    Swap.Ac3wn.run ~alice_offline_from:5. ~bob_offline_from:5. p ~p_star:2.
+  in
+  Alcotest.(check string) "timeout" "failed (nobody decided)"
+    (Swap.Ac3wn.outcome_to_string r.Swap.Ac3wn.outcome);
+  check_float "alice whole" 0. r.Swap.Ac3wn.alice_delta_a;
+  check_float "bob whole" 0. r.Swap.Ac3wn.bob_delta_b
+
+let test_ac3wn_latency_premium () =
+  (* One witness-chain confirmation slower than AC3TW's happy path. *)
+  let tl = Swap.Timeline.ideal p in
+  let ac3tw = tl.Swap.Timeline.t3 +. max p.Swap.Params.tau_a p.Swap.Params.tau_b in
+  check_float "tau_w premium"
+    (ac3tw +. p.Swap.Params.tau_a)
+    (Swap.Ac3wn.happy_path_hours p);
+  check_float "custom tau_witness" (ac3tw +. 7.)
+    (Swap.Ac3wn.happy_path_hours ~tau_witness:7. p)
+
+let test_ac3wn_same_strategic_sr () =
+  check_float ~tol:1e-9 "SR identity with AC3TW"
+    (Swap.Ac3.success_rate p ~p_star:2.)
+    (Swap.Ac3wn.success_rate p ~p_star:2.)
+
+(* --- Waiting-time margins ------------------------------------------------------------ *)
+
+let test_margins_zero_reduces_to_baseline () =
+  let m = Swap.Margins.create p ~delay_t2:0. ~delay_t3:0. in
+  check_float ~tol:1e-9 "SR"
+    (Swap.Success.analytic p ~p_star:2.)
+    (Swap.Margins.success_rate m ~p_star:2.);
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star:2. in
+  let band = Swap.Cutoff.p_t2_band p ~p_star:2. in
+  check_float ~tol:1e-9 "alice t1"
+    (Swap.Utility.a_t1_cont p ~p_star:2. ~k3 ~band)
+    (Swap.Margins.a_t1_cont m ~p_star:2.);
+  check_float ~tol:1e-9 "bob t1"
+    (Swap.Utility.b_t1_cont p ~p_star:2. ~k3 ~band)
+    (Swap.Margins.b_t1_cont m ~p_star:2.)
+
+let test_margins_slack_hurts_everyone () =
+  List.iter
+    (fun (d2, d3) ->
+      let m = Swap.Margins.create p ~delay_t2:d2 ~delay_t3:d3 in
+      let loss_a, loss_b =
+        Swap.Margins.schedule_cost p ~p_star:2. ~delay_t2:d2 ~delay_t3:d3
+      in
+      if loss_a <= 0. then Alcotest.failf "alice must lose at (%g,%g)" d2 d3;
+      if loss_b <= 0. then Alcotest.failf "bob must lose at (%g,%g)" d2 d3;
+      if Swap.Margins.success_rate m ~p_star:2.
+         >= Swap.Success.analytic p ~p_star:2.
+      then Alcotest.failf "SR must fall at (%g,%g)" d2 d3)
+    [ (2., 0.); (0., 2.); (3., 3.) ]
+
+let test_margins_monotone_in_slack () =
+  let sr d =
+    Swap.Margins.success_rate
+      (Swap.Margins.create p ~delay_t2:d ~delay_t3:d)
+      ~p_star:2.
+  in
+  if not (sr 0. > sr 1. && sr 1. > sr 3.) then
+    Alcotest.fail "SR must decrease monotonically in slack"
+
+(* --- Monte Carlo ---------------------------------------------------------------- *)
+
+let test_mc_matches_analytic () =
+  let p_star = 2. in
+  let analytic = Swap.Success.analytic p ~p_star in
+  let policy = Swap.Agent.rational p ~p_star in
+  let mc = Swap.Montecarlo.run ~trials:60_000 ~seed:31 p ~p_star ~policy in
+  let lo, hi = mc.Swap.Montecarlo.ci95 in
+  if analytic < lo -. 0.01 || analytic > hi +. 0.01 then
+    Alcotest.failf "MC %g (CI %g-%g) vs analytic %g" mc.Swap.Montecarlo.rate lo
+      hi analytic
+
+let test_mc_collateral_matches_analytic () =
+  let c = Swap.Collateral.symmetric p ~q:0.5 in
+  let analytic = Swap.Collateral.success_rate c ~p_star:2. in
+  let mc = Swap.Montecarlo.run_collateral ~trials:60_000 ~seed:37 c ~p_star:2. in
+  let lo, hi = mc.Swap.Montecarlo.ci95 in
+  if analytic < lo -. 0.01 || analytic > hi +. 0.01 then
+    Alcotest.failf "MC %g (CI %g-%g) vs analytic %g" mc.Swap.Montecarlo.rate lo
+      hi analytic
+
+let test_mc_honest_always_succeeds () =
+  let mc =
+    Swap.Montecarlo.run ~trials:5_000 p ~p_star:2. ~policy:Swap.Agent.honest
+  in
+  check_float "honest SR = 1" 1. mc.Swap.Montecarlo.rate
+
+let test_mc_deterministic_given_seed () =
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  let a = Swap.Montecarlo.run ~trials:2_000 ~seed:99 p ~p_star:2. ~policy in
+  let b = Swap.Montecarlo.run ~trials:2_000 ~seed:99 p ~p_star:2. ~policy in
+  Alcotest.(check int) "same successes" a.Swap.Montecarlo.successes
+    b.Swap.Montecarlo.successes
+
+let test_mc_myopic_underperforms () =
+  let rational = Swap.Agent.rational p ~p_star:2. in
+  let myopic = Swap.Agent.myopic p ~p_star:2. in
+  let mr = Swap.Montecarlo.run ~trials:20_000 p ~p_star:2. ~policy:rational in
+  let mm = Swap.Montecarlo.run ~trials:20_000 p ~p_star:2. ~policy:myopic in
+  if mm.Swap.Montecarlo.rate >= mr.Swap.Montecarlo.rate then
+    Alcotest.fail "myopic agents must fail more often"
+
+let test_mc_jump_sampler_direction () =
+  (* At matched total variance, moving variance out of the diffusion
+     into rare jumps RAISES the success rate: defections are driven by
+     typical moves (the diffusive sigma), not by tail mass.  See the
+     "jumps" experiment for the full ablation. *)
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  let jd =
+    Stochastic.Jump_diffusion.create ~mu:p.Swap.Params.mu ~sigma:0.07
+      ~lambda:0.05 ~jump_mean:(-0.02) ~jump_stddev:0.3
+  in
+  let gbm_mc = Swap.Montecarlo.run ~trials:30_000 p ~p_star:2. ~policy in
+  let jump_mc =
+    Swap.Montecarlo.run ~trials:30_000
+      ~sampler:(Swap.Montecarlo.jump_sampler jd)
+      p ~p_star:2. ~policy
+  in
+  if jump_mc.Swap.Montecarlo.rate <= gbm_mc.Swap.Montecarlo.rate then
+    Alcotest.fail
+      "same-variance jump model should raise SR (lower diffusive sigma)"
+
+let test_mc_utility_samples_consistent () =
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  let ua, ub = Swap.Montecarlo.utility_samples ~trials:20_000 ~seed:8 p ~p_star:2. ~policy in
+  let mc = Swap.Montecarlo.run ~trials:20_000 ~seed:8 p ~p_star:2. ~policy in
+  check_float ~tol:1e-9 "alice mean identical (same seed)"
+    mc.Swap.Montecarlo.mean_utility_alice
+    (Numerics.Stats.mean ua);
+  Alcotest.(check int) "sample count = initiated" mc.Swap.Montecarlo.initiated
+    (Array.length ua);
+  (* The swap is a risky position: realised utility must disperse. *)
+  if Numerics.Stats.stddev ua < 0.05 then
+    Alcotest.fail "alice's utility dispersion unexpectedly small";
+  if Numerics.Stats.stddev ub < 0.05 then
+    Alcotest.fail "bob's utility dispersion unexpectedly small";
+  (* Bob's downside tail: 5% quantile well below the mean. *)
+  if Numerics.Stats.quantile ub 0.05 >= Numerics.Stats.mean ub then
+    Alcotest.fail "bob must carry downside risk"
+
+(* --- Lattice game cross-check ------------------------------------------------------- *)
+
+let test_lattice_game_converges () =
+  let p_star = 2. in
+  let analytic = Swap.Success.analytic p ~p_star in
+  let spec = Swap.Lattice_game.make_spec ~steps_a:120 ~steps_b:120 p ~p_star in
+  let sol = Swap.Lattice_game.solve spec in
+  if abs_float (sol.Swap.Lattice_game.success_rate -. analytic) > 0.03 then
+    Alcotest.failf "lattice SR %g vs analytic %g"
+      sol.Swap.Lattice_game.success_rate analytic;
+  (match sol.Swap.Lattice_game.t3_boundary with
+  | Some b ->
+    check_float ~tol:0.05 "t3 boundary vs Eq. 18"
+      (Swap.Cutoff.p_t3_low p ~p_star)
+      b
+  | None -> Alcotest.fail "Alice should continue at some lattice node");
+  Alcotest.(check bool) "initiates at a feasible rate" true
+    sol.Swap.Lattice_game.alice_initiates
+
+let test_lattice_game_refinement_improves () =
+  let p_star = 2. in
+  let analytic = Swap.Success.analytic p ~p_star in
+  let err steps =
+    let spec = Swap.Lattice_game.make_spec ~steps_a:steps ~steps_b:steps p ~p_star in
+    abs_float ((Swap.Lattice_game.solve spec).Swap.Lattice_game.success_rate -. analytic)
+  in
+  (* Binomial-lattice convergence oscillates, so compare a coarse and a
+     fine lattice rather than neighbours. *)
+  if not (err 120 < err 10) then
+    Alcotest.fail "refining the lattice must reduce the SR error"
+
+let test_lattice_game_rejects_infeasible_rate () =
+  let spec = Swap.Lattice_game.make_spec ~steps_a:60 ~steps_b:60 p ~p_star:4. in
+  let sol = Swap.Lattice_game.solve spec in
+  Alcotest.(check bool) "no initiation at absurd rate" false
+    sol.Swap.Lattice_game.alice_initiates
+
+let test_lattice_game_collateral_cross_check () =
+  List.iter
+    (fun q ->
+      let spec =
+        Swap.Lattice_game.make_spec ~steps_a:100 ~steps_b:100 ~q p ~p_star:2.
+      in
+      let sol = Swap.Lattice_game.solve spec in
+      let analytic =
+        Swap.Collateral.success_rate (Swap.Collateral.symmetric p ~q)
+          ~p_star:2.
+      in
+      if abs_float (sol.Swap.Lattice_game.success_rate -. analytic) > 0.03 then
+        Alcotest.failf "q=%g: lattice %g vs analytic %g" q
+          sol.Swap.Lattice_game.success_rate analytic;
+      match sol.Swap.Lattice_game.t3_boundary with
+      | Some b ->
+        let kc =
+          Swap.Collateral.p_t3_low (Swap.Collateral.symmetric p ~q) ~p_star:2.
+        in
+        if abs_float (b -. kc) > 0.05 then
+          Alcotest.failf "q=%g: boundary %g vs Eq. 34 %g" q b kc
+      | None -> Alcotest.fail "boundary expected")
+    [ 0.25; 0.5 ]
+
+let test_lattice_game_tree_is_valid () =
+  let spec = Swap.Lattice_game.make_spec ~steps_a:12 ~steps_b:12 p ~p_star:2. in
+  match Gametree.Game.validate (Swap.Lattice_game.build_full spec) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid game tree: %s" e
+
+(* --- Multi-hop cyclic swaps -------------------------------------------------------- *)
+
+let steady = fun _i _t -> 2.
+
+let test_multihop_happy_path () =
+  let spec = Swap.Multihop.make ~parties:4 ~p_star:2. p in
+  let r = Swap.Multihop.run ~price_paths:steady spec in
+  (match r.Swap.Multihop.outcome with
+  | Swap.Multihop.Success -> ()
+  | _ -> Alcotest.fail "4-party cycle must complete");
+  Array.iter
+    (fun (out, inc) ->
+      check_float "gave one" (-1.) out;
+      check_float "received one" 1. inc)
+    r.Swap.Multihop.deltas
+
+let test_multihop_abort_refunds_everyone () =
+  let spec = Swap.Multihop.make ~parties:4 ~p_star:2. p in
+  let decline_at k i ~price:_ =
+    if i = k then Swap.Agent.Stop else Swap.Agent.Cont
+  in
+  List.iter
+    (fun k ->
+      let r =
+        Swap.Multihop.run ~price_paths:steady ~decisions:(decline_at k) spec
+      in
+      (match (k, r.Swap.Multihop.outcome) with
+      | 0, Swap.Multihop.Abort_no_reveal -> ()
+      | k, Swap.Multihop.Abort_at_lock j when j = k -> ()
+      | _, other ->
+        Alcotest.failf "decline by %d: unexpected outcome %s" k
+          (match other with
+          | Swap.Multihop.Success -> "success"
+          | Swap.Multihop.Abort_at_lock j -> Printf.sprintf "abort@%d" j
+          | Swap.Multihop.Abort_no_reveal -> "no reveal"
+          | Swap.Multihop.Anomalous s -> s));
+      Array.iter
+        (fun (out, inc) ->
+          check_float "outgoing restored" 0. out;
+          check_float "nothing received" 0. inc)
+        r.Swap.Multihop.deltas)
+    [ 0; 1; 3 ]
+
+let test_multihop_expiry_schedule_staggered () =
+  let spec = Swap.Multihop.make ~parties:4 ~p_star:2. p in
+  let ex = Swap.Multihop.expiry_schedule spec in
+  for j = 1 to 3 do
+    if ex.(j) >= ex.(j - 1) then
+      Alcotest.fail "deadlines must grow toward the leader's chain"
+  done;
+  (* Every claim confirms exactly at its expiry (tight schedule). *)
+  check_float "lock phase" 16. (Swap.Multihop.lock_phase_hours spec)
+
+let test_multihop_sr_decays_with_parties () =
+  let sr n =
+    (Swap.Multihop.mc_success_rate ~trials:15_000
+       (Swap.Multihop.make ~parties:n ~p_star:2. p))
+      .Swap.Multihop.rate
+  in
+  let s2 = sr 2 and s4 = sr 4 and s6 = sr 6 in
+  if not (s2 > s4 && s4 > s6) then
+    Alcotest.failf "SR must decay with hops: %g %g %g" s2 s4 s6;
+  if s6 >= 0.5 *. s2 then
+    Alcotest.fail "decay should be substantial by 6 parties"
+
+let test_multihop_crash_mid_cascade_strands_one_party () =
+  let spec = Swap.Multihop.make ~parties:3 ~p_star:2. p in
+  let r = Swap.Multihop.run ~price_paths:steady ~offline:[ (2, 10.) ] spec in
+  (match r.Swap.Multihop.outcome with
+  | Swap.Multihop.Anomalous _ -> ()
+  | _ -> Alcotest.fail "mid-cascade crash must break atomicity");
+  (* The crashed party gave without receiving; others are whole. *)
+  let out2, in2 = r.Swap.Multihop.deltas.(2) in
+  check_float "party2 gave" (-1.) out2;
+  check_float "party2 got nothing" 0. in2
+
+(* --- Fuzzing: invariants under arbitrary adversities ---------------------------- *)
+
+let fuzz_tests =
+  let open QCheck in
+  let scenario_gen =
+    Gen.(
+      let* seed = int_range 0 100_000 in
+      let* p_star = float_range 1.2 3.2 in
+      let* q = oneofl [ 0.; 0.25; 1. ] in
+      let* reveal_delay = oneofl [ 0.; 0.5; 2.; 5. ] in
+      let* alice_off = opt (float_range 0. 20.) in
+      let* bob_off = opt (float_range 0. 20.) in
+      let* deviation =
+        oneofl
+          [ None; Some Swap.Protocol.Wrong_hash;
+            Some (Swap.Protocol.Short_amount 0.5);
+            Some (Swap.Protocol.Early_expiry 1.5) ]
+      in
+      let* price_jump = float_range 0.2 5. in
+      return
+        (seed, p_star, q, reveal_delay, alice_off, bob_off, deviation,
+         price_jump))
+  in
+  let arb = make scenario_gen in
+  let run_scenario
+      (seed, p_star, q, reveal_delay, alice_off, bob_off, deviation, jump) =
+    let price t = if t < 5. then p.Swap.Params.p0 else p.Swap.Params.p0 *. jump in
+    (* Mid-game rationality only; the t1 feasibility solve is expensive
+       and irrelevant to the invariants under test. *)
+    let k3 = Swap.Cutoff.p_t3_low p ~p_star in
+    let band = Swap.Cutoff.p_t2_band p ~p_star in
+    let policy =
+      {
+        Swap.Agent.name = "fuzz";
+        alice_t1 = (fun ~p_star:_ -> Swap.Agent.Cont);
+        bob_t2 =
+          (fun ~p_t2 ->
+            if Swap.Intervals.contains band p_t2 then Swap.Agent.Cont
+            else Swap.Agent.Stop);
+        alice_t3 =
+          (fun ~p_t3 -> if p_t3 > k3 then Swap.Agent.Cont else Swap.Agent.Stop);
+        bob_t4 = Swap.Agent.Cont;
+      }
+    in
+    Swap.Protocol.run ~q ~policy ~price ~reveal_delay ?bob_deviation:deviation
+      ?alice_offline_from:alice_off ?bob_offline_from:bob_off ~seed p ~p_star
+  in
+  [
+    Test.make ~name:"fuzz: token conservation on both chains" ~count:150 arb
+      (fun scenario ->
+        let r = run_scenario scenario in
+        (* Whatever happens, tokens are only redistributed. *)
+        let _, p_star, q, _, _, _, _, _ = scenario in
+        ignore q;
+        abs_float (r.Swap.Protocol.alice_delta_b +. r.Swap.Protocol.bob_delta_b)
+        < 1e-9
+        && r.Swap.Protocol.alice_delta_b <= 1. +. 1e-9
+        && r.Swap.Protocol.bob_delta_a <= p_star +. (2. *. q) +. 1e-9);
+    Test.make ~name:"fuzz: success iff Table I deltas" ~count:150 arb
+      (fun scenario ->
+        let r = run_scenario scenario in
+        let _, p_star, _, _, _, _, _, _ = scenario in
+        match r.Swap.Protocol.outcome with
+        | Swap.Protocol.Success ->
+          abs_float (r.Swap.Protocol.alice_delta_a +. p_star) < 1e-9
+          && abs_float (r.Swap.Protocol.alice_delta_b -. 1.) < 1e-9
+        | _ -> true);
+    Test.make ~name:"fuzz: anomalies only from crashes or late reveals"
+      ~count:150 arb (fun scenario ->
+        let r = run_scenario scenario in
+        let _, _, _, reveal_delay, alice_off, bob_off, _, _ = scenario in
+        match r.Swap.Protocol.outcome with
+        | Swap.Protocol.Anomalous _ ->
+          reveal_delay > 0. || alice_off <> None || bob_off <> None
+        | _ -> true);
+  ]
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "agent",
+        [
+          Alcotest.test_case "rational matches cutoffs" `Quick
+            test_rational_policy_matches_cutoffs;
+          Alcotest.test_case "rejects bad rates" `Quick
+            test_rational_rejects_bad_rate;
+          Alcotest.test_case "honest and myopic" `Quick test_honest_and_myopic;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "success matches Table I" `Quick
+            test_protocol_success_table1;
+          Alcotest.test_case "aborts are atomic" `Quick
+            test_protocol_abort_paths_are_atomic;
+          Alcotest.test_case "late reveal fails safe" `Quick
+            test_protocol_late_reveal_fails_safe;
+          Alcotest.test_case "collateral success is neutral" `Quick
+            test_protocol_collateral_success_neutral;
+          Alcotest.test_case "collateral punishes bob" `Quick
+            test_protocol_collateral_punishes_bob;
+          Alcotest.test_case "collateral punishes alice" `Quick
+            test_protocol_collateral_punishes_alice;
+          Alcotest.test_case "price path drives decisions" `Quick
+            test_protocol_on_price_path;
+          Alcotest.test_case "bob deviations caught" `Quick
+            test_protocol_bob_deviations_caught;
+          Alcotest.test_case "marginal expiry tolerated" `Quick
+            test_protocol_marginal_early_expiry_tolerated;
+          Alcotest.test_case "trace and receipts" `Quick
+            test_protocol_trace_and_receipts;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "alice crashes atomically" `Quick
+            test_crash_alice_is_atomic;
+          Alcotest.test_case "bob crash violates atomicity" `Quick
+            test_crash_bob_after_lock_violates_atomicity;
+          Alcotest.test_case "early bob crash is atomic" `Quick
+            test_crash_bob_early_is_atomic;
+        ] );
+      ( "ac3",
+        [
+          Alcotest.test_case "happy path matches Table I" `Quick
+            test_ac3_happy_path_table1;
+          Alcotest.test_case "survives agent crashes" `Quick
+            test_ac3_survives_agent_crashes;
+          Alcotest.test_case "witness crash fails atomically" `Quick
+            test_ac3_witness_crash_fails_atomically;
+          Alcotest.test_case "SR equals alice-committed regime" `Quick
+            test_ac3_sr_equals_alice_committed_regime;
+          Alcotest.test_case "SR dominates HTLC" `Quick
+            test_ac3_sr_dominates_htlc;
+          Alcotest.test_case "rational policy declines bad price" `Quick
+            test_ac3_rational_policy_declines_bad_price;
+        ] );
+      ( "ac3wn",
+        [
+          Alcotest.test_case "happy path" `Quick test_ac3wn_happy_path;
+          Alcotest.test_case "survives any single crash" `Quick
+            test_ac3wn_survives_any_single_crash;
+          Alcotest.test_case "all-crash fails atomically" `Quick
+            test_ac3wn_all_crash_fails_atomically;
+          Alcotest.test_case "latency premium" `Quick
+            test_ac3wn_latency_premium;
+          Alcotest.test_case "same strategic SR" `Quick
+            test_ac3wn_same_strategic_sr;
+        ] );
+      ( "margins",
+        [
+          Alcotest.test_case "zero slack = baseline" `Quick
+            test_margins_zero_reduces_to_baseline;
+          Alcotest.test_case "slack hurts everyone" `Quick
+            test_margins_slack_hurts_everyone;
+          Alcotest.test_case "SR monotone in slack" `Quick
+            test_margins_monotone_in_slack;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "matches Eq. 31" `Slow test_mc_matches_analytic;
+          Alcotest.test_case "matches Eq. 40" `Slow
+            test_mc_collateral_matches_analytic;
+          Alcotest.test_case "honest agents always succeed" `Quick
+            test_mc_honest_always_succeeds;
+          Alcotest.test_case "deterministic by seed" `Quick
+            test_mc_deterministic_given_seed;
+          Alcotest.test_case "myopic underperforms" `Slow
+            test_mc_myopic_underperforms;
+          Alcotest.test_case "jump-variance direction" `Slow
+            test_mc_jump_sampler_direction;
+          Alcotest.test_case "utility samples consistent" `Slow
+            test_mc_utility_samples_consistent;
+        ] );
+      ( "multihop",
+        [
+          Alcotest.test_case "happy path (4 parties)" `Quick
+            test_multihop_happy_path;
+          Alcotest.test_case "aborts refund everyone" `Quick
+            test_multihop_abort_refunds_everyone;
+          Alcotest.test_case "staggered deadlines" `Quick
+            test_multihop_expiry_schedule_staggered;
+          Alcotest.test_case "SR decays with parties" `Slow
+            test_multihop_sr_decays_with_parties;
+          Alcotest.test_case "mid-cascade crash strands one party" `Quick
+            test_multihop_crash_mid_cascade_strands_one_party;
+        ] );
+      ("fuzz", List.map QCheck_alcotest.to_alcotest fuzz_tests);
+      ( "lattice_game",
+        [
+          Alcotest.test_case "converges to analytic" `Slow
+            test_lattice_game_converges;
+          Alcotest.test_case "refinement reduces error" `Slow
+            test_lattice_game_refinement_improves;
+          Alcotest.test_case "rejects infeasible rate" `Quick
+            test_lattice_game_rejects_infeasible_rate;
+          Alcotest.test_case "collateral cross-check (Eq. 34/40)" `Slow
+            test_lattice_game_collateral_cross_check;
+          Alcotest.test_case "game tree validates" `Quick
+            test_lattice_game_tree_is_valid;
+        ] );
+    ]
