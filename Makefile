@@ -1,0 +1,19 @@
+.PHONY: build test ci chaos clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Everything CI gates on: all targets (including bench/ and examples/)
+# plus the full test suite.
+ci:
+	dune build @ci
+
+# Soak run of the chaos invariant suite (default is 500 schedules).
+chaos:
+	CHAOS_ITERS=5000 dune exec test/test_chaos.exe
+
+clean:
+	dune clean

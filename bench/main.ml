@@ -157,6 +157,19 @@ let kernel_crash =
     (stage (fun () ->
          ignore (Swap.Protocol.run ~bob_offline_from:7.5 p ~p_star:2.)))
 
+let kernel_chaos =
+  let faults =
+    Chainsim.Faults.create ~drop_prob:0.2
+      ~delay:(Chainsim.Faults.Shifted_exponential { mean = 0.8; cap = 6. })
+      ~reorg_prob:0.1 ()
+  in
+  Test.make ~name:"chaos/protocol-with-faults"
+    (stage (fun () ->
+         ignore
+           (Swap.Protocol.run ~faults_a:faults ~faults_b:faults
+              ~retry:Swap.Agent.default_retry ~delay_t2:2. ~delay_t3:2. p
+              ~p_star:2.)))
+
 let kernel_ac3 =
   Test.make ~name:"ac3/witness-protocol-run"
     (stage (fun () -> ignore (Swap.Ac3.run p ~p_star:2.)))
@@ -244,7 +257,7 @@ let kernel_chain_cycle =
     (stage (fun () ->
          let c =
            Chainsim.Chain.create ~name:"bench" ~token:"T" ~tau:1.
-             ~mempool_delay:0.1
+             ~mempool_delay:0.1 ()
          in
          Chainsim.Chain.mint c ~account:"a" ~amount:10.;
          let s = Chainsim.Secret.of_preimage "bench" in
@@ -265,7 +278,7 @@ let all_tests =
     kernel_fig5; kernel_eq29; kernel_fig6; kernel_fig7; kernel_fig8;
     kernel_fig9; kernel_mc; kernel_lattice; kernel_baselines; kernel_jumps;
     kernel_optionality; kernel_selection; kernel_frictions; kernel_backtest;
-    kernel_crash; kernel_ac3; kernel_waiting; kernel_stablecoin;
+    kernel_crash; kernel_chaos; kernel_ac3; kernel_waiting; kernel_stablecoin;
     kernel_negotiation; kernel_security; kernel_multihop; kernel_uncertainty;
     kernel_ac3wn; kernel_attribution; kernel_presets; kernel_scorecard;
     kernel_sha256; kernel_erfc; kernel_gbm_sample; kernel_quadrature;

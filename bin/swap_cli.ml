@@ -185,10 +185,85 @@ let protocol_cmd =
       & info [ "reveal-delay" ]
           ~doc:"Extra hours before Alice submits her claim (timing attack).")
   in
-  let run params p_star q reveal_delay =
-    let result = Swap.Protocol.run ~q ~reveal_delay params ~p_star in
-    Printf.printf "outcome: %s\n\n"
-      (Swap.Protocol.outcome_to_string result.Swap.Protocol.outcome);
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ] ~doc:"Per-transaction drop probability (both chains).")
+  in
+  let delay_mean =
+    Arg.(
+      value & opt float 0.
+      & info [ "delay-mean" ]
+          ~doc:"Mean of the extra confirmation delay (h); 0 disables.")
+  in
+  let delay_prob =
+    Arg.(
+      value & opt float 1.
+      & info [ "delay-prob" ]
+          ~doc:"Probability a transaction suffers the extra delay at all.")
+  in
+  let reorg =
+    Arg.(
+      value & opt float 0.
+      & info [ "reorg" ] ~doc:"Single-depth reorg probability (both chains).")
+  in
+  let halt =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' float float)) None
+      & info [ "halt" ] ~docv:"H0,H1"
+          ~doc:"Halt both chains over the window [H0, H1).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ]
+          ~doc:"Max submission attempts per action (1 = no resubmission).")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff" ] ~doc:"Initial resubmission backoff (h); doubles.")
+  in
+  let slack_t2 =
+    Arg.(
+      value & opt float 0.
+      & info [ "slack-t2" ] ~doc:"Extra hours on Alice's lock leg (delay_t2).")
+  in
+  let slack_t3 =
+    Arg.(
+      value & opt float 0.
+      & info [ "slack-t3" ] ~doc:"Extra hours on Bob's lock leg (delay_t3).")
+  in
+  let seed =
+    Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Fault/secret RNG seed.")
+  in
+  let run params p_star q reveal_delay drop delay_mean delay_prob reorg halt
+      retries backoff slack_t2 slack_t3 seed =
+    let faults =
+      let delay =
+        if delay_mean > 0. then
+          Chainsim.Faults.Shifted_exponential
+            { mean = delay_mean; cap = 4. *. delay_mean }
+        else Chainsim.Faults.No_extra_delay
+      in
+      let halts = match halt with Some w -> [ w ] | None -> [] in
+      Chainsim.Faults.create ~drop_prob:drop ~delay_prob ~delay
+        ~reorg_prob:reorg ~halts ()
+    in
+    let retry =
+      if retries <= 1 then Swap.Agent.no_retry
+      else Swap.Agent.make_retry ~backoff retries
+    in
+    let result =
+      Swap.Protocol.run ~q ~reveal_delay ~seed ~faults_a:faults
+        ~faults_b:faults ~retry ~delay_t2:slack_t2 ~delay_t3:slack_t3 params
+        ~p_star
+    in
+    Printf.printf "outcome: %s\n" (Swap.Protocol.outcome_to_string result.Swap.Protocol.outcome);
+    if not (Chainsim.Faults.is_none faults) then
+      Printf.printf "faults:  %s\n" (Chainsim.Faults.to_string faults);
+    print_newline ();
     List.iter
       (fun (t, msg) -> Printf.printf "  [%6.2f h] %s\n" t msg)
       result.Swap.Protocol.trace;
@@ -198,12 +273,47 @@ let protocol_cmd =
     Printf.printf "  bob:   %+g Token_a, %+g Token_b\n"
       result.Swap.Protocol.bob_delta_a result.Swap.Protocol.bob_delta_b;
     Printf.printf "secret observable at t4: %b\n"
-      result.Swap.Protocol.secret_observed_at_t4
+      result.Swap.Protocol.secret_observed_at_t4;
+    let t = result.Swap.Protocol.telemetry in
+    Printf.printf "\ntelemetry:\n";
+    Printf.printf "  submissions %d (retries %d)\n"
+      (List.length t.Swap.Protocol.submissions)
+      t.Swap.Protocol.retries;
+    List.iter
+      (fun (s : Swap.Protocol.submission) ->
+        Printf.printf "    [%6.2f h] %-7s %-24s attempt %d -> %s\n"
+          s.Swap.Protocol.submitted_at s.Swap.Protocol.chain
+          s.Swap.Protocol.action s.Swap.Protocol.attempt
+          (match s.Swap.Protocol.confirmed_at with
+          | Some c -> Printf.sprintf "confirmed at %.2f h" c
+          | None -> "never confirmed"))
+      t.Swap.Protocol.submissions;
+    let pr_stats name (f : Chainsim.Chain.fault_stats) =
+      if
+        f.Chainsim.Chain.dropped + f.Chainsim.Chain.delayed
+        + f.Chainsim.Chain.reorged + f.Chainsim.Chain.halted
+        > 0
+      then
+        Printf.printf
+          "  %s faults: %d dropped, %d delayed (%.2f h extra), %d reorged, \
+           %d halt-deferred\n"
+          name f.Chainsim.Chain.dropped f.Chainsim.Chain.delayed
+          f.Chainsim.Chain.extra_delay f.Chainsim.Chain.reorged
+          f.Chainsim.Chain.halted
+    in
+    pr_stats "chain_a" t.Swap.Protocol.fault_stats_a;
+    pr_stats "chain_b" t.Swap.Protocol.fault_stats_b;
+    Printf.printf "  margin consumed: %.2f h on chain_a, %.2f h on chain_b\n"
+      t.Swap.Protocol.margin_consumed_a t.Swap.Protocol.margin_consumed_b
   in
   Cmd.v
     (Cmd.info "protocol"
-       ~doc:"Execute one swap end-to-end on the two-chain simulator.")
-    Term.(const run $ params_term $ p_star_term $ q_term $ reveal_delay)
+       ~doc:"Execute one swap end-to-end on the two-chain simulator, \
+             optionally under injected chain faults.")
+    Term.(
+      const run $ params_term $ p_star_term $ q_term $ reveal_delay $ drop
+      $ delay_mean $ delay_prob $ reorg $ halt $ retries $ backoff $ slack_t2
+      $ slack_t3 $ seed)
 
 (* --- ac3 ------------------------------------------------------------------ *)
 

@@ -22,7 +22,7 @@ let () =
   Printf.printf "hashlock commitment: %s\n\n" (Secret.hash_hex secret);
 
   (* 1. Happy path: lock, claim with the right preimage. *)
-  let chain = Chain.create ~name:"demo" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 in
+  let chain = Chain.create ~name:"demo" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 () in
   Chain.mint chain ~account:"alice" ~amount:10.;
   ignore
     (Chain.submit chain ~at:0.
@@ -42,7 +42,7 @@ let () =
   Printf.printf "  bob's balance: %g\n\n" (Chain.balance chain ~account:"bob");
 
   (* 2. Wrong preimage is rejected; funds refund at expiry. *)
-  let chain2 = Chain.create ~name:"demo2" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 in
+  let chain2 = Chain.create ~name:"demo2" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 () in
   Chain.mint chain2 ~account:"alice" ~amount:10.;
   ignore
     (Chain.submit chain2 ~at:0.
@@ -65,7 +65,7 @@ let () =
 
   (* 3. Late claim: submitted before expiry but confirmed after — the
      exact failure mode that forces t5 <= t_b in Eq. 8. *)
-  let chain3 = Chain.create ~name:"demo3" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 in
+  let chain3 = Chain.create ~name:"demo3" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 () in
   Chain.mint chain3 ~account:"alice" ~amount:10.;
   ignore
     (Chain.submit chain3 ~at:0.

@@ -11,11 +11,21 @@ type event_kind =
   | Auto_escrow_timeout of { contract_id : string }
 type event = { at : float; seq : int; kind : event_kind }
 
+type fault_stats = {
+  dropped : int;
+  reorged : int;
+  delayed : int;
+  halted : int;
+  extra_delay : float;
+}
+
 type t = {
   name : string;
   token : string;
   tau : float;
   mempool_delay : float;
+  faults : Faults.t;
+  fault_seed : int;
   mutable fee_per_tx : float;
   ledger : Ledger.t;
   htlcs : (string, Htlc.t) Hashtbl.t;
@@ -26,11 +36,16 @@ type t = {
   mutable next_tx_id : int;
   mutable next_seq : int;
   mutable clock : float;
+  mutable fstats : fault_stats;
 }
 
 let miner_account = "miner"
 
-let create ~name ~token ~tau ~mempool_delay =
+let no_fault_stats =
+  { dropped = 0; reorged = 0; delayed = 0; halted = 0; extra_delay = 0. }
+
+let create ?(faults = Faults.none) ?(fault_seed = 0) ~name ~token ~tau
+    ~mempool_delay () =
   if tau <= 0. then invalid_arg "Chain.create: requires tau > 0";
   if mempool_delay < 0. || mempool_delay >= tau then
     invalid_arg "Chain.create: requires 0 <= mempool_delay < tau (Eq. 3)";
@@ -39,6 +54,8 @@ let create ~name ~token ~tau ~mempool_delay =
     token;
     tau;
     mempool_delay;
+    faults;
+    fault_seed;
     fee_per_tx = 0.;
     ledger = Ledger.create ();
     htlcs = Hashtbl.create 8;
@@ -52,6 +69,7 @@ let create ~name ~token ~tau ~mempool_delay =
     next_tx_id = 0;
     next_seq = 0;
     clock = 0.;
+    fstats = no_fault_stats;
   }
 
 let name t = t.name
@@ -71,8 +89,13 @@ let escrow_account ~contract_id = "escrow:" ^ contract_id
 let system_transfer t ~from_ ~to_ ~amount =
   Ledger.transfer t.ledger ~from_ ~to_ ~amount
 
+(* Every scheduled event funnels through here, so halt windows defer
+   confirmations and auto-refunds alike. *)
 let push_event t ~at kind =
-  Heap.push t.events { at; seq = t.next_seq; kind };
+  let deferred = Faults.settle_time t.faults at in
+  if deferred > at then
+    t.fstats <- { t.fstats with halted = t.fstats.halted + 1 };
+  Heap.push t.events { at = deferred; seq = t.next_seq; kind };
   t.next_seq <- t.next_seq + 1
 
 let submit t ~at payload =
@@ -83,8 +106,20 @@ let submit t ~at payload =
   let id = t.next_tx_id in
   t.next_tx_id <- id + 1;
   let tx = { Tx.id; submitted_at = at; payload } in
+  (* Dropped transactions stay in [submitted] — mempool-visible but
+     never confirmed (censorship). *)
   t.submitted <- tx :: t.submitted;
-  push_event t ~at:(at +. t.tau) (Confirm tx);
+  (match Faults.tx_fate t.faults ~seed:t.fault_seed ~tx_id:id ~tau:t.tau with
+  | Faults.Dropped ->
+    t.fstats <- { t.fstats with dropped = t.fstats.dropped + 1 }
+  | Faults.Confirm_after { extra; reorged } ->
+    if reorged then t.fstats <- { t.fstats with reorged = t.fstats.reorged + 1 };
+    if extra > 0. then
+      t.fstats <-
+        { t.fstats with
+          delayed = t.fstats.delayed + 1;
+          extra_delay = t.fstats.extra_delay +. extra };
+    push_event t ~at:(at +. t.tau +. extra) (Confirm tx));
   id
 
 let record t ~time ~tx_id ~description ~result =
@@ -106,16 +141,19 @@ let fee_payer t (payload : Tx.payload) =
   | Tx.Escrow_lock { owner; _ } -> Some owner
   | Tx.Escrow_decide { by; _ } -> Some by
 
-(* Best-effort fee collection: fees never fail a valid transaction. *)
+(* Best-effort fee collection: fees never fail a valid transaction.
+   Returns the forgiven remainder so receipts can record it. *)
 let collect_fee t payload =
   if t.fee_per_tx > 0. then
     match fee_payer t payload with
-    | None -> ()
+    | None -> 0.
     | Some payer ->
       let payable = min t.fee_per_tx (Ledger.balance t.ledger payer) in
       if payable > 0. then
         Ledger.transfer t.ledger ~from_:payer ~to_:miner_account
-          ~amount:payable
+          ~amount:payable;
+      t.fee_per_tx -. payable
+  else 0.
 
 (* Execute a confirmed transaction at its confirmation time [now]. *)
 let execute_tx t now (tx : Tx.t) =
@@ -215,8 +253,14 @@ let execute_tx t now (tx : Tx.t) =
           Ok ()))
   in
   (* Fees are charged after the effect and only on executed
-     transactions, so they can never fail an otherwise-valid one. *)
-  if Result.is_ok result then collect_fee t tx.payload;
+     transactions, so they can never fail an otherwise-valid one.
+     Unpayable remainders are forgiven but audited on the receipt. *)
+  let forgiven = if Result.is_ok result then collect_fee t tx.payload else 0. in
+  let describe =
+    if forgiven > 1e-12 then
+      Printf.sprintf "%s [fee forgiven: %g]" describe forgiven
+    else describe
+  in
   record t ~time:now ~tx_id:(Some tx.Tx.id) ~description:describe ~result
 
 let execute_escrow_timeout t now ~contract_id =
@@ -310,6 +354,12 @@ let advance t ~until =
 let htlc t ~contract_id = Hashtbl.find_opt t.htlcs contract_id
 let escrow t ~contract_id = Hashtbl.find_opt t.escrows contract_id
 let receipts t = List.rev t.receipt_log
+
+let tx_receipt t ~tx_id =
+  List.find_opt (fun r -> r.tx_id = Some tx_id) t.receipt_log
+
+let faults t = t.faults
+let fault_stats t = t.fstats
 
 let observable_txs t ~at =
   List.rev

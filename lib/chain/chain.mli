@@ -8,7 +8,11 @@
     - transaction fees are zero;
     - an HTLC whose time lock expires at [e] with no successful claim
       returns its funds to the sender, credited at [e + tau]
-      (Eqs. 10–11: [t7 = t_b + tau_b], [t8 = t_a + tau_a]). *)
+      (Eqs. 10–11: [t7 = t_b + tau_b], [t8 = t_a + tau_a]).
+
+    A {!Faults} schedule relaxes the first point deterministically
+    (seeded stochastic delays, drops, halts, reorgs); with the default
+    {!Faults.none} the chain honours Assumption 1 exactly. *)
 
 type t
 
@@ -19,10 +23,28 @@ type receipt = {
   result : (unit, string) result;
 }
 
-val create : name:string -> token:string -> tau:float -> mempool_delay:float -> t
+type fault_stats = {
+  dropped : int;  (** Transactions censored (never confirm). *)
+  reorged : int;  (** Transactions re-mined one [tau] later. *)
+  delayed : int;  (** Transactions with nonzero extra latency. *)
+  halted : int;  (** Events deferred past a halt window. *)
+  extra_delay : float;  (** Total extra confirmation latency injected. *)
+}
+
+val create :
+  ?faults:Faults.t ->
+  ?fault_seed:int ->
+  name:string ->
+  token:string ->
+  tau:float ->
+  mempool_delay:float ->
+  unit ->
+  t
 (** @raise Invalid_argument unless [0 <= mempool_delay < tau] (Eq. 3)
     and [tau > 0].  Transaction fees default to 0, matching the paper's
-    Assumption 2; see {!set_fee_per_tx}. *)
+    Assumption 2; see {!set_fee_per_tx}.  [faults] (default
+    {!Faults.none}) perturbs confirmations per its schedule,
+    deterministically in [fault_seed] (default 0). *)
 
 val miner_account : string
 (** Account accumulating transaction fees. *)
@@ -35,7 +57,9 @@ val set_fee_per_tx : t -> float -> unit
     transactions — to the initiating account (sender / claimer /
     owner / arbiter) and credited to {!miner_account}.  When the
     initiator cannot pay the full fee the remainder is forgiven, so
-    fees never make an otherwise-valid transaction fail.
+    fees never make an otherwise-valid transaction fail; the forgiven
+    amount is recorded on the receipt description
+    ([... \[fee forgiven: x\]]) so fee experiments can audit it.
     @raise Invalid_argument on negative fees. *)
 
 val name : t -> string
@@ -59,7 +83,9 @@ val system_transfer : t -> from_:string -> to_:string -> amount:float -> unit
     @raise Ledger.Insufficient_funds if [from_] lacks the amount. *)
 
 val submit : t -> at:float -> Tx.payload -> Tx.id
-(** Queues a transaction at time [at]; it executes at [at + tau].
+(** Queues a transaction at time [at]; it executes at [at + tau] (plus
+    any fault-injected extra latency; a dropped transaction never
+    executes but stays mempool-visible).
     @raise Invalid_argument if [at] is before the chain clock. *)
 
 val advance : t -> until:float -> receipt list
@@ -76,6 +102,17 @@ val escrow : t -> contract_id:string -> Escrow.t option
 
 val receipts : t -> receipt list
 (** All receipts so far, chronological. *)
+
+val tx_receipt : t -> tx_id:Tx.id -> receipt option
+(** The receipt of a specific transaction, if it has confirmed ([None]
+    while pending — or forever, if the fault layer dropped it). *)
+
+val faults : t -> Faults.t
+(** The fault schedule this chain was created with. *)
+
+val fault_stats : t -> fault_stats
+(** Running counters of fault-layer interference on this chain; all
+    zero under {!Faults.none}. *)
 
 val observable_txs : t -> at:float -> Tx.t list
 (** Transactions visible at time [at]: submitted no later than

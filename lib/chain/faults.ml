@@ -1,0 +1,142 @@
+type delay =
+  | No_extra_delay
+  | Shifted_exponential of { mean : float; cap : float }
+  | Bounded_pareto of { alpha : float; scale : float; cap : float }
+
+type t = {
+  drop_prob : float;
+  delay_prob : float;
+  delay : delay;
+  reorg_prob : float;
+  halts : (float * float) list;
+}
+
+let none =
+  {
+    drop_prob = 0.;
+    delay_prob = 1.;
+    delay = No_extra_delay;
+    reorg_prob = 0.;
+    halts = [];
+  }
+
+let is_none t =
+  t.drop_prob = 0. && t.reorg_prob = 0. && t.halts = []
+  && (t.delay_prob = 0.
+     ||
+     match t.delay with
+     | No_extra_delay -> true
+     | Shifted_exponential { mean; cap } -> mean = 0. || cap = 0.
+     | Bounded_pareto { cap; _ } -> cap = 0.)
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Faults.create: %s must be in [0, 1]" what)
+
+let check_pos what x =
+  if not (x > 0. && Float.is_finite x) then
+    invalid_arg
+      (Printf.sprintf "Faults.create: %s must be positive and finite" what)
+
+let check_cap cap =
+  if not (cap >= 0. && Float.is_finite cap) then
+    invalid_arg "Faults.create: delay cap must be finite and >= 0"
+
+let create ?(drop_prob = 0.) ?(delay_prob = 1.) ?(delay = No_extra_delay)
+    ?(reorg_prob = 0.) ?(halts = []) () =
+  check_prob "drop_prob" drop_prob;
+  check_prob "delay_prob" delay_prob;
+  check_prob "reorg_prob" reorg_prob;
+  (match delay with
+  | No_extra_delay -> ()
+  | Shifted_exponential { mean; cap } ->
+    check_pos "delay mean" mean;
+    check_cap cap
+  | Bounded_pareto { alpha; scale; cap } ->
+    check_pos "pareto alpha" alpha;
+    check_pos "pareto scale" scale;
+    check_cap cap);
+  List.iter
+    (fun (h0, h1) ->
+      if not (Float.is_finite h0 && Float.is_finite h1 && h0 <= h1) then
+        invalid_arg "Faults.create: halt window requires h0 <= h1 (finite)")
+    halts;
+  let halts = List.sort (fun (a, _) (b, _) -> compare a b) halts in
+  let rec check_disjoint = function
+    | (_, h1) :: ((h0', _) :: _ as rest) ->
+      if h1 > h0' then invalid_arg "Faults.create: halt windows overlap";
+      check_disjoint rest
+    | _ -> ()
+  in
+  check_disjoint halts;
+  { drop_prob; delay_prob; delay; reorg_prob; halts }
+
+type fate = Dropped | Confirm_after of { extra : float; reorged : bool }
+
+(* Each transaction gets its own generator keyed by (seed, tx_id), so a
+   fate never depends on how many draws other transactions consumed:
+   replaying the same (seed, schedule) against a different submission
+   pattern perturbs the overlapping transactions identically. *)
+let tx_rng ~seed ~tx_id =
+  Numerics.Rng.create ~seed:(seed lxor ((tx_id + 1) * 0x2545F4914F6CDD1D)) ()
+
+let draw_extra rng = function
+  | No_extra_delay -> 0.
+  | Shifted_exponential { mean; cap } ->
+    if mean <= 0. then 0.
+    else min cap (Numerics.Rng.exponential rng ~rate:(1. /. mean))
+  | Bounded_pareto { alpha; scale; cap } ->
+    let u = max 1e-12 (Numerics.Rng.uniform rng) in
+    min cap ((scale *. (u ** (-1. /. alpha))) -. scale)
+
+let tx_fate t ~seed ~tx_id ~tau =
+  if is_none t then Confirm_after { extra = 0.; reorged = false }
+  else begin
+    let rng = tx_rng ~seed ~tx_id in
+    (* Fixed draw order (drop, delay gate, delay size, reorg) keeps a
+       transaction's fate a pure function of (seed, tx_id, schedule). *)
+    let u_drop = Numerics.Rng.uniform rng in
+    let u_gate = Numerics.Rng.uniform rng in
+    let extra = draw_extra rng t.delay in
+    let u_reorg = Numerics.Rng.uniform rng in
+    if u_drop < t.drop_prob then Dropped
+    else begin
+      let extra = if u_gate < t.delay_prob then extra else 0. in
+      let reorged = u_reorg < t.reorg_prob in
+      let extra = if reorged then extra +. tau else extra in
+      Confirm_after { extra; reorged }
+    end
+  end
+
+let settle_time t at =
+  (* Halts are sorted, so one left-to-right pass chains deferrals. *)
+  List.fold_left
+    (fun at (h0, h1) -> if at >= h0 && at < h1 then h1 else at)
+    at t.halts
+
+let max_extra_delay t =
+  match t.delay with
+  | No_extra_delay -> 0.
+  | Shifted_exponential { cap; _ } | Bounded_pareto { cap; _ } -> cap
+
+let horizon_margin t ~tau =
+  let reorg = if t.reorg_prob > 0. then tau else 0. in
+  let halt_end =
+    List.fold_left (fun acc (_, h1) -> max acc h1) 0. t.halts
+  in
+  max_extra_delay t +. reorg +. halt_end
+
+let delay_to_string = function
+  | No_extra_delay -> "none"
+  | Shifted_exponential { mean; cap } ->
+    Printf.sprintf "exp(mean=%g, cap=%g)" mean cap
+  | Bounded_pareto { alpha; scale; cap } ->
+    Printf.sprintf "pareto(alpha=%g, scale=%g, cap=%g)" alpha scale cap
+
+let to_string t =
+  if is_none t then "no faults"
+  else
+    Printf.sprintf "drop=%g delay=%s@p=%g reorg=%g halts=[%s]" t.drop_prob
+      (delay_to_string t.delay) t.delay_prob t.reorg_prob
+      (String.concat "; "
+         (List.map (fun (h0, h1) -> Printf.sprintf "%g,%g" h0 h1) t.halts))

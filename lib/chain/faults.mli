@@ -1,0 +1,105 @@
+(** Per-chain fault schedules for the simulator.
+
+    The paper's Assumption 1 idealises each chain: a transaction
+    submitted at [s] is confirmed at exactly [s + tau], always.  Every
+    fault below is a bounded, seed-deterministic departure from that
+    assumption, so robustness experiments can measure how much timelock
+    margin (Eq. 12 slack) is needed to absorb realistic chain
+    behaviour:
+
+    - {b Stochastic confirmation delay} ([delay], gated by
+      [delay_prob]): with probability [delay_prob] the confirmation
+      time becomes [s + tau + extra] with [extra >= 0] drawn from a
+      truncated shifted-exponential or bounded-Pareto law; otherwise
+      the transaction confirms on time.  This models congestion: [tau]
+      stays the {e typical} inter-block latency but some transactions
+      straggle.  Caps keep every draw bounded, so refund horizons
+      remain finite.
+    - {b Drop/censorship} ([drop_prob]): with this probability the
+      transaction is never mined at all.  It {e stays visible in the
+      mempool} (so a censored reveal still leaks Alice's preimage —
+      the dangerous asymmetry the chaos tests exercise), but no
+      confirmation event ever fires and its effect never applies.
+    - {b Halt windows} ([halts]): during each [[h0, h1)] interval the
+      chain makes no progress; any event (confirmation, auto-refund)
+      that would land inside a window is deferred to [h1].  Models
+      outages and consensus stalls.
+    - {b Single-depth reorgs} ([reorg_prob]): with this probability the
+      block carrying the transaction is orphaned and the transaction is
+      re-mined in the next block, confirming one extra [tau] later.
+      Because the simulator applies a transaction's effect only at its
+      (final) confirmation, orphan-then-remine is observationally
+      equivalent to this extra delay — no ledger rollback is needed,
+      and state read at decision times is always post-reorg state.
+
+    Fates are drawn from an RNG keyed by [(seed, tx_id)], not from a
+    shared stream, so a transaction's fate is independent of how many
+    other transactions were submitted before it: the same
+    [(seed, schedule)] pair replays an identical trace even when agents
+    change their submission behaviour around it.  [none] draws nothing
+    at all — a chain created with [Faults.none] is bit-for-bit
+    identical to one created without the fault layer. *)
+
+type delay =
+  | No_extra_delay  (** Assumption 1 exactly: confirmation at [s + tau]. *)
+  | Shifted_exponential of { mean : float; cap : float }
+      (** [extra ~ min(cap, Exp(1/mean))]; light-tailed congestion. *)
+  | Bounded_pareto of { alpha : float; scale : float; cap : float }
+      (** [extra ~ min(cap, scale * U^(-1/alpha) - scale)]; heavy-tailed
+          congestion (occasional very late confirmations). *)
+
+type t = private {
+  drop_prob : float;  (** Per-transaction censorship probability. *)
+  delay_prob : float;
+      (** Probability that a non-dropped transaction suffers extra
+          latency at all; the remainder confirm exactly on time. *)
+  delay : delay;  (** Extra-confirmation-latency law. *)
+  reorg_prob : float;  (** Per-transaction single-depth reorg probability. *)
+  halts : (float * float) list;
+      (** Disjoint [[h0, h1)] outage windows, sorted by start. *)
+}
+
+val none : t
+(** No faults: the chain honours Assumption 1 exactly and performs no
+    RNG draws. *)
+
+val create :
+  ?drop_prob:float ->
+  ?delay_prob:float ->
+  ?delay:delay ->
+  ?reorg_prob:float ->
+  ?halts:(float * float) list ->
+  unit ->
+  t
+(** @raise Invalid_argument unless probabilities lie in [[0, 1]], delay
+    parameters are positive and finite with a finite nonnegative cap,
+    and halt windows are well-formed ([h0 <= h1]); windows are sorted
+    and must not overlap. *)
+
+val is_none : t -> bool
+(** True iff the schedule can never perturb any transaction. *)
+
+type fate =
+  | Dropped  (** Never confirms; stays mempool-visible. *)
+  | Confirm_after of { extra : float; reorged : bool }
+      (** Confirms at [submitted_at + tau + extra] (before halt
+          deferral); [extra] includes one [tau] when [reorged]. *)
+
+val tx_fate : t -> seed:int -> tx_id:int -> tau:float -> fate
+(** The (deterministic) fate of transaction [tx_id] on a chain seeded
+    with [seed].  [Faults.none] short-circuits to
+    [Confirm_after { extra = 0.; reorged = false }] without touching
+    any RNG. *)
+
+val settle_time : t -> float -> float
+(** [settle_time t at] defers [at] past any halt window containing it
+    (chained: if [h1] lands inside a later window, defers again). *)
+
+val horizon_margin : t -> tau:float -> float
+(** A safe upper bound on how far beyond the fault-free horizon events
+    can be pushed by this schedule: the delay cap, plus one [tau] if
+    reorgs are possible, plus the end of the last halt window.  Runners
+    add this to their settlement horizon so every deferred auto-refund
+    still executes. *)
+
+val to_string : t -> string

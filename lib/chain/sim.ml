@@ -2,18 +2,20 @@ type pending = { at : float; seq : int; name : string; run : t -> unit }
 
 and t = {
   queue : pending Heap.t;
+  trace_enabled : bool;
   mutable clock : float;
   mutable next_seq : int;
   mutable log : (float * string) list;  (** Reverse-chronological. *)
   mutable executed : int;
 }
 
-let create () =
+let create ?(trace = true) () =
   {
     queue =
       Heap.create ~cmp:(fun a b ->
           let c = compare a.at b.at in
           if c <> 0 then c else compare a.seq b.seq);
+    trace_enabled = trace;
     clock = 0.;
     next_seq = 0;
     log = [];
@@ -35,19 +37,26 @@ let step t =
   | None -> false
   | Some ev ->
     t.clock <- ev.at;
-    t.log <- (ev.at, ev.name) :: t.log;
+    if t.trace_enabled then t.log <- (ev.at, ev.name) :: t.log;
     t.executed <- t.executed + 1;
     ev.run t;
     true
 
-let rec run t = if step t then run t
+(* While-loops, not recursion: chaos schedules run millions of events
+   and must not grow the stack with the trace disabled. *)
+let run t =
+  let live = ref true in
+  while !live do
+    live := step t
+  done
 
-let rec run_until t limit =
-  match Heap.peek t.queue with
-  | Some ev when ev.at <= limit ->
-    ignore (step t);
-    run_until t limit
-  | _ -> ()
+let run_until t limit =
+  let live = ref true in
+  while !live do
+    match Heap.peek t.queue with
+    | Some ev when ev.at <= limit -> ignore (step t)
+    | _ -> live := false
+  done
 
 let trace t = List.rev t.log
 let executed_count t = t.executed

@@ -4,7 +4,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?trace:bool -> unit -> t
+(** [trace] (default [true]) controls whether executed events are
+    recorded for {!trace}.  Disable it for long chaos runs: the log
+    list otherwise grows without bound. *)
 
 val now : t -> float
 (** Time of the event currently executing (0. before the first). *)
@@ -14,12 +17,14 @@ val schedule : t -> at:float -> name:string -> (t -> unit) -> unit
 
 val run : t -> unit
 (** Runs until the event queue is empty.  Events may schedule further
-    events. *)
+    events.  Stack-safe for arbitrarily long schedules. *)
 
 val run_until : t -> float -> unit
-(** Runs events with time [<= limit]; later events stay queued. *)
+(** Runs events with time [<= limit]; later events stay queued.
+    Stack-safe for arbitrarily long schedules. *)
 
 val trace : t -> (float * string) list
-(** Names of executed events, chronological. *)
+(** Names of executed events, chronological ([[]] when the simulator
+    was created with [~trace:false]). *)
 
 val executed_count : t -> int

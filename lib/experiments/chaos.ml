@@ -1,0 +1,191 @@
+(* Chaos harness: how much success rate do chain faults destroy, and
+   how much of it does timeline slack buy back?
+
+   Sweeps a fault-intensity knob kappa (transaction drop probability,
+   with proportional stochastic extra confirmation delay and a reorg
+   rate of kappa/2 on both chains) against symmetric schedule slack
+   (Timeline.slacked's delay_t2 = delay_t3 = s).  Agents are honest and
+   resubmit unconfirmed actions with exponential backoff
+   (Agent.default_retry).  Each cell replays the same seeds (common
+   random numbers), so fates are coupled across cells and the SR
+   surface is directly comparable: more intensity can only hurt, more
+   slack can only widen every retry window.
+
+   The analytic counterpoint comes from Swap.Margins: slack is not free
+   — prices diffuse longer between decisions, so the rational-agent SR
+   *falls* as slack grows.  The last table prices that trade-off. *)
+
+let name = "chaos"
+
+let description =
+  "SR degradation under injected chain faults vs timeline slack"
+
+let trials = 160
+let intensities = [ 0.; 0.05; 0.1; 0.2 ]
+let slacks = [ 0.; 1.; 2.; 4.; 6. ]
+
+let faults_of kappa =
+  if kappa <= 0. then Chainsim.Faults.none
+  else
+    Chainsim.Faults.create ~drop_prob:kappa
+      ~delay_prob:(min 1. (3. *. kappa))
+      ~delay:(Chainsim.Faults.Shifted_exponential { mean = 1.5; cap = 6. })
+      ~reorg_prob:(kappa /. 2.) ()
+
+type cell = {
+  sr : float;
+  anomalies : int;
+  retries_per_run : float;
+  worst_margin : float;
+}
+
+let run_cell p ~p_star ~kappa ~slack =
+  let faults = faults_of kappa in
+  let successes = ref 0 and anomalies = ref 0 in
+  let retries = ref 0 and worst_margin = ref 0. in
+  for i = 1 to trials do
+    let r =
+      Swap.Protocol.run ~faults_a:faults ~faults_b:faults
+        ~retry:Swap.Agent.default_retry ~delay_t2:slack ~delay_t3:slack
+        ~seed:(0x5eed + (7919 * i))
+        p ~p_star
+    in
+    (match r.Swap.Protocol.outcome with
+    | Swap.Protocol.Success -> incr successes
+    | Swap.Protocol.Anomalous _ -> incr anomalies
+    | _ -> ());
+    retries := !retries + r.Swap.Protocol.telemetry.Swap.Protocol.retries;
+    worst_margin :=
+      max !worst_margin
+        (max r.Swap.Protocol.telemetry.Swap.Protocol.margin_consumed_a
+           r.Swap.Protocol.telemetry.Swap.Protocol.margin_consumed_b)
+  done;
+  {
+    sr = float_of_int !successes /. float_of_int trials;
+    anomalies = !anomalies;
+    retries_per_run = float_of_int !retries /. float_of_int trials;
+    worst_margin = !worst_margin;
+  }
+
+let grid p ~p_star =
+  List.map
+    (fun kappa ->
+      (kappa, List.map (fun slack -> (slack, run_cell p ~p_star ~kappa ~slack)) slacks))
+    intensities
+
+let monotone_nonincreasing xs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && go rest
+    | _ -> true
+  in
+  go xs
+
+let monotone_nondecreasing xs = monotone_nonincreasing (List.rev xs)
+
+let sr_rows g =
+  List.map
+    (fun (kappa, cells) ->
+      Render.fmt kappa :: List.map (fun (_, c) -> Printf.sprintf "%.3f" c.sr) cells)
+    g
+
+let header = "kappa" :: List.map (fun s -> Printf.sprintf "s=%g" s) slacks
+
+let csv_of g =
+  Render.csv
+    ~header:("kappa" :: List.map (fun s -> Printf.sprintf "sr_slack_%g" s) slacks)
+    ~rows:(sr_rows g)
+
+let datasets_of g () = [ ("chaos_sr.csv", csv_of g) ]
+
+let p = Swap.Params.defaults
+let p_star = 2.
+
+let datasets () = datasets_of (grid p ~p_star) ()
+
+let run () =
+  let g = grid p ~p_star in
+  let detail_rows =
+    List.concat_map
+      (fun (kappa, cells) ->
+        List.map
+          (fun (slack, c) ->
+            [
+              Render.fmt kappa;
+              Render.fmt slack;
+              Printf.sprintf "%.3f" c.sr;
+              string_of_int c.anomalies;
+              Printf.sprintf "%.2f" c.retries_per_run;
+              Printf.sprintf "%.2f" c.worst_margin;
+            ])
+          cells)
+      g
+  in
+  (* Data-driven verdicts on the two claims the sweep is after. *)
+  let zero_slack_col =
+    List.map (fun (_, cells) -> (List.assoc 0. cells).sr) g
+  in
+  let max_kappa_row =
+    match List.rev g with
+    | (_, cells) :: _ -> List.map (fun (_, c) -> c.sr) cells
+    | [] -> []
+  in
+  let degradation =
+    if monotone_nonincreasing zero_slack_col then "monotone" else "NOT monotone"
+  in
+  let recovery =
+    if monotone_nondecreasing max_kappa_row then "monotone" else "NOT monotone"
+  in
+  let recovered =
+    match (max_kappa_row, List.rev max_kappa_row) with
+    | first :: _, last :: _ -> last -. first
+    | _ -> 0.
+  in
+  let price_rows =
+    List.map
+      (fun slack ->
+        let m = Swap.Margins.create p ~delay_t2:slack ~delay_t3:slack in
+        let analytic = Swap.Margins.success_rate m ~p_star in
+        let max_k = List.fold_left max 0. intensities in
+        let faulted = (List.assoc slack (List.assoc max_k g)).sr in
+        [
+          Render.fmt slack;
+          Printf.sprintf "%.4f" analytic;
+          Printf.sprintf "%.3f" faulted;
+        ])
+      slacks
+  in
+  Render.section
+    (Printf.sprintf
+       "Chaos sweep: success rate under faults (honest agents, retries on, %d \
+        runs/cell)"
+       trials)
+  ^ Printf.sprintf
+      "Fault schedule at intensity kappa: drop_prob = kappa; with \
+       probability min(1, 3 kappa) a\ntransaction straggles by ~ exp(mean = \
+       1.5h, cap = 6h); reorg_prob = kappa / 2, on both\nchains; slack s \
+       stretches every timelock leg (delay_t2 = delay_t3 = s).\n\n"
+  ^ "Success rate (rows: fault intensity; columns: schedule slack s, hours):\n"
+  ^ Render.table ~header ~rows:(sr_rows g)
+  ^ "\nPer-cell detail:\n"
+  ^ Render.table
+      ~header:
+        [ "kappa"; "slack"; "SR"; "anomalies"; "retries/run"; "worst lateness" ]
+      ~rows:detail_rows
+  ^ Printf.sprintf
+      "\nSR degradation with intensity at zero slack: %s (%.3f -> %.3f).\n\
+       SR at the highest intensity recovers with added slack: %s (+%.3f \n\
+       from s=0 to s=%g).  Slack both absorbs stochastic lateness directly\n\
+       and widens the window in which dropped transactions can be retried.\n"
+      degradation
+      (List.nth zero_slack_col 0)
+      (List.nth zero_slack_col (List.length zero_slack_col - 1))
+      recovery recovered
+      (List.fold_left max 0. slacks)
+  ^ "\nThe price of that robustness (Section III-C): under the rational\n\
+     policy, slack lengthens the diffusion legs between decisions, so the\n\
+     fault-free analytic SR falls as s grows while the faulted SR rises:\n"
+  ^ Render.table
+      ~header:[ "slack s"; "analytic SR (no faults)"; "simulated SR (kappa max)" ]
+      ~rows:price_rows
+  ^ "\nTimelock margin is bought with optionality risk -- the schedule\n\
+     designer picks s to clear the expected fault environment, no more.\n"

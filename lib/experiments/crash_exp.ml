@@ -41,8 +41,40 @@ let run () =
       (if atomic then "yes" else "VIOLATED");
     ]
   in
+  (* Transient outages: same dangerous window, but the agent comes back.
+     Recovering before the chain_a expiry leaves time to claim late and
+     the anomaly disappears; recovering after it does not. *)
+  let transient_rows =
+    List.map
+      (fun (label, from_, back, slack) ->
+        let r =
+          Swap.Protocol.run ~bob_offline_from:from_ ~bob_online_again_at:back
+            ~delay_t2:slack p ~p_star
+        in
+        let atomic =
+          match r.Swap.Protocol.outcome with
+          | Swap.Protocol.Anomalous _ -> false
+          | _ -> true
+        in
+        [
+          "bob (transient)";
+          label;
+          Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome;
+          Printf.sprintf "A(%+g, %+g) B(%+g, %+g)" r.Swap.Protocol.alice_delta_a
+            r.Swap.Protocol.alice_delta_b r.Swap.Protocol.bob_delta_a
+            r.Swap.Protocol.bob_delta_b;
+          (if atomic then "yes" else "VIOLATED");
+        ])
+      [
+        ("offline 7.5..7.9, back before t4", 7.5, 7.9, 0.);
+        ("offline 7.5..9, back after t4, no slack", 7.5, 9., 0.);
+        ("offline 9.5..11, 2h slack on t_a", 9.5, 11., 2.);
+      ]
+  in
   let rows =
-    List.map (row `Alice) crash_points @ List.map (row `Bob) crash_points
+    List.map (row `Alice) crash_points
+    @ List.map (row `Bob) crash_points
+    @ transient_rows
   in
   Render.section "HTLC outcomes when one honest agent crashes"
   ^ Render.table
@@ -54,4 +86,9 @@ let run () =
      loses atomicity: honest Alice still reveals, keeps Token_b AND gets\n\
      her Token_a refund at the expiry, while Bob loses his Token_b (the\n\
      HTLC atomicity violation of Zakhary et al.).  Collateral does not\n\
-     repair this cell; witness-based commitment does (see 'ac3').\n"
+     repair this cell; witness-based commitment does (see 'ac3').\n\
+     A transient outage in the same window is survivable: if Bob is back\n\
+     while his claim can still confirm before t_lock_a he recovers the\n\
+     swap by claiming late.  The zero-waiting schedule leaves no such\n\
+     margin after t4 (t_lock_a = t4 + tau_a exactly), so recovery there\n\
+     needs schedule slack -- which is what the 'chaos' experiment prices.\n"

@@ -31,6 +31,7 @@ let all =
     experiment Frictions.name Frictions.description Frictions.run;
     experiment Backtest_exp.name Backtest_exp.description Backtest_exp.run;
     experiment Crash_exp.name Crash_exp.description Crash_exp.run;
+    experiment ~datasets:Chaos.datasets Chaos.name Chaos.description Chaos.run;
     experiment Ac3_exp.name Ac3_exp.description Ac3_exp.run;
     experiment Waiting.name Waiting.description Waiting.run;
     experiment Stablecoin.name Stablecoin.description Stablecoin.run;

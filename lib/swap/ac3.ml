@@ -96,11 +96,11 @@ let run ?(policy = Agent.honest) ?price ?alice_offline_from ?bob_offline_from
   in
   let chain_a =
     Chain.create ~name:"chain_a" ~token:"TokenA" ~tau:p.Params.tau_a
-      ~mempool_delay:0.
+      ~mempool_delay:0. ()
   in
   let chain_b =
     Chain.create ~name:"chain_b" ~token:"TokenB" ~tau:p.Params.tau_b
-      ~mempool_delay:p.Params.eps_b
+      ~mempool_delay:p.Params.eps_b ()
   in
   Chain.mint chain_a ~account:alice ~amount:p_star;
   Chain.mint chain_b ~account:bob ~amount:1.;

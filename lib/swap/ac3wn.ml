@@ -55,14 +55,14 @@ let run ?(policy = Agent.honest) ?price ?tau_witness ?alice_offline_from
   in
   let chain_a =
     Chain.create ~name:"chain_a" ~token:"TokenA" ~tau:p.Params.tau_a
-      ~mempool_delay:0.
+      ~mempool_delay:0. ()
   in
   let chain_b =
     Chain.create ~name:"chain_b" ~token:"TokenB" ~tau:p.Params.tau_b
-      ~mempool_delay:p.Params.eps_b
+      ~mempool_delay:p.Params.eps_b ()
   in
   let chain_w =
-    Chain.create ~name:"witness-net" ~token:"WIT" ~tau:tau_w ~mempool_delay:0.
+    Chain.create ~name:"witness-net" ~token:"WIT" ~tau:tau_w ~mempool_delay:0. ()
   in
   Chain.mint chain_a ~account:alice ~amount:p_star;
   Chain.mint chain_b ~account:bob ~amount:1.;

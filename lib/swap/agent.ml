@@ -10,6 +10,28 @@ type t = {
 
 let decision_to_string = function Cont -> "cont" | Stop -> "stop"
 
+type retry = {
+  max_attempts : int;
+  backoff : float;
+  backoff_factor : float;
+}
+
+let no_retry = { max_attempts = 1; backoff = 0.; backoff_factor = 2. }
+let default_retry = { max_attempts = 4; backoff = 0.5; backoff_factor = 2. }
+
+let make_retry ?(backoff = 0.5) ?(backoff_factor = 2.) max_attempts =
+  if max_attempts < 1 then invalid_arg "Agent.make_retry: max_attempts < 1";
+  if backoff < 0. then invalid_arg "Agent.make_retry: negative backoff";
+  if backoff_factor < 1. then
+    invalid_arg "Agent.make_retry: backoff_factor < 1";
+  { max_attempts; backoff; backoff_factor }
+
+let retry_to_string r =
+  if r.max_attempts <= 1 then "no-retry"
+  else
+    Printf.sprintf "retry(max=%d, backoff=%g, factor=%g)" r.max_attempts
+      r.backoff r.backoff_factor
+
 let rational (p : Params.t) ~p_star =
   let k3 = Cutoff.p_t3_low p ~p_star in
   let band = Cutoff.p_t2_band p ~p_star in

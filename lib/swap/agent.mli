@@ -35,3 +35,31 @@ val myopic : Params.t -> p_star:float -> t
     is not currently losing ([p0 >= p_star]). *)
 
 val decision_to_string : decision -> string
+
+(** {2 Retry policy}
+
+    How an agent reacts when an action it submitted has not confirmed
+    by the expected time (because the fault layer dropped or delayed
+    it).  Resubmission is the only remedy — the decision itself is
+    never revisited — and it is deadline-aware: the protocol runner
+    only resubmits while the next attempt can still confirm within the
+    relevant timelock. *)
+
+type retry = {
+  max_attempts : int;  (** Total submissions per action (>= 1). *)
+  backoff : float;  (** Wait after the first unconfirmed attempt. *)
+  backoff_factor : float;  (** Multiplier on successive waits. *)
+}
+
+val no_retry : retry
+(** Single attempt — the paper's fire-and-forget agent. *)
+
+val default_retry : retry
+(** Up to 4 attempts with 0.5 h initial backoff, doubling. *)
+
+val make_retry : ?backoff:float -> ?backoff_factor:float -> int -> retry
+(** [make_retry n] allows [n] total attempts.
+    @raise Invalid_argument if [n < 1], [backoff < 0] or
+    [backoff_factor < 1]. *)
+
+val retry_to_string : retry -> string

@@ -51,7 +51,7 @@ let run ?(decisions = fun _i ~price:_ -> Agent.Cont) ?(offline = [])
         Chain.create
           ~name:(Printf.sprintf "chain%d" i)
           ~token:(Printf.sprintf "asset%d" i)
-          ~tau:(tau spec) ~mempool_delay:(eps spec))
+          ~tau:(tau spec) ~mempool_delay:(eps spec) ())
   in
   Array.iteri
     (fun i chain -> Chain.mint chain ~account:(party_name i) ~amount:1.)

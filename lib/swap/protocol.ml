@@ -12,6 +12,24 @@ type bob_deviation =
   | Short_amount of float
   | Early_expiry of float
 
+type submission = {
+  chain : string;
+  action : string;
+  attempt : int;
+  submitted_at : float;
+  deadline : float;
+  confirmed_at : float option;
+}
+
+type telemetry = {
+  submissions : submission list;
+  retries : int;
+  fault_stats_a : Chain.fault_stats;
+  fault_stats_b : Chain.fault_stats;
+  margin_consumed_a : float;
+  margin_consumed_b : float;
+}
+
 type result = {
   outcome : outcome;
   timeline : Timeline.t;
@@ -23,6 +41,9 @@ type result = {
   trace : (float * string) list;
   receipts_a : Chain.receipt list;
   receipts_b : Chain.receipt list;
+  telemetry : telemetry;
+  escrow_leftover_a : float;
+  escrow_leftover_b : float;
 }
 
 let outcome_to_string = function
@@ -37,21 +58,41 @@ let bob = "bob"
 let contract_a = "htlc:a"
 let contract_b = "htlc:b"
 
+(* Funds still parked in contract escrows (or the Oracle vault) once
+   the run has settled; nonzero means a refund was never credited. *)
+let locked_leftover chain =
+  let has_prefix prefix account =
+    String.length account >= String.length prefix
+    && String.equal (String.sub account 0 (String.length prefix)) prefix
+  in
+  List.fold_left
+    (fun acc (account, bal) ->
+      if has_prefix "escrow:" account || has_prefix "oracle:vault:" account
+      then acc +. bal
+      else acc)
+    0. (Chain.accounts chain)
+
 let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
-    ?bob_deviation ?alice_offline_from ?bob_offline_from ?(seed = 0xfeed)
-    (p : Params.t) ~p_star =
+    ?bob_deviation ?alice_offline_from ?alice_online_again_at
+    ?bob_offline_from ?bob_online_again_at ?(seed = 0xfeed)
+    ?(faults_a = Faults.none) ?(faults_b = Faults.none)
+    ?(retry = Agent.no_retry) ?(delay_t2 = 0.) ?(delay_t3 = 0.) (p : Params.t)
+    ~p_star =
   let price = Option.value ~default:(fun _t -> p.Params.p0) price in
-  let tl = Timeline.ideal p in
+  let tl = Timeline.slacked ~delay_t2 ~delay_t3 p in
   let trace = ref [] in
   let log t msg = trace := (t, msg) :: !trace in
-  (* Chain_a's mempool delay never enters the model; zero keeps Eq. 3. *)
+  (* Chain_a's mempool delay never enters the model; zero keeps Eq. 3.
+     Fault seeds derive from the run seed but differ per chain, so the
+     two schedules are decorrelated. *)
   let chain_a =
-    Chain.create ~name:"chain_a" ~token:"TokenA" ~tau:p.Params.tau_a
-      ~mempool_delay:0.
+    Chain.create ~faults:faults_a ~fault_seed:(seed lxor 0xa11ce)
+      ~name:"chain_a" ~token:"TokenA" ~tau:p.Params.tau_a ~mempool_delay:0. ()
   in
   let chain_b =
-    Chain.create ~name:"chain_b" ~token:"TokenB" ~tau:p.Params.tau_b
-      ~mempool_delay:p.Params.eps_b
+    Chain.create ~faults:faults_b ~fault_seed:(seed lxor 0xb0bb)
+      ~name:"chain_b" ~token:"TokenB" ~tau:p.Params.tau_b
+      ~mempool_delay:p.Params.eps_b ()
   in
   Chain.mint chain_a ~account:alice ~amount:(p_star +. q);
   Chain.mint chain_a ~account:bob ~amount:q;
@@ -80,16 +121,131 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
       log at (Printf.sprintf "oracle releases %g to %s (%s)" amount to_ reason)
     | Some _ -> ()
   in
-  let online offline_from at =
-    match offline_from with None -> true | Some t -> at < t
+  let online offline_from online_again_at at =
+    match offline_from with
+    | None -> true
+    | Some t ->
+      at < t
+      || (match online_again_at with Some r -> at >= r | None -> false)
   in
-  let alice_online = online alice_offline_from in
-  let bob_online = online bob_offline_from in
+  let alice_online = online alice_offline_from alice_online_again_at in
+  let bob_online = online bob_offline_from bob_online_again_at in
   let secret = Secret.generate (Numerics.Rng.create ~seed ()) in
-  let horizon = tl.Timeline.t8 +. p.Params.tau_a +. p.Params.tau_b +. 1. in
+  (* Fault schedules can defer auto-refunds (halts) or stretch
+     confirmations (delay caps, reorgs); widen the settlement horizon
+     so every deferred refund still executes before we read balances. *)
+  let horizon =
+    tl.Timeline.t8 +. p.Params.tau_a +. p.Params.tau_b +. 1.
+    +. Faults.horizon_margin faults_a ~tau:p.Params.tau_a
+    +. Faults.horizon_margin faults_b ~tau:p.Params.tau_b
+  in
+  (* Each entry pairs the public record with the chain handle and tx id
+     so [finish] can backfill [confirmed_at] from the transaction's
+     receipt once the horizon has been reached: a delayed original has
+     not confirmed yet when the attempt is recorded. *)
+  let submissions = ref [] in
+  let retries = ref 0 in
+  (* Submit [payload] and watch for the action's effect on contract
+     state — not the transaction receipt, because a delayed original
+     and a successful resubmission are indistinguishable on-chain (and
+     a duplicate of an already-applied HTLC action fails harmlessly).
+     While the retry policy allows, the agent is online, and the
+     remaining margin still covers one confirmation delay, unconfirmed
+     actions are resubmitted with exponential backoff. *)
+  let submit_watched chain ~is_online ~action ~at ~deadline ~confirmed payload
+      =
+    let tau = Chain.tau chain in
+    let rec attempt n at =
+      let tx_id = Chain.submit chain ~at payload in
+      ignore (Chain.advance chain ~until:(at +. tau));
+      let confirmed_at = confirmed () in
+      submissions :=
+        ( chain,
+          tx_id,
+          {
+            chain = Chain.name chain;
+            action;
+            attempt = n;
+            submitted_at = at;
+            deadline;
+            confirmed_at;
+          } )
+        :: !submissions;
+      match confirmed_at with
+      | Some _ -> true
+      | None ->
+        if n >= retry.Agent.max_attempts then false
+        else begin
+          let wait =
+            retry.Agent.backoff
+            *. (retry.Agent.backoff_factor ** float_of_int (n - 1))
+          in
+          let next = at +. tau +. wait in
+          if next +. tau > deadline +. 1e-9 then begin
+            log (at +. tau)
+              (Printf.sprintf
+                 "%s unconfirmed; remaining margin cannot cover another \
+                  confirmation, giving up"
+                 action);
+            false
+          end
+          else if not (is_online next) then begin
+            log (at +. tau)
+              (Printf.sprintf
+                 "%s unconfirmed; agent offline, no resubmission" action);
+            false
+          end
+          else begin
+            incr retries;
+            log next
+              (Printf.sprintf "%s unconfirmed; resubmitting (attempt %d)"
+                 action (n + 1));
+            attempt (n + 1) next
+          end
+        end
+    in
+    attempt 1 at
+  in
+  let lock_confirmed chain cid () =
+    Option.map
+      (fun (h : Htlc.t) -> h.Htlc.created_at)
+      (Chain.htlc chain ~contract_id:cid)
+  in
+  let claim_confirmed chain cid () =
+    match Chain.htlc chain ~contract_id:cid with
+    | Some { Htlc.state = Htlc.Claimed { at; _ }; _ } -> Some at
+    | _ -> None
+  in
   let finish outcome ~secret_observed_at_t4 =
     ignore (Chain.advance chain_a ~until:horizon);
     ignore (Chain.advance chain_b ~until:horizon);
+    let subs =
+      (* Backfill per-attempt confirmation times from transaction
+         receipts: [Ok] means this attempt's transaction applied the
+         action (at the receipt time); an [Error] receipt is a
+         harmless duplicate of an attempt that had already landed, and
+         a missing receipt is a dropped transaction — neither counts
+         as this attempt confirming. *)
+      List.rev_map
+        (fun (ch, tx_id, s) ->
+          let confirmed_at =
+            match Chain.tx_receipt ch ~tx_id with
+            | Some { Chain.result = Ok (); time; _ } -> Some time
+            | Some { Chain.result = Error _; _ } | None -> None
+          in
+          { s with confirmed_at })
+        !submissions
+    in
+    let margin_on name tau =
+      List.fold_left
+        (fun acc s ->
+          if String.equal s.chain name then
+            match s.confirmed_at with
+            | Some c -> max acc (c -. s.submitted_at -. tau)
+            | None -> acc
+          else acc)
+        0. subs
+    in
     {
       outcome;
       timeline = tl;
@@ -101,6 +257,17 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
       trace = List.rev !trace;
       receipts_a = Chain.receipts chain_a;
       receipts_b = Chain.receipts chain_b;
+      telemetry =
+        {
+          submissions = subs;
+          retries = !retries;
+          fault_stats_a = Chain.fault_stats chain_a;
+          fault_stats_b = Chain.fault_stats chain_b;
+          margin_consumed_a = margin_on "chain_a" p.Params.tau_a;
+          margin_consumed_b = margin_on "chain_b" p.Params.tau_b;
+        };
+      escrow_leftover_a = locked_leftover chain_a;
+      escrow_leftover_b = locked_leftover chain_b;
     }
   in
   (* Derive the outcome from final contract states once both chains have
@@ -153,7 +320,9 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
   | Agent.Cont ->
     log tl.Timeline.t1 "alice locks Token_a under the hashlock";
     ignore
-      (Chain.submit chain_a ~at:tl.Timeline.t1
+      (submit_watched chain_a ~is_online:alice_online ~action:"alice's lock"
+         ~at:tl.Timeline.t1 ~deadline:tl.Timeline.t2
+         ~confirmed:(lock_confirmed chain_a contract_a)
          (Tx.Htlc_lock
             {
               contract_id = contract_a;
@@ -208,7 +377,9 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
           (Printf.sprintf "bob locks Token_b under the same hash (P_t2 = %g)"
              p_t2);
         ignore
-          (Chain.submit chain_b ~at:tl.Timeline.t2
+          (submit_watched chain_b ~is_online:bob_online ~action:"bob's lock"
+             ~at:tl.Timeline.t2 ~deadline:tl.Timeline.t3
+             ~confirmed:(lock_confirmed chain_b contract_b)
              (Tx.Htlc_lock
                 {
                   contract_id = contract_b;
@@ -274,13 +445,18 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
                  "alice claims Token_b, revealing the preimage (P_t3 = %g)"
                  p_t3);
             ignore
-              (Chain.submit chain_b ~at:reveal_at
+              (submit_watched chain_b ~is_online:alice_online
+                 ~action:"alice's claim" ~at:reveal_at
+                 ~deadline:tl.Timeline.t_lock_b
+                 ~confirmed:(claim_confirmed chain_b contract_b)
                  (Tx.Htlc_claim
                     {
                       contract_id = contract_b;
                       preimage = secret.Secret.preimage;
                     }));
-            (* --- t4: Bob watches Chain_b's mempool for the secret. ---- *)
+            (* --- t4: Bob watches Chain_b's mempool for the secret.
+               Even a dropped (censored) claim is mempool-visible, so
+               the preimage leaks regardless of confirmation. ---------- *)
             let observe_at = reveal_at +. p.Params.eps_b in
             let observed =
               Chain.observed_preimage chain_b ~at:observe_at
@@ -292,16 +468,30 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
               (* Alice fulfilled everything: her deposit returns at t4. *)
               oracle_release ~at:observe_at ~to_:alice ~amount:q
                 "alice's obligations fulfilled";
+              let bob_claim ~at =
+                ignore
+                  (submit_watched chain_a ~is_online:bob_online
+                     ~action:"bob's claim" ~at ~deadline:tl.Timeline.t_lock_a
+                     ~confirmed:(claim_confirmed chain_a contract_a)
+                     (Tx.Htlc_claim { contract_id = contract_a; preimage }))
+              in
               if policy.Agent.bob_t4 = Agent.Cont && bob_online observe_at
               then begin
                 log observe_at "bob claims Token_a with the observed preimage";
-                ignore
-                  (Chain.submit chain_a ~at:observe_at
-                     (Tx.Htlc_claim { contract_id = contract_a; preimage }))
+                bob_claim ~at:observe_at
               end
-              else if not (bob_online observe_at) then
-                log observe_at
-                  "bob is offline (crash): the revealed secret goes unclaimed"
+              else if not (bob_online observe_at) then begin
+                (* Transient outage: on recovery Bob rescans the mempool
+                   and claims late — the time lock decides if it lands. *)
+                match bob_online_again_at with
+                | Some r when r > observe_at && policy.Agent.bob_t4 = Agent.Cont
+                  ->
+                  log r "bob back online: claims Token_a with the revealed secret";
+                  bob_claim ~at:r
+                | _ ->
+                  log observe_at
+                    "bob is offline (crash): the revealed secret goes unclaimed"
+              end
               else log observe_at "bob (irrationally) declines to claim"
             | None ->
               log observe_at "bob cannot find the preimage in the mempool");

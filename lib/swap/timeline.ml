@@ -26,6 +26,27 @@ let ideal ?(start = 0.) (p : Params.t) =
   let t8 = t_lock_a +. p.Params.tau_a in
   { t0; t1; t2; t3; t4; t5; t6; t7; t8; t_lock_a; t_lock_b }
 
+let slacked ?(start = 0.) ?(delay_t2 = 0.) ?(delay_t3 = 0.) (p : Params.t) =
+  if delay_t2 < 0. || delay_t3 < 0. then
+    invalid_arg "Timeline.slacked: negative slack";
+  let t0 = start in
+  let t1 = t0 in
+  (* Each decision waits its slack beyond the minimum of Eq. 5/6, and
+     each lock expires the same slack after the earliest possible
+     claim receipt — so every leg on chain_a (resp. chain_b) carries
+     [delay_t2] (resp. [delay_t3]) of genuine retry margin while all
+     Eq. 12 inequalities continue to hold. *)
+  let t2 = t1 +. p.Params.tau_a +. delay_t2 in
+  let t3 = t2 +. p.Params.tau_b +. delay_t3 in
+  let t4 = t3 +. p.Params.eps_b in
+  let t5 = t3 +. p.Params.tau_b in
+  let t6 = t4 +. p.Params.tau_a in
+  let t_lock_b = t5 +. delay_t3 in
+  let t_lock_a = t6 +. delay_t2 in
+  let t7 = t_lock_b +. p.Params.tau_b in
+  let t8 = t_lock_a +. p.Params.tau_a in
+  { t0; t1; t2; t3; t4; t5; t6; t7; t8; t_lock_a; t_lock_b }
+
 let check (p : Params.t) t =
   let tau_a = p.Params.tau_a and tau_b = p.Params.tau_b in
   let eps_b = p.Params.eps_b in

@@ -20,6 +20,15 @@ type t = {
 val ideal : ?start:float -> Params.t -> t
 (** Eq. 13 schedule starting at [start] (default 0.). *)
 
+val slacked : ?start:float -> ?delay_t2:float -> ?delay_t3:float -> Params.t -> t
+(** Eq. 12-conforming schedule with margin: decisions at [t2]/[t3] wait
+    [delay_t2]/[delay_t3] beyond the Eq. 5/6 minimum, and each lock
+    expiry stretches by the same slack past the earliest claim receipt
+    — so chain_a legs carry [delay_t2] of retry margin and chain_b legs
+    [delay_t3].  With both zero this is exactly {!ideal}; {!check}
+    passes for any nonnegative slack.
+    @raise Invalid_argument on negative slack. *)
+
 val check : Params.t -> t -> (unit, string list) result
 (** Verifies every inequality of Eq. 12 (the general protocol
     constraints); returns all violations. *)

@@ -154,7 +154,7 @@ let test_htlc_no_double_claim () =
 (* --- Chain ----------------------------------------------------------------------------- *)
 
 let fresh_chain () =
-  Chain.create ~name:"test" ~token:"TKN" ~tau:2. ~mempool_delay:0.5
+  Chain.create ~name:"test" ~token:"TKN" ~tau:2. ~mempool_delay:0.5 ()
 
 let test_chain_confirmation_delay () =
   let c = fresh_chain () in
@@ -280,7 +280,7 @@ let test_chain_duplicate_contract () =
 
 let test_chain_mempool_delay_constraint () =
   Alcotest.(check bool) "eps < tau enforced" true
-    (match Chain.create ~name:"x" ~token:"t" ~tau:1. ~mempool_delay:1. with
+    (match Chain.create ~name:"x" ~token:"t" ~tau:1. ~mempool_delay:1. () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -337,6 +337,129 @@ let test_fees_zero_by_default () =
   match Chain.set_fee_per_tx c (-1.) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative fee must be rejected"
+
+(* --- Fault injection ---------------------------------------------------------- *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let faulty_chain ?(seed = 7) faults =
+  Chain.create ~faults ~fault_seed:seed ~name:"test" ~token:"TKN" ~tau:2.
+    ~mempool_delay:0.5 ()
+
+let test_fault_drop_keeps_mempool_visibility () =
+  let c = faulty_chain (Faults.create ~drop_prob:1. ()) in
+  Chain.mint c ~account:"a" ~amount:5.;
+  let s = Secret.of_preimage "leak" in
+  let tx =
+    Chain.submit c ~at:0.
+      (Tx.Htlc_claim { contract_id = "h"; preimage = s.Secret.preimage })
+  in
+  ignore (Chain.advance c ~until:50.);
+  Alcotest.(check bool) "dropped tx never gets a receipt" true
+    (Chain.tx_receipt c ~tx_id:tx = None);
+  (* The dangerous asymmetry: censorship stops the state change but not
+     the information leak. *)
+  Alcotest.(check (option string))
+    "preimage still leaks from the mempool" (Some s.Secret.preimage)
+    (Chain.observed_preimage c ~at:1. ~hash:s.Secret.hash);
+  Alcotest.(check int) "drop counted" 1 (Chain.fault_stats c).Chain.dropped;
+  check_float "no state change" 5. (Chain.balance c ~account:"a")
+
+let test_fault_delay_bounded_and_deterministic () =
+  let faults =
+    Faults.create
+      ~delay:(Faults.Shifted_exponential { mean = 1.; cap = 3. })
+      ()
+  in
+  let confirm_time () =
+    let c = faulty_chain ~seed:11 faults in
+    Chain.mint c ~account:"a" ~amount:5.;
+    let tx =
+      Chain.submit c ~at:0. (Tx.Transfer { from_ = "a"; to_ = "b"; amount = 1. })
+    in
+    ignore (Chain.advance c ~until:20.);
+    match Chain.tx_receipt c ~tx_id:tx with
+    | Some r -> r.Chain.time
+    | None -> Alcotest.fail "delayed transfer must still confirm"
+  in
+  let t1 = confirm_time () in
+  Alcotest.(check bool) "within [tau, tau + cap]" true (t1 >= 2. && t1 <= 5.);
+  check_float "same seed, same lateness" t1 (confirm_time ())
+
+let test_fault_reorg_adds_one_tau () =
+  let c = faulty_chain (Faults.create ~reorg_prob:1. ()) in
+  Chain.mint c ~account:"a" ~amount:5.;
+  let tx =
+    Chain.submit c ~at:1. (Tx.Transfer { from_ = "a"; to_ = "b"; amount = 1. })
+  in
+  ignore (Chain.advance c ~until:20.);
+  (match Chain.tx_receipt c ~tx_id:tx with
+  | Some r -> check_float "orphaned then re-mined one block later" 5. r.Chain.time
+  | None -> Alcotest.fail "reorged transfer must still confirm");
+  Alcotest.(check int) "reorg counted" 1 (Chain.fault_stats c).Chain.reorged
+
+let test_fault_halt_defers_confirmation_and_refund () =
+  let c = faulty_chain (Faults.create ~halts:[ (1., 5.); (9., 12.) ] ()) in
+  Chain.mint c ~account:"a" ~amount:5.;
+  let tx =
+    Chain.submit c ~at:0. (Tx.Transfer { from_ = "a"; to_ = "b"; amount = 1. })
+  in
+  ignore (Chain.advance c ~until:4.9);
+  check_float "confirmation held during the halt" 0.
+    (Chain.balance c ~account:"b");
+  ignore (Chain.advance c ~until:5.);
+  check_float "applied at halt end" 1. (Chain.balance c ~account:"b");
+  (match Chain.tx_receipt c ~tx_id:tx with
+  | Some r -> check_float "receipt shows deferred time" 5. r.Chain.time
+  | None -> Alcotest.fail "transfer must confirm");
+  (* Auto-refund due at expiry + tau = 9.5 lands in the second window. *)
+  let s = Secret.of_preimage "halted" in
+  ignore
+    (Chain.submit c ~at:5.
+       (Tx.Htlc_lock
+          { contract_id = "h"; sender = "a"; recipient = "b"; amount = 2.;
+            hash = s.Secret.hash; expiry = 7.5 }));
+  ignore (Chain.advance c ~until:11.9);
+  check_float "refund deferred past the halt" 2.
+    (Chain.balance c ~account:"a");
+  ignore (Chain.advance c ~until:12.);
+  check_float "refunded at halt end" 4. (Chain.balance c ~account:"a");
+  Alcotest.(check int) "both deferrals counted" 2
+    (Chain.fault_stats c).Chain.halted
+
+let test_fault_seed_replay_identical () =
+  let faults =
+    Faults.create ~drop_prob:0.3 ~delay_prob:0.7
+      ~delay:(Faults.Shifted_exponential { mean = 1.; cap = 4. })
+      ~reorg_prob:0.2 ~halts:[ (3., 4.) ] ()
+  in
+  let play () =
+    let c = faulty_chain ~seed:42 faults in
+    Chain.mint c ~account:"a" ~amount:50.;
+    for i = 0 to 19 do
+      ignore
+        (Chain.submit c ~at:(float_of_int i)
+           (Tx.Transfer { from_ = "a"; to_ = "b"; amount = 1. }))
+    done;
+    ignore (Chain.advance c ~until:100.);
+    List.map
+      (fun r -> (r.Chain.time, r.Chain.description, Result.is_ok r.Chain.result))
+      (Chain.receipts c)
+  in
+  Alcotest.(check bool) "same (seed, schedule) replays the same trace" true
+    (play () = play ())
+
+let test_fee_forgiveness_recorded_in_receipt () =
+  let c = fresh_chain () in
+  Chain.set_fee_per_tx c 1.;
+  Chain.mint c ~account:"a" ~amount:2.;
+  ignore (Chain.submit c ~at:0. (Tx.Transfer { from_ = "a"; to_ = "b"; amount = 2. }));
+  let receipts = Chain.advance c ~until:5. in
+  Alcotest.(check bool) "receipt records the forgiven fee" true
+    (contains_substring (List.hd receipts).Chain.description "[fee forgiven: 1]")
 
 (* --- Escrow (AC3 witness contracts) ------------------------------------------ *)
 
@@ -497,6 +620,28 @@ let test_sim_run_until () =
   Sim.run sim;
   Alcotest.(check int) "rest ran" 2 !hits
 
+let test_sim_trace_toggle () =
+  let sim = Sim.create ~trace:false () in
+  Sim.schedule sim ~at:1. ~name:"x" (fun _ -> ());
+  Sim.run sim;
+  Alcotest.(check (list (pair (float 0.) string))) "no trace recorded" []
+    (Sim.trace sim);
+  Alcotest.(check int) "still counted" 1 (Sim.executed_count sim)
+
+let test_sim_deep_cascade_stack_safe () =
+  (* A chain of 200k events, each scheduling the next: the recursive
+     run loop this replaced would blow the stack here. *)
+  let sim = Sim.create ~trace:false () in
+  let hits = ref 0 in
+  let rec step i s =
+    incr hits;
+    if i < 200_000 then
+      Sim.schedule s ~at:(float_of_int (i + 1)) ~name:"c" (step (i + 1))
+  in
+  Sim.schedule sim ~at:0. ~name:"c" (step 0);
+  Sim.run sim;
+  Alcotest.(check int) "all executed" 200_001 !hits
+
 (* --- Oracle ---------------------------------------------------------------------- *)
 
 let test_oracle_flow () =
@@ -587,6 +732,59 @@ let qcheck_tests =
                     && String.sub account 0 7 = "escrow:")
                || abs_float v < 1e-9)
              (Chain.accounts c));
+    Test.make ~name:"conservation and eventual refunds under random faults"
+      ~count:60 (int_range 0 1_000_000)
+      (fun seed ->
+        let rng = Numerics.Rng.create ~seed () in
+        let u () = Numerics.Rng.uniform rng in
+        let halts =
+          if u () < 0.5 then
+            let h0 = 2. +. (u () *. 6.) in
+            [ (h0, h0 +. (u () *. 4.)) ]
+          else []
+        in
+        let faults =
+          Faults.create ~drop_prob:(u () *. 0.5) ~delay_prob:(u ())
+            ~delay:(Faults.Shifted_exponential { mean = 0.2 +. u (); cap = 4. })
+            ~reorg_prob:(u () *. 0.3) ~halts ()
+        in
+        let c = faulty_chain ~seed faults in
+        Chain.mint c ~account:"a" ~amount:50.;
+        Chain.mint c ~account:"b" ~amount:50.;
+        let secret = Secret.of_preimage "chaos" in
+        let t = ref 0. in
+        for i = 0 to 30 do
+          t := !t +. u ();
+          let cid = Printf.sprintf "c%d" (i mod 5) in
+          let payload =
+            match Numerics.Rng.int_below rng 4 with
+            | 0 ->
+              Tx.Htlc_lock
+                { contract_id = cid; sender = "a"; recipient = "b";
+                  amount = u () *. 5.; hash = secret.Secret.hash;
+                  expiry = !t +. 1. +. (u () *. 10.) }
+            | 1 ->
+              Tx.Htlc_claim
+                { contract_id = cid; preimage = secret.Secret.preimage }
+            | 2 -> Tx.Htlc_refund { contract_id = cid }
+            | _ -> Tx.Transfer { from_ = "b"; to_ = "a"; amount = u () }
+          in
+          ignore (Chain.submit c ~at:!t payload)
+        done;
+        (* Past every expiry (<= t + 11) plus refund lag and the fault
+           horizon, every surviving lock must have auto-refunded: faults
+           may defer settlement but never strand escrowed funds. *)
+        ignore
+          (Chain.advance c
+             ~until:(!t +. 20. +. Faults.horizon_margin faults ~tau:2.));
+        abs_float (Chain.total_supply c -. 100.) < 1e-6
+        && List.for_all (fun (_, v) -> v >= -1e-9) (Chain.accounts c)
+        && List.for_all
+             (fun (account, v) ->
+               not (String.length account >= 7
+                    && String.sub account 0 7 = "escrow:")
+               || abs_float v < 1e-9)
+             (Chain.accounts c));
     Test.make ~name:"chain conserves supply" ~count:100
       (pair (int_range 0 1000) (list_of_size (Gen.int_range 0 10) (pair small_nat small_nat)))
       (fun (seed, ops) ->
@@ -669,7 +867,22 @@ let () =
           Alcotest.test_case "HTLC cycle fees" `Quick test_fees_on_htlc_cycle;
           Alcotest.test_case "forgiven when broke" `Quick
             test_fees_forgiven_when_broke;
+          Alcotest.test_case "forgiveness audited in receipt" `Quick
+            test_fee_forgiveness_recorded_in_receipt;
           Alcotest.test_case "zero by default" `Quick test_fees_zero_by_default;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop keeps mempool visibility" `Quick
+            test_fault_drop_keeps_mempool_visibility;
+          Alcotest.test_case "delay bounded and deterministic" `Quick
+            test_fault_delay_bounded_and_deterministic;
+          Alcotest.test_case "reorg adds one tau" `Quick
+            test_fault_reorg_adds_one_tau;
+          Alcotest.test_case "halt defers confirmation and refund" `Quick
+            test_fault_halt_defers_confirmation_and_refund;
+          Alcotest.test_case "seed replay identical" `Quick
+            test_fault_seed_replay_identical;
         ] );
       ( "escrow",
         [
@@ -701,6 +914,9 @@ let () =
           Alcotest.test_case "rejects past scheduling" `Quick
             test_sim_rejects_past;
           Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "trace toggle" `Quick test_sim_trace_toggle;
+          Alcotest.test_case "deep cascade stack-safe" `Quick
+            test_sim_deep_cascade_stack_safe;
         ] );
       ( "oracle",
         [

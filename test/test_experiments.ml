@@ -5,7 +5,7 @@
 
 let fast_experiments =
   [ "tab1"; "tab3"; "fig2"; "fig3"; "fig4"; "fig5"; "eq29"; "fig7"; "fig9";
-    "waiting"; "crash"; "negotiation"; "security"; "attribution" ]
+    "waiting"; "crash"; "chaos"; "negotiation"; "security"; "attribution" ]
 
 let test_registry_complete () =
   let expected =
@@ -56,6 +56,7 @@ let test_key_findings_present () =
       ("tab1", "success");
       ("fig9", "SR rises monotonically");
       ("crash", "VIOLATED");
+      ("chaos", "recovers with added slack");
       ("waiting", "incentive-compatible");
       ("security", "griefing");
     ]

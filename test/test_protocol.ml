@@ -225,6 +225,118 @@ let test_crash_bob_early_is_atomic () =
     (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
   check_float "alice whole" 0. r.Swap.Protocol.alice_delta_a
 
+let test_transient_outage_back_before_t4 () =
+  (* Bob drops out after Alice reveals but recovers before his claim
+     window: the swap completes as if nothing happened. *)
+  let r =
+    Swap.Protocol.run ~bob_offline_from:7.5 ~bob_online_again_at:7.9 p
+      ~p_star:2.
+  in
+  Alcotest.(check string) "completes" "success"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome)
+
+let test_transient_outage_back_too_late_without_slack () =
+  (* On the ideal schedule t_lock_a = t4 + tau_a exactly, so a recovery
+     after t4 leaves no margin: the late claim cannot confirm in time. *)
+  let r =
+    Swap.Protocol.run ~bob_offline_from:7.5 ~bob_online_again_at:9. p
+      ~p_star:2.
+  in
+  match r.Swap.Protocol.outcome with
+  | Swap.Protocol.Anomalous _ -> ()
+  | other ->
+    Alcotest.failf "zero-margin recovery must still violate atomicity: %s"
+      (Swap.Protocol.outcome_to_string other)
+
+let test_transient_outage_slack_buys_recovery () =
+  (* Two hours of slack on the t_lock_a leg: Bob back at 11 claims and
+     confirms at 14 <= t_lock_a = 15. *)
+  let r =
+    Swap.Protocol.run ~bob_offline_from:9.5 ~bob_online_again_at:11.
+      ~delay_t2:2. p ~p_star:2.
+  in
+  Alcotest.(check string) "slack absorbs the outage" "success"
+    (Swap.Protocol.outcome_to_string r.Swap.Protocol.outcome);
+  check_float "bob paid" 2. r.Swap.Protocol.bob_delta_a
+
+(* --- Resilience under injected faults ------------------------------------------ *)
+
+let lossy =
+  Chainsim.Faults.create ~drop_prob:0.25
+    ~delay:(Chainsim.Faults.Shifted_exponential { mean = 1.; cap = 4. })
+    ()
+
+let test_retry_flips_outcomes () =
+  (* Resubmission must matter: many seeds that fail under no_retry
+     succeed once the agents re-post dropped transactions into a
+     slackened schedule.  (A resubmission consumes a tx id, which
+     re-rolls the fates of later transactions on that chain, so a few
+     individual seeds can flip the other way — but on net retrying must
+     win clearly.) *)
+  let outcome retry seed =
+    (Swap.Protocol.run ~faults_a:lossy ~faults_b:lossy ~retry ~delay_t2:4.
+       ~delay_t3:4. ~seed p ~p_star:2.)
+      .Swap.Protocol.outcome
+  in
+  let rescued = ref 0 and broken = ref 0 in
+  for seed = 0 to 99 do
+    let bare = outcome Swap.Agent.no_retry seed in
+    let retried = outcome Swap.Agent.default_retry seed in
+    if bare <> Swap.Protocol.Success && retried = Swap.Protocol.Success then
+      incr rescued;
+    if bare = Swap.Protocol.Success && retried <> Swap.Protocol.Success then
+      incr broken
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "retries rescued %d and broke %d of 100 runs" !rescued
+       !broken)
+    true
+    (!rescued > 0 && !rescued > 2 * !broken)
+
+let test_protocol_deterministic_under_faults () =
+  let play () =
+    Swap.Protocol.run ~faults_a:lossy ~faults_b:lossy
+      ~retry:Swap.Agent.default_retry ~delay_t2:2. ~delay_t3:2. ~seed:1234 p
+      ~p_star:2.
+  in
+  let a = play () and b = play () in
+  Alcotest.(check bool) "same outcome" true
+    (a.Swap.Protocol.outcome = b.Swap.Protocol.outcome);
+  Alcotest.(check bool) "same trace" true
+    (a.Swap.Protocol.trace = b.Swap.Protocol.trace);
+  Alcotest.(check bool) "same receipts" true
+    (List.map
+       (fun (r : Chainsim.Chain.receipt) ->
+         (r.Chainsim.Chain.time, r.Chainsim.Chain.description))
+       a.Swap.Protocol.receipts_a
+    = List.map
+        (fun (r : Chainsim.Chain.receipt) ->
+          (r.Chainsim.Chain.time, r.Chainsim.Chain.description))
+        b.Swap.Protocol.receipts_a);
+  Alcotest.(check bool) "same telemetry" true
+    (a.Swap.Protocol.telemetry = b.Swap.Protocol.telemetry)
+
+let test_telemetry_faultless_baseline () =
+  let r = Swap.Protocol.run p ~p_star:2. in
+  let t = r.Swap.Protocol.telemetry in
+  Alcotest.(check int) "four actions, one attempt each" 4
+    (List.length t.Swap.Protocol.submissions);
+  Alcotest.(check int) "no retries" 0 t.Swap.Protocol.retries;
+  check_float "no margin consumed on a" 0. t.Swap.Protocol.margin_consumed_a;
+  check_float "no margin consumed on b" 0. t.Swap.Protocol.margin_consumed_b;
+  List.iter
+    (fun (s : Swap.Protocol.submission) ->
+      match s.Swap.Protocol.confirmed_at with
+      | Some c -> check_float "confirmed after exactly tau"
+          (s.Swap.Protocol.submitted_at
+          +. (if s.Swap.Protocol.chain = "chain_a" then p.Swap.Params.tau_a
+              else p.Swap.Params.tau_b))
+          c
+      | None -> Alcotest.fail "faultless submissions all confirm")
+    t.Swap.Protocol.submissions;
+  check_float "nothing stranded on a" 0. r.Swap.Protocol.escrow_leftover_a;
+  check_float "nothing stranded on b" 0. r.Swap.Protocol.escrow_leftover_b
+
 (* --- AC3 witness protocol ----------------------------------------------------------- *)
 
 let test_ac3_happy_path_table1 () =
@@ -674,6 +786,29 @@ let fuzz_tests =
         | Swap.Protocol.Anomalous _ ->
           reveal_delay > 0. || alice_off <> None || bob_off <> None
         | _ -> true);
+    Test.make
+      ~name:"fuzz: crash anomaly exactly iff bob dies in (t2, t4]" ~count:200
+      (pair bool (float_range 0. 12.))
+      (fun (bob_crashes, t) ->
+        let r =
+          if bob_crashes then Swap.Protocol.run ~bob_offline_from:t p ~p_star:2.
+          else Swap.Protocol.run ~alice_offline_from:t p ~p_star:2.
+        in
+        let anomalous =
+          match r.Swap.Protocol.outcome with
+          | Swap.Protocol.Anomalous _ -> true
+          | _ -> false
+        in
+        (* Tokens are only redistributed, crash or no crash... *)
+        abs_float (r.Swap.Protocol.alice_delta_a +. r.Swap.Protocol.bob_delta_a)
+        < 1e-9
+        && abs_float
+             (r.Swap.Protocol.alice_delta_b +. r.Swap.Protocol.bob_delta_b)
+           < 1e-9
+        (* ...and the Zakhary window is sharp: Bob offline strictly after
+           his lock (t2 = 3) through his claim time (t4 = 8) — and only
+           that — breaks atomicity on the ideal schedule. *)
+        && anomalous = (bob_crashes && t > 3. && t <= 8.));
   ]
 
 let () =
@@ -718,6 +853,21 @@ let () =
             test_crash_bob_after_lock_violates_atomicity;
           Alcotest.test_case "early bob crash is atomic" `Quick
             test_crash_bob_early_is_atomic;
+          Alcotest.test_case "transient outage, back before t4" `Quick
+            test_transient_outage_back_before_t4;
+          Alcotest.test_case "transient outage, late without slack" `Quick
+            test_transient_outage_back_too_late_without_slack;
+          Alcotest.test_case "slack buys recovery" `Quick
+            test_transient_outage_slack_buys_recovery;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "retries flip failures, never successes" `Quick
+            test_retry_flips_outcomes;
+          Alcotest.test_case "deterministic under faults" `Quick
+            test_protocol_deterministic_under_faults;
+          Alcotest.test_case "faultless telemetry baseline" `Quick
+            test_telemetry_faultless_baseline;
         ] );
       ( "ac3",
         [
