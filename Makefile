@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos clean
+.PHONY: build test ci chaos bench-smoke bench-baseline clean
 
 build:
 	dune build
@@ -6,10 +6,20 @@ build:
 test:
 	dune runtest
 
-# Everything CI gates on: all targets (including bench/ and examples/)
-# plus the full test suite.
+# Everything CI gates on: all targets (including bench/ and examples/),
+# the full test suite, and the bench-smoke JSON shape check.
 ci:
 	dune build @ci
+
+# Fast perf-plumbing check: emit the bench JSON with tiny trial counts
+# and validate its shape (also part of @ci).
+bench-smoke:
+	dune build @bench-smoke
+
+# Full recorded perf baseline: every kernel + the 20k-trial Monte-Carlo
+# wall clock at jobs=1 vs jobs=N, written to BENCH_mc.json.
+bench-baseline:
+	dune exec bench/main.exe -- --json BENCH_mc.json
 
 # Soak run of the chaos invariant suite (default is 500 schedules).
 chaos:

@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Running this executable does two things:
+   Default run (no flags) does two things:
 
    1. Regenerates every table and figure of the paper (the same rows
       and series the paper reports) by running the full experiment
@@ -8,7 +8,14 @@
 
    2. Times the computational kernel behind each table/figure with
       Bechamel (one [Test.make] per experiment), plus the substrate
-      micro-kernels, and prints an OLS summary. *)
+      micro-kernels, and prints an OLS summary.
+
+   With [--json FILE] it instead writes the machine-readable perf
+   baseline: per-kernel ns/op plus the wall-clock of the 20k-trial
+   Monte-Carlo kernel at jobs=1 and jobs=N (and whether the two results
+   were bit-identical — the determinism contract, recorded on every
+   baseline).  Flags: [--json FILE] [--mc-trials N] [--jobs N]
+   [--smoke] (tiny kernel subset + quota, for CI). *)
 
 open Bechamel
 open Toolkit
@@ -285,10 +292,14 @@ let all_tests =
     kernel_chain_cycle;
   ]
 
-let run_benchmarks () =
-  let grouped = Test.make_grouped ~name:"swap" all_tests in
+(* The MC kernels in smoke mode: just enough to keep the JSON plumbing
+   and the determinism record exercised in CI without a full sweep. *)
+let smoke_tests = [ kernel_mc; kernel_baselines; kernel_gbm_sample ]
+
+let run_benchmarks ~quota tests =
+  let grouped = Test.make_grouped ~name:"swap" tests in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let ols =
@@ -306,7 +317,9 @@ let run_benchmarks () =
       let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
       rows := (name, estimate, r2) :: !rows)
     results;
-  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
+
+let print_benchmarks rows =
   Printf.printf "%-38s %16s %8s\n" "benchmark" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 64 '-');
   List.iter
@@ -319,18 +332,159 @@ let run_benchmarks () =
         else Printf.sprintf "%.1f ns" ns
       in
       Printf.printf "%-38s %16s %8.4f\n" name human r2)
-    sorted
+    rows
+
+(* --- machine-readable baseline ------------------------------------------ *)
+
+let time_wall f =
+  (* Best of three wall-clock runs (the pool makes CPU time the wrong
+     measure for the parallel leg). *)
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num x = if Float.is_nan x then "null" else Printf.sprintf "%.6g" x
+
+let write_baseline ~file ~rows ~jobs_n ~trials ~wall_1 ~wall_n ~identical =
+  let oc = open_out file in
+  let speedup = if wall_n > 0. then wall_1 /. wall_n else nan in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"htlc-bench/v1\",\n";
+  Printf.fprintf oc "  \"jobs\": { \"sequential\": 1, \"parallel\": %d },\n"
+    jobs_n;
+  Printf.fprintf oc "  \"kernels\": [\n";
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }%s\n"
+        (json_escape name) (json_num ns) (json_num r2)
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"mc\": {\n";
+  Printf.fprintf oc "    \"trials\": %d,\n" trials;
+  Printf.fprintf oc "    \"wall_s_jobs1\": %s,\n" (json_num wall_1);
+  Printf.fprintf oc "    \"wall_s_jobsN\": %s,\n" (json_num wall_n);
+  Printf.fprintf oc "    \"speedup\": %s,\n" (json_num speedup);
+  Printf.fprintf oc "    \"identical_results\": %b\n" identical;
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let mc_wall_clock ~trials ~jobs_n =
+  let policy = Swap.Agent.rational p ~p_star:2. in
+  let wall_1, r1 =
+    time_wall (fun () ->
+        Swap.Montecarlo.run ~trials ~jobs:1 p ~p_star:2. ~policy)
+  in
+  let wall_n, rn =
+    time_wall (fun () ->
+        Swap.Montecarlo.run ~trials ~jobs:jobs_n p ~p_star:2. ~policy)
+  in
+  (wall_1, wall_n, r1 = rn)
+
+(* --- entry point -------------------------------------------------------- *)
+
+type opts = {
+  json : string option;
+  mc_trials : int;
+  jobs : int option;
+  smoke : bool;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench [--json FILE] [--mc-trials N] [--jobs N] [--smoke]";
+  exit 2
+
+let parse_args () =
+  let json = ref None
+  and mc_trials = ref 20_000
+  and jobs = ref None
+  and smoke = ref false in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bench: %s expects a positive integer, got %S\n" name v;
+      exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json := Some file;
+      go rest
+    | "--mc-trials" :: v :: rest ->
+      mc_trials := int_arg "--mc-trials" v;
+      go rest
+    | "--jobs" :: v :: rest ->
+      jobs := Some (int_arg "--jobs" v);
+      go rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { json = !json; mc_trials = !mc_trials; jobs = !jobs; smoke = !smoke }
 
 let () =
-  print_endline
-    "================================================================";
-  print_endline " Reproduction output: every table and figure of the paper";
-  print_endline
-    "================================================================\n";
-  print_string (Experiments.Registry.run_all ());
-  print_endline
-    "\n================================================================";
-  print_endline " Bechamel timings (one kernel per table/figure + substrates)";
-  print_endline
-    "================================================================\n";
-  run_benchmarks ()
+  let o = parse_args () in
+  Option.iter Numerics.Pool.set_jobs o.jobs;
+  match o.json with
+  | None ->
+    print_endline
+      "================================================================";
+    print_endline " Reproduction output: every table and figure of the paper";
+    print_endline
+      "================================================================\n";
+    print_string (Experiments.Registry.run_all ());
+    print_endline
+      "\n================================================================";
+    print_endline
+      " Bechamel timings (one kernel per table/figure + substrates)";
+    print_endline
+      "================================================================\n";
+    print_benchmarks (run_benchmarks ~quota:0.3 all_tests)
+  | Some file ->
+    let tests = if o.smoke then smoke_tests else all_tests in
+    let quota = if o.smoke then 0.02 else 0.3 in
+    let rows = run_benchmarks ~quota tests in
+    print_benchmarks rows;
+    let jobs_n =
+      match o.jobs with Some j -> j | None -> Numerics.Pool.recommended ()
+    in
+    let wall_1, wall_n, identical =
+      mc_wall_clock ~trials:o.mc_trials ~jobs_n
+    in
+    write_baseline ~file ~rows ~jobs_n ~trials:o.mc_trials ~wall_1 ~wall_n
+      ~identical;
+    Printf.printf
+      "\nmc/%d-trials wall clock: jobs=1 %.4fs, jobs=%d %.4fs (%.2fx), \
+       results %s\n"
+      o.mc_trials wall_1 jobs_n wall_n
+      (if wall_n > 0. then wall_1 /. wall_n else nan)
+      (if identical then "bit-identical" else "DIFFERENT");
+    Printf.printf "wrote %s\n" file

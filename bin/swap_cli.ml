@@ -55,6 +55,17 @@ let p_star_term =
 let q_term =
   Arg.(value & opt float 0. & info [ "q" ] ~doc:"Symmetric collateral deposit.")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections (Monte-Carlo chunks, \
+           experiment fan-out).  Defaults to the pool's global setting: \
+           $(b,HTLC_JOBS) when set, otherwise the machine's recommended \
+           domain count.  Results are bit-identical for any value.")
+
 (* --- cutoffs ------------------------------------------------------------ *)
 
 let cutoffs_cmd =
@@ -143,10 +154,10 @@ let simulate_cmd =
           `Rational
       & info [ "policy" ] ~doc:"Agent policy: rational, honest or myopic.")
   in
-  let run params p_star q trials seed policy_name =
+  let run params p_star q trials seed policy_name jobs =
     let result =
       if q > 0. then
-        Swap.Montecarlo.run_collateral ~trials ~seed
+        Swap.Montecarlo.run_collateral ~trials ~seed ?jobs
           (Swap.Collateral.symmetric params ~q)
           ~p_star
       else
@@ -156,7 +167,7 @@ let simulate_cmd =
           | `Honest -> Swap.Agent.honest
           | `Myopic -> Swap.Agent.myopic params ~p_star
         in
-        Swap.Montecarlo.run ~trials ~seed params ~p_star ~policy
+        Swap.Montecarlo.run ~trials ~seed ?jobs params ~p_star ~policy
     in
     let lo, hi = result.Swap.Montecarlo.ci95 in
     Printf.printf "trials      %d\n" result.Swap.Montecarlo.trials;
@@ -171,10 +182,14 @@ let simulate_cmd =
     Printf.printf "mean U (B)  %.4f\n" result.Swap.Montecarlo.mean_utility_bob
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Monte-Carlo simulation of the swap game.")
+    (Cmd.info "simulate"
+       ~doc:
+         "Monte-Carlo simulation of the swap game.  Trials run in \
+          fixed-size chunks on the domain pool with per-chunk RNG \
+          streams, so the result is identical for any $(b,--jobs).")
     Term.(
       const run $ params_term $ p_star_term $ q_term $ trials $ seed
-      $ policy_name)
+      $ policy_name $ jobs_term)
 
 (* --- protocol ------------------------------------------------------------ *)
 
@@ -426,7 +441,19 @@ let experiment_cmd =
           Printf.eprintf "wrote %s\n" path)
         (datasets ())
   in
-  let run which csv_dir =
+  let trials =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Override the Monte-Carlo trial count of every \
+             simulation-based experiment (smaller = faster preview, \
+             larger = tighter confidence intervals).")
+  in
+  let run which csv_dir jobs trials =
+    Option.iter Numerics.Pool.set_jobs jobs;
+    Swap.Montecarlo.set_trials_override trials;
     match which with
     | "list" ->
       List.iter
@@ -436,7 +463,7 @@ let experiment_cmd =
             (if e.Experiments.Registry.datasets <> None then " [csv]" else ""))
         Experiments.Registry.all
     | "all" ->
-      print_string (Experiments.Registry.run_all ());
+      print_string (Experiments.Registry.run_all ?jobs ());
       Option.iter
         (fun dir -> List.iter (write_datasets dir) Experiments.Registry.all)
         csv_dir
@@ -450,8 +477,12 @@ let experiment_cmd =
         exit 1)
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by id.")
-    Term.(const run $ which $ csv_dir)
+    (Cmd.info "experiment"
+       ~doc:
+         "Regenerate a paper table/figure by id.  'all' fans the \
+          experiments out over the domain pool (one per task); output \
+          is identical for any $(b,--jobs).")
+    Term.(const run $ which $ csv_dir $ jobs_term $ trials)
 
 (* --- quote ----------------------------------------------------------------- *)
 

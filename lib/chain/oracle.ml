@@ -8,17 +8,19 @@ type t = {
   mutable released : float;
 }
 
-let counter = ref 0
+(* Atomic so that concurrent simulations (domain pool) mint unique vault
+   account names without racing. *)
+let counter = Atomic.make 0
 
 let create chain ~alice ~bob ~q =
   if q < 0. then invalid_arg "Oracle.create: negative collateral";
-  incr counter;
+  let id = 1 + Atomic.fetch_and_add counter 1 in
   {
     chain;
     alice;
     bob;
     q;
-    vault = Printf.sprintf "oracle:vault:%d" !counter;
+    vault = Printf.sprintf "oracle:vault:%d" id;
     is_deposited = false;
     released = 0.;
   }

@@ -67,10 +67,27 @@ let run_cell p ~p_star ~kappa ~slack =
     worst_margin = !worst_margin;
   }
 
-let grid p ~p_star =
+(* One pool task per (kappa, slack) cell.  Each cell replays its own
+   fixed seed schedule, so the parallel sweep is cell-for-cell identical
+   to the sequential one; results are regrouped in sweep order. *)
+let grid ?jobs p ~p_star =
+  let cells =
+    List.concat_map
+      (fun kappa -> List.map (fun slack -> (kappa, slack)) slacks)
+      intensities
+  in
+  let results =
+    Numerics.Pool.map_list ?jobs
+      (fun (kappa, slack) ->
+        ((kappa, slack), run_cell p ~p_star ~kappa ~slack))
+      cells
+  in
   List.map
     (fun kappa ->
-      (kappa, List.map (fun slack -> (slack, run_cell p ~p_star ~kappa ~slack)) slacks))
+      ( kappa,
+        List.map
+          (fun slack -> (slack, List.assoc (kappa, slack) results))
+          slacks ))
     intensities
 
 let monotone_nonincreasing xs =

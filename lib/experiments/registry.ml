@@ -46,12 +46,14 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
-let run_all () =
-  String.concat "\n"
-    (List.map
-       (fun e ->
-         Printf.sprintf "######## %s — %s ########\n\n%s" e.name e.description
-           (e.run ()))
-       all)
+(* One experiment per pool task; reports are assembled in registry
+   order, so the concatenated output is identical to a sequential run
+   regardless of the jobs count. *)
+let run_all ?jobs () =
+  let report e =
+    Printf.sprintf "######## %s — %s ########\n\n%s" e.name e.description
+      (e.run ())
+  in
+  String.concat "\n" (Numerics.Pool.map_list ?jobs report all)
 
 let names () = List.map (fun e -> e.name) all

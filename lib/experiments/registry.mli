@@ -14,7 +14,9 @@ val all : experiment list
 
 val find : string -> experiment option
 
-val run_all : unit -> string
-(** Concatenated reports of every experiment. *)
+val run_all : ?jobs:int -> unit -> string
+(** Concatenated reports of every experiment, in paper order.  Runs one
+    experiment per domain-pool task ([jobs] defaults to the pool's
+    global setting); the output is identical for any jobs count. *)
 
 val names : unit -> string list

@@ -57,6 +57,7 @@ let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) f ~a ~b =
 (* Gauss-Legendre nodes on [-1, 1] by Newton iteration on P_n, using the
    standard three-term recurrence; symmetric, so only half are solved. *)
 let gl_table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+let gl_mutex = Mutex.create ()
 
 let compute_gl_nodes n =
   if n <= 0 then invalid_arg "Integrate.gauss_legendre_nodes: n must be > 0";
@@ -89,12 +90,21 @@ let compute_gl_nodes n =
   done;
   nodes
 
+(* Node tables are immutable once computed; the mutex only guards the
+   table itself so concurrent quadratures (domain pool) stay safe.  A
+   racing miss may compute the same nodes twice — harmless. *)
 let gauss_legendre_nodes n =
+  Mutex.lock gl_mutex;
   match Hashtbl.find_opt gl_table n with
-  | Some nodes -> nodes
+  | Some nodes ->
+    Mutex.unlock gl_mutex;
+    nodes
   | None ->
+    Mutex.unlock gl_mutex;
     let nodes = compute_gl_nodes n in
+    Mutex.lock gl_mutex;
     Hashtbl.replace gl_table n nodes;
+    Mutex.unlock gl_mutex;
     nodes
 
 let gauss_legendre ?(n = 64) f ~a ~b =

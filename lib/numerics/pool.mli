@@ -1,0 +1,61 @@
+(** Deterministic multicore execution: a reusable fixed-size domain pool
+    (hand-rolled work queue over stdlib [Domain] + [Mutex]/[Condition])
+    shared by every parallel section in the repository.
+
+    {b Determinism contract.}  Work is split into chunks before execution
+    and results are collected (and reduced) in chunk-index order, so the
+    outcome is independent of the jobs count and of scheduling.  Callers
+    whose chunks consume randomness must key each chunk's generator by
+    its chunk index ({!Rng.of_stream}); then [jobs:1] and [jobs:n] are
+    bit-identical.
+
+    Nested use is supported: a task running in the pool may itself submit
+    chunked work — the submitter always helps execute its own chunks, so
+    the pool cannot deadlock on nesting. *)
+
+val recommended : unit -> int
+(** Default parallelism: the [HTLC_JOBS] environment variable when set to
+    a positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** Current global jobs setting (lazily initialised to {!recommended}). *)
+
+val set_jobs : int -> unit
+(** Override the global jobs setting (CLI [--jobs]).
+    @raise Invalid_argument when the argument is < 1. *)
+
+val run_chunks : ?jobs:int -> chunks:int -> (int -> unit) -> unit
+(** [run_chunks ~chunks f] executes [f 0 .. f (chunks-1)], distributing
+    chunks over [jobs] domains (default: the global setting; [1] runs
+    inline on the caller).  If any chunk raises, every chunk still runs
+    and the exception of the {e lowest} failing chunk index is re-raised
+    — the same exception the sequential path would surface first. *)
+
+val map_chunks :
+  ?jobs:int ->
+  chunk_size:int ->
+  n:int ->
+  (chunk:int -> lo:int -> hi:int -> 'a) ->
+  'a array
+(** [map_chunks ~chunk_size ~n f] covers [0..n-1] with fixed-size chunks
+    ([chunk] covering indices [lo] inclusive to [hi] exclusive) and
+    returns the per-chunk results in chunk order.  The decomposition
+    depends only on [chunk_size] and [n] — never on [jobs]. *)
+
+val parallel_for_reduce :
+  ?jobs:int ->
+  chunk_size:int ->
+  n:int ->
+  init:'acc ->
+  body:(chunk:int -> lo:int -> hi:int -> 'part) ->
+  combine:('acc -> 'part -> 'acc) ->
+  'acc
+(** {!map_chunks} followed by an in-order sequential fold of the partial
+    results — the deterministic parallel-for-reduce. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map, one task per element (for coarse
+    tasks, e.g. one experiment per task in [Registry.run_all]). *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}. *)

@@ -16,8 +16,36 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* The splitmix64 finaliser alone: a strong 64-bit mixing function. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
 let create ?(seed = 0x5eed) () =
   let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; cached_normal = None }
+
+let of_stream ?(seed = 0x5eed) ~stream () =
+  if stream < 0 then invalid_arg "Rng.of_stream: stream must be >= 0";
+  (* Hash (seed, stream) into one well-separated splitmix64 state, then
+     expand it into xoshiro state exactly as [create] does.  Adjacent
+     streams land in unrelated regions of the seeding sequence, giving
+     each parallel chunk a statistically independent generator that is a
+     pure function of (seed, stream) — the basis of the jobs-invariant
+     Monte-Carlo contract. *)
+  let key =
+    mix64
+      (Int64.logxor
+         (mix64 (Int64.of_int seed))
+         (Int64.mul (Int64.of_int stream) 0x9E3779B97F4A7C15L))
+  in
+  let state = ref key in
   let s0 = splitmix64_next state in
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in

@@ -10,6 +10,14 @@ val create : ?seed:int -> unit -> t
 (** [create ~seed ()] builds a generator whose 256-bit state is expanded
     from [seed] (default 0x5eed) with splitmix64. *)
 
+val of_stream : ?seed:int -> stream:int -> unit -> t
+(** [of_stream ~seed ~stream ()] is the [stream]-th member of a family of
+    statistically independent generators keyed by [seed]: the pair is
+    mixed through the splitmix64 finaliser and expanded into xoshiro
+    state as {!create} does.  A pure function of [(seed, stream)] — used
+    to give every fixed-size Monte-Carlo chunk its own generator so that
+    parallel runs are bit-identical for any jobs count. *)
+
 val copy : t -> t
 (** Independent copy of the current state. *)
 

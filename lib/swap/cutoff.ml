@@ -1,11 +1,60 @@
 open Numerics
 
+(* Sweep experiments (fig6/fig8/fig9, eq29) evaluate the cutoffs at the
+   same (params, p_star) pairs over and over; the t2 band in particular
+   re-runs a 600-point root scan each time.  A small domain-safe cache
+   memoizes both entry points.  Values are computed outside the lock, so
+   concurrent misses may duplicate work but never serialise on the
+   root-finder; cached values (floats, immutable interval sets) are safe
+   to share across domains. *)
+
+let cache_mutex = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_capacity = 512
+let t3_cache : (Params.t * float, float) Hashtbl.t = Hashtbl.create 64
+
+let band_cache : (Params.t * float * int, Intervals.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let memo tbl key compute =
+  Mutex.lock cache_mutex;
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+    incr cache_hits;
+    Mutex.unlock cache_mutex;
+    v
+  | None ->
+    incr cache_misses;
+    Mutex.unlock cache_mutex;
+    let v = compute () in
+    Mutex.lock cache_mutex;
+    if Hashtbl.length tbl >= cache_capacity then Hashtbl.reset tbl;
+    Hashtbl.replace tbl key v;
+    Mutex.unlock cache_mutex;
+    v
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let stats = (!cache_hits, !cache_misses) in
+  Mutex.unlock cache_mutex;
+  stats
+
+let clear_caches () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset t3_cache;
+  Hashtbl.reset band_cache;
+  cache_hits := 0;
+  cache_misses := 0;
+  Mutex.unlock cache_mutex
+
 let p_t3_low (p : Params.t) ~p_star =
-  let exponent =
-    ((p.alice.r -. p.mu) *. p.tau_b)
-    -. (p.alice.r *. (p.eps_b +. (2. *. p.tau_a)))
-  in
-  exp exponent *. p_star /. (1. +. p.alice.alpha)
+  memo t3_cache (p, p_star) (fun () ->
+      let exponent =
+        ((p.alice.r -. p.mu) *. p.tau_b)
+        -. (p.alice.r *. (p.eps_b +. (2. *. p.tau_a)))
+      in
+      exp exponent *. p_star /. (1. +. p.alice.alpha))
 
 (* Scan domain for t2 roots: wide enough that the lognormal transition
    mass outside is negligible and the decision is unambiguous.  Scale
@@ -15,13 +64,18 @@ let scan_domain (p : Params.t) ~p_star =
   (anchor *. 1e-4, anchor *. 1e4)
 
 let p_t2_band ?(scan_points = 600) (p : Params.t) ~p_star =
-  let k3 = p_t3_low p ~p_star in
-  let g x = Utility.b_t2_cont p ~p_star ~k3 ~p_t2:x -. Utility.b_t2_stop ~p_t2:x in
-  let domain_lo, domain_hi = scan_domain p ~p_star in
-  let roots = Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi in
-  (* The region where g > 0; near 0 and at infinity Bob stops in the
-     standard parameterisation, but both cases are decided by probing. *)
-  Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity
+  memo band_cache (p, p_star, scan_points) (fun () ->
+      let k3 = p_t3_low p ~p_star in
+      let g x =
+        Utility.b_t2_cont p ~p_star ~k3 ~p_t2:x -. Utility.b_t2_stop ~p_t2:x
+      in
+      let domain_lo, domain_hi = scan_domain p ~p_star in
+      let roots =
+        Root.find_all_roots_log ~n:scan_points g ~a:domain_lo ~b:domain_hi
+      in
+      (* The region where g > 0; near 0 and at infinity Bob stops in the
+         standard parameterisation, but both cases are decided by probing. *)
+      Intervals.of_sign_changes ~f:g ~roots ~domain_lo:0. ~domain_hi:infinity)
 
 let p_t2_band_endpoints ?scan_points p ~p_star =
   match Intervals.intervals (p_t2_band ?scan_points p ~p_star) with

@@ -31,3 +31,13 @@ val p_star_band_endpoints :
 val scan_domain : Params.t -> p_star:float -> float * float
 (** The (log-scaled) price interval scanned for [t2] roots; exposed for
     diagnostics and reuse by the collateral variant. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the memo cache behind {!p_t3_low} and
+    {!p_t2_band}.  Sweep experiments evaluating repeated
+    [(params, p_star)] pairs hit the cache instead of re-running the
+    root scan; the cache is mutex-protected and safe under the domain
+    pool. *)
+
+val clear_caches : unit -> unit
+(** Drop every memoized cutoff and reset {!cache_stats} (tests). *)

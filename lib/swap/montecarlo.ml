@@ -75,73 +75,155 @@ let simulate_one rng (p : Params.t) ~p_star ~(policy : Agent.t)
         in
         (Success, u_alice, u_bob, [ ("p_t2", p_t2); ("p_t3", p_t3) ])))
 
-let summarise ~trials outcomes =
-  let successes = ref 0
-  and abort_t1 = ref 0
-  and abort_t2 = ref 0
-  and abort_t3 = ref 0 in
-  let sum_ua = ref 0. and sum_ub = ref 0. and initiated = ref 0 in
-  List.iter
-    (fun (outcome, ua, ub) ->
-      (match outcome with
-      | Success -> incr successes
-      | Abort_t1 -> incr abort_t1
-      | Abort_t2 -> incr abort_t2
-      | Abort_t3 -> incr abort_t3);
-      if outcome <> Abort_t1 then begin
-        incr initiated;
-        sum_ua := !sum_ua +. ua;
-        sum_ub := !sum_ub +. ub
-      end)
-    outcomes;
-  let initiated_n = !initiated in
+(* --- parallel substrate ------------------------------------------------- *)
+
+(* Trials are covered by fixed-size chunks; chunk [c] draws from its own
+   generator [Rng.of_stream ~seed ~stream:c], so the sampled paths are a
+   pure function of (seed, chunk size) and the result is bit-identical
+   for any jobs count.  Per-chunk tallies are merged in chunk order. *)
+let chunk_trials = 512
+
+(* Experiment-wide trial-count override (CLI `experiment --trials`): when
+   set, every run that would use its [?trials] argument uses this count
+   instead.  Atomic so parallel experiments read it safely. *)
+let trials_override : int option Atomic.t = Atomic.make None
+
+let set_trials_override o =
+  (match o with
+  | Some n when n < 1 -> invalid_arg "Montecarlo.set_trials_override"
+  | _ -> ());
+  Atomic.set trials_override o
+
+let effective_trials requested =
+  match Atomic.get trials_override with Some n -> n | None -> requested
+
+type tally = {
+  mutable n_success : int;
+  mutable n_abort_t1 : int;
+  mutable n_abort_t2 : int;
+  mutable n_abort_t3 : int;
+  mutable n_initiated : int;
+  mutable sum_ua : float;
+  mutable sum_ub : float;
+}
+
+let tally () =
+  {
+    n_success = 0;
+    n_abort_t1 = 0;
+    n_abort_t2 = 0;
+    n_abort_t3 = 0;
+    n_initiated = 0;
+    sum_ua = 0.;
+    sum_ub = 0.;
+  }
+
+let record t outcome ua ub =
+  (match outcome with
+  | Success -> t.n_success <- t.n_success + 1
+  | Abort_t1 -> t.n_abort_t1 <- t.n_abort_t1 + 1
+  | Abort_t2 -> t.n_abort_t2 <- t.n_abort_t2 + 1
+  | Abort_t3 -> t.n_abort_t3 <- t.n_abort_t3 + 1);
+  if outcome <> Abort_t1 then begin
+    t.n_initiated <- t.n_initiated + 1;
+    t.sum_ua <- t.sum_ua +. ua;
+    t.sum_ub <- t.sum_ub +. ub
+  end
+
+let merge acc t =
+  acc.n_success <- acc.n_success + t.n_success;
+  acc.n_abort_t1 <- acc.n_abort_t1 + t.n_abort_t1;
+  acc.n_abort_t2 <- acc.n_abort_t2 + t.n_abort_t2;
+  acc.n_abort_t3 <- acc.n_abort_t3 + t.n_abort_t3;
+  acc.n_initiated <- acc.n_initiated + t.n_initiated;
+  acc.sum_ua <- acc.sum_ua +. t.sum_ua;
+  acc.sum_ub <- acc.sum_ub +. t.sum_ub;
+  acc
+
+let summarise ~trials (t : tally) =
+  let initiated_n = t.n_initiated in
   let rate =
     if initiated_n = 0 then 0.
-    else float_of_int !successes /. float_of_int initiated_n
+    else float_of_int t.n_success /. float_of_int initiated_n
   in
   let ci95 =
     if initiated_n = 0 then (0., 0.)
-    else Stats.wilson_interval ~successes:!successes ~trials:initiated_n ~z:1.96
+    else
+      Stats.wilson_interval ~successes:t.n_success ~trials:initiated_n ~z:1.96
   in
   {
     trials;
-    successes = !successes;
-    abort_t1 = !abort_t1;
-    abort_t2 = !abort_t2;
-    abort_t3 = !abort_t3;
+    successes = t.n_success;
+    abort_t1 = t.n_abort_t1;
+    abort_t2 = t.n_abort_t2;
+    abort_t3 = t.n_abort_t3;
     rate;
     initiated = initiated_n;
     ci95;
     mean_utility_alice =
-      (if initiated_n = 0 then 0. else !sum_ua /. float_of_int initiated_n);
+      (if initiated_n = 0 then 0. else t.sum_ua /. float_of_int initiated_n);
     mean_utility_bob =
-      (if initiated_n = 0 then 0. else !sum_ub /. float_of_int initiated_n);
+      (if initiated_n = 0 then 0. else t.sum_ub /. float_of_int initiated_n);
   }
 
-let run ?(trials = 20_000) ?(seed = 0x51ab) ?sampler (p : Params.t) ~p_star
-    ~policy =
-  let sampler = Option.value ~default:(gbm_sampler p) sampler in
-  let rng = Rng.create ~seed () in
-  let outcomes = ref [] in
-  for _ = 1 to trials do
-    let outcome, ua, ub, _ = simulate_one rng p ~p_star ~policy ~sampler in
-    outcomes := (outcome, ua, ub) :: !outcomes
-  done;
-  summarise ~trials !outcomes
+(* Shared chunked driver for [run] and [run_collateral]. *)
+let run_tallied ?jobs ~trials ~seed simulate =
+  let total =
+    Numerics.Pool.parallel_for_reduce ?jobs ~chunk_size:chunk_trials ~n:trials
+      ~init:(tally ())
+      ~body:(fun ~chunk ~lo ~hi ->
+        let rng = Rng.of_stream ~seed ~stream:chunk () in
+        let t = tally () in
+        for _ = lo to hi - 1 do
+          let outcome, ua, ub = simulate rng in
+          record t outcome ua ub
+        done;
+        t)
+      ~combine:merge
+  in
+  summarise ~trials total
 
-let utility_samples ?(trials = 20_000) ?(seed = 0x51ab) ?sampler (p : Params.t)
+let run ?(trials = 20_000) ?(seed = 0x51ab) ?jobs ?sampler (p : Params.t)
     ~p_star ~policy =
+  let trials = effective_trials trials in
   let sampler = Option.value ~default:(gbm_sampler p) sampler in
-  let rng = Rng.create ~seed () in
-  let ua = ref [] and ub = ref [] in
-  for _ = 1 to trials do
-    let outcome, a, b, _ = simulate_one rng p ~p_star ~policy ~sampler in
-    if outcome <> Abort_t1 then begin
-      ua := a :: !ua;
-      ub := b :: !ub
-    end
-  done;
-  (Array.of_list (List.rev !ua), Array.of_list (List.rev !ub))
+  run_tallied ?jobs ~trials ~seed (fun rng ->
+      let outcome, ua, ub, _ = simulate_one rng p ~p_star ~policy ~sampler in
+      (outcome, ua, ub))
+
+let utility_samples ?(trials = 20_000) ?(seed = 0x51ab) ?jobs ?sampler
+    (p : Params.t) ~p_star ~policy =
+  let trials = effective_trials trials in
+  let sampler = Option.value ~default:(gbm_sampler p) sampler in
+  (* Each chunk fills preallocated buffers in one pass (no reversed
+     intermediate lists); chunk buffers are concatenated in order. *)
+  let parts =
+    Numerics.Pool.map_chunks ?jobs ~chunk_size:chunk_trials ~n:trials
+      (fun ~chunk ~lo ~hi ->
+        let rng = Rng.of_stream ~seed ~stream:chunk () in
+        let cap = hi - lo in
+        let ua = Array.make cap 0. and ub = Array.make cap 0. in
+        let count = ref 0 in
+        for _ = lo to hi - 1 do
+          let outcome, a, b, _ = simulate_one rng p ~p_star ~policy ~sampler in
+          if outcome <> Abort_t1 then begin
+            ua.(!count) <- a;
+            ub.(!count) <- b;
+            incr count
+          end
+        done;
+        (!count, ua, ub))
+  in
+  let n = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 parts in
+  let ua = Array.make n 0. and ub = Array.make n 0. in
+  let pos = ref 0 in
+  Array.iter
+    (fun (c, ca, cb) ->
+      Array.blit ca 0 ua !pos c;
+      Array.blit cb 0 ub !pos c;
+      pos := !pos + c)
+    parts;
+  (ua, ub)
 
 (* Collateral game: same path logic, but deposits flow per the Oracle
    rules and decisions use the Section IV thresholds. *)
@@ -198,17 +280,11 @@ let simulate_one_collateral rng (c : Collateral.t) ~p_star
         in
         (Success, u_alice, u_bob)))
 
-let run_collateral ?(trials = 20_000) ?(seed = 0x51ab) ?sampler
+let run_collateral ?(trials = 20_000) ?(seed = 0x51ab) ?jobs ?sampler
     (c : Collateral.t) ~p_star =
+  let trials = effective_trials trials in
   let p = c.Collateral.params in
   let sampler = Option.value ~default:(gbm_sampler p) sampler in
   let policy = Agent.rational_collateral c ~p_star in
-  let rng = Rng.create ~seed () in
-  let outcomes = ref [] in
-  for _ = 1 to trials do
-    let outcome, ua, ub =
-      simulate_one_collateral rng c ~p_star ~policy ~sampler
-    in
-    outcomes := (outcome, ua, ub) :: !outcomes
-  done;
-  summarise ~trials !outcomes
+  run_tallied ?jobs ~trials ~seed (fun rng ->
+      simulate_one_collateral rng c ~p_star ~policy ~sampler)

@@ -256,6 +256,29 @@ let test_high_r_kills_feasibility () =
     if hi -. lo > 0.3 then
       Alcotest.failf "impatient agents should barely trade: (%g, %g)" lo hi
 
+let test_cutoff_memo_cache_hits () =
+  (* Sweeps evaluate the same (params, p_star) repeatedly; the second
+     evaluation must come from the cache and be identical. *)
+  Swap.Cutoff.clear_caches ();
+  let band1 = Swap.Cutoff.p_t2_band p ~p_star:1.93 in
+  let hits0, misses0 = Swap.Cutoff.cache_stats () in
+  let band2 = Swap.Cutoff.p_t2_band p ~p_star:1.93 in
+  let hits1, misses1 = Swap.Cutoff.cache_stats () in
+  Alcotest.(check bool) "band identical" true
+    (Swap.Intervals.intervals band1 = Swap.Intervals.intervals band2);
+  Alcotest.(check int) "repeat band solve is a pure hit" (hits0 + 1) hits1;
+  Alcotest.(check int) "no extra misses" misses0 misses1;
+  let k3 = Swap.Cutoff.p_t3_low p ~p_star:1.93 in
+  let hits2, _ = Swap.Cutoff.cache_stats () in
+  let k3' = Swap.Cutoff.p_t3_low p ~p_star:1.93 in
+  let hits3, _ = Swap.Cutoff.cache_stats () in
+  check_float "memoized t3 cutoff identical" k3 k3';
+  Alcotest.(check int) "t3 repeat is a hit" (hits2 + 1) hits3;
+  (* a cleared cache recomputes the same value *)
+  Swap.Cutoff.clear_caches ();
+  check_float "recomputed t3 cutoff identical" k3
+    (Swap.Cutoff.p_t3_low p ~p_star:1.93)
+
 (* --- Success rate --------------------------------------------------------------- *)
 
 let test_sr_bounds_and_interior_max () =
@@ -673,6 +696,8 @@ let () =
             test_feasible_band_widens_with_alpha;
           Alcotest.test_case "impatience kills feasibility" `Quick
             test_high_r_kills_feasibility;
+          Alcotest.test_case "memo cache hits on repeats" `Quick
+            test_cutoff_memo_cache_hits;
         ] );
       ( "success",
         [
