@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke bench-baseline clean
+.PHONY: build test ci chaos bench-smoke obs-smoke bench-baseline clean
 
 build:
 	dune build
@@ -15,6 +15,12 @@ ci:
 # and validate its shape (also part of @ci).
 bench-smoke:
 	dune build @bench-smoke
+
+# Observability smoke: run the `swap_cli obs` probe workload and
+# validate the metrics snapshot + span trace it exports (also part of
+# @ci).
+obs-smoke:
+	dune build @obs-smoke
 
 # Full recorded perf baseline: every kernel + the 20k-trial Monte-Carlo
 # wall clock at jobs=1 vs jobs=N, written to BENCH_mc.json.

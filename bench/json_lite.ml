@@ -1,0 +1,169 @@
+(* Minimal JSON reader shared by the bench/obs shape validators.  Parses
+   the full document into a tree and offers path-labelled accessors that
+   raise [Bad] with a human-readable location on shape mismatches. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* --- minimal JSON parser ------------------------------------------------ *)
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> bad "expected %C at offset %d" c !pos
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some (('"' | '\\' | '/') as c) ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char b '\t';
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            advance ()
+          done;
+          Buffer.add_char b '?';
+          go ()
+        | _ -> bad "bad escape in string")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> bad "bad number at offset %d" start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> bad "expected ',' or '}' at offset %d" !pos
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        Arr [])
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad "expected ',' or ']' at offset %d" !pos
+        in
+        elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage at offset %d" !pos;
+  v
+
+(* --- path-labelled accessors -------------------------------------------- *)
+
+let member path obj key =
+  match obj with
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> bad "%s: missing key %S" path key)
+  | _ -> bad "%s: expected an object" path
+
+let as_num path = function Num f -> f | _ -> bad "%s: expected a number" path
+let as_str path = function Str s -> s | _ -> bad "%s: expected a string" path
+let as_bool path = function Bool b -> b | _ -> bad "%s: expected a bool" path
+let as_arr path = function Arr l -> l | _ -> bad "%s: expected an array" path
+let as_obj path = function Obj l -> l | _ -> bad "%s: expected an object" path
+
+let num_or_null path = function
+  | Null -> ()
+  | Num _ -> ()
+  | _ -> bad "%s: expected a number or null" path

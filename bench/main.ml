@@ -366,11 +366,14 @@ let json_escape s =
 
 let json_num x = if Float.is_nan x then "null" else Printf.sprintf "%.6g" x
 
-let write_baseline ~file ~rows ~jobs_n ~trials ~wall_1 ~wall_n ~identical =
+let write_baseline ~file ~rows ~jobs_n ~trials ~wall_1 ~wall_n ~identical
+    ~obs_json =
   let oc = open_out file in
   let speedup = if wall_n > 0. then wall_1 /. wall_n else nan in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"htlc-bench/v1\",\n";
+  (* Embedded htlc-obs/v1 metrics snapshot (already serialised JSON). *)
+  Printf.fprintf oc "  \"obs\": %s,\n" obs_json;
   Printf.fprintf oc "  \"jobs\": { \"sequential\": 1, \"parallel\": %d },\n"
     jobs_n;
   Printf.fprintf oc "  \"kernels\": [\n";
@@ -480,7 +483,8 @@ let () =
       mc_wall_clock ~trials:o.mc_trials ~jobs_n
     in
     write_baseline ~file ~rows ~jobs_n ~trials:o.mc_trials ~wall_1 ~wall_n
-      ~identical;
+      ~identical
+      ~obs_json:(Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
     Printf.printf
       "\nmc/%d-trials wall clock: jobs=1 %.4fs, jobs=%d %.4fs (%.2fx), \
        results %s\n"

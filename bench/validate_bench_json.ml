@@ -1,174 +1,32 @@
 (* Shape validator for the bench baseline JSON (bench --json FILE).
 
    Used by the @bench-smoke alias so the perf plumbing cannot rot
-   silently: it fully parses the emitted file with a minimal JSON reader
-   and checks every field the baseline contract promises — including
-   that the jobs=1 and jobs=N Monte-Carlo runs were bit-identical. *)
+   silently: it fully parses the emitted file with the minimal JSON
+   reader in Json_lite and checks every field the baseline contract
+   promises — including that the jobs=1 and jobs=N Monte-Carlo runs
+   were bit-identical and, when present, that the embedded "obs"
+   metrics snapshot carries the htlc-obs/v1 schema. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
+open Json_lite
 
-exception Bad of string
-
-let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
-
-(* --- minimal JSON parser ------------------------------------------------ *)
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> bad "expected %C at offset %d" c !pos
-  in
-  let literal word value =
-    String.iter expect word;
-    value
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> bad "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some (('"' | '\\' | '/') as c) ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-        | Some 'n' ->
-          Buffer.add_char b '\n';
-          advance ();
-          go ()
-        | Some 't' ->
-          Buffer.add_char b '\t';
-          advance ();
-          go ()
-        | Some 'u' ->
-          advance ();
-          for _ = 1 to 4 do
-            advance ()
-          done;
-          Buffer.add_char b '?';
-          go ()
-        | _ -> bad "bad escape in string")
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> bad "bad number at offset %d" start
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> bad "unexpected end of input"
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (
-        advance ();
-        Obj [])
-      else
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((key, v) :: acc))
-          | _ -> bad "expected ',' or '}' at offset %d" !pos
-        in
-        members []
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (
-        advance ();
-        Arr [])
-      else
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> bad "expected ',' or ']' at offset %d" !pos
-        in
-        elements []
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then bad "trailing garbage at offset %d" !pos;
-  v
-
-(* --- shape checks ------------------------------------------------------- *)
-
-let member path obj key =
-  match obj with
-  | Obj fields -> (
-    match List.assoc_opt key fields with
-    | Some v -> v
-    | None -> bad "%s: missing key %S" path key)
-  | _ -> bad "%s: expected an object" path
-
-let as_num path = function Num f -> f | _ -> bad "%s: expected a number" path
-let as_str path = function Str s -> s | _ -> bad "%s: expected a string" path
-let as_bool path = function Bool b -> b | _ -> bad "%s: expected a bool" path
-let as_arr path = function Arr l -> l | _ -> bad "%s: expected an array" path
-
-let num_or_null path = function
-  | Null -> ()
-  | Num _ -> ()
-  | _ -> bad "%s: expected a number or null" path
+(* The optional "obs" member embeds the Obs.Metrics snapshot taken after
+   the Monte-Carlo wall-clock runs; when a baseline carries one it must
+   be a well-formed htlc-obs/v1 metrics document with integer counters. *)
+let validate_obs_member obs =
+  let schema = as_str "obs.schema" (member "obs" obs "schema") in
+  if schema <> "htlc-obs/v1" then bad "obs: unknown schema %S" schema;
+  let doc_type = as_str "obs.type" (member "obs" obs "type") in
+  if doc_type <> "metrics" then bad "obs.type must be \"metrics\" (got %S)" doc_type;
+  let counters = as_obj "obs.counters" (member "obs" obs "counters") in
+  if counters = [] then bad "obs.counters is empty";
+  List.iter
+    (fun (name, v) ->
+      let c = as_num (Printf.sprintf "obs.counters[%S]" name) v in
+      if c < 0. || Float.rem c 1. <> 0. then
+        bad "obs.counters[%S] must be a non-negative integer (got %g)" name c)
+    counters;
+  ignore (as_obj "obs.gauges" (member "obs" obs "gauges"));
+  ignore (as_obj "obs.histograms" (member "obs" obs "histograms"))
 
 let validate root =
   let schema = as_str "schema" (member "top level" root "schema") in
@@ -197,6 +55,12 @@ let validate root =
   ignore (as_num "mc.speedup" (member "mc" mc "speedup"));
   if not (as_bool "mc.identical_results" (member "mc" mc "identical_results"))
   then bad "mc.identical_results is false: jobs=1 and jobs=N diverged";
+  (match root with
+  | Obj fields -> (
+    match List.assoc_opt "obs" fields with
+    | Some obs -> validate_obs_member obs
+    | None -> ())
+  | _ -> bad "top level: expected an object");
   List.length kernels
 
 let () =

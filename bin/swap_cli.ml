@@ -66,6 +66,45 @@ let jobs_term =
            $(b,HTLC_JOBS) when set, otherwise the machine's recommended \
            domain count.  Results are bit-identical for any value.")
 
+(* --- observability flags ------------------------------------------------ *)
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "When the command finishes, print an $(b,htlc-obs/v1) metrics \
+           snapshot (one-line JSON) to stderr: pool and Monte-Carlo \
+           counters, cutoff-cache hits/misses/evictions, chain fault \
+           counters, latency histograms.")
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and, when the command finishes, write the \
+           finished spans to $(docv) as JSONL ($(b,htlc-obs/v1), one span \
+           per line).")
+
+(* Shared observability epilogue: tracing is switched on up front when a
+   trace file was requested; artefacts are written even if the command
+   fails.  The metrics snapshot goes to stderr so it never mixes with a
+   command's stdout (CSV rows, experiment reports). *)
+let with_obs ~metrics ~trace_out f =
+  if Option.is_some trace_out then Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_text file Obs.Trace.write_jsonl;
+          Printf.eprintf "wrote %s\n" file)
+        trace_out;
+      if metrics then
+        prerr_endline (Obs.Metrics.to_json (Obs.Metrics.snapshot ())))
+    f
+
 (* --- cutoffs ------------------------------------------------------------ *)
 
 let cutoffs_cmd =
@@ -154,7 +193,8 @@ let simulate_cmd =
           `Rational
       & info [ "policy" ] ~doc:"Agent policy: rational, honest or myopic.")
   in
-  let run params p_star q trials seed policy_name jobs =
+  let run params p_star q trials seed policy_name jobs metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
     let result =
       if q > 0. then
         Swap.Montecarlo.run_collateral ~trials ~seed ?jobs
@@ -189,7 +229,7 @@ let simulate_cmd =
           streams, so the result is identical for any $(b,--jobs).")
     Term.(
       const run $ params_term $ p_star_term $ q_term $ trials $ seed
-      $ policy_name $ jobs_term)
+      $ policy_name $ jobs_term $ metrics_term $ trace_out_term)
 
 (* --- protocol ------------------------------------------------------------ *)
 
@@ -254,7 +294,8 @@ let protocol_cmd =
     Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Fault/secret RNG seed.")
   in
   let run params p_star q reveal_delay drop delay_mean delay_prob reorg halt
-      retries backoff slack_t2 slack_t3 seed =
+      retries backoff slack_t2 slack_t3 seed metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
     let faults =
       let delay =
         if delay_mean > 0. then
@@ -328,7 +369,7 @@ let protocol_cmd =
     Term.(
       const run $ params_term $ p_star_term $ q_term $ reveal_delay $ drop
       $ delay_mean $ delay_prob $ reorg $ halt $ retries $ backoff $ slack_t2
-      $ slack_t3 $ seed)
+      $ slack_t3 $ seed $ metrics_term $ trace_out_term)
 
 (* --- ac3 ------------------------------------------------------------------ *)
 
@@ -451,7 +492,8 @@ let experiment_cmd =
              simulation-based experiment (smaller = faster preview, \
              larger = tighter confidence intervals).")
   in
-  let run which csv_dir jobs trials =
+  let run which csv_dir jobs trials metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
     Option.iter Numerics.Pool.set_jobs jobs;
     Swap.Montecarlo.set_trials_override trials;
     match which with
@@ -482,7 +524,9 @@ let experiment_cmd =
          "Regenerate a paper table/figure by id.  'all' fans the \
           experiments out over the domain pool (one per task); output \
           is identical for any $(b,--jobs).")
-    Term.(const run $ which $ csv_dir $ jobs_term $ trials)
+    Term.(
+      const run $ which $ csv_dir $ jobs_term $ trials $ metrics_term
+      $ trace_out_term)
 
 (* --- quote ----------------------------------------------------------------- *)
 
@@ -510,13 +554,75 @@ let quote_cmd =
        ~doc:"Quote a swap: SR-optimal and Nash-bargained exchange rates.")
     Term.(const run $ params_term)
 
+(* --- obs ------------------------------------------------------------------ *)
+
+let obs_cmd =
+  let trials =
+    Arg.(
+      value & opt int 5000
+      & info [ "trials" ] ~doc:"Monte-Carlo paths in the probe workload.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics snapshot to $(docv) instead of stdout.")
+  in
+  let run params p_star trials jobs metrics_out trace_out =
+    (* A small fixed workload that touches every instrumented subsystem:
+       the cutoff solver (cache misses then hits), a pooled Monte-Carlo
+       run (chunk fan-out, spans), and one faulty protocol run with
+       retries (chain fault counters, retry/crash events). *)
+    Obs.Trace.set_enabled true;
+    ignore (Swap.Cutoff.p_t2_band_endpoints params ~p_star);
+    ignore (Swap.Cutoff.p_t2_band_endpoints params ~p_star);
+    let policy = Swap.Agent.rational params ~p_star in
+    let mc = Swap.Montecarlo.run ~trials ?jobs params ~p_star ~policy in
+    let faults =
+      Chainsim.Faults.create ~drop_prob:0.3 ~delay_prob:1.
+        ~delay:(Chainsim.Faults.Shifted_exponential { mean = 0.5; cap = 2. })
+        ~reorg_prob:0.2 ()
+    in
+    let proto =
+      Swap.Protocol.run ~seed:0xfeed ~faults_a:faults ~faults_b:faults
+        ~retry:Swap.Agent.default_retry ~delay_t2:2. ~delay_t3:2. params
+        ~p_star
+    in
+    Printf.eprintf "workload: SR %.4f over %d trials; protocol %s\n"
+      mc.Swap.Montecarlo.rate mc.Swap.Montecarlo.trials
+      (Swap.Protocol.outcome_to_string proto.Swap.Protocol.outcome);
+    let json = Obs.Metrics.to_json (Obs.Metrics.snapshot ()) in
+    (match metrics_out with
+    | None -> print_endline json
+    | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc json;
+          output_char oc '\n');
+      Printf.eprintf "wrote %s\n" file);
+    Option.iter
+      (fun file ->
+        Out_channel.with_open_text file Obs.Trace.write_jsonl;
+        Printf.eprintf "wrote %s\n" file)
+      trace_out
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run a fixed probe workload (cutoffs, pooled Monte-Carlo, one \
+          faulty protocol run) and export the $(b,htlc-obs/v1) metrics \
+          snapshot and span trace.  Used by the $(b,obs-smoke) CI check.")
+    Term.(
+      const run $ params_term $ p_star_term $ trials $ jobs_term
+      $ metrics_out $ trace_out_term)
+
 let main_cmd =
   let doc = "Game-theoretic analysis of cross-chain atomic swaps with HTLCs" in
   Cmd.group
     (Cmd.info "swap_cli" ~version:"1.0.0" ~doc)
     [
       cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
-      ac3_cmd; backtest_cmd; quote_cmd; experiment_cmd;
+      ac3_cmd; backtest_cmd; quote_cmd; experiment_cmd; obs_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -44,6 +44,15 @@ let miner_account = "miner"
 let no_fault_stats =
   { dropped = 0; reorged = 0; delayed = 0; halted = 0; extra_delay = 0. }
 
+(* Process-wide fault counters: the per-chain [fstats] record remains the
+   per-instance view, these aggregate across every chain ever simulated. *)
+let m_dropped = Obs.Metrics.counter "chain.faults.dropped"
+let m_reorged = Obs.Metrics.counter "chain.faults.reorged"
+let m_delayed = Obs.Metrics.counter "chain.faults.delayed"
+let m_halted = Obs.Metrics.counter "chain.faults.halted"
+let m_txs = Obs.Metrics.counter "chain.txs_submitted"
+let m_events = Obs.Metrics.counter "chain.events_executed"
+
 let create ?(faults = Faults.none) ?(fault_seed = 0) ~name ~token ~tau
     ~mempool_delay () =
   if tau <= 0. then invalid_arg "Chain.create: requires tau > 0";
@@ -93,8 +102,10 @@ let system_transfer t ~from_ ~to_ ~amount =
    confirmations and auto-refunds alike. *)
 let push_event t ~at kind =
   let deferred = Faults.settle_time t.faults at in
-  if deferred > at then
+  if deferred > at then begin
     t.fstats <- { t.fstats with halted = t.fstats.halted + 1 };
+    Obs.Metrics.incr m_halted
+  end;
   Heap.push t.events { at = deferred; seq = t.next_seq; kind };
   t.next_seq <- t.next_seq + 1
 
@@ -109,16 +120,23 @@ let submit t ~at payload =
   (* Dropped transactions stay in [submitted] — mempool-visible but
      never confirmed (censorship). *)
   t.submitted <- tx :: t.submitted;
+  Obs.Metrics.incr m_txs;
   (match Faults.tx_fate t.faults ~seed:t.fault_seed ~tx_id:id ~tau:t.tau with
   | Faults.Dropped ->
-    t.fstats <- { t.fstats with dropped = t.fstats.dropped + 1 }
+    t.fstats <- { t.fstats with dropped = t.fstats.dropped + 1 };
+    Obs.Metrics.incr m_dropped
   | Faults.Confirm_after { extra; reorged } ->
-    if reorged then t.fstats <- { t.fstats with reorged = t.fstats.reorged + 1 };
-    if extra > 0. then
+    if reorged then begin
+      t.fstats <- { t.fstats with reorged = t.fstats.reorged + 1 };
+      Obs.Metrics.incr m_reorged
+    end;
+    if extra > 0. then begin
       t.fstats <-
         { t.fstats with
           delayed = t.fstats.delayed + 1;
           extra_delay = t.fstats.extra_delay +. extra };
+      Obs.Metrics.incr m_delayed
+    end;
     push_event t ~at:(at +. t.tau +. extra) (Confirm tx));
   id
 
@@ -344,6 +362,7 @@ let advance t ~until =
           execute_escrow_timeout t ev.at ~contract_id
       in
       produced := receipt :: !produced;
+      Obs.Metrics.incr m_events;
       loop ()
     | _ -> ()
   in

@@ -9,6 +9,9 @@ and t = {
   mutable executed : int;
 }
 
+let m_scheduled = Obs.Metrics.counter "sim.events_scheduled"
+let m_executed = Obs.Metrics.counter "sim.events_executed"
+
 let create ?(trace = true) () =
   {
     queue =
@@ -30,7 +33,8 @@ let schedule t ~at ~name run =
       (Printf.sprintf "Sim.schedule: %s at %g is before now (%g)" name at
          t.clock);
   Heap.push t.queue { at; seq = t.next_seq; name; run };
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- t.next_seq + 1;
+  Obs.Metrics.incr m_scheduled
 
 let step t =
   match Heap.pop t.queue with
@@ -39,6 +43,7 @@ let step t =
     t.clock <- ev.at;
     if t.trace_enabled then t.log <- (ev.at, ev.name) :: t.log;
     t.executed <- t.executed + 1;
+    Obs.Metrics.incr m_executed;
     ev.run t;
     true
 

@@ -46,11 +46,15 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
+let m_exp_runs = Obs.Metrics.counter "experiments.runs"
+
 (* One experiment per pool task; reports are assembled in registry
    order, so the concatenated output is identical to a sequential run
    regardless of the jobs count. *)
 let run_all ?jobs () =
   let report e =
+    Obs.Trace.with_span ("experiment." ^ e.name) @@ fun _ ->
+    Obs.Metrics.incr m_exp_runs;
     Printf.sprintf "######## %s — %s ########\n\n%s" e.name e.description
       (e.run ())
   in

@@ -18,7 +18,10 @@ let value = function
   | S_decision { value; _ } -> value
   | S_chance { value; _ } -> value
 
+let m_nodes = Obs.Metrics.counter "gametree.nodes_solved"
+
 let rec solve (game : Game.t) : solved =
+  Obs.Metrics.incr m_nodes;
   match game with
   | Game.Terminal { payoffs; label } -> S_terminal { payoffs; label }
   | Game.Decision { player; node_label; actions } ->

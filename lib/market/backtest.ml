@@ -18,8 +18,12 @@ let swap_horizon (p : Swap.Params.t) =
   let tl = Swap.Timeline.ideal p in
   max tl.Swap.Timeline.t7 tl.Swap.Timeline.t8 +. 1.
 
+let m_bt_runs = Obs.Metrics.counter "market.backtest.runs"
+let m_bt_trades = Obs.Metrics.counter "market.backtest.trades"
+
 let run ?(config = default_config) ?(base = Swap.Params.defaults)
     ?quote_table (path : Path.t) =
+  Obs.Metrics.incr m_bt_runs;
   let times = path.Path.times in
   let last_time = times.(Array.length times - 1) in
   let first_time = times.(0) in
@@ -76,6 +80,7 @@ let run ?(config = default_config) ?(base = Swap.Params.defaults)
             outcome = Some result.Swap.Protocol.outcome;
           }
       in
+      Obs.Metrics.incr m_bt_trades;
       trades := trade :: !trades);
     start := !start +. config.every
   done;

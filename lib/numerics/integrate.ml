@@ -90,6 +90,9 @@ let compute_gl_nodes n =
   done;
   nodes
 
+let m_gl_hits = Obs.Metrics.counter "integrate.gl_cache.hits"
+let m_gl_misses = Obs.Metrics.counter "integrate.gl_cache.misses"
+
 (* Node tables are immutable once computed; the mutex only guards the
    table itself so concurrent quadratures (domain pool) stay safe.  A
    racing miss may compute the same nodes twice — harmless. *)
@@ -98,9 +101,11 @@ let gauss_legendre_nodes n =
   match Hashtbl.find_opt gl_table n with
   | Some nodes ->
     Mutex.unlock gl_mutex;
+    Obs.Metrics.incr m_gl_hits;
     nodes
   | None ->
     Mutex.unlock gl_mutex;
+    Obs.Metrics.incr m_gl_misses;
     let nodes = compute_gl_nodes n in
     Mutex.lock gl_mutex;
     Hashtbl.replace gl_table n nodes;

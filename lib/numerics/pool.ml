@@ -32,15 +32,46 @@ let pending : job list ref = ref []
 let workers : unit Domain.t list ref = ref []
 let shutting_down = ref false
 
+(* --- metrics ------------------------------------------------------------ *)
+
+let m_tasks = Obs.Metrics.counter "pool.tasks_submitted"
+let m_chunks = Obs.Metrics.counter "pool.chunks_completed"
+let m_helped = Obs.Metrics.counter "pool.caller_helped"
+let m_queue_hwm = Obs.Metrics.gauge "pool.queue_depth_hwm"
+let m_chunk_latency = Obs.Metrics.histogram "pool.chunk_latency_s"
+
+type stats = {
+  tasks_submitted : int;
+  chunks_completed : int;
+  caller_helped : int;
+  queue_depth_hwm : int;
+}
+
+let stats () =
+  {
+    tasks_submitted = Obs.Metrics.counter_value m_tasks;
+    chunks_completed = Obs.Metrics.counter_value m_chunks;
+    caller_helped = Obs.Metrics.counter_value m_helped;
+    queue_depth_hwm = int_of_float (Obs.Metrics.gauge_value m_queue_hwm);
+  }
+
 (* --- jobs setting ------------------------------------------------------- *)
 
 let env_jobs () =
   match Sys.getenv_opt "HTLC_JOBS" with
   | None -> None
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | _ -> None)
+    let s = String.trim s in
+    if s = "" then None
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | Some n ->
+        failwith
+          (Printf.sprintf "HTLC_JOBS must be a positive integer, got %d" n)
+      | None ->
+        failwith
+          (Printf.sprintf "HTLC_JOBS must be a positive integer, got %S" s))
 
 let recommended () =
   match env_jobs () with
@@ -76,8 +107,14 @@ let record_failure job chunk exn bt =
    model: release on the atomic), so the submitter may read result slots
    after observing [unfinished = 0]. *)
 let exec job chunk =
+  (* Clock reads are gated on the metrics flag (0L sentinel = untimed) so
+     the disabled path stays a single atomic load per chunk. *)
+  let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_ns () else 0L in
   (try job.run_chunk chunk
    with exn -> record_failure job chunk exn (Printexc.get_raw_backtrace ()));
+  Obs.Metrics.incr m_chunks;
+  if t0 <> 0L then
+    Obs.Metrics.observe m_chunk_latency (Obs.Monotonic.elapsed_s ~since_ns:t0);
   if Atomic.fetch_and_add job.unfinished (-1) = 1 then begin
     Mutex.lock job.job_mutex;
     Condition.broadcast job.finished;
@@ -131,12 +168,19 @@ let run_chunks ?jobs:jobs_opt ~chunks run_chunk =
     | None -> jobs ()
   in
   let j = min j chunks in
+  Obs.Metrics.incr m_tasks;
   if j <= 1 then
     (* Sequential fast path: same chunk decomposition, zero pool traffic.
        Raises at the first failing chunk — the same (lowest-index) failure
        the parallel path reports. *)
+    let timed = Obs.Metrics.enabled () in
     for chunk = 0 to chunks - 1 do
-      run_chunk chunk
+      let t0 = if timed then Obs.Monotonic.now_ns () else 0L in
+      run_chunk chunk;
+      Obs.Metrics.incr m_chunks;
+      if t0 <> 0L then
+        Obs.Metrics.observe m_chunk_latency
+          (Obs.Monotonic.elapsed_s ~since_ns:t0)
     done
   else begin
     let job =
@@ -153,12 +197,14 @@ let run_chunks ?jobs:jobs_opt ~chunks run_chunk =
     Mutex.lock pool_mutex;
     ensure_workers (j - 1);
     pending := !pending @ [ job ];
+    Obs.Metrics.max_gauge m_queue_hwm (float_of_int (List.length !pending));
     Condition.broadcast pool_cond;
     Mutex.unlock pool_mutex;
     (* The submitter helps until every chunk is claimed... *)
     let rec help () =
       match claim job with
       | Some chunk ->
+        Obs.Metrics.incr m_helped;
         exec job chunk;
         help ()
       | None -> ()

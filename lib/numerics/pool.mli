@@ -14,8 +14,10 @@
     the pool cannot deadlock on nesting. *)
 
 val recommended : unit -> int
-(** Default parallelism: the [HTLC_JOBS] environment variable when set to
-    a positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+(** Default parallelism: the [HTLC_JOBS] environment variable when set,
+    otherwise [Domain.recommended_domain_count ()].
+    @raise Failure when [HTLC_JOBS] is set to a non-empty value that is
+    not a positive integer (an empty/whitespace value counts as unset). *)
 
 val jobs : unit -> int
 (** Current global jobs setting (lazily initialised to {!recommended}). *)
@@ -59,3 +61,15 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map_array}. *)
+
+type stats = {
+  tasks_submitted : int;  (** [run_chunks] calls (either path) *)
+  chunks_completed : int;  (** chunks fully executed, any domain *)
+  caller_helped : int;  (** chunks the submitting domain ran itself *)
+  queue_depth_hwm : int;  (** high-water mark of the pending-job queue *)
+}
+
+val stats : unit -> stats
+(** Pool counters, read from the [Obs.Metrics] registry (names
+    [pool.tasks_submitted], [pool.chunks_completed], [pool.caller_helped],
+    [pool.queue_depth_hwm]).  Counts freeze while metrics are disabled. *)

@@ -1,0 +1,16 @@
+(** Tiny JSON {e emission} helpers used by every [Obs] exporter (and by
+    callers embedding snapshots in larger documents).  No parser here:
+    validators parse independently so the emitter cannot vouch for
+    itself. *)
+
+val escape : string -> string
+(** Backslash-escape a string for use inside JSON quotes. *)
+
+val str : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val num : float -> string
+(** A JSON number; NaN/infinite map to [null] (JSON has no encoding for
+    them). *)
+
+val int : int -> string

@@ -1,0 +1,259 @@
+(* Global metrics registry: named counters, gauges, and log-bucketed
+   histograms, safe under Numerics.Pool fan-out.
+
+   Counters shard their cells by domain id so concurrent increments from
+   pool workers never contend on one atomic; a read sums the shards.
+   Histograms keep one atomic per power-of-two bucket (updates to a hot
+   bucket are a single uncontended-in-practice fetch-and-add) and shard
+   the float sum.  Registration is mutex-guarded and idempotent: asking
+   for an existing name returns the existing metric, so modules can
+   register at load time without coordination.
+
+   Probes honour a global [enabled] flag: when disabled every update is
+   a single atomic load and branch (a few ns), which is the contract the
+   bench baseline's < 5% overhead budget relies on. *)
+
+let shards = 8 (* power of two; domain ids hash into these cells *)
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+let n_buckets = 64
+
+(* Bucket [i] covers values in [2^(i-31), 2^(i-30)); its upper bound is
+   [2^(i-30)].  2^-30 s ~ 0.93 ns and 2^33 s ~ 272 y, so any latency or
+   magnitude we record lands in a real bucket. *)
+let bucket_offset = 30
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array; (* n_buckets cells *)
+  sums : float Atomic.t array; (* sharded *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+let atomic_farray n = Array.init n (fun _ -> Atomic.make 0.)
+
+let register name make unwrap kind =
+  Mutex.lock registry_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.replace registry name m;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  match unwrap m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %S is already registered and is not a %s"
+         name kind)
+
+let counter name =
+  register name
+    (fun () -> Counter { c_name = name; cells = atomic_array shards })
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let gauge name =
+  register name
+    (fun () -> Gauge { g_name = name; g_cell = Atomic.make 0. })
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let histogram name =
+  register name
+    (fun () ->
+      Histogram
+        { h_name = name; buckets = atomic_array n_buckets;
+          sums = atomic_farray shards })
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+(* --- updates ------------------------------------------------------------ *)
+
+let incr c = if enabled () then Atomic.incr c.cells.(shard ())
+
+let add c n =
+  if enabled () && n <> 0 then ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
+
+let set_gauge g v = if enabled () then Atomic.set g.g_cell v
+
+let rec max_gauge g v =
+  if enabled () then begin
+    let seen = Atomic.get g.g_cell in
+    if v > seen && not (Atomic.compare_and_set g.g_cell seen v) then
+      max_gauge g v
+  end
+
+(* Boxed-float CAS loop: [Atomic.compare_and_set] compares the box we
+   just read, so the usual retry pattern is sound. *)
+let rec atomic_add_float cell x =
+  let seen = Atomic.get cell in
+  if not (Atomic.compare_and_set cell seen (seen +. x)) then
+    atomic_add_float cell x
+
+let bucket_index v =
+  if not (v > 0.) then 0
+  else begin
+    let _, e = Float.frexp v in
+    let i = e + bucket_offset in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let bucket_le i = Float.ldexp 1. (i - bucket_offset)
+
+let observe h v =
+  if enabled () then begin
+    Atomic.incr h.buckets.(bucket_index v);
+    atomic_add_float h.sums.(shard ()) v
+  end
+
+(* --- reads -------------------------------------------------------------- *)
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+let counter_name c = c.c_name
+let gauge_value g = Atomic.get g.g_cell
+let gauge_name g = g.g_name
+let reset_counter c = Array.iter (fun a -> Atomic.set a 0) c.cells
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list; (* (upper bound, count), nonzero only *)
+}
+
+let hist_value (h : histogram) =
+  let count = ref 0 and buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let n = Atomic.get h.buckets.(i) in
+    count := !count + n;
+    if n > 0 then buckets := (bucket_le i, n) :: !buckets
+  done;
+  let sum = Array.fold_left (fun acc a -> acc +. Atomic.get a) 0. h.sums in
+  { count = !count; sum; buckets = !buckets }
+
+let hist_name h = h.h_name
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let metrics = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> cs := (name, counter_value c) :: !cs
+      | Gauge g -> gs := (name, gauge_value g) :: !gs
+      | Histogram h -> hs := (name, hist_value h) :: !hs)
+    metrics;
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Array.iter (fun a -> Atomic.set a 0) c.cells
+      | Gauge g -> Atomic.set g.g_cell 0.
+      | Histogram h ->
+        Array.iter (fun a -> Atomic.set a 0) h.buckets;
+        Array.iter (fun a -> Atomic.set a 0.) h.sums)
+    registry;
+  Mutex.unlock registry_mutex
+
+(* --- exporters ---------------------------------------------------------- *)
+
+let schema = "htlc-obs/v1"
+
+let to_json s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%s,\"type\":\"metrics\"" (Json.str schema));
+  let obj key render entries =
+    Buffer.add_string b (Printf.sprintf ",%s:{" (Json.str key));
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Json.str name);
+        Buffer.add_char b ':';
+        Buffer.add_string b (render v))
+      entries;
+    Buffer.add_char b '}'
+  in
+  obj "counters" Json.int s.counters;
+  obj "gauges" Json.num s.gauges;
+  obj "histograms"
+    (fun (h : hist_snapshot) ->
+      let buckets =
+        String.concat ","
+          (List.map
+             (fun (le, n) ->
+               Printf.sprintf "{\"le\":%s,\"n\":%d}" (Json.num le) n)
+             h.buckets)
+      in
+      Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}" h.count
+        (Json.num h.sum) buckets)
+    s.histograms;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Prometheus text exposition: dots become underscores, histogram
+   buckets are cumulative with a trailing +Inf. *)
+let prom_name name =
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+let to_prometheus s =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (Json.num v)))
+    s.gauges;
+  List.iter
+    (fun (name, (h : hist_snapshot)) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (le, count) ->
+          cum := !cum + count;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (Json.num le) !cum))
+        h.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (Json.num h.sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+    s.histograms;
+  Buffer.contents b

@@ -1,0 +1,93 @@
+(** Global metrics registry: named counters, gauges, and log-bucketed
+    histograms, designed to stay cheap and correct under
+    [Numerics.Pool] domain fan-out.
+
+    - {b Counters} shard their cells by domain id (summed on read), so
+      concurrent increments never contend on a single atomic.
+    - {b Gauges} are a single atomic float with [set] and high-water
+      [max] updates.
+    - {b Histograms} are log-bucketed at powers of two (64 buckets,
+      upper bounds [2^(i-30)] — sub-ns through centuries when the unit
+      is seconds), one atomic per bucket plus a sharded sum.
+
+    Registration is idempotent: requesting an existing name returns the
+    existing metric (mismatched kinds raise [Invalid_argument]).  All
+    update probes honour a global {!set_enabled} flag; when disabled
+    each probe is one atomic load and a branch — a few nanoseconds —
+    and no value changes. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Globally enable/disable every update probe (reads still work).
+    Enabled by default. *)
+
+val enabled : unit -> bool
+
+(** {1 Registration (idempotent, thread-safe)} *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Updates (domain-safe)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+
+val max_gauge : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] exceeds the current value (CAS loop);
+    used for high-water marks. *)
+
+val observe : histogram -> float -> unit
+(** Record a sample ([<= 0.] lands in the lowest bucket). *)
+
+(** {1 Reads} *)
+
+val counter_value : counter -> int
+val counter_name : counter -> string
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val reset_counter : counter -> unit
+(** Zero one counter (e.g. [Swap.Cutoff.clear_caches]). *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+      (** [(upper_bound, count)] for nonzero buckets, ascending. *)
+}
+
+val hist_value : histogram -> hist_snapshot
+val hist_name : histogram -> string
+
+type snapshot = {
+  counters : (string * int) list;  (** Sorted by name. *)
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** A consistent-enough point-in-time view of the whole registry
+    (counters may be mid-update; each cell read is atomic). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (tests); registrations survive. *)
+
+(** {1 Exporters} *)
+
+val schema : string
+(** ["htlc-obs/v1"] — stamped into every exported document. *)
+
+val to_json : snapshot -> string
+(** One-line JSON object:
+    [{"schema":"htlc-obs/v1","type":"metrics","counters":{...},
+      "gauges":{...},"histograms":{...}}]. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format (dots mapped to underscores,
+    cumulative buckets with a [+Inf] terminal). *)

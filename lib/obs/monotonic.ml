@@ -1,0 +1,19 @@
+(* A process-wide non-decreasing clock.  The stdlib offers no monotonic
+   clock, so we base it on [Unix.gettimeofday] and clamp: every reading
+   passes through a global atomic high-water mark, so no caller ever
+   observes time running backwards (NTP steps, VM migrations), on any
+   domain.  Resolution is the gettimeofday microsecond. *)
+
+let last_ns : int64 Atomic.t = Atomic.make 0L
+
+let rec clamp t =
+  let seen = Atomic.get last_ns in
+  if Int64.compare t seen <= 0 then seen
+  else if Atomic.compare_and_set last_ns seen t then t
+  else clamp t
+
+let now_ns () = clamp (Int64.of_float (Unix.gettimeofday () *. 1e9))
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s ~since_ns =
+  Int64.to_float (Int64.sub (now_ns ()) since_ns) /. 1e9

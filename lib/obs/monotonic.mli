@@ -1,0 +1,14 @@
+(** Process-wide non-decreasing wall clock (nanosecond units,
+    microsecond resolution).  Readings are clamped through a global
+    atomic high-water mark, so across {e all} domains a later call never
+    returns a smaller value than an earlier one — span durations and
+    latency samples are always nonnegative. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds since the epoch, clamped non-decreasing. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds. *)
+
+val elapsed_s : since_ns:int64 -> float
+(** Seconds elapsed since a previous {!now_ns} reading ([>= 0.]). *)

@@ -1,0 +1,77 @@
+(* Structured event export.  An event is a (timestamp, kind, fields)
+   triple; sinks decide where it goes: nowhere (null — a constructor
+   match and return, a few ns), an in-memory list (protocol runners
+   rebuild their public traces from it), or an out_channel as JSONL
+   stamped with the htlc-obs/v1 schema.
+
+   Timestamps are caller-supplied floats: simulators pass simulated
+   hours, services would pass wall-clock seconds.  The sink does not
+   interpret them. *)
+
+type value = Str of string | Num of float | Int of int | Bool of bool
+
+type event = { ts : float; kind : string; fields : (string * value) list }
+
+type t =
+  | Null
+  | Memory of { mutable rev_events : event list; mutex : Mutex.t }
+  | Channel of { oc : out_channel; owned : bool; mutex : Mutex.t }
+
+let null = Null
+let memory () = Memory { rev_events = []; mutex = Mutex.create () }
+let channel oc = Channel { oc; owned = false; mutex = Mutex.create () }
+
+let file path =
+  Channel { oc = open_out path; owned = true; mutex = Mutex.create () }
+
+let is_null = function Null -> true | _ -> false
+
+let value_to_json = function
+  | Str s -> Json.str s
+  | Num x -> Json.num x
+  | Int n -> Json.int n
+  | Bool b -> if b then "true" else "false"
+
+let event_to_json e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%s,\"type\":\"event\",\"ts\":%s,\"kind\":%s"
+       (Json.str Metrics.schema) (Json.num e.ts) (Json.str e.kind));
+  Buffer.add_string b ",\"fields\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Json.str k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (value_to_json v))
+    e.fields;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let emit t ~ts ~kind fields =
+  match t with
+  | Null -> ()
+  | Memory m ->
+    Mutex.lock m.mutex;
+    m.rev_events <- { ts; kind; fields } :: m.rev_events;
+    Mutex.unlock m.mutex
+  | Channel c ->
+    Mutex.lock c.mutex;
+    output_string c.oc (event_to_json { ts; kind; fields });
+    output_char c.oc '\n';
+    Mutex.unlock c.mutex
+
+let events = function
+  | Null | Channel _ -> []
+  | Memory m ->
+    Mutex.lock m.mutex;
+    let es = List.rev m.rev_events in
+    Mutex.unlock m.mutex;
+    es
+
+let close = function
+  | Null | Memory _ -> ()
+  | Channel c ->
+    Mutex.lock c.mutex;
+    if c.owned then close_out c.oc else flush c.oc;
+    Mutex.unlock c.mutex

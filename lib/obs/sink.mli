@@ -1,0 +1,43 @@
+(** Structured event export: a sink receives [(ts, kind, fields)]
+    events and either discards them ({!null} — a few nanoseconds per
+    probe), buffers them in order ({!memory}), or writes them as JSONL
+    stamped ["htlc-obs/v1"] ({!channel}/{!file}).
+
+    Timestamps are caller-supplied and uninterpreted — the chain
+    simulator passes simulated hours, a service would pass wall-clock
+    seconds. *)
+
+type value = Str of string | Num of float | Int of int | Bool of bool
+
+type event = { ts : float; kind : string; fields : (string * value) list }
+
+type t
+
+val null : t
+(** Discards everything; the disabled path. *)
+
+val memory : unit -> t
+(** Buffers events in emission order; read back with {!events}. *)
+
+val channel : out_channel -> t
+(** Writes JSONL to a caller-owned channel ({!close} flushes it). *)
+
+val file : string -> t
+(** Opens [path] for writing; {!close} closes it. *)
+
+val is_null : t -> bool
+(** Hot paths can skip building the field list entirely. *)
+
+val emit : t -> ts:float -> kind:string -> (string * value) list -> unit
+(** Thread-safe. *)
+
+val events : t -> event list
+(** Buffered events (memory sinks; [[]] otherwise), oldest first. *)
+
+val event_to_json : event -> string
+(** One JSON object (no newline):
+    [{"schema":"htlc-obs/v1","type":"event","ts":..,"kind":..,
+      "fields":{..}}]. *)
+
+val close : t -> unit
+(** Flush/close underlying resources; no-op for null/memory. *)

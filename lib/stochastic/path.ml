@@ -2,6 +2,8 @@ open Numerics
 
 type t = { times : float array; values : float array }
 
+let m_created = Obs.Metrics.counter "stochastic.paths_created"
+
 let create ~times ~values =
   let n = Array.length times in
   if n = 0 then invalid_arg "Path.create: empty";
@@ -10,6 +12,7 @@ let create ~times ~values =
     if times.(i) <= times.(i - 1) then
       invalid_arg "Path.create: times must be strictly increasing"
   done;
+  Obs.Metrics.incr m_created;
   { times; values }
 
 let length p = Array.length p.times

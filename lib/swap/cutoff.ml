@@ -6,46 +6,97 @@ open Numerics
    memoizes both entry points.  Values are computed outside the lock, so
    concurrent misses may duplicate work but never serialise on the
    root-finder; cached values (floats, immutable interval sets) are safe
-   to share across domains. *)
+   to share across domains.
+
+   Eviction is second-chance (clock): an insertion queue remembers
+   arrival order, a hit sets the entry's referenced bit, and a full
+   cache evicts the first unreferenced entry — recently-hit keys survive
+   a sweep whose working set exceeds the capacity, instead of the whole
+   cache being dropped at once.  Hit/miss/eviction counts live in the
+   Obs.Metrics registry; [cache_stats] is a thin reader over it. *)
 
 let cache_mutex = Mutex.create ()
-let cache_hits = ref 0
-let cache_misses = ref 0
 let cache_capacity = 512
-let t3_cache : (Params.t * float, float) Hashtbl.t = Hashtbl.create 64
+let m_hits = Obs.Metrics.counter "cutoff.cache.hits"
+let m_misses = Obs.Metrics.counter "cutoff.cache.misses"
+let m_evictions = Obs.Metrics.counter "cutoff.cache.evictions"
 
-let band_cache : (Params.t * float * int, Intervals.t) Hashtbl.t =
-  Hashtbl.create 64
+type 'v entry = { value : 'v; mutable referenced : bool }
+type ('k, 'v) cache = { tbl : ('k, 'v entry) Hashtbl.t; order : 'k Queue.t }
 
-let memo tbl key compute =
+let make_cache () = { tbl = Hashtbl.create 64; order = Queue.create () }
+let t3_cache : (Params.t * float, float) cache = make_cache ()
+let band_cache : (Params.t * float * int, Intervals.t) cache = make_cache ()
+
+(* Called with [cache_mutex] held.  Walks the clock queue: referenced
+   entries lose their bit and go around again, the first unreferenced
+   entry is evicted.  Keys no longer in the table (stale) are skipped.
+   The budget bounds the walk even when every entry is referenced. *)
+let evict_one c =
+  let budget = ref ((2 * Queue.length c.order) + 1) in
+  let evicted = ref false in
+  while (not !evicted) && !budget > 0 do
+    decr budget;
+    match Queue.take_opt c.order with
+    | None -> budget := 0
+    | Some key -> (
+      match Hashtbl.find_opt c.tbl key with
+      | None -> () (* stale: already removed by clear *)
+      | Some e ->
+        if e.referenced then begin
+          e.referenced <- false;
+          Queue.push key c.order
+        end
+        else begin
+          Hashtbl.remove c.tbl key;
+          Obs.Metrics.incr m_evictions;
+          evicted := true
+        end)
+  done
+
+let memo c key compute =
   Mutex.lock cache_mutex;
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-    incr cache_hits;
+  match Hashtbl.find_opt c.tbl key with
+  | Some e ->
+    e.referenced <- true;
+    Obs.Metrics.incr m_hits;
     Mutex.unlock cache_mutex;
-    v
+    e.value
   | None ->
-    incr cache_misses;
+    Obs.Metrics.incr m_misses;
     Mutex.unlock cache_mutex;
     let v = compute () in
     Mutex.lock cache_mutex;
-    if Hashtbl.length tbl >= cache_capacity then Hashtbl.reset tbl;
-    Hashtbl.replace tbl key v;
+    (* A racing miss may have inserted the key meanwhile; keep the
+       existing entry so concurrent readers share one value. *)
+    if not (Hashtbl.mem c.tbl key) then begin
+      if Hashtbl.length c.tbl >= cache_capacity then evict_one c;
+      Hashtbl.replace c.tbl key { value = v; referenced = false };
+      Queue.push key c.order
+    end;
     Mutex.unlock cache_mutex;
     v
 
 let cache_stats () =
+  (Obs.Metrics.counter_value m_hits, Obs.Metrics.counter_value m_misses)
+
+let cache_evictions () = Obs.Metrics.counter_value m_evictions
+
+let cache_sizes () =
   Mutex.lock cache_mutex;
-  let stats = (!cache_hits, !cache_misses) in
+  let sizes = (Hashtbl.length t3_cache.tbl, Hashtbl.length band_cache.tbl) in
   Mutex.unlock cache_mutex;
-  stats
+  sizes
 
 let clear_caches () =
   Mutex.lock cache_mutex;
-  Hashtbl.reset t3_cache;
-  Hashtbl.reset band_cache;
-  cache_hits := 0;
-  cache_misses := 0;
+  Hashtbl.reset t3_cache.tbl;
+  Queue.clear t3_cache.order;
+  Hashtbl.reset band_cache.tbl;
+  Queue.clear band_cache.order;
+  Obs.Metrics.reset_counter m_hits;
+  Obs.Metrics.reset_counter m_misses;
+  Obs.Metrics.reset_counter m_evictions;
   Mutex.unlock cache_mutex
 
 let p_t3_low (p : Params.t) ~p_star =

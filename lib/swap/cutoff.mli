@@ -34,10 +34,21 @@ val scan_domain : Params.t -> p_star:float -> float * float
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] of the memo cache behind {!p_t3_low} and
-    {!p_t2_band}.  Sweep experiments evaluating repeated
-    [(params, p_star)] pairs hit the cache instead of re-running the
-    root scan; the cache is mutex-protected and safe under the domain
-    pool. *)
+    {!p_t2_band} — a thin reader over the [Obs.Metrics] counters
+    [cutoff.cache.hits] / [cutoff.cache.misses].  Sweep experiments
+    evaluating repeated [(params, p_star)] pairs hit the cache instead
+    of re-running the root scan; the cache is mutex-protected and safe
+    under the domain pool.  Counts freeze while metrics are disabled. *)
+
+val cache_evictions : unit -> int
+(** Entries evicted by the second-chance policy (counter
+    [cutoff.cache.evictions]).  Eviction is per-entry: a full cache
+    drops its least-recently-referenced entry, never the whole table. *)
+
+val cache_sizes : unit -> int * int
+(** Current [(t3, band)] cache populations; each is bounded by the
+    capacity (512). *)
 
 val clear_caches : unit -> unit
-(** Drop every memoized cutoff and reset {!cache_stats} (tests). *)
+(** Drop every memoized cutoff and reset {!cache_stats} /
+    {!cache_evictions} (tests). *)

@@ -166,12 +166,26 @@ let summarise ~trials (t : tally) =
       (if initiated_n = 0 then 0. else t.sum_ub /. float_of_int initiated_n);
   }
 
-(* Shared chunked driver for [run] and [run_collateral]. *)
+let m_runs = Obs.Metrics.counter "mc.runs"
+let m_trials = Obs.Metrics.counter "mc.trials"
+let m_trials_per_s = Obs.Metrics.gauge "mc.trials_per_s"
+
+(* Shared chunked driver for [run] and [run_collateral].  Probes sit at
+   run and chunk granularity (a chunk is 512 trials), never per trial,
+   and touch nothing the RNG streams depend on — instrumented runs stay
+   bit-identical to uninstrumented ones for any jobs count. *)
 let run_tallied ?jobs ~trials ~seed simulate =
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_trials trials;
+  let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_ns () else 0L in
   let total =
+    Obs.Trace.with_span "mc.run" @@ fun run_span ->
+    Obs.Trace.annotate run_span "trials" (string_of_int trials);
     Numerics.Pool.parallel_for_reduce ?jobs ~chunk_size:chunk_trials ~n:trials
       ~init:(tally ())
       ~body:(fun ~chunk ~lo ~hi ->
+        Obs.Trace.with_span ~parent:run_span "mc.chunk" @@ fun chunk_span ->
+        Obs.Trace.annotate chunk_span "chunk" (string_of_int chunk);
         let rng = Rng.of_stream ~seed ~stream:chunk () in
         let t = tally () in
         for _ = lo to hi - 1 do
@@ -181,6 +195,11 @@ let run_tallied ?jobs ~trials ~seed simulate =
         t)
       ~combine:merge
   in
+  if t0 <> 0L then begin
+    let dt = Obs.Monotonic.elapsed_s ~since_ns:t0 in
+    if dt > 0. then
+      Obs.Metrics.set_gauge m_trials_per_s (float_of_int trials /. dt)
+  end;
   summarise ~trials total
 
 let run ?(trials = 20_000) ?(seed = 0x51ab) ?jobs ?sampler (p : Params.t)
@@ -195,9 +214,12 @@ let utility_samples ?(trials = 20_000) ?(seed = 0x51ab) ?jobs ?sampler
     (p : Params.t) ~p_star ~policy =
   let trials = effective_trials trials in
   let sampler = Option.value ~default:(gbm_sampler p) sampler in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_trials trials;
   (* Each chunk fills preallocated buffers in one pass (no reversed
      intermediate lists); chunk buffers are concatenated in order. *)
   let parts =
+    Obs.Trace.with_span "mc.utility_samples" @@ fun _ ->
     Numerics.Pool.map_chunks ?jobs ~chunk_size:chunk_trials ~n:trials
       (fun ~chunk ~lo ~hi ->
         let rng = Rng.of_stream ~seed ~stream:chunk () in

@@ -58,6 +58,21 @@ let bob = "bob"
 let contract_a = "htlc:a"
 let contract_b = "htlc:b"
 
+let m_runs = Obs.Metrics.counter "protocol.runs"
+let m_retries = Obs.Metrics.counter "protocol.retries"
+let m_out_success = Obs.Metrics.counter "protocol.outcome.success"
+let m_out_abort_t1 = Obs.Metrics.counter "protocol.outcome.abort_t1"
+let m_out_abort_t2 = Obs.Metrics.counter "protocol.outcome.abort_t2"
+let m_out_abort_t3 = Obs.Metrics.counter "protocol.outcome.abort_t3"
+let m_out_anomalous = Obs.Metrics.counter "protocol.outcome.anomalous"
+
+let count_outcome = function
+  | Success -> Obs.Metrics.incr m_out_success
+  | Abort_t1 -> Obs.Metrics.incr m_out_abort_t1
+  | Abort_t2 -> Obs.Metrics.incr m_out_abort_t2
+  | Abort_t3 -> Obs.Metrics.incr m_out_abort_t3
+  | Anomalous _ -> Obs.Metrics.incr m_out_anomalous
+
 (* Funds still parked in contract escrows (or the Oracle vault) once
    the run has settled; nonzero means a refund was never credited. *)
 let locked_leftover chain =
@@ -78,10 +93,19 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
     ?(faults_a = Faults.none) ?(faults_b = Faults.none)
     ?(retry = Agent.no_retry) ?(delay_t2 = 0.) ?(delay_t3 = 0.) (p : Params.t)
     ~p_star =
+  Obs.Metrics.incr m_runs;
+  Obs.Trace.with_span "protocol.run" @@ fun _run_span ->
   let price = Option.value ~default:(fun _t -> p.Params.p0) price in
   let tl = Timeline.slacked ~delay_t2 ~delay_t3 p in
-  let trace = ref [] in
-  let log t msg = trace := (t, msg) :: !trace in
+  (* Steps land in a structured event sink keyed by kind (step / retry /
+     crash / recovery); the public [trace] field is rebuilt from it at
+     run end, so its contents and order are exactly the old reversed-ref
+     log. *)
+  let events = Obs.Sink.memory () in
+  let logk kind t msg =
+    Obs.Sink.emit events ~ts:t ~kind [ ("msg", Obs.Sink.Str msg) ]
+  in
+  let log t msg = logk "step" t msg in
   (* Chain_a's mempool delay never enters the model; zero keeps Eq. 3.
      Fault seeds derive from the run seed but differ per chain, so the
      two schedules are decorrelated. *)
@@ -197,7 +221,7 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
           end
           else begin
             incr retries;
-            log next
+            logk "retry" next
               (Printf.sprintf "%s unconfirmed; resubmitting (attempt %d)"
                  action (n + 1));
             attempt (n + 1) next
@@ -217,8 +241,21 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
     | _ -> None
   in
   let finish outcome ~secret_observed_at_t4 =
+    count_outcome outcome;
+    Obs.Metrics.add m_retries !retries;
     ignore (Chain.advance chain_a ~until:horizon);
     ignore (Chain.advance chain_b ~until:horizon);
+    let trace =
+      List.map
+        (fun (e : Obs.Sink.event) ->
+          let msg =
+            match List.assoc_opt "msg" e.fields with
+            | Some (Obs.Sink.Str m) -> m
+            | _ -> e.kind
+          in
+          (e.ts, msg))
+        (Obs.Sink.events events)
+    in
     let subs =
       (* Backfill per-attempt confirmation times from transaction
          receipts: [Ok] means this attempt's transaction applied the
@@ -254,7 +291,7 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
       bob_delta_a = Chain.balance chain_a ~account:bob -. base_a_bob;
       bob_delta_b = Chain.balance chain_b ~account:bob -. base_b_bob;
       secret_observed_at_t4;
-      trace = List.rev !trace;
+      trace;
       receipts_a = Chain.receipts chain_a;
       receipts_b = Chain.receipts chain_b;
       telemetry =
@@ -306,7 +343,7 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
   let alice_t1 =
     if alice_online tl.Timeline.t1 then policy.Agent.alice_t1 ~p_star
     else begin
-      log tl.Timeline.t1 "alice is offline (crash): no initiation";
+      logk "crash" tl.Timeline.t1 "alice is offline (crash): no initiation";
       Agent.Stop
     end
   in
@@ -350,7 +387,8 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
       let bob_t2 =
         if bob_online tl.Timeline.t2 then policy.Agent.bob_t2 ~p_t2
         else begin
-          log tl.Timeline.t2 "bob is offline (crash): no HTLC on chain_b";
+          logk "crash" tl.Timeline.t2
+            "bob is offline (crash): no HTLC on chain_b";
           Agent.Stop
         end
       in
@@ -425,7 +463,8 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
           let alice_t3 =
             if alice_online tl.Timeline.t3 then policy.Agent.alice_t3 ~p_t3
             else begin
-              log tl.Timeline.t3 "alice is offline (crash): secret never revealed";
+              logk "crash" tl.Timeline.t3
+                "alice is offline (crash): secret never revealed";
               Agent.Stop
             end
           in
@@ -486,10 +525,11 @@ let run ?(q = 0.) ?(policy = Agent.honest) ?price ?(reveal_delay = 0.)
                 match bob_online_again_at with
                 | Some r when r > observe_at && policy.Agent.bob_t4 = Agent.Cont
                   ->
-                  log r "bob back online: claims Token_a with the revealed secret";
+                  logk "recovery" r
+                    "bob back online: claims Token_a with the revealed secret";
                   bob_claim ~at:r
                 | _ ->
-                  log observe_at
+                  logk "crash" observe_at
                     "bob is offline (crash): the revealed secret goes unclaimed"
               end
               else log observe_at "bob (irrationally) declines to claim"

@@ -1,0 +1,338 @@
+(* Observability layer: metrics registry correctness (including under
+   pool fan-out), trace/sink export shapes, cutoff-cache eviction, pool
+   stats, HTLC_JOBS validation, and the determinism guard showing that
+   instrumentation never perturbs Monte-Carlo results. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- metrics registry --------------------------------------------------- *)
+
+let test_counter_basics () =
+  let c = Obs.Metrics.counter "test.counter_basics" in
+  Obs.Metrics.reset_counter c;
+  check_int "starts at zero" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  check_int "incr + add" 42 (Obs.Metrics.counter_value c);
+  let c' = Obs.Metrics.counter "test.counter_basics" in
+  Obs.Metrics.incr c';
+  check_int "registration is idempotent (same cells)" 43
+    (Obs.Metrics.counter_value c);
+  (match Obs.Metrics.gauge "test.counter_basics" with
+  | _ -> Alcotest.fail "re-registering a counter as a gauge must fail"
+  | exception Invalid_argument _ -> ());
+  Obs.Metrics.reset_counter c
+
+let test_enabled_gating () =
+  let c = Obs.Metrics.counter "test.enabled_gating" in
+  Obs.Metrics.reset_counter c;
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Obs.Metrics.set_enabled true;
+  check_int "updates are no-ops while disabled" 0
+    (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  check_int "updates resume when re-enabled" 1 (Obs.Metrics.counter_value c);
+  Obs.Metrics.reset_counter c
+
+let test_gauge_max () =
+  let g = Obs.Metrics.gauge "test.gauge_max" in
+  Obs.Metrics.set_gauge g 0.;
+  Obs.Metrics.max_gauge g 3.;
+  Obs.Metrics.max_gauge g 1.;
+  check (Alcotest.float 0.) "max keeps the high-water mark" 3.
+    (Obs.Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  let h = Obs.Metrics.histogram "test.histogram_buckets" in
+  (* 1.0 lands in the (1, 2] bucket (upper bound 2), 0.75 in (0.5, 1]. *)
+  Obs.Metrics.observe h 1.0;
+  Obs.Metrics.observe h 0.75;
+  Obs.Metrics.observe h 0.75;
+  let s = Obs.Metrics.hist_value h in
+  check_int "count" 3 s.Obs.Metrics.count;
+  check (Alcotest.float 1e-12) "sum" 2.5 s.Obs.Metrics.sum;
+  check_bool "bucket upper bounds are powers of two" true
+    (List.mem (2., 1) s.Obs.Metrics.buckets
+    && List.mem (1., 2) s.Obs.Metrics.buckets)
+
+let test_parallel_counters () =
+  let c = Obs.Metrics.counter "test.parallel_counters" in
+  let h = Obs.Metrics.histogram "test.parallel_hist" in
+  Obs.Metrics.reset_counter c;
+  let before = (Obs.Metrics.hist_value h).Obs.Metrics.count in
+  Numerics.Pool.run_chunks ~jobs:4 ~chunks:1000 (fun chunk ->
+      Obs.Metrics.incr c;
+      Obs.Metrics.observe h (float_of_int (chunk + 1) *. 1e-6));
+  check_int "no lost counter updates under fan-out" 1000
+    (Obs.Metrics.counter_value c);
+  check_int "no lost histogram updates under fan-out" 1000
+    ((Obs.Metrics.hist_value h).Obs.Metrics.count - before);
+  Obs.Metrics.reset_counter c
+
+let test_snapshot_and_json () =
+  let c = Obs.Metrics.counter "test.snapshot_counter" in
+  Obs.Metrics.reset_counter c;
+  Obs.Metrics.incr c;
+  let s = Obs.Metrics.snapshot () in
+  check_bool "snapshot carries the counter" true
+    (List.mem_assoc "test.snapshot_counter" s.Obs.Metrics.counters);
+  let json = Obs.Metrics.to_json s in
+  check_bool "schema tag present" true
+    (String.length json > 40
+    && String.sub json 0 36 = "{\"schema\":\"htlc-obs/v1\",\"type\":\"metr");
+  let prom = Obs.Metrics.to_prometheus s in
+  check_bool "prometheus export mentions the counter" true
+    (let needle = "test_snapshot_counter 1" in
+     let n = String.length needle in
+     let found = ref false in
+     for i = 0 to String.length prom - n do
+       if String.sub prom i n = needle then found := true
+     done;
+     !found);
+  Obs.Metrics.reset_counter c
+
+(* --- tracing ------------------------------------------------------------ *)
+
+let test_trace_nesting_and_shape () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.with_span "outer" (fun outer ->
+      Obs.Trace.annotate outer "k" "v";
+      Obs.Trace.with_span "inner" (fun _ -> ()));
+  Obs.Trace.set_enabled false;
+  let spans = Obs.Trace.spans () in
+  check_int "two spans recorded" 2 (List.length spans);
+  (* Inner finishes first (ring is finish-ordered). *)
+  let inner = List.nth spans 0 and outer = List.nth spans 1 in
+  check Alcotest.string "inner name" "inner" inner.Obs.Trace.f_name;
+  check Alcotest.string "outer name" "outer" outer.Obs.Trace.f_name;
+  check
+    (Alcotest.option Alcotest.int)
+    "implicit parent"
+    (Some outer.Obs.Trace.f_id)
+    inner.Obs.Trace.f_parent;
+  check_bool "durations are non-negative" true
+    (Int64.compare inner.Obs.Trace.f_stop_ns inner.Obs.Trace.f_start_ns >= 0);
+  let line = Obs.Trace.to_jsonl outer in
+  check_bool "span JSONL golden shape" true
+    (String.sub line 0 30 = "{\"schema\":\"htlc-obs/v1\",\"type\""
+    && String.length line > 0
+    && line.[String.length line - 1] = '}');
+  let contains s needle =
+    let n = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length s - n do
+      if String.sub s i n = needle then found := true
+    done;
+    !found
+  in
+  check_bool "span carries name + annotations" true
+    (contains line "\"name\":\"outer\""
+    && contains line "\"annotations\":{\"k\":\"v\"}"
+    && contains line "\"parent\":null");
+  Obs.Trace.clear ()
+
+let test_trace_disabled_is_free () =
+  Obs.Trace.clear ();
+  check_bool "disabled by default in tests" false (Obs.Trace.enabled ());
+  Obs.Trace.with_span "ghost" (fun s -> Obs.Trace.annotate s "a" "b");
+  check_int "no spans recorded while disabled" 0
+    (List.length (Obs.Trace.spans ()))
+
+let test_trace_ring_bound () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_capacity 8;
+  Obs.Trace.set_enabled true;
+  for i = 0 to 19 do
+    Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun _ -> ())
+  done;
+  Obs.Trace.set_enabled false;
+  let spans = Obs.Trace.spans () in
+  check_int "ring keeps only the newest spans" 8 (List.length spans);
+  check Alcotest.string "oldest retained span" "s12"
+    (List.hd spans).Obs.Trace.f_name;
+  Obs.Trace.set_capacity 4096
+
+(* --- sink --------------------------------------------------------------- *)
+
+let test_sink_memory_order () =
+  let sink = Obs.Sink.memory () in
+  Obs.Sink.emit sink ~ts:1. ~kind:"a" [];
+  Obs.Sink.emit sink ~ts:2. ~kind:"b" [];
+  Obs.Sink.emit sink ~ts:3. ~kind:"c" [];
+  let kinds =
+    List.map (fun (e : Obs.Sink.event) -> e.Obs.Sink.kind)
+      (Obs.Sink.events sink)
+  in
+  check (Alcotest.list Alcotest.string) "oldest first" [ "a"; "b"; "c" ] kinds
+
+let test_sink_event_json () =
+  let e =
+    {
+      Obs.Sink.ts = 1.5;
+      kind = "step";
+      fields =
+        [
+          ("msg", Obs.Sink.Str "hello \"world\"");
+          ("n", Obs.Sink.Int 3);
+          ("x", Obs.Sink.Num 0.5);
+          ("b", Obs.Sink.Bool true);
+        ];
+    }
+  in
+  check Alcotest.string "golden event JSON"
+    "{\"schema\":\"htlc-obs/v1\",\"type\":\"event\",\"ts\":1.5,\"kind\":\"step\",\"fields\":{\"msg\":\"hello \\\"world\\\"\",\"n\":3,\"x\":0.5,\"b\":true}}"
+    (Obs.Sink.event_to_json e)
+
+(* --- pool stats + HTLC_JOBS validation ---------------------------------- *)
+
+let test_pool_stats () =
+  let s0 = Numerics.Pool.stats () in
+  Numerics.Pool.run_chunks ~jobs:2 ~chunks:16 (fun _ -> ());
+  let s1 = Numerics.Pool.stats () in
+  check_bool "tasks_submitted grew" true
+    (s1.Numerics.Pool.tasks_submitted > s0.Numerics.Pool.tasks_submitted);
+  check_int "16 more chunks completed" 16
+    (s1.Numerics.Pool.chunks_completed - s0.Numerics.Pool.chunks_completed);
+  check_bool "queue high-water mark is sane" true
+    (s1.Numerics.Pool.queue_depth_hwm >= 1
+    && s1.Numerics.Pool.caller_helped >= 0)
+
+let test_env_jobs_validation () =
+  let expect_failure v =
+    Unix.putenv "HTLC_JOBS" v;
+    match Numerics.Pool.recommended () with
+    | _ -> Alcotest.failf "HTLC_JOBS=%S must be rejected" v
+    | exception Failure msg ->
+      check_bool
+        (Printf.sprintf "error for %S names the variable" v)
+        true
+        (String.length msg >= 9 && String.sub msg 0 9 = "HTLC_JOBS")
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "HTLC_JOBS" "")
+    (fun () ->
+      expect_failure "abc";
+      expect_failure "0";
+      expect_failure "-2";
+      expect_failure "1.5";
+      Unix.putenv "HTLC_JOBS" "3";
+      check_int "valid value is honoured" 3 (Numerics.Pool.recommended ());
+      Unix.putenv "HTLC_JOBS" "  ";
+      check_bool "whitespace counts as unset" true
+        (Numerics.Pool.recommended () >= 1))
+
+(* --- cutoff cache eviction ---------------------------------------------- *)
+
+let test_cutoff_eviction () =
+  Swap.Cutoff.clear_caches ();
+  let p = Swap.Params.defaults in
+  let value_at p_star = Swap.Cutoff.p_t3_low p ~p_star in
+  (* 700 distinct keys through a 512-entry cache: bounded size, real
+     (per-entry) evictions, and evicted keys recompute identically. *)
+  let first = value_at 1.0 in
+  for i = 0 to 699 do
+    ignore (value_at (1.0 +. (float_of_int i /. 100.)))
+  done;
+  let t3_size, _ = Swap.Cutoff.cache_sizes () in
+  check_bool "t3 cache stays within capacity" true (t3_size <= 512);
+  check_bool "evictions happened per entry, not wholesale" true
+    (Swap.Cutoff.cache_evictions () > 0 && t3_size > 256);
+  check (Alcotest.float 0.) "evicted key recomputes identically" first
+    (value_at 1.0);
+  let hits, misses = Swap.Cutoff.cache_stats () in
+  check_bool "stats reflect the sweep" true (misses >= 700 && hits >= 0);
+  Swap.Cutoff.clear_caches ()
+
+(* --- determinism guard --------------------------------------------------- *)
+
+let test_mc_determinism_under_instrumentation () =
+  let p = Swap.Params.defaults in
+  let p_star = 2.0 in
+  let policy = Swap.Agent.rational p ~p_star in
+  let run ~jobs () =
+    Swap.Montecarlo.run ~trials:4096 ~seed:17 ~jobs p ~p_star ~policy
+  in
+  let baseline =
+    Obs.Metrics.set_enabled false;
+    Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled true)
+      (run ~jobs:1)
+  in
+  let instrumented_seq = run ~jobs:1 () in
+  let instrumented_par = run ~jobs:4 () in
+  let traced =
+    Obs.Trace.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Trace.clear ())
+      (run ~jobs:4)
+  in
+  check_bool "metrics on == metrics off (jobs=1)" true
+    (baseline = instrumented_seq);
+  check_bool "jobs=1 == jobs=4 with metrics on" true
+    (instrumented_seq = instrumented_par);
+  check_bool "tracing does not perturb results" true
+    (instrumented_par = traced)
+
+let test_protocol_trace_stable () =
+  let p = Swap.Params.defaults in
+  let faults =
+    Chainsim.Faults.create ~drop_prob:0.4 ~reorg_prob:0.2 ()
+  in
+  let run () =
+    Swap.Protocol.run ~seed:0xfeed ~faults_a:faults ~faults_b:faults
+      ~retry:Swap.Agent.default_retry p ~p_star:2.0
+  in
+  let a = run () and b = run () in
+  check_bool "sink-backed trace is deterministic" true
+    (a.Swap.Protocol.trace = b.Swap.Protocol.trace);
+  check_bool "trace is non-empty" true (a.Swap.Protocol.trace <> [])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "enabled gating" `Quick test_enabled_gating;
+          Alcotest.test_case "gauge max" `Quick test_gauge_max;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "parallel fan-out" `Quick test_parallel_counters;
+          Alcotest.test_case "snapshot + exporters" `Quick
+            test_snapshot_and_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting + JSONL shape" `Quick
+            test_trace_nesting_and_shape;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_is_free;
+          Alcotest.test_case "bounded ring" `Quick test_trace_ring_bound;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "memory ordering" `Quick test_sink_memory_order;
+          Alcotest.test_case "event JSON golden" `Quick test_sink_event_json;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "stats" `Quick test_pool_stats;
+          Alcotest.test_case "HTLC_JOBS validation" `Quick
+            test_env_jobs_validation;
+        ] );
+      ( "cutoff",
+        [ Alcotest.test_case "second-chance eviction" `Quick
+            test_cutoff_eviction ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "mc invariant to instrumentation" `Quick
+            test_mc_determinism_under_instrumentation;
+          Alcotest.test_case "protocol trace stable" `Quick
+            test_protocol_trace_stable;
+        ] );
+    ]
