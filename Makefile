@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke bench-baseline clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -22,10 +22,22 @@ bench-smoke:
 obs-smoke:
 	dune build @obs-smoke
 
+# Serving smoke: pipe-mode server + fixed request script, every
+# response line pinned (ids, status, error codes, payload shapes,
+# cache byte-identity of the repeated request) (also part of @ci).
+serve-smoke:
+	dune build @serve-smoke
+
 # Full recorded perf baseline: every kernel + the 20k-trial Monte-Carlo
 # wall clock at jobs=1 vs jobs=N, written to BENCH_mc.json.
 bench-baseline:
 	dune exec bench/main.exe -- --json BENCH_mc.json
+
+# Full serve load run: 10k requests against the socket server (2
+# workers, 4 clients), byte-compared against direct library calls,
+# written to SERVE_bench.json.
+serve-bench:
+	dune exec bench/main.exe -- serve --json SERVE_bench.json
 
 # Soak run of the chaos invariant suite (default is 500 schedules).
 chaos:

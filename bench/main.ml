@@ -408,6 +408,177 @@ let mc_wall_clock ~trials ~jobs_n =
   in
   (wall_1, wall_n, r1 = rn)
 
+(* --- serve load generator ----------------------------------------------- *)
+
+(* `bench serve`: drive the Unix-socket server with concurrent client
+   domains and byte-compare every response against a direct-call
+   reference — an identically configured zero-worker engine answering
+   the same request lines via [Engine.handle].  Any byte difference is
+   a mismatch; a missing response line is a drop.  Reported alongside
+   throughput and latency percentiles in the htlc-bench JSON. *)
+
+(* A deterministic corpus: [distinct] different questions (all four
+   request kinds, parameter values derived from the index) cycled over
+   [n] request lines, so the result cache sees a realistic mix of cold
+   and repeated questions. *)
+let serve_corpus ~n ~distinct =
+  let body i =
+    let open Serve.Request in
+    let f = float_of_int (i / 4) in
+    match i mod 4 with
+    | 0 -> Cutoffs { params = p; p_star = 1.8 +. (0.02 *. f) }
+    | 1 ->
+      Success_rate
+        {
+          params = p;
+          p_star = 1.8 +. (0.02 *. f);
+          q = (if i mod 8 = 1 then 0.25 else 0.);
+        }
+    | 2 -> Quote { mu = 0.; sigma = 0.05 +. (0.005 *. f); spot = 2. }
+    | _ ->
+      Sweep
+        {
+          params = p;
+          q = 0.;
+          spec = { lo = 1.6 +. (0.01 *. f); hi = 2.4; n = 9 };
+        }
+  in
+  Array.init n (fun j ->
+      Serve.Request.encode
+        {
+          Serve.Request.id = Some (Printf.sprintf "q%d" j);
+          body = body (j mod distinct);
+        })
+
+type client_result = {
+  latencies_ms : float array;  (** One sample per answered request. *)
+  answered : int;
+  mismatched : int;
+}
+
+let run_client ~path ~requests ~(expected : string array) ~lo ~hi =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  let latencies_ms = Array.make (hi - lo) nan in
+  let answered = ref 0 and mismatched = ref 0 in
+  (try
+     for j = lo to hi - 1 do
+       let t0 = Obs.Monotonic.now_ns () in
+       output_string oc requests.(j);
+       output_char oc '\n';
+       flush oc;
+       let resp = input_line ic in
+       latencies_ms.(j - lo) <- Obs.Monotonic.elapsed_s ~since_ns:t0 *. 1e3;
+       incr answered;
+       if not (String.equal resp expected.(j)) then incr mismatched
+     done
+   with End_of_file | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  {
+    latencies_ms = Array.sub latencies_ms 0 !answered;
+    answered = !answered;
+    mismatched = !mismatched;
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let write_serve_baseline ~file ~requests ~clients ~workers ~throughput_rps
+    ~p50_ms ~p99_ms ~cache_hit_rate ~shed ~deadline_exceeded ~mismatches
+    ~dropped ~identical =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"htlc-bench/v1\",\n";
+  Printf.fprintf oc "  \"serve\": {\n";
+  Printf.fprintf oc "    \"requests\": %d,\n" requests;
+  Printf.fprintf oc "    \"clients\": %d,\n" clients;
+  Printf.fprintf oc "    \"workers\": %d,\n" workers;
+  Printf.fprintf oc "    \"throughput_rps\": %s,\n" (json_num throughput_rps);
+  Printf.fprintf oc "    \"p50_ms\": %s,\n" (json_num p50_ms);
+  Printf.fprintf oc "    \"p99_ms\": %s,\n" (json_num p99_ms);
+  Printf.fprintf oc "    \"cache_hit_rate\": %s,\n" (json_num cache_hit_rate);
+  Printf.fprintf oc "    \"shed\": %d,\n" shed;
+  Printf.fprintf oc "    \"deadline_exceeded\": %d,\n" deadline_exceeded;
+  Printf.fprintf oc "    \"mismatches\": %d,\n" mismatches;
+  Printf.fprintf oc "    \"dropped\": %d,\n" dropped;
+  Printf.fprintf oc "    \"identical_to_direct\": %b\n" identical;
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let serve_bench ~json ~requests:n ~clients ~workers ~smoke =
+  (* A reduced quote grid keeps the double warm build (serving +
+     reference engine) fast; both engines must share it so responses
+     are byte-comparable. *)
+  let mus = Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:(if smoke then 3 else 5)
+  and sigmas =
+    Numerics.Grid.linspace ~lo:0.02 ~hi:0.16 ~n:(if smoke then 3 else 4)
+  in
+  let make ~workers = Serve.Engine.create ~workers ~mus ~sigmas ~base:p () in
+  Printf.printf "bench serve: %d requests, %d clients, %d workers\n%!" n
+    clients workers;
+  let engine = make ~workers in
+  let reference = make ~workers:0 in
+  let distinct = min 64 (max 8 (n / 8)) in
+  let corpus = serve_corpus ~n ~distinct in
+  let expected = Array.map (Serve.Engine.handle reference) corpus in
+  let path = Printf.sprintf "/tmp/htlc-serve-%d.sock" (Unix.getpid ()) in
+  let server = Serve.Server.listen engine ~path () in
+  let bounds c =
+    (* Contiguous per-client slices covering all n requests. *)
+    (c * n / clients, (c + 1) * n / clients)
+  in
+  let t0 = Obs.Monotonic.now_ns () in
+  let domains =
+    Array.init clients (fun c ->
+        Domain.spawn (fun () ->
+            let lo, hi = bounds c in
+            run_client ~path ~requests:corpus ~expected ~lo ~hi))
+  in
+  let results = Array.map Domain.join domains in
+  let wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0 in
+  Serve.Server.shutdown server;
+  Serve.Engine.stop engine;
+  let answered = Array.fold_left (fun a r -> a + r.answered) 0 results in
+  let mismatches = Array.fold_left (fun a r -> a + r.mismatched) 0 results in
+  let dropped = n - answered in
+  let all_lat = Array.concat (Array.to_list (Array.map (fun r -> r.latencies_ms) results)) in
+  Array.sort compare all_lat;
+  let p50_ms = percentile all_lat 0.50
+  and p99_ms = percentile all_lat 0.99 in
+  let throughput_rps =
+    if wall_s > 0. then float_of_int answered /. wall_s else nan
+  in
+  let s = Serve.Engine.stats engine in
+  let cache_hit_rate =
+    let total = s.Serve.Engine.cache.Serve.Cache.hits + s.cache.Serve.Cache.misses in
+    if total = 0 then 0.
+    else float_of_int s.cache.Serve.Cache.hits /. float_of_int total
+  in
+  let identical = mismatches = 0 && dropped = 0 in
+  Printf.printf
+    "served %d/%d in %.3fs: %.0f req/s, p50 %.3fms, p99 %.3fms\n\
+     cache hit rate %.3f (%d hits / %d misses / %d evictions)\n\
+     shed %d, past deadline %d, mismatches %d, dropped %d -> %s\n"
+    answered n wall_s throughput_rps p50_ms p99_ms cache_hit_rate
+    s.cache.Serve.Cache.hits s.cache.Serve.Cache.misses
+    s.cache.Serve.Cache.evictions s.Serve.Engine.shed
+    s.Serve.Engine.deadline_exceeded mismatches dropped
+    (if identical then "byte-identical to direct calls" else "NOT IDENTICAL");
+  Option.iter
+    (fun file ->
+      write_serve_baseline ~file ~requests:n ~clients ~workers ~throughput_rps
+        ~p50_ms ~p99_ms ~cache_hit_rate ~shed:s.Serve.Engine.shed
+        ~deadline_exceeded:s.Serve.Engine.deadline_exceeded ~mismatches
+        ~dropped ~identical;
+      Printf.printf "wrote %s\n" file)
+    json;
+  if not identical then exit 1
+
 (* --- entry point -------------------------------------------------------- *)
 
 type opts = {
@@ -419,21 +590,53 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: bench [--json FILE] [--mc-trials N] [--jobs N] [--smoke]";
+    "usage: bench [--json FILE] [--mc-trials N] [--jobs N] [--smoke]\n\
+    \       bench serve [--json FILE] [--requests N] [--clients N] \
+     [--workers N] [--smoke]";
   exit 2
+
+let int_arg name v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> n
+  | _ ->
+    Printf.eprintf "bench: %s expects a positive integer, got %S\n" name v;
+    exit 2
+
+let parse_serve_args args =
+  let json = ref None
+  and requests = ref 10_000
+  and clients = ref 4
+  and workers = ref 2
+  and smoke = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json := Some file;
+      go rest
+    | "--requests" :: v :: rest ->
+      requests := int_arg "--requests" v;
+      go rest
+    | "--clients" :: v :: rest ->
+      clients := int_arg "--clients" v;
+      go rest
+    | "--workers" :: v :: rest ->
+      workers := int_arg "--workers" v;
+      go rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      go rest
+    | _ -> usage ()
+  in
+  go args;
+  if !smoke && !requests = 10_000 then requests := 400;
+  serve_bench ~json:!json ~requests:!requests ~clients:!clients
+    ~workers:!workers ~smoke:!smoke
 
 let parse_args () =
   let json = ref None
   and mc_trials = ref 20_000
   and jobs = ref None
   and smoke = ref false in
-  let int_arg name v =
-    match int_of_string_opt v with
-    | Some n when n >= 1 -> n
-    | _ ->
-      Printf.eprintf "bench: %s expects a positive integer, got %S\n" name v;
-      exit 2
-  in
   let rec go = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -454,6 +657,9 @@ let parse_args () =
   { json = !json; mc_trials = !mc_trials; jobs = !jobs; smoke = !smoke }
 
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "serve" :: rest -> parse_serve_args rest
+  | _ ->
   let o = parse_args () in
   Option.iter Numerics.Pool.set_jobs o.jobs;
   match o.json with

@@ -1,13 +1,18 @@
-(* Shape validator for the bench baseline JSON (bench --json FILE).
+(* Shape validator for the bench baseline JSON (bench --json FILE and
+   bench serve --json FILE).
 
    Used by the @bench-smoke alias so the perf plumbing cannot rot
-   silently: it fully parses the emitted file with the minimal JSON
-   reader in Json_lite and checks every field the baseline contract
-   promises — including that the jobs=1 and jobs=N Monte-Carlo runs
-   were bit-identical and, when present, that the embedded "obs"
-   metrics snapshot carries the htlc-obs/v1 schema. *)
+   silently: it fully parses the emitted file with the shared minimal
+   JSON reader (Obs.Json_parse) and checks every field the baseline
+   contract promises — including that the jobs=1 and jobs=N Monte-Carlo
+   runs were bit-identical, that a "serve" load-test section (when
+   present) reports sane latency quantiles and a clean
+   identical-to-direct record, and that the embedded "obs" metrics
+   snapshot carries the htlc-obs/v1 schema.  A `bench serve` baseline
+   carries only the "serve" section; the kernel run carries
+   "kernels" + "mc". *)
 
-open Json_lite
+open Obs.Json_parse
 
 (* The optional "obs" member embeds the Obs.Metrics snapshot taken after
    the Monte-Carlo wall-clock runs; when a baseline carries one it must
@@ -28,9 +33,40 @@ let validate_obs_member obs =
   ignore (as_obj "obs.gauges" (member "obs" obs "gauges"));
   ignore (as_obj "obs.histograms" (member "obs" obs "histograms"))
 
-let validate root =
-  let schema = as_str "schema" (member "top level" root "schema") in
-  if schema <> "htlc-bench/v1" then bad "unknown schema %S" schema;
+(* The "serve" member records the socket load test (bench serve): client
+   totals, latency quantiles, cache hit-rate, and the byte-identity
+   check against direct in-process calls. *)
+let validate_serve_member serve =
+  let num key = as_num ("serve." ^ key) (member "serve" serve key) in
+  let non_negative_int key =
+    let v = num key in
+    if v < 0. || Float.rem v 1. <> 0. then
+      bad "serve.%s must be a non-negative integer (got %g)" key v
+  in
+  if num "requests" < 1. then bad "serve.requests must be >= 1";
+  if num "clients" < 1. then bad "serve.clients must be >= 1";
+  if num "workers" < 1. then bad "serve.workers must be >= 1";
+  if num "throughput_rps" <= 0. then bad "serve.throughput_rps must be > 0";
+  let p50 = num "p50_ms" and p99 = num "p99_ms" in
+  if p50 < 0. then bad "serve.p50_ms must be >= 0";
+  if p99 < p50 then bad "serve.p99_ms must be >= p50_ms";
+  let hit_rate = num "cache_hit_rate" in
+  if hit_rate < 0. || hit_rate > 1. then
+    bad "serve.cache_hit_rate must be in [0, 1] (got %g)" hit_rate;
+  non_negative_int "shed";
+  non_negative_int "deadline_exceeded";
+  if num "mismatches" <> 0. then
+    bad "serve.mismatches must be 0: a response was dropped or corrupted";
+  if
+    not
+      (as_bool "serve.identical_to_direct"
+         (member "serve" serve "identical_to_direct"))
+  then
+    bad
+      "serve.identical_to_direct is false: a served response diverged from \
+       the direct library call"
+
+let validate_kernels_and_mc root =
   let jobs = member "top level" root "jobs" in
   let seq = as_num "jobs.sequential" (member "jobs" jobs "sequential") in
   if seq <> 1. then bad "jobs.sequential must be 1 (got %g)" seq;
@@ -55,13 +91,27 @@ let validate root =
   ignore (as_num "mc.speedup" (member "mc" mc "speedup"));
   if not (as_bool "mc.identical_results" (member "mc" mc "identical_results"))
   then bad "mc.identical_results is false: jobs=1 and jobs=N diverged";
-  (match root with
-  | Obj fields -> (
-    match List.assoc_opt "obs" fields with
-    | Some obs -> validate_obs_member obs
-    | None -> ())
-  | _ -> bad "top level: expected an object");
   List.length kernels
+
+let validate root =
+  (match root with
+  | Obj _ -> ()
+  | _ -> bad "top level: expected an object");
+  let schema = as_str "schema" (member "top level" root "schema") in
+  if schema <> "htlc-bench/v1" then bad "unknown schema %S" schema;
+  let serve = member_opt root "serve" in
+  Option.iter validate_serve_member serve;
+  (* A serve-only baseline has no kernel table; every other baseline
+     must carry the kernels + Monte-Carlo determinism record. *)
+  let n_kernels =
+    match member_opt root "kernels" with
+    | None when serve <> None -> 0
+    | _ -> validate_kernels_and_mc root
+  in
+  (match member_opt root "obs" with
+  | Some obs -> validate_obs_member obs
+  | None -> ());
+  n_kernels
 
 let () =
   let file =

@@ -8,7 +8,7 @@
    saw misses, a protocol run completed, the fault counters exist, and
    the pool's chunk-latency histogram observed samples. *)
 
-open Json_lite
+open Obs.Json_parse
 
 let counter counters name =
   match List.assoc_opt name counters with

@@ -1,0 +1,158 @@
+(* Shape validator for the serve-smoke transcript: the responses the
+   pipe-mode server (`swap_cli serve`) produced for the fixed request
+   script in serve_requests.txt.
+
+   Used by the @serve-smoke alias.  Each expected line is pinned —
+   status, error code, id echo, payload shape — so neither the codec,
+   the engine dispatch, the error taxonomy, nor the pipe transport can
+   drift silently.  The final line repeats request "r2" under a new id
+   and must come back byte-identical after the id field: that is the
+   result cache's byte-identity contract, checked in CI on every
+   build. *)
+
+open Obs.Json_parse
+
+type expect = {
+  id : string option;  (** Expected id echo; [None] = JSON null. *)
+  req : string option;  (** Expected req echo (absent on rejected requests). *)
+  status : string;
+  code : string option;  (** Error code when status = "error". *)
+  check : string -> json -> unit;  (** Extra payload checks (path, result). *)
+}
+
+let no_check _ _ = ()
+
+let num_in path v ~lo ~hi =
+  let x = as_num path v in
+  if x < lo || x > hi then bad "%s: %g outside [%g, %g]" path x lo hi
+
+let check_interval path v =
+  match v with
+  | Null -> ()
+  | Arr [ Num lo; Num hi ] ->
+    if not (lo <= hi) then bad "%s: [%g, %g] is not ordered" path lo hi
+  | _ -> bad "%s: expected [lo, hi] or null" path
+
+let check_cutoffs path result =
+  let p_t3_low = as_num (path ^ ".p_t3_low") (member path result "p_t3_low") in
+  if not (p_t3_low > 0.) then bad "%s.p_t3_low: must be > 0" path;
+  check_interval (path ^ ".t2_band") (member path result "t2_band");
+  check_interval (path ^ ".p_star_band") (member path result "p_star_band")
+
+let check_sr path result =
+  num_in (path ^ ".sr") (member path result "sr") ~lo:0. ~hi:1.
+
+let check_quote path result =
+  let p_star = as_num (path ^ ".p_star") (member path result "p_star") in
+  if not (p_star > 0.) then bad "%s.p_star: must be > 0" path;
+  num_in (path ^ ".sr") (member path result "sr") ~lo:0. ~hi:1.
+
+let check_sweep n path result =
+  let arr key =
+    let l = as_arr (path ^ "." ^ key) (member path result key) in
+    if List.length l <> n then
+      bad "%s.%s: expected %d points, got %d" path key n (List.length l);
+    l
+  in
+  ignore (arr "p_stars");
+  List.iteri
+    (fun i v -> num_in (Printf.sprintf "%s.srs[%d]" path i) v ~lo:0. ~hi:1.)
+    (arr "srs")
+
+let expected =
+  let ok ?id ?req check = { id; req; status = "ok"; code = None; check } in
+  let err ?id ?req code =
+    { id; req; status = "error"; code = Some code; check = no_check }
+  in
+  [
+    ok ~id:"r1" ~req:"cutoffs" check_cutoffs;
+    ok ~id:"r2" ~req:"success_rate" check_sr;
+    ok ~id:"r3" ~req:"success_rate" check_sr;
+    ok ~id:"r4" ~req:"success_rate" check_sr;
+    ok ~id:"r5" ~req:"quote" check_quote;
+    err ~id:"r6" ~req:"quote" "outside_grid";
+    err ~id:"r7" ~req:"quote" "non_positive_spot";
+    ok ~id:"r8" ~req:"sweep" (check_sweep 5);
+    err "parse_error";
+    err ~id:"r10" "invalid_params";
+    err ~id:"r11" "parse_error";
+    err ~id:"r12" "invalid_params";
+    ok ~id:"r13" ~req:"success_rate" check_sr;
+  ]
+
+let validate_line lineno line (e : expect) =
+  let path key = Printf.sprintf "line %d: %s" lineno key in
+  let root =
+    try parse line with Bad msg -> bad "line %d: %s" lineno msg
+  in
+  let schema = as_str (path "schema") (member (path "resp") root "schema") in
+  if schema <> "htlc-serve/v1" then
+    bad "line %d: unknown schema %S" lineno schema;
+  (match (member (path "resp") root "id", e.id) with
+  | Null, None -> ()
+  | Str got, Some want when got = want -> ()
+  | _, Some want -> bad "line %d: id was not echoed (want %S)" lineno want
+  | _, None -> bad "line %d: expected a null id" lineno);
+  (match (member_opt root "req", e.req) with
+  | Some (Str got), Some want when got = want -> ()
+  | None, None -> ()
+  | _, Some want -> bad "line %d: req must echo %S" lineno want
+  | Some _, None -> bad "line %d: unexpected req on a rejected request" lineno);
+  let status = as_str (path "status") (member (path "resp") root "status") in
+  if status <> e.status then
+    bad "line %d: status %S, want %S" lineno status e.status;
+  match e.code with
+  | Some code ->
+    let got = as_str (path "error") (member (path "resp") root "error") in
+    if got <> code then bad "line %d: error code %S, want %S" lineno got code;
+    if as_str (path "message") (member (path "resp") root "message") = "" then
+      bad "line %d: empty error message" lineno
+  | None ->
+    e.check (path "result") (member (path "resp") root "result")
+
+(* The repeat of r2 under id r13 must be byte-identical past the id
+   field: the cache returns stored bodies, ids are spliced in. *)
+let check_cache_identity lines =
+  let body line =
+    match String.index_opt line ',' with
+    | Some _ ->
+      let marker = "\"req\"" in
+      let rec find i =
+        if i + String.length marker > String.length line then
+          bad "no req field in %S" line
+        else if String.sub line i (String.length marker) = marker then
+          String.sub line i (String.length line - i)
+        else find (i + 1)
+      in
+      find 0
+    | None -> bad "malformed response line %S" line
+  in
+  let nth n = List.nth lines (n - 1) in
+  if body (nth 2) <> body (nth 13) then
+    bad "line 13: cached repeat of r2 is not byte-identical after the id"
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: validate_serve TRANSCRIPT";
+      exit 2
+  in
+  let lines =
+    In_channel.with_open_text file In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match
+    if List.length lines <> List.length expected then
+      bad "expected %d responses, got %d (dropped or duplicated lines)"
+        (List.length expected) (List.length lines);
+    List.iteri
+      (fun i (line, e) -> validate_line (i + 1) line e)
+      (List.combine lines expected);
+    check_cache_identity lines
+  with
+  | () -> Printf.printf "%s: ok (%d responses)\n" file (List.length lines)
+  | exception Bad msg ->
+    Printf.eprintf "%s: INVALID serve transcript: %s\n" file msg;
+    exit 1

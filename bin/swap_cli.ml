@@ -6,7 +6,8 @@
      sweep          SR across a range of exchange rates
      simulate       Monte-Carlo estimate under a chosen policy
      protocol       run one swap end-to-end on the chain simulator
-     experiment     regenerate a paper table/figure (or all) *)
+     experiment     regenerate a paper table/figure (or all)
+     serve          long-lived htlc-serve/v1 service (pipe or socket) *)
 
 open Cmdliner
 
@@ -531,28 +532,204 @@ let experiment_cmd =
 (* --- quote ----------------------------------------------------------------- *)
 
 let quote_cmd =
-  let run params =
-    Printf.printf "Parameters: %s\n\n" (Swap.Params.to_string params);
-    (match Swap.Success.maximize params with
-    | Some { Swap.Success.p_star; sr } ->
-      Printf.printf "SR-optimal quote:  P* = %.4f (SR = %.4f)\n" p_star sr
-    | None -> print_endline "SR-optimal quote:  none (no feasible rate)");
-    (match Swap.Bargaining.nash_rate params with
-    | Some split ->
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the quote as one machine-readable JSON object (schema \
+             $(b,htlc-quote/v1)) instead of the human-readable lines.  A \
+             feasibility gap shows up as null quote fields, not as an \
+             error.")
+  in
+  let run params json =
+    let optimal = Swap.Success.maximize params in
+    let nash = Swap.Bargaining.nash_rate params in
+    let band = Swap.Cutoff.p_star_band_endpoints params in
+    if json then begin
+      let n = Obs.Json.num in
+      let optimal_json =
+        match optimal with
+        | Some { Swap.Success.p_star; sr } ->
+          Printf.sprintf "{\"p_star\":%s,\"sr\":%s}" (n p_star) (n sr)
+        | None -> "null"
+      in
+      let nash_json =
+        match nash with
+        | Some s ->
+          Printf.sprintf
+            "{\"p_star\":%s,\"alice_gain\":%s,\"bob_gain\":%s,\"sr\":%s}"
+            (n s.Swap.Bargaining.p_star)
+            (n s.Swap.Bargaining.alice_gain)
+            (n s.Swap.Bargaining.bob_gain)
+            (n
+               (Swap.Success.analytic params
+                  ~p_star:s.Swap.Bargaining.p_star))
+        | None -> "null"
+      in
+      let band_json =
+        match band with
+        | Some (lo, hi) -> Printf.sprintf "[%s,%s]" (n lo) (n hi)
+        | None -> "null"
+      in
       Printf.printf
-        "Nash bargain:      P* = %.4f (Alice +%.4f, Bob +%.4f, SR = %.4f)\n"
-        split.Swap.Bargaining.p_star split.Swap.Bargaining.alice_gain
-        split.Swap.Bargaining.bob_gain
-        (Swap.Success.analytic params ~p_star:split.Swap.Bargaining.p_star)
-    | None -> print_endline "Nash bargain:      no mutually profitable rate");
-    match Swap.Cutoff.p_star_band_endpoints params with
-    | Some (lo, hi) -> Printf.printf "Feasible rates:    (%.4f, %.4f)\n" lo hi
-    | None -> print_endline "Feasible rates:    none"
+        "{\"schema\":\"htlc-quote/v1\",\"params\":%s,\"sr_optimal\":%s,\"nash\":%s,\"feasible_band\":%s}\n"
+        (Serve.Request.params_json params)
+        optimal_json nash_json band_json
+    end
+    else begin
+      Printf.printf "Parameters: %s\n\n" (Swap.Params.to_string params);
+      (match optimal with
+      | Some { Swap.Success.p_star; sr } ->
+        Printf.printf "SR-optimal quote:  P* = %.4f (SR = %.4f)\n" p_star sr
+      | None -> print_endline "SR-optimal quote:  none (no feasible rate)");
+      (match nash with
+      | Some split ->
+        Printf.printf
+          "Nash bargain:      P* = %.4f (Alice +%.4f, Bob +%.4f, SR = %.4f)\n"
+          split.Swap.Bargaining.p_star split.Swap.Bargaining.alice_gain
+          split.Swap.Bargaining.bob_gain
+          (Swap.Success.analytic params ~p_star:split.Swap.Bargaining.p_star)
+      | None -> print_endline "Nash bargain:      no mutually profitable rate");
+      match band with
+      | Some (lo, hi) -> Printf.printf "Feasible rates:    (%.4f, %.4f)\n" lo hi
+      | None -> print_endline "Feasible rates:    none"
+    end
   in
   Cmd.v
     (Cmd.info "quote"
        ~doc:"Quote a swap: SR-optimal and Nash-bargained exchange rates.")
-    Term.(const run $ params_term)
+    Term.(const run $ params_term $ json_flag)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at $(docv) (until SIGINT or \
+             SIGTERM).  Without this flag the server speaks \
+             newline-delimited requests on stdin/stdout and exits at EOF.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Dedicated worker domains answering socket requests (pipe mode \
+             computes inline and ignores this).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 128
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Bound on the submission queue; requests beyond it are shed \
+             with an $(b,overloaded) error instead of queueing without \
+             bound.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Answer $(b,deadline_exceeded) without computing when a \
+             request waited in the queue longer than $(docv).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~doc:"Result-cache entries (total).")
+  in
+  let cache_shards =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-shards" ] ~doc:"Result-cache shard count.")
+  in
+  let max_sweep =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-sweep" ]
+          ~doc:"Largest accepted sweep grid (larger answers invalid_params).")
+  in
+  let table_mus =
+    Arg.(
+      value & opt int 9
+      & info [ "table-mus" ] ~docv:"N"
+          ~doc:"Quote-table grid density along mu (default range, N nodes).")
+  in
+  let table_sigmas =
+    Arg.(
+      value & opt int 8
+      & info [ "table-sigmas" ] ~docv:"N"
+          ~doc:
+            "Quote-table grid density along sigma (default range, N nodes).")
+  in
+  let run params socket workers queue_capacity deadline_ms cache_capacity
+      cache_shards max_sweep table_mus table_sigmas jobs metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
+    Option.iter Numerics.Pool.set_jobs jobs;
+    let mus =
+      Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:(max 2 table_mus)
+    in
+    let sigmas =
+      Numerics.Grid.linspace ~lo:0.02 ~hi:0.16 ~n:(max 2 table_sigmas)
+    in
+    let make_engine ~workers =
+      Serve.Engine.create ~workers ~queue_capacity
+        ?deadline_s:(Option.map (fun ms -> ms /. 1000.) deadline_ms)
+        ~cache_shards ~cache_capacity ~max_sweep_n:max_sweep ~mus ~sigmas
+        ~base:params ()
+    in
+    match socket with
+    | None ->
+      (* Pipe mode: synchronous, deterministic — the serve-smoke path. *)
+      let engine = make_engine ~workers:0 in
+      let served = Serve.Server.serve_pipe engine stdin stdout in
+      Printf.eprintf "served %d requests\n" served
+    | Some path ->
+      let engine = make_engine ~workers:(max 1 workers) in
+      let server = Serve.Server.listen engine ~path () in
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Printf.eprintf "listening on %s (workers %d, queue %d, cache %d)\n%!"
+        path
+        (Serve.Engine.workers engine)
+        queue_capacity cache_capacity;
+      while not (Atomic.get stop_requested) do
+        Unix.sleepf 0.1
+      done;
+      Serve.Server.shutdown server;
+      Serve.Engine.stop engine;
+      let s = Serve.Engine.stats engine in
+      Printf.eprintf
+        "served %d requests (%d ok, %d errors, %d parse errors, %d shed, \
+         %d past deadline; cache %d/%d/%d hit/miss/evict)\n"
+        s.Serve.Engine.requests s.Serve.Engine.ok s.Serve.Engine.errors
+        s.Serve.Engine.parse_errors s.Serve.Engine.shed
+        s.Serve.Engine.deadline_exceeded s.Serve.Engine.cache.Serve.Cache.hits
+        s.Serve.Engine.cache.Serve.Cache.misses
+        s.Serve.Engine.cache.Serve.Cache.evictions
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve cutoffs/success-rate/quote/sweep requests as a long-lived \
+          $(b,htlc-serve/v1) service: newline-delimited JSON on \
+          stdin/stdout, or a Unix-domain socket with a bounded worker \
+          queue, admission control, and a sharded result cache.  The \
+          quote table is warm-built at startup from the given base \
+          parameters.")
+    Term.(
+      const run $ params_term $ socket $ workers $ queue_capacity
+      $ deadline_ms $ cache_capacity $ cache_shards $ max_sweep $ table_mus
+      $ table_sigmas $ jobs_term $ metrics_term $ trace_out_term)
 
 (* --- obs ------------------------------------------------------------------ *)
 
@@ -622,7 +799,7 @@ let main_cmd =
     (Cmd.info "swap_cli" ~version:"1.0.0" ~doc)
     [
       cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
-      ac3_cmd; backtest_cmd; quote_cmd; experiment_cmd; obs_cmd;
+      ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; experiment_cmd; obs_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

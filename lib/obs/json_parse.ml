@@ -1,6 +1,9 @@
-(* Minimal JSON reader shared by the bench/obs shape validators.  Parses
-   the full document into a tree and offers path-labelled accessors that
-   raise [Bad] with a human-readable location on shape mismatches. *)
+(* Minimal JSON reader shared by the serve request decoder and the
+   bench/obs shape validators.  Parses the full document into a tree and
+   offers path-labelled accessors that raise [Bad] with a human-readable
+   location on shape mismatches.  (Emission lives in Json; parsing is
+   kept separate so validators never trust the emitter to check
+   itself.) *)
 
 type json =
   | Null
@@ -156,6 +159,9 @@ let member path obj key =
     | Some v -> v
     | None -> bad "%s: missing key %S" path key)
   | _ -> bad "%s: expected an object" path
+
+let member_opt obj key =
+  match obj with Obj fields -> List.assoc_opt key fields | _ -> None
 
 let as_num path = function Num f -> f | _ -> bad "%s: expected a number" path
 let as_str path = function Str s -> s | _ -> bad "%s: expected a string" path

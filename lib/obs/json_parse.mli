@@ -1,0 +1,47 @@
+(** Minimal JSON {e parser} shared by the serve request decoder and the
+    bench/obs shape validators (the emission half lives in {!Json}).
+    Covers the subset every [htlc-*] document uses: objects, arrays,
+    strings with the common escapes, numbers, booleans, null.  Accessors
+    are path-labelled so shape errors read like
+    ["kernels[3].ns_per_run: expected a number"]. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+(** Raised by {!parse} and every accessor on malformed input, with a
+    human-readable location. *)
+
+val bad : ('a, unit, string, 'b) format4 -> 'a
+(** [bad fmt ...] raises {!Bad} with a formatted message — for callers
+    layering their own checks on top of the accessors. *)
+
+val parse : string -> json
+(** Parse a complete document; trailing garbage is an error.
+    @raise Bad on malformed input. *)
+
+(** {1 Path-labelled accessors}
+
+    The [string] argument is a location label used in error messages,
+    not a lookup path. *)
+
+val member : string -> json -> string -> json
+(** [member path obj key] — the value under [key]; raises when [obj] is
+    not an object or lacks [key]. *)
+
+val member_opt : json -> string -> json option
+(** Optional lookup: [None] when absent or not an object. *)
+
+val as_num : string -> json -> float
+val as_str : string -> json -> string
+val as_bool : string -> json -> bool
+val as_arr : string -> json -> json list
+val as_obj : string -> json -> (string * json) list
+
+val num_or_null : string -> json -> unit
+(** Accept a number or [null] (nullable measurements); raise otherwise. *)

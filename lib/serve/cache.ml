@@ -1,0 +1,145 @@
+(* Sharded result cache: canonical request bytes -> response body.
+
+   Each shard is an independent hash table + second-chance (clock)
+   eviction queue behind its own mutex, so concurrent workers touching
+   different shards never contend.  Eviction mirrors Swap.Cutoff's memo:
+   a hit sets the entry's referenced bit, and a full shard evicts the
+   first unreferenced entry in arrival order — recently-hit keys survive
+   a burst of new traffic instead of the shard being dropped wholesale.
+
+   Stats are tracked twice on purpose: per-instance atomics (exact
+   counts for this cache — the bench report and Engine.stats read
+   these) and the shared Obs.Metrics registry (the process-wide
+   observability view; several caches with the same prefix share those
+   counters). *)
+
+type entry = { value : string; mutable referenced : bool }
+
+type shard = {
+  mutex : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  order : string Queue.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  shards : shard array;
+  shard_capacity : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+}
+
+let create ?(shards = 8) ?(capacity = 1024) ?(metrics_prefix = "serve.cache")
+    () =
+  if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
+  if capacity < shards then
+    invalid_arg "Cache.create: capacity must be >= shards";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            order = Queue.create ();
+          });
+    shard_capacity = capacity / shards;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    m_hits = Obs.Metrics.counter (metrics_prefix ^ ".hits");
+    m_misses = Obs.Metrics.counter (metrics_prefix ^ ".misses");
+    m_evictions = Obs.Metrics.counter (metrics_prefix ^ ".evictions");
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find t key =
+  let s = shard_of t key in
+  Mutex.lock s.mutex;
+  let r =
+    match Hashtbl.find_opt s.tbl key with
+    | Some e ->
+      e.referenced <- true;
+      Some e.value
+    | None -> None
+  in
+  Mutex.unlock s.mutex;
+  (match r with
+  | Some _ ->
+    Atomic.incr t.hits;
+    Obs.Metrics.incr t.m_hits
+  | None ->
+    Atomic.incr t.misses;
+    Obs.Metrics.incr t.m_misses);
+  r
+
+(* Called with the shard mutex held: clock sweep until one unreferenced
+   entry goes; the budget bounds the walk when everything is hot. *)
+let evict_one t s =
+  let budget = ref ((2 * Queue.length s.order) + 1) in
+  let evicted = ref false in
+  while (not !evicted) && !budget > 0 do
+    decr budget;
+    match Queue.take_opt s.order with
+    | None -> budget := 0
+    | Some key -> (
+      match Hashtbl.find_opt s.tbl key with
+      | None -> () (* stale: removed by clear *)
+      | Some e ->
+        if e.referenced then begin
+          e.referenced <- false;
+          Queue.push key s.order
+        end
+        else begin
+          Hashtbl.remove s.tbl key;
+          Atomic.incr t.evictions;
+          Obs.Metrics.incr t.m_evictions;
+          evicted := true
+        end)
+  done
+
+let add t key value =
+  let s = shard_of t key in
+  Mutex.lock s.mutex;
+  (* A racing worker may have answered the same question first; keep the
+     incumbent so concurrent readers share one value. *)
+  if not (Hashtbl.mem s.tbl key) then begin
+    if Hashtbl.length s.tbl >= t.shard_capacity then evict_one t s;
+    Hashtbl.replace s.tbl key { value; referenced = false };
+    Queue.push key s.order
+  end;
+  Mutex.unlock s.mutex
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mutex;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.mutex;
+      acc + n)
+    0 t.shards
+
+let capacity t = t.shard_capacity * Array.length t.shards
+let shards t = Array.length t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mutex;
+      Hashtbl.reset s.tbl;
+      Queue.clear s.order;
+      Mutex.unlock s.mutex)
+    t.shards
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+  }

@@ -1,0 +1,40 @@
+(** Sharded result cache (canonical request bytes → response body).
+
+    Shards are independent hash tables behind per-shard mutexes with
+    second-chance (clock) eviction, like [Swap.Cutoff]'s memo — a hit
+    marks the entry referenced and a full shard evicts the first
+    unreferenced entry in arrival order.  Capacity is split evenly
+    across shards, so [length t <= capacity t] always holds. *)
+
+type t
+
+val create :
+  ?shards:int -> ?capacity:int -> ?metrics_prefix:string -> unit -> t
+(** Defaults: 8 shards, 1024 entries total, counters registered as
+    [<metrics_prefix>.hits/.misses/.evictions] (default
+    ["serve.cache"]).  Per-instance stats stay exact even when several
+    caches share a prefix.
+    @raise Invalid_argument when [shards < 1] or [capacity < shards]. *)
+
+val find : t -> string -> string option
+(** Lookup; counts a hit or a miss and refreshes the entry's
+    second-chance bit. *)
+
+val add : t -> string -> string -> unit
+(** Insert, evicting within the key's shard when full.  A key already
+    present keeps its incumbent value (racing computations of the same
+    canonical request are identical by construction). *)
+
+val length : t -> int
+(** Entries across all shards. *)
+
+val capacity : t -> int
+(** Total entry budget ([shard_capacity * shards]). *)
+
+val shards : t -> int
+val clear : t -> unit
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : t -> stats
+(** Exact per-instance counts (independent of the shared registry). *)

@@ -1,0 +1,349 @@
+(* The serve engine: request evaluation, result cache, worker pool,
+   admission control.
+
+   Three execution modes share one compute path ([respond]):
+
+   - [handle] runs synchronously on the caller (pipe transport, tests,
+     and the reference side of the byte-identity checks);
+   - [handle_batch] fans a request array out over the shared
+     Numerics.Pool domains (deterministic order, used by bulk callers
+     and the jobs-invariance guard);
+   - [submit]/[await] hand the request to one of the engine's dedicated
+     worker domains through a *bounded* queue — the socket transport's
+     path.  Dedicated domains rather than Pool chunks because Pool jobs
+     are finite chunked batches while a server needs long-lived
+     consumers; the heavy lifting inside a request still reuses the
+     same solvers (and the quote table warm-build fans out on the
+     Pool).
+
+   Admission control: when the queue is full, [submit] answers an
+   explicit [overloaded] error immediately instead of queueing without
+   bound; when a queued request waits past the configured deadline, the
+   worker answers [deadline_exceeded] without computing.  Both paths
+   bypass the cache.
+
+   Byte-identity contract: computed bodies depend only on the canonical
+   request and the engine's configuration (base params + quote grid).
+   The cache stores bodies keyed by canonical request bytes and the id
+   is spliced in at assembly, so cached, pooled, and worker responses
+   are byte-identical to a direct [handle] call. *)
+
+type job = {
+  req : Request.t;
+  enqueued_ns : int64;
+  cell_mutex : Mutex.t;
+  cell_cond : Condition.t;
+  mutable resp : string option;
+}
+
+type stats = {
+  requests : int;
+  parse_errors : int;
+  ok : int;
+  errors : int;
+  shed : int;
+  deadline_exceeded : int;
+  cache : Cache.stats;
+}
+
+type t = {
+  base : Swap.Params.t;
+  table : Market.Quote_table.t;
+  cache : Cache.t;
+  max_sweep_n : int;
+  deadline_s : float option;
+  queue_capacity : int;
+  queue : job Queue.t;
+  q_mutex : Mutex.t;
+  q_nonempty : Condition.t;
+  mutable worker_domains : unit Domain.t list;
+  mutable stopping : bool;
+  (* Exact per-engine counts; the shared Obs registry mirrors them. *)
+  n_requests : int Atomic.t;
+  n_parse_errors : int Atomic.t;
+  n_ok : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_deadline : int Atomic.t;
+}
+
+(* --- shared observability ------------------------------------------------ *)
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_parse_errors = Obs.Metrics.counter "serve.parse_errors"
+let m_ok = Obs.Metrics.counter "serve.ok"
+let m_errors = Obs.Metrics.counter "serve.errors"
+let m_shed = Obs.Metrics.counter "serve.shed"
+let m_deadline = Obs.Metrics.counter "serve.deadline_exceeded"
+let m_queue_hwm = Obs.Metrics.gauge "serve.queue_depth_hwm"
+let m_latency = Obs.Metrics.histogram "serve.handle_latency_s"
+let m_queue_wait = Obs.Metrics.histogram "serve.queue_wait_s"
+
+let m_kind = function
+  | "cutoffs" -> Obs.Metrics.counter "serve.req.cutoffs"
+  | "success_rate" -> Obs.Metrics.counter "serve.req.success_rate"
+  | "sweep" -> Obs.Metrics.counter "serve.req.sweep"
+  | _ -> Obs.Metrics.counter "serve.req.quote"
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+let sr_at params ~p_star ~q =
+  if q = 0. then Swap.Success.analytic params ~p_star
+  else Swap.Collateral.success_rate (Swap.Collateral.symmetric params ~q) ~p_star
+
+let compute_result t (req : Request.t) =
+  match req.body with
+  | Cutoffs { params; p_star } ->
+    let p_t3_low = Swap.Cutoff.p_t3_low params ~p_star in
+    let t2_band = Swap.Cutoff.p_t2_band_endpoints params ~p_star in
+    let p_star_band = Swap.Cutoff.p_star_band_endpoints params in
+    Ok
+      (Printf.sprintf
+         "{\"p_t3_low\":%s,\"t2_band\":%s,\"p_star_band\":%s}"
+         (Obs.Json.num p_t3_low)
+         (Response.interval_json t2_band)
+         (Response.interval_json p_star_band))
+  | Success_rate { params; p_star; q } ->
+    Ok (Printf.sprintf "{\"sr\":%s}" (Obs.Json.num (sr_at params ~p_star ~q)))
+  | Sweep { params; q; spec } ->
+    if spec.n > t.max_sweep_n then
+      Error
+        ( "invalid_params",
+          Printf.sprintf "n: exceeds this server's sweep limit (%d)"
+            t.max_sweep_n )
+    else begin
+      let p_stars = Numerics.Grid.linspace ~lo:spec.lo ~hi:spec.hi ~n:spec.n in
+      let srs = Array.map (fun p_star -> sr_at params ~p_star ~q) p_stars in
+      Ok
+        (Printf.sprintf "{\"p_stars\":%s,\"srs\":%s}"
+           (Response.float_array_json p_stars)
+           (Response.float_array_json srs))
+    end
+  | Quote { mu; sigma; spot } -> (
+    match Market.Quote_table.lookup t.table ~mu ~sigma ~spot with
+    | Ok { Market.Quote_table.p_star; sr } ->
+      Ok
+        (Printf.sprintf "{\"p_star\":%s,\"sr\":%s}" (Obs.Json.num p_star)
+           (Obs.Json.num sr))
+    | Error reason ->
+      Error
+        ( Market.Quote_table.reason_to_string reason,
+          "no quote at these calibrated parameters" ))
+
+(* Compute (or fetch) the response body for a parsed request, then
+   assemble with the caller's id. *)
+let respond t (req : Request.t) =
+  let kind = Request.kind req in
+  Atomic.incr t.n_requests;
+  Obs.Metrics.incr m_requests;
+  Obs.Metrics.incr (m_kind kind);
+  let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_ns () else 0L in
+  let body =
+    let key = Request.key req in
+    match Cache.find t.cache key with
+    | Some body -> body
+    | None ->
+      let body =
+        Obs.Trace.with_span "serve.compute" (fun span ->
+            Obs.Trace.annotate span "req" kind;
+            match compute_result t req with
+            | Ok result ->
+              Atomic.incr t.n_ok;
+              Obs.Metrics.incr m_ok;
+              Response.ok_body ~req:kind ~result
+            | Error (code, message) ->
+              Atomic.incr t.n_errors;
+              Obs.Metrics.incr m_errors;
+              Response.error_body ~req:kind ~code ~message ())
+      in
+      Cache.add t.cache key body;
+      body
+  in
+  if t0 <> 0L then
+    Obs.Metrics.observe m_latency (Obs.Monotonic.elapsed_s ~since_ns:t0);
+  Response.assemble ~id:req.id body
+
+let parse_failure t (err : Request.error) =
+  Atomic.incr t.n_parse_errors;
+  Obs.Metrics.incr m_parse_errors;
+  Response.error ~id:err.err_id ~code:err.code ~message:err.message ()
+
+let handle t line =
+  match Request.decode line with
+  | Ok req -> respond t req
+  | Error err -> parse_failure t err
+
+let handle_batch ?jobs t lines = Numerics.Pool.map_array ?jobs (handle t) lines
+
+(* --- worker pool + admission control ------------------------------------ *)
+
+let finish_job job resp =
+  Mutex.lock job.cell_mutex;
+  job.resp <- Some resp;
+  Condition.broadcast job.cell_cond;
+  Mutex.unlock job.cell_mutex
+
+let run_job t job =
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe m_queue_wait
+      (Obs.Monotonic.elapsed_s ~since_ns:job.enqueued_ns);
+  let expired =
+    match t.deadline_s with
+    | Some d -> Obs.Monotonic.elapsed_s ~since_ns:job.enqueued_ns > d
+    | None -> false
+  in
+  let resp =
+    if expired then begin
+      Atomic.incr t.n_deadline;
+      Obs.Metrics.incr m_deadline;
+      Response.error ~id:job.req.Request.id ~req:(Request.kind job.req)
+        ~code:"deadline_exceeded"
+        ~message:"request waited past the server deadline" ()
+    end
+    else respond t job.req
+  in
+  finish_job job resp
+
+type ticket = job
+
+let await (job : ticket) =
+  Mutex.lock job.cell_mutex;
+  while job.resp = None do
+    Condition.wait job.cell_cond job.cell_mutex
+  done;
+  let r = Option.get job.resp in
+  Mutex.unlock job.cell_mutex;
+  r
+
+let submit t line =
+  match Request.decode line with
+  | Error err -> `Done (parse_failure t err)
+  | Ok req ->
+    let shed message =
+      Atomic.incr t.n_shed;
+      Obs.Metrics.incr m_shed;
+      `Done
+        (Response.error ~id:req.Request.id ~req:(Request.kind req)
+           ~code:"overloaded" ~message ())
+    in
+    Mutex.lock t.q_mutex;
+    if t.stopping then begin
+      Mutex.unlock t.q_mutex;
+      shed "server is shutting down"
+    end
+    else if Queue.length t.queue >= t.queue_capacity then begin
+      Mutex.unlock t.q_mutex;
+      shed "submission queue is full"
+    end
+    else begin
+      let job =
+        {
+          req;
+          enqueued_ns = Obs.Monotonic.now_ns ();
+          cell_mutex = Mutex.create ();
+          cell_cond = Condition.create ();
+          resp = None;
+        }
+      in
+      Queue.push job t.queue;
+      Obs.Metrics.max_gauge m_queue_hwm (float_of_int (Queue.length t.queue));
+      Condition.signal t.q_nonempty;
+      Mutex.unlock t.q_mutex;
+      `Ticket job
+    end
+
+let take_job t ~block =
+  Mutex.lock t.q_mutex;
+  if block then
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.q_nonempty t.q_mutex
+    done;
+  let job = Queue.take_opt t.queue in
+  Mutex.unlock t.q_mutex;
+  job
+
+let pump t =
+  match take_job t ~block:false with
+  | Some job ->
+    run_job t job;
+    true
+  | None -> false
+
+let rec worker_loop t =
+  match take_job t ~block:true with
+  | Some job ->
+    run_job t job;
+    worker_loop t
+  | None -> () (* stopping and drained *)
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
+    ?(cache_capacity = 1024) ?(max_sweep_n = 4096) ?mus ?sigmas
+    ?(base = Swap.Params.defaults) () =
+  if queue_capacity < 1 then
+    invalid_arg "Engine.create: queue_capacity must be >= 1";
+  (match deadline_s with
+  | Some d when not (d > 0.) ->
+    invalid_arg "Engine.create: deadline_s must be > 0"
+  | _ -> ());
+  let workers =
+    match workers with
+    | None -> Numerics.Pool.jobs ()
+    | Some w when w >= 0 -> w
+    | Some _ -> invalid_arg "Engine.create: workers must be >= 0"
+  in
+  let t =
+    {
+      base;
+      (* Warm build: one full solve per grid node, fanned out on the
+         shared pool, so the first quote request is already microseconds. *)
+      table = Market.Quote_table.build ?mus ?sigmas base;
+      cache = Cache.create ~shards:cache_shards ~capacity:cache_capacity ();
+      max_sweep_n;
+      deadline_s;
+      queue_capacity;
+      queue = Queue.create ();
+      q_mutex = Mutex.create ();
+      q_nonempty = Condition.create ();
+      worker_domains = [];
+      stopping = false;
+      n_requests = Atomic.make 0;
+      n_parse_errors = Atomic.make 0;
+      n_ok = Atomic.make 0;
+      n_errors = Atomic.make 0;
+      n_shed = Atomic.make 0;
+      n_deadline = Atomic.make 0;
+    }
+  in
+  t.worker_domains <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = List.length t.worker_domains
+let quote_table t = t.table
+let base_params t = t.base
+
+let stop t =
+  Mutex.lock t.q_mutex;
+  t.stopping <- true;
+  Condition.broadcast t.q_nonempty;
+  Mutex.unlock t.q_mutex;
+  List.iter Domain.join t.worker_domains;
+  t.worker_domains <- [];
+  (* No workers left: drain anything still queued on this domain so
+     every issued ticket resolves. *)
+  while pump t do
+    ()
+  done
+
+let stats t =
+  {
+    requests = Atomic.get t.n_requests;
+    parse_errors = Atomic.get t.n_parse_errors;
+    ok = Atomic.get t.n_ok;
+    errors = Atomic.get t.n_errors;
+    shed = Atomic.get t.n_shed;
+    deadline_exceeded = Atomic.get t.n_deadline;
+    cache = Cache.stats t.cache;
+  }

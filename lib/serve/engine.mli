@@ -1,0 +1,86 @@
+(** The swap-quote engine: request evaluation behind a sharded result
+    cache, a dedicated worker pool with a {e bounded} submission queue,
+    and admission control.
+
+    {b Byte-identity contract.}  Response bodies depend only on the
+    canonical request bytes and the engine's configuration (base
+    parameters + quote grid); the cache stores bodies and the id is
+    spliced in at assembly.  Cached, batched ({!handle_batch} at any
+    jobs count), and worker-pool responses are therefore byte-identical
+    to a direct {!handle} call on an identically configured engine.
+
+    {b Backpressure.}  {!submit} sheds with an [overloaded] error the
+    moment the queue is full (never queueing without bound), and a
+    queued request older than [deadline_s] is answered
+    [deadline_exceeded] without computing. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?deadline_s:float ->
+  ?cache_shards:int ->
+  ?cache_capacity:int ->
+  ?max_sweep_n:int ->
+  ?mus:float array ->
+  ?sigmas:float array ->
+  ?base:Swap.Params.t ->
+  unit ->
+  t
+(** Warm-builds the {!Market.Quote_table} (grid [mus] x [sigmas],
+    defaults as in [Quote_table.build], fanned out on the shared
+    domain pool) and spawns [workers] dedicated domains (default: the
+    pool's jobs setting; [0] = no background workers — {!handle},
+    {!handle_batch} and {!pump} still work).  [queue_capacity]
+    (default 128) bounds the submission queue; [deadline_s] (default
+    none) bounds queue wait; [max_sweep_n] (default 4096) caps sweep
+    sizes with an [invalid_params] answer.
+    @raise Invalid_argument on non-positive capacities or deadline. *)
+
+val handle : t -> string -> string
+(** Parse, answer from the cache or compute, and encode — synchronously
+    on the calling domain.  Never sheds. *)
+
+val handle_batch : ?jobs:int -> t -> string array -> string array
+(** Order-preserving parallel {!handle} over the shared
+    [Numerics.Pool]; responses are byte-identical for any [jobs]. *)
+
+type ticket
+
+val submit : t -> string -> [ `Done of string | `Ticket of ticket ]
+(** Hand a request line to the worker pool.  [`Done] carries an
+    immediate response: a parse error, or an [overloaded] shed when the
+    queue is full (admission control) or the engine is stopping.
+    [`Ticket] resolves via {!await}. *)
+
+val await : ticket -> string
+(** Block until a worker (or {!pump}) answers the ticket. *)
+
+val pump : t -> bool
+(** Run one queued request on the calling domain; [false] when the
+    queue is empty.  Lets transports or tests drive a worker-less
+    engine deterministically. *)
+
+val stop : t -> unit
+(** Stop accepting queued work, join the worker domains, and drain any
+    remaining queue on the caller so every issued ticket resolves.
+    Subsequent {!submit}s shed; {!handle} keeps working. *)
+
+val workers : t -> int
+val quote_table : t -> Market.Quote_table.t
+val base_params : t -> Swap.Params.t
+
+type stats = {
+  requests : int;  (** Parsed requests (all modes). *)
+  parse_errors : int;
+  ok : int;  (** Computed [ok] bodies (cache hits not re-counted). *)
+  errors : int;  (** Computed error bodies (ditto). *)
+  shed : int;  (** Admission-control rejections. *)
+  deadline_exceeded : int;
+  cache : Cache.stats;
+}
+
+val stats : t -> stats
+(** Exact per-engine counts; the shared [Obs.Metrics] registry carries
+    the process-wide mirrors ([serve.*]). *)

@@ -1,0 +1,212 @@
+(* Typed requests for the swap-quote service, with a canonical JSON-line
+   codec (schema htlc-serve/v1).
+
+   The canonical form fixes field order and number formatting (via
+   Obs.Json, which round-trips floats), so [key] — the canonical bytes
+   without the client-chosen [id] — is a stable cache key: two requests
+   asking the same question produce the same bytes no matter how the
+   client ordered or spaced its JSON.  Decoding is strict: unknown keys
+   are rejected (typos must not silently select defaults in a versioned
+   protocol), and value errors are separated from syntax errors so the
+   service can answer [invalid_params] vs [parse_error]. *)
+
+module J = Obs.Json
+module P = Obs.Json_parse
+
+let schema = "htlc-serve/v1"
+
+type sweep_spec = { lo : float; hi : float; n : int }
+
+type body =
+  | Cutoffs of { params : Swap.Params.t; p_star : float }
+  | Success_rate of { params : Swap.Params.t; p_star : float; q : float }
+  | Sweep of { params : Swap.Params.t; q : float; spec : sweep_spec }
+  | Quote of { mu : float; sigma : float; spot : float }
+
+type t = { id : string option; body : body }
+
+type error = { err_id : string option; code : string; message : string }
+
+let kind t =
+  match t.body with
+  | Cutoffs _ -> "cutoffs"
+  | Success_rate _ -> "success_rate"
+  | Sweep _ -> "sweep"
+  | Quote _ -> "quote"
+
+(* --- canonical encoding ------------------------------------------------- *)
+
+let params_json (p : Swap.Params.t) =
+  Printf.sprintf
+    "{\"alpha_a\":%s,\"alpha_b\":%s,\"r_a\":%s,\"r_b\":%s,\"tau_a\":%s,\"tau_b\":%s,\"eps_b\":%s,\"p0\":%s,\"mu\":%s,\"sigma\":%s}"
+    (J.num p.alice.alpha) (J.num p.bob.alpha) (J.num p.alice.r)
+    (J.num p.bob.r) (J.num p.tau_a) (J.num p.tau_b) (J.num p.eps_b)
+    (J.num p.p0) (J.num p.mu) (J.num p.sigma)
+
+let body_fields = function
+  | Cutoffs { params; p_star } ->
+    Printf.sprintf "\"req\":\"cutoffs\",\"params\":%s,\"p_star\":%s"
+      (params_json params) (J.num p_star)
+  | Success_rate { params; p_star; q } ->
+    Printf.sprintf
+      "\"req\":\"success_rate\",\"params\":%s,\"p_star\":%s,\"q\":%s"
+      (params_json params) (J.num p_star) (J.num q)
+  | Sweep { params; q; spec } ->
+    Printf.sprintf
+      "\"req\":\"sweep\",\"params\":%s,\"q\":%s,\"lo\":%s,\"hi\":%s,\"n\":%s"
+      (params_json params) (J.num q) (J.num spec.lo) (J.num spec.hi)
+      (J.int spec.n)
+  | Quote { mu; sigma; spot } ->
+    Printf.sprintf "\"req\":\"quote\",\"mu\":%s,\"sigma\":%s,\"spot\":%s"
+      (J.num mu) (J.num sigma) (J.num spot)
+
+let key t =
+  Printf.sprintf "{\"schema\":%s,%s}" (J.str schema) (body_fields t.body)
+
+let encode t =
+  match t.id with
+  | None -> key t
+  | Some id ->
+    Printf.sprintf "{\"schema\":%s,\"id\":%s,%s}" (J.str schema) (J.str id)
+      (body_fields t.body)
+
+(* --- decoding ----------------------------------------------------------- *)
+
+exception Invalid of string
+(* Internal: value-level rejection (well-formed JSON, bad contents). *)
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let finite_num path v =
+  let x = P.as_num path v in
+  if not (Float.is_finite x) then invalid "%s: must be finite" path;
+  x
+
+let check_keys path allowed fields =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then invalid "%s: unknown key %S" path k)
+    fields
+
+let decode_params root =
+  match P.member_opt root "params" with
+  | None -> Swap.Params.defaults
+  | Some pj ->
+    let fields = P.as_obj "params" pj in
+    check_keys "params"
+      [
+        "alpha_a"; "alpha_b"; "r_a"; "r_b"; "tau_a"; "tau_b"; "eps_b"; "p0";
+        "mu"; "sigma";
+      ]
+      fields;
+    let get name dflt =
+      match P.member_opt pj name with
+      | None -> dflt
+      | Some v -> finite_num (Printf.sprintf "params.%s" name) v
+    in
+    let d = Swap.Params.defaults in
+    let p =
+      {
+        Swap.Params.alice =
+          {
+            Swap.Params.alpha = get "alpha_a" d.Swap.Params.alice.alpha;
+            r = get "r_a" d.Swap.Params.alice.r;
+          };
+        bob =
+          {
+            Swap.Params.alpha = get "alpha_b" d.Swap.Params.bob.alpha;
+            r = get "r_b" d.Swap.Params.bob.r;
+          };
+        tau_a = get "tau_a" d.Swap.Params.tau_a;
+        tau_b = get "tau_b" d.Swap.Params.tau_b;
+        eps_b = get "eps_b" d.Swap.Params.eps_b;
+        p0 = get "p0" d.Swap.Params.p0;
+        mu = get "mu" d.Swap.Params.mu;
+        sigma = get "sigma" d.Swap.Params.sigma;
+      }
+    in
+    (match Swap.Params.validate p with
+    | Ok () -> ()
+    | Error msg -> invalid "params: %s" msg);
+    p
+
+let require root name =
+  match P.member_opt root name with
+  | Some v -> v
+  | None -> P.bad "missing key %S" name
+
+let positive path x =
+  if not (x > 0.) then invalid "%s: must be > 0" path;
+  x
+
+let decode_q root =
+  match P.member_opt root "q" with
+  | None -> 0.
+  | Some v ->
+    let q = finite_num "q" v in
+    if q < 0. then invalid "q: must be >= 0";
+    q
+
+let common_keys = [ "schema"; "id"; "req"; "params" ]
+
+let decode_root root =
+  (* Best-effort id, so even rejected requests can be correlated by the
+     client; the success path still validates it strictly below. *)
+  let err_id =
+    match P.member_opt root "id" with Some (P.Str s) -> Some s | _ -> None
+  in
+  match
+    let fields = P.as_obj "request" root in
+    let sc = P.as_str "schema" (require root "schema") in
+    if sc <> schema then P.bad "unknown schema %S (want %S)" sc schema;
+    let id =
+      match P.member_opt root "id" with
+      | None -> None
+      | Some v -> Some (P.as_str "id" v)
+    in
+    let req = P.as_str "req" (require root "req") in
+    let body =
+      match req with
+      | "cutoffs" ->
+        check_keys "request" ("p_star" :: common_keys) fields;
+        let p_star = positive "p_star" (finite_num "p_star" (require root "p_star")) in
+        Cutoffs { params = decode_params root; p_star }
+      | "success_rate" ->
+        check_keys "request" ("p_star" :: "q" :: common_keys) fields;
+        let p_star = positive "p_star" (finite_num "p_star" (require root "p_star")) in
+        Success_rate { params = decode_params root; p_star; q = decode_q root }
+      | "sweep" ->
+        check_keys "request" ("q" :: "lo" :: "hi" :: "n" :: common_keys) fields;
+        let lo = positive "lo" (finite_num "lo" (require root "lo")) in
+        let hi = finite_num "hi" (require root "hi") in
+        if hi <= lo then invalid "hi: must be > lo";
+        let n_f = finite_num "n" (require root "n") in
+        if (not (Float.is_integer n_f)) || n_f < 2. then
+          invalid "n: must be an integer >= 2";
+        Sweep
+          {
+            params = decode_params root;
+            q = decode_q root;
+            spec = { lo; hi; n = int_of_float n_f };
+          }
+      | "quote" ->
+        check_keys "request" ("mu" :: "sigma" :: "spot" :: common_keys) fields;
+        let mu = finite_num "mu" (require root "mu") in
+        let sigma = finite_num "sigma" (require root "sigma") in
+        let spot = finite_num "spot" (require root "spot") in
+        Quote { mu; sigma; spot }
+      | other -> P.bad "unknown req %S" other
+    in
+    { id; body }
+  with
+  | t -> Ok t
+  | exception P.Bad msg ->
+    Error { err_id; code = "parse_error"; message = msg }
+  | exception Invalid msg ->
+    Error { err_id; code = "invalid_params"; message = msg }
+
+let decode line =
+  match P.parse line with
+  | exception P.Bad msg ->
+    Error { err_id = None; code = "parse_error"; message = msg }
+  | root -> decode_root root

@@ -1,0 +1,52 @@
+(** Typed requests for the swap-quote service and their canonical
+    JSON-line codec (schema [htlc-serve/v1]).
+
+    Canonical form = fixed field order + round-tripping float format,
+    so {!key} (canonical bytes without the client's [id]) is a stable
+    cache key.  Decoding is strict: unknown keys and out-of-range
+    values are rejected with distinct [parse_error] /
+    [invalid_params] codes. *)
+
+val schema : string
+(** ["htlc-serve/v1"]. *)
+
+type sweep_spec = { lo : float; hi : float; n : int }
+
+type body =
+  | Cutoffs of { params : Swap.Params.t; p_star : float }
+      (** Eq. 18 / 24 / 29 thresholds. *)
+  | Success_rate of { params : Swap.Params.t; p_star : float; q : float }
+      (** Eq. 31 (or Eq. 40 when [q > 0]). *)
+  | Sweep of { params : Swap.Params.t; q : float; spec : sweep_spec }
+      (** SR across [n] rates in [lo, hi]. *)
+  | Quote of { mu : float; sigma : float; spot : float }
+      (** SR-optimal rate off the warm {!Market.Quote_table}. *)
+
+type t = { id : string option; body : body }
+
+type error = { err_id : string option; code : string; message : string }
+(** [code] is ["parse_error"] (malformed/unversioned JSON) or
+    ["invalid_params"] (well-formed but out-of-range values).
+    [err_id] is the request's id when it could still be recovered, so
+    rejections stay client-correlatable. *)
+
+val kind : t -> string
+(** ["cutoffs" | "success_rate" | "sweep" | "quote"] — the wire [req]
+    tag, echoed in responses and used as a metric label. *)
+
+val decode : string -> (t, error) result
+(** Parse one request line.  Requires [schema]; [id] is optional;
+    [params] fields default to {!Swap.Params.defaults} field-wise and
+    the assembled record must pass {!Swap.Params.validate}. *)
+
+val encode : t -> string
+(** Canonical one-line JSON (includes [id] when present).
+    [decode (encode t) = Ok t]. *)
+
+val key : t -> string
+(** Canonical bytes {e without} [id]: the cache key.  Equal questions
+    have equal keys regardless of client field order or whitespace. *)
+
+val params_json : Swap.Params.t -> string
+(** The canonical [params] object on its own (reused by
+    [swap_cli quote --json]). *)

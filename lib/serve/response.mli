@@ -1,0 +1,34 @@
+(** Response encoding for [htlc-serve/v1].
+
+    Responses split into an id-independent {e body} (cached per
+    canonical request) and an {!assemble} step that prepends the schema
+    and the caller's [id] — so cache hits return byte-identical
+    responses without recomputation. *)
+
+val ok_body : req:string -> result:string -> string
+(** Body of a successful response; [result] is already-serialised JSON. *)
+
+val error_body :
+  ?req:string -> code:string -> message:string -> unit -> string
+(** Body of an error response ([req] omitted when the request could not
+    be parsed far enough to know its kind). *)
+
+val assemble : id:string option -> string -> string
+(** [assemble ~id body] — the full one-line response
+    [{"schema":"htlc-serve/v1","id":...,<body>].  [None] renders as
+    [null]. *)
+
+val error :
+  id:string option ->
+  ?req:string ->
+  code:string ->
+  message:string ->
+  unit ->
+  string
+(** [assemble] of [error_body] — for paths that bypass the cache
+    (parse errors, load shedding, deadline misses). *)
+
+val interval_json : (float * float) option -> string
+(** [[lo,hi]] or [null]. *)
+
+val float_array_json : float array -> string

@@ -1,0 +1,169 @@
+(* Transports: a stdin/stdout pipe loop and a Unix-domain-socket accept
+   loop (stdlib Unix only), both speaking newline-delimited
+   htlc-serve/v1.
+
+   Pipe mode answers synchronously on the calling domain — one client,
+   natural backpressure, deterministic output for a fixed script (the
+   serve-smoke CI check relies on this).
+
+   Socket mode is one listener domain plus one lightweight handler
+   domain per connection.  Handlers do IO only: each request line is
+   handed to the engine's worker pool (submit/await), so compute
+   parallelism is the engine's worker count while handlers mostly block
+   on socket reads — the listener/worker handoff shape.  Per-connection
+   responses come back in request order.  On an engine with zero
+   workers the handler computes inline instead. *)
+
+let m_connections = Obs.Metrics.counter "serve.connections"
+let m_conn_requests = Obs.Metrics.counter "serve.connection_requests"
+
+(* --- pipe ----------------------------------------------------------------- *)
+
+let serve_pipe engine ic oc =
+  let served = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         output_string oc (Engine.handle engine line);
+         output_char oc '\n';
+         flush oc;
+         incr served
+       end
+     done
+   with End_of_file -> ());
+  !served
+
+(* --- unix-domain socket --------------------------------------------------- *)
+
+type conn = { fd : Unix.file_descr; domain : unit Domain.t }
+
+type t = {
+  engine : Engine.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  mutable listener : unit Domain.t option;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable closing : bool;
+}
+
+let answer engine line =
+  if Engine.workers engine = 0 then Engine.handle engine line
+  else
+    match Engine.submit engine line with
+    | `Done resp -> resp
+    | `Ticket ticket -> Engine.await ticket
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         Obs.Metrics.incr m_conn_requests;
+         output_string oc (answer t.engine line);
+         output_char oc '\n';
+         flush oc
+       end
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (* Self-removal is gated on [closing] and runs under the connection
+     mutex: once [shutdown] has flipped the flag its snapshot owns every
+     listed fd, so no fd in that snapshot is ever closed (or its number
+     reused) behind shutdown's back. *)
+  Mutex.lock t.conns_mutex;
+  if not t.closing then begin
+    t.conns <- List.filter (fun c -> c.fd != fd) t.conns;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.conns_mutex
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+  | exception _ ->
+    (* The listening socket was shut down (or the process is in real
+       trouble); either way stop accepting. *)
+    ()
+  | fd, _ ->
+    Mutex.lock t.conns_mutex;
+    let closing = t.closing in
+    if not closing then begin
+      Obs.Metrics.incr m_connections;
+      t.conns <- { fd; domain = Domain.spawn (fun () -> handle_conn t fd) }
+                 :: t.conns
+    end;
+    Mutex.unlock t.conns_mutex;
+    if closing then
+      (* This is shutdown's wake-up self-connect (or a client that lost
+         the race with it): drop it and stop accepting. *)
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    else accept_loop t
+
+let listen engine ~path ?(backlog = 16) () =
+  if Sys.file_exists path then (
+    try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX path);
+     Unix.listen listen_fd backlog
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      engine;
+      path;
+      listen_fd;
+      listener = None;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      closing = false;
+    }
+  in
+  t.listener <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let path t = t.path
+
+let shutdown t =
+  Mutex.lock t.conns_mutex;
+  let already = t.closing in
+  t.closing <- true;
+  Mutex.unlock t.conns_mutex;
+  if not already then begin
+    (* Waking a blocked [accept]: closing the fd does NOT interrupt a
+       thread already parked in accept(2) on Linux, so shut the
+       listening socket down (pops the accept with an error) and
+       self-connect as a fallback for platforms that ignore
+       listening-socket shutdown; the accept loop exits either way. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.listener;
+    t.listener <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* The listener is gone and [closing] is set, so the list is now
+       frozen and every fd in it is owned by us (handlers no longer
+       self-close).  Force EOF so the handlers drain and exit. *)
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.conns_mutex;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun c -> Domain.join c.domain) conns;
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
+    try Unix.unlink t.path with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,33 @@
+(** Transports for the swap-quote service (newline-delimited
+    [htlc-serve/v1]; stdlib [Unix] only).
+
+    {!serve_pipe} answers synchronously on the caller — one client,
+    natural backpressure, deterministic output for a fixed script.
+
+    The socket server is one listener domain plus one IO handler domain
+    per connection; request compute is handed to the engine's worker
+    pool, so admission control and deadlines apply.  Responses come
+    back in request order per connection. *)
+
+val serve_pipe : Engine.t -> in_channel -> out_channel -> int
+(** Read request lines until EOF, answering each on the next line
+    (blank input lines are skipped); returns the number of requests
+    served.  Never sheds: compute runs inline on the caller. *)
+
+type t
+(** A listening Unix-domain-socket server. *)
+
+val listen : Engine.t -> path:string -> ?backlog:int -> unit -> t
+(** Bind and listen on [path] (an existing file at [path] is unlinked
+    first — Unix-domain sockets do not rebind), then accept in a
+    background domain.  With an engine of zero workers, handlers
+    compute inline instead of submitting.
+    @raise Unix.Unix_error when the socket cannot be bound (e.g. a
+    path longer than the [sun_path] limit). *)
+
+val path : t -> string
+
+val shutdown : t -> unit
+(** Stop accepting, force EOF on live connections, join every handler,
+    and unlink the socket path.  Idempotent.  Does {e not} stop the
+    engine — callers own its lifecycle. *)

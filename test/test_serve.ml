@@ -1,0 +1,451 @@
+(* The serve subsystem: codec round-trips and golden encodings, the
+   error taxonomy, cache hit/eviction semantics, admission control and
+   deadlines (driven deterministically on worker-less engines via
+   [pump]), the jobs-invariance byte-identity guard, and a live
+   socket-transport round trip. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A 2x2 quote grid keeps engine construction cheap; every engine in
+   this file must use the same grid or byte-identity comparisons would
+   be meaningless. *)
+let mus = [| -0.01; 0.01 |]
+let sigmas = [| 0.05; 0.1 |]
+let make_engine ?workers ?queue_capacity ?deadline_s () =
+  Serve.Engine.create ?workers ?queue_capacity ?deadline_s ~mus ~sigmas ()
+
+(* --- codec --------------------------------------------------------------- *)
+
+let test_codec_golden () =
+  (* The canonical bytes are the cache key and the wire format: pin them
+     exactly so neither field order nor float formatting can drift. *)
+  (* 0.125 is exactly representable, so the %.17g round-trip format
+     prints it short and the golden stays readable. *)
+  let req =
+    {
+      Serve.Request.id = Some "r1";
+      body = Serve.Request.Quote { mu = 0.; sigma = 0.125; spot = 2. };
+    }
+  in
+  check_str "canonical quote encoding"
+    "{\"schema\":\"htlc-serve/v1\",\"id\":\"r1\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.125,\"spot\":2}"
+    (Serve.Request.encode req);
+  check_str "key drops the id only"
+    "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.125,\"spot\":2}"
+    (Serve.Request.key req);
+  let sweep =
+    {
+      Serve.Request.id = None;
+      body =
+        Serve.Request.Sweep
+          {
+            params = Swap.Params.defaults;
+            q = 0.25;
+            spec = { lo = 1.6; hi = 2.4; n = 5 };
+          };
+    }
+  in
+  check_bool "sweep encoding carries params and spec" true
+    (contains (Serve.Request.encode sweep)
+       "\"req\":\"sweep\",\"params\":{\"alpha_a\":")
+
+let roundtrip line =
+  match Serve.Request.decode line with
+  | Ok req -> Serve.Request.encode req
+  | Error e -> Alcotest.failf "decode %S failed: %s" line e.message
+
+let test_codec_roundtrip () =
+  let bodies =
+    [
+      Serve.Request.Cutoffs { params = Swap.Params.defaults; p_star = 2. };
+      Serve.Request.Success_rate
+        { params = Swap.Params.defaults; p_star = 2.; q = 0.25 };
+      Serve.Request.Sweep
+        {
+          params = Swap.Params.defaults;
+          q = 0.;
+          spec = { lo = 1.6; hi = 2.4; n = 7 };
+        };
+      Serve.Request.Quote { mu = 0.003; sigma = 0.07; spot = 1.9 };
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let t = { Serve.Request.id = Some (Printf.sprintf "id%d" i); body } in
+      let line = Serve.Request.encode t in
+      check_str (Printf.sprintf "decode . encode fixpoint #%d" i) line
+        (roundtrip line))
+    bodies;
+  (* Client field order and whitespace do not affect the canonical key. *)
+  let a =
+    Serve.Request.decode
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0.0,\"sigma\":0.05,\"spot\":2.0,\"id\":\"x\"}"
+  and b =
+    Serve.Request.decode
+      "{ \"id\":\"y\", \"spot\":2, \"sigma\":0.05, \"mu\":0, \"req\":\"quote\", \"schema\":\"htlc-serve/v1\" }"
+  in
+  match (a, b) with
+  | Ok a, Ok b ->
+    check_str "reordered requests share one cache key"
+      (Serve.Request.key a) (Serve.Request.key b)
+  | _ -> Alcotest.fail "both reorderings must decode"
+
+let decode_err line =
+  match Serve.Request.decode line with
+  | Ok _ -> Alcotest.failf "decode %S unexpectedly succeeded" line
+  | Error e -> e
+
+let test_codec_errors () =
+  let e = decode_err "this is not json" in
+  check_str "garbage is a parse error" "parse_error" e.Serve.Request.code;
+  check_bool "no id recovered from garbage" true (e.Serve.Request.err_id = None);
+  let e =
+    decode_err "{\"schema\":\"htlc-serve/v2\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.05,\"spot\":2}"
+  in
+  check_str "wrong schema version" "parse_error" e.Serve.Request.code;
+  let e =
+    decode_err "{\"schema\":\"htlc-serve/v1\",\"id\":\"k\",\"req\":\"frobnicate\"}"
+  in
+  check_str "unknown req" "parse_error" e.Serve.Request.code;
+  check_bool "id recovered from a rejected request" true
+    (e.Serve.Request.err_id = Some "k");
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":-2}"
+  in
+  check_str "non-positive p_star" "invalid_params" e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"sweep\",\"lo\":1.6,\"hi\":2.4,\"n\":5,\"nn\":1}"
+  in
+  check_str "unknown key is rejected, not ignored" "invalid_params"
+    e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"sweep\",\"lo\":1.6,\"hi\":2.4,\"n\":1}"
+  in
+  check_str "sweep needs n >= 2" "invalid_params" e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":2,\"q\":-0.1}"
+  in
+  check_str "negative collateral" "invalid_params" e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":2,\"params\":{\"sigma\":-1}}"
+  in
+  check_str "params are validated" "invalid_params" e.Serve.Request.code
+
+(* --- cache --------------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let c = Serve.Cache.create ~shards:2 ~capacity:8 () in
+  check_bool "empty miss" true (Serve.Cache.find c "k1" = None);
+  Serve.Cache.add c "k1" "v1";
+  check_bool "hit after add" true (Serve.Cache.find c "k1" = Some "v1");
+  Serve.Cache.add c "k1" "clobber";
+  check_bool "incumbent value wins a racing add" true
+    (Serve.Cache.find c "k1" = Some "v1");
+  let s = Serve.Cache.stats c in
+  check_int "hits" 2 s.Serve.Cache.hits;
+  check_int "misses" 1 s.Serve.Cache.misses;
+  check_int "no evictions below capacity" 0 s.Serve.Cache.evictions;
+  Serve.Cache.clear c;
+  check_int "clear empties every shard" 0 (Serve.Cache.length c)
+
+let test_cache_second_chance () =
+  (* One shard makes eviction order deterministic: a full shard evicts
+     the first entry in arrival order whose referenced bit is unset, and
+     the sweep clears bits as it passes. *)
+  let c = Serve.Cache.create ~shards:1 ~capacity:4 () in
+  List.iter (fun k -> Serve.Cache.add c k ("v" ^ k)) [ "a"; "b"; "c"; "d" ];
+  ignore (Serve.Cache.find c "a");
+  (* [a] is referenced. *)
+  Serve.Cache.add c "e" "ve";
+  (* Clock sweep: skips [a] (clearing its bit), evicts [b]. *)
+  check_bool "recently-hit entry survives" true
+    (Serve.Cache.find c "a" = Some "va");
+  check_bool "oldest unreferenced entry evicted" true
+    (Serve.Cache.find c "b" = None);
+  check_bool "newcomer present" true (Serve.Cache.find c "e" = Some "ve");
+  let s = Serve.Cache.stats c in
+  check_int "exactly one eviction" 1 s.Serve.Cache.evictions;
+  check_int "length stays at capacity" 4 (Serve.Cache.length c)
+
+let test_cache_capacity_bound () =
+  let c = Serve.Cache.create ~shards:4 ~capacity:16 () in
+  for i = 1 to 200 do
+    Serve.Cache.add c (Printf.sprintf "key%d" i) "v"
+  done;
+  check_bool "length bounded by capacity under churn" true
+    (Serve.Cache.length c <= Serve.Cache.capacity c);
+  check_bool "eviction counter moved" true
+    ((Serve.Cache.stats c).Serve.Cache.evictions > 0);
+  (match Serve.Cache.create ~shards:0 () with
+  | _ -> Alcotest.fail "shards = 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Serve.Cache.create ~shards:8 ~capacity:4 () with
+  | _ -> Alcotest.fail "capacity < shards must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- engine -------------------------------------------------------------- *)
+
+let test_engine_handle () =
+  let e = make_engine ~workers:0 () in
+  let ok line frag =
+    let resp = Serve.Engine.handle e line in
+    check_bool (Printf.sprintf "ok response for %s" frag) true
+      (contains resp "\"status\":\"ok\"" && contains resp frag)
+  in
+  ok "{\"schema\":\"htlc-serve/v1\",\"id\":\"a\",\"req\":\"cutoffs\",\"p_star\":2}"
+    "\"p_t3_low\":";
+  ok "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":2}"
+    "\"sr\":";
+  ok "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":2}"
+    "\"p_star\":";
+  let resp =
+    Serve.Engine.handle e
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0.5,\"sigma\":0.075,\"spot\":2}"
+  in
+  check_bool "off-grid quote is a structured error" true
+    (contains resp "\"error\":\"outside_grid\"");
+  let resp =
+    Serve.Engine.handle e
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":-1}"
+  in
+  check_bool "non-positive spot is its own code" true
+    (contains resp "\"error\":\"non_positive_spot\"");
+  let resp =
+    Serve.Engine.handle e
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"sweep\",\"lo\":1.6,\"hi\":2.4,\"n\":100000}"
+  in
+  check_bool "sweep size is capped" true
+    (contains resp "\"error\":\"invalid_params\"");
+  let s = Serve.Engine.stats e in
+  check_int "requests counted" 6 s.Serve.Engine.requests;
+  check_int "ok bodies" 3 s.Serve.Engine.ok;
+  check_int "error bodies" 3 s.Serve.Engine.errors;
+  Serve.Engine.stop e
+
+let test_engine_cache_identity () =
+  let e = make_engine ~workers:0 () in
+  let line id =
+    Printf.sprintf
+      "{\"schema\":\"htlc-serve/v1\",\"id\":%s,\"req\":\"success_rate\",\"p_star\":2}"
+      id
+  in
+  let r1 = Serve.Engine.handle e (line "\"x\"") in
+  let r2 = Serve.Engine.handle e (line "\"y\"") in
+  let strip_to_req s =
+    match String.index_opt s ',' with
+    | None -> s
+    | Some _ ->
+      let marker = "\"req\"" in
+      let rec find i =
+        if i >= String.length s then s
+        else if
+          i + String.length marker <= String.length s
+          && String.sub s i (String.length marker) = marker
+        then String.sub s i (String.length s - i)
+        else find (i + 1)
+      in
+      find 0
+  in
+  check_str "cached repeat is byte-identical after the id"
+    (strip_to_req r1) (strip_to_req r2);
+  check_bool "ids differ" true (r1 <> r2);
+  let s = Serve.Engine.stats e in
+  check_int "second answer came from the cache"
+    1 s.Serve.Engine.cache.Serve.Cache.hits;
+  Serve.Engine.stop e
+
+let test_engine_shed_and_pump () =
+  let e = make_engine ~workers:0 ~queue_capacity:2 () in
+  let line id =
+    Printf.sprintf
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"%s\",\"req\":\"success_rate\",\"p_star\":2}"
+      id
+  in
+  let t1 =
+    match Serve.Engine.submit e (line "a") with
+    | `Ticket t -> t
+    | `Done _ -> Alcotest.fail "first submit must queue"
+  in
+  let t2 =
+    match Serve.Engine.submit e (line "b") with
+    | `Ticket t -> t
+    | `Done _ -> Alcotest.fail "second submit must queue"
+  in
+  (match Serve.Engine.submit e (line "c") with
+  | `Done resp ->
+    check_bool "third submit sheds with overloaded" true
+      (contains resp "\"error\":\"overloaded\"")
+  | `Ticket _ -> Alcotest.fail "full queue must shed");
+  (match Serve.Engine.submit e "not json" with
+  | `Done resp ->
+    check_bool "parse errors answer immediately even when full" true
+      (contains resp "\"error\":\"parse_error\"")
+  | `Ticket _ -> Alcotest.fail "parse errors never queue");
+  check_bool "pump runs one queued job" true (Serve.Engine.pump e);
+  check_bool "pump runs the second" true (Serve.Engine.pump e);
+  check_bool "queue now empty" false (Serve.Engine.pump e);
+  check_bool "first ticket resolved ok" true
+    (contains (Serve.Engine.await t1) "\"status\":\"ok\"");
+  check_bool "second ticket resolved ok" true
+    (contains (Serve.Engine.await t2) "\"id\":\"b\"");
+  let s = Serve.Engine.stats e in
+  check_int "one shed" 1 s.Serve.Engine.shed;
+  check_int "one parse error" 1 s.Serve.Engine.parse_errors;
+  Serve.Engine.stop e;
+  match Serve.Engine.submit e (line "d") with
+  | `Done resp ->
+    check_bool "submit after stop sheds" true
+      (contains resp "\"error\":\"overloaded\"")
+  | `Ticket _ -> Alcotest.fail "stopped engine must not queue"
+
+let test_engine_deadline () =
+  let e = make_engine ~workers:0 ~deadline_s:0.005 () in
+  let t =
+    match
+      Serve.Engine.submit e
+        "{\"schema\":\"htlc-serve/v1\",\"id\":\"late\",\"req\":\"success_rate\",\"p_star\":2}"
+    with
+    | `Ticket t -> t
+    | `Done _ -> Alcotest.fail "submit must queue"
+  in
+  Unix.sleepf 0.02;
+  check_bool "pump processes the stale job" true (Serve.Engine.pump e);
+  let resp = Serve.Engine.await t in
+  check_bool "stale job answered deadline_exceeded" true
+    (contains resp "\"error\":\"deadline_exceeded\"");
+  check_bool "id still echoed" true (contains resp "\"id\":\"late\"");
+  check_int "counted" 1 (Serve.Engine.stats e).Serve.Engine.deadline_exceeded;
+  Serve.Engine.stop e
+
+let test_determinism_guard () =
+  (* Two identically configured engines must produce byte-identical
+     response arrays at jobs=1 and jobs=4 — the serve layer inherits the
+     pool's determinism contract. *)
+  let lines =
+    Array.init 40 (fun i ->
+        match i mod 4 with
+        | 0 ->
+          Printf.sprintf
+            "{\"schema\":\"htlc-serve/v1\",\"id\":\"i%d\",\"req\":\"success_rate\",\"p_star\":%g}"
+            i (1.8 +. (0.01 *. float_of_int (i / 4)))
+        | 1 ->
+          Printf.sprintf
+            "{\"schema\":\"htlc-serve/v1\",\"id\":\"i%d\",\"req\":\"cutoffs\",\"p_star\":2}"
+            i
+        | 2 ->
+          Printf.sprintf
+            "{\"schema\":\"htlc-serve/v1\",\"id\":\"i%d\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":2}"
+            i
+        | _ -> Printf.sprintf "broken line %d" i)
+  in
+  let e1 = make_engine ~workers:0 () in
+  let e2 = make_engine ~workers:0 () in
+  let r1 = Serve.Engine.handle_batch ~jobs:1 e1 lines in
+  let r2 = Serve.Engine.handle_batch ~jobs:4 e2 lines in
+  check_bool "jobs=1 and jobs=4 responses are byte-identical" true (r1 = r2);
+  (* And a warm re-run (every answer cached) is still identical. *)
+  let r3 = Serve.Engine.handle_batch ~jobs:4 e1 lines in
+  check_bool "cached responses are byte-identical too" true (r1 = r3);
+  Serve.Engine.stop e1;
+  Serve.Engine.stop e2
+
+(* --- socket transport ---------------------------------------------------- *)
+
+let test_socket_roundtrip () =
+  let e = make_engine ~workers:2 () in
+  let path = Printf.sprintf "/tmp/htlc-serve-test-%d.sock" (Unix.getpid ()) in
+  let server = Serve.Server.listen e ~path () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  let lines =
+    [
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s1\",\"req\":\"success_rate\",\"p_star\":2}";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s2\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":2}";
+      "definitely not json";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s1\",\"req\":\"success_rate\",\"p_star\":2}";
+    ]
+  in
+  (* The reference: a worker-less engine with the same configuration,
+     answering the same lines directly. *)
+  let reference = make_engine ~workers:0 () in
+  List.iteri
+    (fun i line ->
+      check_str
+        (Printf.sprintf "socket response #%d is byte-identical to direct" i)
+        (Serve.Engine.handle reference line)
+        (ask line))
+    lines;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Serve.Server.shutdown server;
+  Serve.Server.shutdown server;
+  (* Idempotent. *)
+  check_bool "socket path unlinked on shutdown" false (Sys.file_exists path);
+  Serve.Engine.stop e;
+  Serve.Engine.stop reference
+
+(* --- quote table reasons -------------------------------------------------- *)
+
+let test_quote_table_reasons () =
+  let table = Market.Quote_table.build ~mus ~sigmas Swap.Params.defaults in
+  (match Market.Quote_table.lookup table ~mu:0. ~sigma:0.075 ~spot:2. with
+  | Ok q -> check_bool "in-grid quote positive" true (q.Market.Quote_table.p_star > 0.)
+  | Error _ -> Alcotest.fail "in-grid lookup must quote");
+  (match Market.Quote_table.lookup table ~mu:0.5 ~sigma:0.075 ~spot:2. with
+  | Error Market.Quote_table.Outside_grid -> ()
+  | _ -> Alcotest.fail "off-grid mu must report Outside_grid");
+  (match Market.Quote_table.lookup table ~mu:0. ~sigma:0.075 ~spot:0. with
+  | Error Market.Quote_table.Non_positive_spot -> ()
+  | _ -> Alcotest.fail "zero spot must report Non_positive_spot");
+  check_int "no infeasible nodes on this grid" 0
+    (Market.Quote_table.gaps table);
+  check_bool "grid size" true (Market.Quote_table.nodes table = (2, 2))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "golden encodings" `Quick test_codec_golden;
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "error taxonomy" `Quick test_codec_errors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss/incumbent" `Quick test_cache_hit_miss;
+          Alcotest.test_case "second chance" `Quick test_cache_second_chance;
+          Alcotest.test_case "capacity bound" `Quick test_cache_capacity_bound;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "handle + dispatch" `Quick test_engine_handle;
+          Alcotest.test_case "cache identity" `Quick test_engine_cache_identity;
+          Alcotest.test_case "shed + pump" `Quick test_engine_shed_and_pump;
+          Alcotest.test_case "deadline" `Quick test_engine_deadline;
+          Alcotest.test_case "jobs invariance" `Quick test_determinism_guard;
+        ] );
+      ( "transport",
+        [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ] );
+      ( "quote-table",
+        [ Alcotest.test_case "reasons + gaps" `Quick test_quote_table_reasons ] );
+    ]
