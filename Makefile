@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke lint lint-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -27,6 +27,17 @@ obs-smoke:
 # cache byte-identity of the repeated request) (also part of @ci).
 serve-smoke:
 	dune build @serve-smoke
+
+# Static analysis: parse the whole source tree and enforce the
+# determinism/domain-safety invariants (DESIGN.md §10); fails on any
+# unsuppressed error-severity finding (also part of @ci).
+lint:
+	dune build @lint
+
+# Lint plumbing check: swap_lint over the deliberately broken fixture
+# tree, htlc-lint/v1 document shape validated (also part of @ci).
+lint-smoke:
+	dune build @lint-smoke
 
 # Full recorded perf baseline: every kernel + the 20k-trial Monte-Carlo
 # wall clock at jobs=1 vs jobs=N, written to BENCH_mc.json.

@@ -1,0 +1,23 @@
+(* Deliberately broken module — the lint-smoke fixture.  Every
+   violation below must keep producing its finding: the @lint-smoke CI
+   check pins the htlc-lint/v1 document swap_lint emits for this tree
+   and that the run exits nonzero, proving an error-severity finding
+   still fails the build.  The file is parsed by the linter, never
+   compiled (no dune stanza claims it), and the repo-wide lint walk
+   skips any directory named lint_fixture. *)
+
+let seed () = Random.self_init ()
+let pick n = Random.int n
+let now () = Unix.gettimeofday ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let sum () = Hashtbl.fold (fun _ v acc -> acc + v) table 0
+let swallow f = try f () with _ -> 0
+let shout () = print_endline "done"
+
+(* An allowance that matches nothing: must surface as
+   unused_suppression. *)
+let stale = 1
+[@@lint.allow output "never matches anything; exercises unused_suppression"]
+
+(* A blank justification: must surface as bad_suppression. *)
+let unjustified = 2 [@@lint.allow shared_state "   "]

@@ -1,0 +1,23 @@
+(* The well-behaved counterpart in the lint-smoke fixture: toplevel
+   shared state guarded by a module-local Mutex (so shared_state stays
+   quiet) and an order-insensitive Hashtbl.fold carrying a justified
+   [@@lint.allow] (so the suppression round-trip shows up in the
+   document's "suppressed" counter). *)
+
+let lock = Mutex.create ()
+let hits : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let record name =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt hits name with
+  | Some n -> Hashtbl.replace hits name (n + 1)
+  | None -> Hashtbl.replace hits name 1);
+  Mutex.unlock lock
+
+let snapshot () =
+  Mutex.lock lock;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) hits [] in
+  Mutex.unlock lock;
+  List.sort compare rows
+[@@lint.allow hashtbl_order
+  "the fold runs under lock and the rows are sorted before they escape"]

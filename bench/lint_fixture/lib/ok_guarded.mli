@@ -1,0 +1,6 @@
+(* Interface for the well-behaved fixture module, so it satisfies the
+   interface-coverage rule (missing_mli) that its sibling deliberately
+   violates. *)
+
+val record : string -> unit
+val snapshot : unit -> (string * int) list

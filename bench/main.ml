@@ -306,18 +306,18 @@ let run_benchmarks ~quota tests =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> x
-        | _ -> nan
-      in
-      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
-      rows := (name, estimate, r2) :: !rows)
-    results;
-  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
+  Hashtbl.to_seq results |> List.of_seq
+  |> List.map (fun (name, ols_result) ->
+         let estimate =
+           match Analyze.OLS.estimates ols_result with
+           | Some (x :: _) -> x
+           | _ -> nan
+         in
+         let r2 =
+           Option.value ~default:nan (Analyze.OLS.r_square ols_result)
+         in
+         (name, estimate, r2))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let print_benchmarks rows =
   Printf.printf "%-38s %16s %8s\n" "benchmark" "time/run" "r^2";
@@ -342,9 +342,9 @@ let time_wall f =
   let best = ref infinity in
   let result = ref None in
   for _ = 1 to 3 do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Monotonic.now_ns () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Monotonic.elapsed_s ~since_ns:t0 in
     if dt < !best then best := dt;
     result := Some r
   done;

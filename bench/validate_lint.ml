@@ -1,0 +1,98 @@
+(* Shape validator for the htlc-lint/v1 document swap_lint emits over
+   the bench/lint_fixture tree.
+
+   Used by the @lint-smoke alias: beyond pinning the schema (field
+   names, types, severity/rule vocabularies, summary arithmetic), it
+   checks that every rule the fixture deliberately violates actually
+   fired — including the meta rules (a blank justification must surface
+   as bad_suppression, a stale allowance as unused_suppression) — and
+   that at least one finding is error-severity, which is what makes the
+   producing rule's pinned nonzero exit (and hence a red @ci on any
+   newly introduced error) meaningful. *)
+
+open Obs.Json_parse
+
+let known_severities = [ "error"; "warning" ]
+
+let known_rules =
+  [
+    "nondet_random"; "nondet_clock"; "hashtbl_order"; "shared_state";
+    "catch_all"; "output"; "missing_mli"; "syntax"; "bad_suppression";
+    "unused_suppression";
+  ]
+
+(* Every rule the fixture exercises, with the minimum count expected. *)
+let expected =
+  [
+    ("nondet_random", 2); ("nondet_clock", 1); ("hashtbl_order", 1);
+    ("shared_state", 1); ("catch_all", 1); ("output", 1); ("missing_mli", 1);
+    ("bad_suppression", 1); ("unused_suppression", 1);
+  ]
+
+let validate_finding i f =
+  let path key = Printf.sprintf "findings[%d].%s" i key in
+  let str key = as_str (path key) (member (path key) f key) in
+  let num key = as_num (path key) (member (path key) f key) in
+  if str "file" = "" then bad "%s is empty" (path "file");
+  if num "line" < 1. then bad "%s must be >= 1" (path "line");
+  if num "col" < 0. then bad "%s must be >= 0" (path "col");
+  let rule = str "rule" in
+  if not (List.mem rule known_rules) then
+    bad "%s: unknown rule %S" (path "rule") rule;
+  let severity = str "severity" in
+  if not (List.mem severity known_severities) then
+    bad "%s: unknown severity %S" (path "severity") severity;
+  if str "message" = "" then bad "%s is empty" (path "message");
+  (rule, severity)
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ ->
+      prerr_endline "usage: validate_lint LINT_JSON";
+      exit 2
+  in
+  let root = parse (In_channel.with_open_text file In_channel.input_all) in
+  let schema = as_str "schema" (member "top level" root "schema") in
+  if schema <> "htlc-lint/v1" then bad "unknown schema %S" schema;
+  let doc_type = as_str "type" (member "top level" root "type") in
+  if doc_type <> "lint" then bad "type must be \"lint\" (got %S)" doc_type;
+  if as_num "files_scanned" (member "top level" root "files_scanned") < 3. then
+    bad "files_scanned: the fixture tree has at least 3 files";
+  if as_num "wall_s" (member "top level" root "wall_s") < 0. then
+    bad "wall_s must be nonnegative";
+  let findings = as_arr "findings" (member "top level" root "findings") in
+  let tallies = List.mapi validate_finding findings in
+  let count pred = List.length (List.filter pred tallies) in
+  let summary = member "top level" root "summary" in
+  let s key = as_num ("summary." ^ key) (member "summary" summary key) in
+  if s "errors" <> float_of_int (count (fun (_, sev) -> sev = "error")) then
+    bad "summary.errors disagrees with the findings array";
+  if s "warnings" <> float_of_int (count (fun (_, sev) -> sev = "warning"))
+  then bad "summary.warnings disagrees with the findings array";
+  if s "errors" < 1. then
+    bad "the fixture must produce at least one error-severity finding";
+  if s "suppressed" < 1. then
+    bad "summary.suppressed: the justified [@@lint.allow] round-trip is gone";
+  let by_rule = as_obj "summary.by_rule" (member "summary" summary "by_rule") in
+  List.iter
+    (fun (rule, n) ->
+      match List.assoc_opt rule by_rule with
+      | Some (Num v) when v <> float_of_int n ->
+        bad "summary.by_rule[%S] (%g) disagrees with the findings array (%d)"
+          rule v n
+      | Some (Num _) -> ()
+      | Some _ -> bad "summary.by_rule[%S]: expected a number" rule
+      | None -> bad "summary.by_rule: missing %S" rule)
+    (List.sort_uniq compare
+       (List.map (fun (rule, _) -> (rule, count (fun (r, _) -> r = rule))) tallies));
+  List.iter
+    (fun (rule, at_least) ->
+      let n = count (fun (r, _) -> r = rule) in
+      if n < at_least then
+        bad "fixture rule %S: expected >= %d finding(s), got %d" rule at_least
+          n)
+    expected;
+  Printf.printf "lint json ok (%d findings, %g suppressed)\n"
+    (List.length findings) (s "suppressed")

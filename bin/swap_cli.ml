@@ -793,6 +793,54 @@ let obs_cmd =
       const run $ params_term $ p_star_term $ trials $ jobs_term
       $ metrics_out $ trace_out_term)
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ROOT"
+          ~doc:
+            "Directories to scan (default: lib bin bench test examples, \
+             resolved from the current directory — run from the \
+             repository root).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the $(b,htlc-lint/v1) JSON document (one line) instead \
+             of the text report.")
+  in
+  let run roots json metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
+    let roots =
+      match roots with
+      | [] -> [ "lib"; "bin"; "bench"; "test"; "examples" ]
+      | roots -> roots
+    in
+    (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+    | [] -> ()
+    | missing ->
+      Printf.eprintf "swap_cli: lint: no such root: %s\n"
+        (String.concat ", " missing);
+      exit 2);
+    let result = Lint.Driver.run ~roots () in
+    if json then print_endline (Lint.Driver.render_json result)
+    else print_string (Lint.Driver.render_text result);
+    if Lint.Driver.exit_code result <> 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the source tree against the repo's determinism \
+          and domain-safety invariants (htlc-lint): nondeterminism \
+          sources, unguarded shared state in Pool-reachable libraries, \
+          exception and output hygiene, interface coverage.  Exits \
+          nonzero on any error-severity finding.")
+    Term.(const run $ roots $ json_flag $ metrics_term $ trace_out_term)
+
 let main_cmd =
   let doc = "Game-theoretic analysis of cross-chain atomic swaps with HTLCs" in
   Cmd.group
@@ -800,6 +848,7 @@ let main_cmd =
     [
       cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
       ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; experiment_cmd; obs_cmd;
+      lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

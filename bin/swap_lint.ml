@@ -1,0 +1,52 @@
+(* htlc-lint: self-hosted static analysis for the repo's determinism
+   and domain-safety invariants.
+
+     swap_lint [--json FILE|-] [--metrics] [root ...]
+
+   Scans the given roots (default: lib bin bench test examples) and
+   exits nonzero when any error-severity finding survives suppression —
+   the @lint alias runs exactly this over the source tree on every
+   `dune build @ci`. *)
+
+let usage = "swap_lint [--json FILE|-] [--metrics] [root ...]"
+
+let () =
+  let json_out = ref None in
+  let metrics = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--json",
+        Arg.String (fun s -> json_out := Some s),
+        "FILE  write the htlc-lint/v1 JSON document to FILE ('-' for \
+         stdout) instead of the text report" );
+      ( "--metrics",
+        Arg.Set metrics,
+        " print an htlc-obs/v1 metrics snapshot (lint.* counters) to \
+         stderr when done" );
+    ]
+  in
+  Arg.parse spec (fun root -> roots := root :: !roots) usage;
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test"; "examples" ]
+    | roots -> roots
+  in
+  (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+  | [] -> ()
+  | missing ->
+    Printf.eprintf "swap_lint: no such root: %s\n"
+      (String.concat ", " missing);
+    exit 2);
+  let result = Lint.Driver.run ~roots () in
+  (match !json_out with
+  | None -> print_string (Lint.Driver.render_text result)
+  | Some "-" -> print_endline (Lint.Driver.render_json result)
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Lint.Driver.render_json result);
+        output_char oc '\n');
+    Printf.eprintf "wrote %s\n" file);
+  if !metrics then
+    prerr_endline (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+  exit (Lint.Driver.exit_code result)

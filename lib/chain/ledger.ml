@@ -23,5 +23,11 @@ let transfer t ~from_ ~to_ ~amount =
   set t from_ (have -. amount);
   set t to_ (balance t to_ +. amount)
 
-let total_supply t = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.
-let accounts t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+(* Both walks visit accounts in sorted order, not hash order: [accounts]
+   is a public listing, and float addition is not associative, so even
+   [total_supply] would otherwise depend on the table's insertion
+   history. *)
+let accounts t = Hashtbl.to_seq_keys t |> List.of_seq |> List.sort compare
+
+let total_supply t =
+  List.fold_left (fun acc a -> acc +. balance t a) 0. (accounts t)

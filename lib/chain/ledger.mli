@@ -22,4 +22,8 @@ val transfer : t -> from_:account -> to_:account -> amount:float -> unit
     @raise Invalid_argument on negative amounts. *)
 
 val total_supply : t -> float
+(** Summed over accounts in sorted order, so the float total is
+    reproducible regardless of the table's insertion history. *)
+
 val accounts : t -> account list
+(** Sorted ascending. *)

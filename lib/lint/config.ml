@@ -1,0 +1,82 @@
+(* Rule scoping: which paths each invariant applies to.  Matching is
+   purely textual on normalized relative paths ("lib/obs/metrics.ml"),
+   so the checker needs no knowledge of the dune build graph — the
+   directory layout *is* the contract (lib/ holds the libraries the
+   Pool workers and the serve engine reach; bin/bench/test/examples own
+   their stdout and may time themselves). *)
+
+type t = {
+  random_allowed : string list;
+      (* Path suffixes where Random.* is the RNG implementation itself. *)
+  clock_allowed : string list;
+      (* Path suffixes where wall-clock reads are the clock implementation. *)
+  deterministic_prefixes : string list;
+      (* Hashtbl.iter/fold is an error here (bit-identical MC/serve paths);
+         a warning elsewhere. *)
+  pool_prefixes : string list;
+      (* Unguarded toplevel mutable state and catch-all handlers are
+         errors here (code reachable from Numerics.Pool workers). *)
+  output_prefixes : string list;
+      (* print_*/Printf.printf/prerr_* are errors here: stdout belongs to
+         the serve codec and the renderers, diagnostics to Obs.Sink. *)
+  mli_prefixes : string list; (* Every .ml here must ship a .mli ... *)
+  mli_exempt : string list; (* ... except under these prefixes. *)
+  skip_dirs : string list;
+      (* Directory basenames the file walk never descends into. *)
+}
+
+let default =
+  {
+    random_allowed = [ "lib/numerics/rng.ml" ];
+    clock_allowed = [ "lib/obs/monotonic.ml" ];
+    deterministic_prefixes = [ "lib/" ];
+    pool_prefixes = [ "lib/" ];
+    output_prefixes = [ "lib/" ];
+    mli_prefixes = [ "lib/" ];
+    mli_exempt = [ "lib/experiments/" ];
+    skip_dirs = [ "_build"; ".git"; "_opam"; "lint_fixture" ];
+  }
+
+(* Strip "./" and "../" runs so prefixes keep matching when the tool is
+   pointed at "../lib" (tests run from the build sandbox).  A
+   "lint_fixture/" component and everything before it is stripped too:
+   fixture trees mirror the repo layout underneath that marker so the
+   lib/-scoped rules fire on them, while the repo-wide walk never
+   descends into one (it is in [skip_dirs]). *)
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else if String.length p >= 3 && String.sub p 0 3 = "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  let p = strip path in
+  let marker = "lint_fixture/" in
+  let mlen = String.length marker in
+  let rec find_last from acc =
+    if from + mlen > String.length p then acc
+    else if String.sub p from mlen = marker then find_last (from + 1) (Some from)
+    else find_last (from + 1) acc
+  in
+  match find_last 0 None with
+  | Some i -> String.sub p (i + mlen) (String.length p - i - mlen)
+  | None -> p
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+let in_any prefixes path =
+  let path = normalize path in
+  List.exists (fun prefix -> starts_with ~prefix path) prefixes
+
+let allowed_file suffixes path =
+  let path = normalize path in
+  List.exists (fun suffix -> ends_with ~suffix path || path = suffix) suffixes

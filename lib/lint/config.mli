@@ -1,0 +1,40 @@
+(** Rule scoping: which paths each invariant applies to.  Matching is
+    textual on normalized relative paths, so the directory layout is the
+    contract — no knowledge of the dune build graph required. *)
+
+type t = {
+  random_allowed : string list;
+      (** Path suffixes where [Random.*] is the RNG implementation
+          itself (default: [lib/numerics/rng.ml]). *)
+  clock_allowed : string list;
+      (** Path suffixes where wall-clock reads are the clock
+          implementation (default: [lib/obs/monotonic.ml]). *)
+  deterministic_prefixes : string list;
+      (** [Hashtbl.iter]/[fold] is an error here (bit-identical MC and
+          serve paths); a warning elsewhere. *)
+  pool_prefixes : string list;
+      (** Unguarded toplevel mutable state and catch-all exception
+          handlers are errors here (code reachable from
+          [Numerics.Pool] workers). *)
+  output_prefixes : string list;
+      (** [print_*]/[Printf.printf]/[prerr_*] are errors here. *)
+  mli_prefixes : string list;  (** Every [.ml] here must ship a [.mli]. *)
+  mli_exempt : string list;  (** ... except under these prefixes. *)
+  skip_dirs : string list;
+      (** Directory basenames the file walk never descends into. *)
+}
+
+val default : t
+(** The scoping derived from this repository's layout. *)
+
+val normalize : string -> string
+(** Forward slashes; leading ["./"] and ["../"] runs stripped; anything
+    up to and including a ["lint_fixture/"] component stripped, so
+    fixture trees that mirror the repo layout exercise the lib/-scoped
+    rules. *)
+
+val in_any : string list -> string -> bool
+(** Does the normalized path start with any of the prefixes? *)
+
+val allowed_file : string list -> string -> bool
+(** Does the normalized path end with (or equal) any of the suffixes? *)

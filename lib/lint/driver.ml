@@ -1,0 +1,180 @@
+(* The whole-tree pass: walk the requested roots, run {!Rules.check} on
+   every .ml, add the interface-coverage rule (R5, which needs the file
+   set rather than an AST), and render the result as a human report or
+   as an htlc-lint/v1 JSON document.  Summary counters go through
+   Obs.Metrics so `swap_cli lint --metrics` composes with the rest of
+   the observability layer. *)
+
+let m_files = Obs.Metrics.counter "lint.files_scanned"
+let m_errors = Obs.Metrics.counter "lint.errors"
+let m_warnings = Obs.Metrics.counter "lint.warnings"
+let m_suppressed = Obs.Metrics.counter "lint.suppressed"
+let m_wall = Obs.Metrics.gauge "lint.wall_s"
+
+type result = {
+  findings : Finding.t list;
+  files_scanned : int;
+  suppressed : int;
+  wall_s : float;
+}
+
+(* --- file discovery ------------------------------------------------------ *)
+
+let rec walk ~(config : Config.t) acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry config.skip_dirs then acc
+           else walk ~config acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let list_files ~config roots =
+  List.sort compare (List.fold_left (walk ~config) [] roots)
+
+(* --- R5: interface coverage ---------------------------------------------- *)
+
+let missing_mli ~(config : Config.t) files =
+  let have_mli =
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f ".mli" then Some (Config.normalize f)
+        else None)
+      files
+  in
+  List.filter_map
+    (fun f ->
+      if not (Filename.check_suffix f ".ml") then None
+      else
+        let n = Config.normalize f in
+        if
+          Config.in_any config.mli_prefixes n
+          && (not (Config.in_any config.mli_exempt n))
+          && not (List.mem (n ^ "i") have_mli)
+        then
+          Some
+            {
+              Finding.file = n;
+              line = 1;
+              col = 0;
+              rule = "missing_mli";
+              severity = Finding.Error;
+              message =
+                "library module without an interface: every lib/ module \
+                 ships a .mli so its public surface (and what stays \
+                 private) is reviewed, not accidental";
+            }
+        else None)
+    files
+
+(* --- summaries ----------------------------------------------------------- *)
+
+let count severity findings =
+  List.length
+    (List.filter (fun (f : Finding.t) -> f.severity = severity) findings)
+
+let errors r = count Finding.Error r.findings
+let warnings r = count Finding.Warning r.findings
+let exit_code r = if errors r > 0 then 1 else 0
+
+let by_rule findings =
+  List.sort compare
+    (List.fold_left
+       (fun acc (f : Finding.t) ->
+         match List.assoc_opt f.rule acc with
+         | Some n -> (f.rule, n + 1) :: List.remove_assoc f.rule acc
+         | None -> (f.rule, 1) :: acc)
+       [] findings)
+
+(* --- the run ------------------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let run ?(config = Config.default) ~roots () =
+  let t0 = Obs.Monotonic.now_ns () in
+  let files = list_files ~config roots in
+  let suppressed = ref 0 in
+  let findings =
+    List.concat_map
+      (fun path ->
+        if Filename.check_suffix path ".ml" then (
+          let fs, n = Rules.check ~config ~path ~source:(read_file path) in
+          suppressed := !suppressed + n;
+          fs)
+        else [])
+      files
+  in
+  let findings =
+    List.sort Finding.compare_finding (findings @ missing_mli ~config files)
+  in
+  let result =
+    {
+      findings;
+      files_scanned = List.length files;
+      suppressed = !suppressed;
+      wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0;
+    }
+  in
+  Obs.Metrics.add m_files result.files_scanned;
+  Obs.Metrics.add m_errors (errors result);
+  Obs.Metrics.add m_warnings (warnings result);
+  Obs.Metrics.add m_suppressed result.suppressed;
+  Obs.Metrics.set_gauge m_wall result.wall_s;
+  List.iter
+    (fun (rule, n) -> Obs.Metrics.add (Obs.Metrics.counter ("lint.findings." ^ rule)) n)
+    (by_rule result.findings);
+  result
+
+let check_source ?(config = Config.default) ~path source =
+  Rules.check ~config ~path ~source
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let render_text r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_line f);
+      Buffer.add_char b '\n')
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf
+       "lint: %d files scanned, %d errors, %d warnings, %d suppressed\n"
+       r.files_scanned (errors r) (warnings r) r.suppressed);
+  List.iter
+    (fun (rule, n) ->
+      Buffer.add_string b (Printf.sprintf "  %-20s %d\n" rule n))
+    (by_rule r.findings);
+  Buffer.contents b
+
+let render_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%s,\"type\":\"lint\",\"files_scanned\":%s"
+       (Obs.Json.str Finding.schema)
+       (Obs.Json.int r.files_scanned));
+  Buffer.add_string b
+    (Printf.sprintf ",\"wall_s\":%s,\"summary\":{\"errors\":%s"
+       (Obs.Json.num r.wall_s)
+       (Obs.Json.int (errors r)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"warnings\":%s,\"suppressed\":%s,\"by_rule\":{"
+       (Obs.Json.int (warnings r))
+       (Obs.Json.int r.suppressed));
+  List.iteri
+    (fun i (rule, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "%s:%s" (Obs.Json.str rule) (Obs.Json.int n)))
+    (by_rule r.findings);
+  Buffer.add_string b "}},\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Finding.to_json f))
+    r.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,36 @@
+(** The whole-tree lint pass: file discovery, per-file rules
+    ({!Rules.check}), interface coverage (R5), and the text /
+    [htlc-lint/v1] JSON renderings.  Summary counters ([lint.*]) are
+    recorded through [Obs.Metrics]. *)
+
+type result = {
+  findings : Finding.t list;  (** Sorted by file, line, column, rule. *)
+  files_scanned : int;  (** [.ml] and [.mli] files visited. *)
+  suppressed : int;  (** Findings removed by [\[@lint.allow\]]. *)
+  wall_s : float;
+}
+
+val run : ?config:Config.t -> roots:string list -> unit -> result
+(** Walk [roots] (skipping [config.skip_dirs] by basename), check every
+    [.ml], and require interfaces where the config demands them. *)
+
+val check_source :
+  ?config:Config.t -> path:string -> string -> Finding.t list * int
+(** Check one in-memory source (tests; no file I/O).  R5 does not apply
+    here — it needs the file set. *)
+
+val errors : result -> int
+val warnings : result -> int
+
+val exit_code : result -> int
+(** [1] when any error-severity finding survived, [0] otherwise. *)
+
+val render_text : result -> string
+(** One [file:line:col: \[severity\] rule: message] line per finding,
+    then a summary with per-rule counts. *)
+
+val render_json : result -> string
+(** The [htlc-lint/v1] document (one line, fixed field order):
+    [{"schema":"htlc-lint/v1","type":"lint","files_scanned":..,
+      "wall_s":..,"summary":{"errors":..,"warnings":..,"suppressed":..,
+      "by_rule":{..}},"findings":[..]}]. *)

@@ -1,0 +1,55 @@
+(* A single lint finding: where, which rule, how bad, and why.  The
+   rule ids here are the vocabulary shared by the rule implementations,
+   the [@lint.allow] suppression payloads, the text report, and the
+   htlc-lint/v1 JSON document (pinned by bench/validate_lint.ml). *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let schema = "htlc-lint/v1"
+
+(* Rules a [@lint.allow] annotation may name.  The meta rules
+   (bad_suppression, unused_suppression, and syntax failures) are not
+   suppressible: an annotation that is itself broken cannot vouch for
+   itself. *)
+let suppressible_rules =
+  [
+    "nondet_random"; "nondet_clock"; "hashtbl_order"; "shared_state";
+    "catch_all"; "output"; "missing_mli";
+  ]
+
+let all_rules =
+  suppressible_rules @ [ "syntax"; "bad_suppression"; "unused_suppression" ]
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare_finding a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.rule b.rule
+
+let to_line f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":%s,\"line\":%s,\"col\":%s,\"rule\":%s,\"severity\":%s,\"message\":%s}"
+    (Obs.Json.str f.file) (Obs.Json.int f.line) (Obs.Json.int f.col)
+    (Obs.Json.str f.rule)
+    (Obs.Json.str (severity_to_string f.severity))
+    (Obs.Json.str f.message)

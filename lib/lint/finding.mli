@@ -1,0 +1,37 @@
+(** A single lint finding and the rule-id vocabulary shared by the rule
+    implementations, the [\[@lint.allow\]] suppression payloads, and the
+    [htlc-lint/v1] exports. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, matching compiler diagnostics. *)
+  rule : string;  (** Stable rule id, e.g. ["nondet_random"]. *)
+  severity : severity;
+  message : string;
+}
+
+val schema : string
+(** ["htlc-lint/v1"] — stamped into every exported document. *)
+
+val suppressible_rules : string list
+(** Rule ids a [\[@lint.allow\]] annotation may name. *)
+
+val all_rules : string list
+(** Every rule id the tool can emit (suppressible rules plus the meta
+    rules [syntax], [bad_suppression], [unused_suppression]). *)
+
+val severity_to_string : severity -> string
+
+val compare_finding : t -> t -> int
+(** Order by file, then line, then column, then rule. *)
+
+val to_line : t -> string
+(** One human-readable report line:
+    [file:line:col: \[severity\] rule: message]. *)
+
+val to_json : t -> string
+(** One JSON object (no newline) with fixed field order
+    [file,line,col,rule,severity,message]. *)

@@ -1,0 +1,15 @@
+(** The per-file rule pass: parse one [.ml] source with the compiler's
+    own frontend and run the expression- and structure-level rules
+    (nondeterminism sources, toplevel shared state, catch-all handlers,
+    output discipline), honouring [\[@lint.allow rule "justification"\]]
+    suppressions.  Interface coverage (R5) lives in {!Driver}, which
+    owns the file set. *)
+
+val check :
+  config:Config.t -> path:string -> source:string -> Finding.t list * int
+(** [check ~config ~path ~source] parses [source] (reported as [path],
+    normalized) and returns the surviving findings sorted by location,
+    plus the number of findings removed by suppressions.  A file that
+    fails to parse yields a single [syntax] error finding.  Malformed or
+    unmatched suppressions surface as [bad_suppression] errors and
+    [unused_suppression] warnings. *)

@@ -104,7 +104,13 @@ let parse (s : string) : json =
       else
         let rec members acc =
           skip_ws ();
+          let key_off = !pos in
           let key = parse_string () in
+          (* Strict decoding: a repeated key would silently let the last
+             duplicate win downstream (List.assoc_opt finds the first,
+             other consumers the last) — reject it at the door. *)
+          if List.mem_assoc key acc then
+            bad "duplicate key %S at offset %d" key key_off;
           skip_ws ();
           expect ':';
           let v = parse_value () in

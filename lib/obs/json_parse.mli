@@ -22,7 +22,9 @@ val bad : ('a, unit, string, 'b) format4 -> 'a
     layering their own checks on top of the accessors. *)
 
 val parse : string -> json
-(** Parse a complete document; trailing garbage is an error.
+(** Parse a complete document; trailing garbage is an error, and so is
+    a duplicate key within one object (strict decoding: no silent
+    last-duplicate-wins).
     @raise Bad on malformed input. *)
 
 (** {1 Path-labelled accessors}

@@ -18,7 +18,7 @@ let p = Swap.Params.defaults
 
 let iters =
   match Sys.getenv_opt "CHAOS_ITERS" with
-  | Some s -> (try max 1 (int_of_string s) with _ -> 500)
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 500)
   | None -> 500
 
 (* One uniform draw stream per scenario, derived from the scenario

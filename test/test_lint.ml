@@ -1,0 +1,278 @@
+(* The htlc-lint rule set, driven against inline fixture sources
+   (string-parsed — no tempfile I/O): each rule's positive and negative
+   cases, the scoping that turns rules on/off by path, the suppression
+   annotation round-trip (including the mandatory justification), the
+   golden htlc-lint/v1 rendering, and a clean-repo integration check
+   over the real lib/ tree. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+(* Findings for [src] attributed to [path]; default path puts the
+   fixture on the strictest (lib/) scope. *)
+let lint ?(path = "lib/swap/fixture.ml") src =
+  fst (Lint.Driver.check_source ~path src)
+
+let suppressed ?(path = "lib/swap/fixture.ml") src =
+  snd (Lint.Driver.check_source ~path src)
+
+let rules fs = List.map (fun (f : Lint.Finding.t) -> f.rule) fs
+
+let severity_of rule fs =
+  match
+    List.find_opt (fun (f : Lint.Finding.t) -> f.rule = rule) fs
+  with
+  | Some f -> Lint.Finding.severity_to_string f.severity
+  | None -> Alcotest.failf "no %s finding" rule
+
+(* --- R1: nondeterminism sources ------------------------------------------ *)
+
+let test_nondet_random () =
+  let fs = lint "let f () = Random.self_init ()\nlet g n = Random.int n\n" in
+  check_int "both Random uses flagged" 2 (List.length fs);
+  check_bool "rule id" true
+    (List.for_all (fun r -> r = "nondet_random") (rules fs));
+  check_str "error severity" "error" (severity_of "nondet_random" fs);
+  (* Stdlib-qualified spelling is the same rule. *)
+  check_int "Stdlib.Random counts too" 1
+    (List.length (lint "let g n = Stdlib.Random.int n\n"));
+  (* The RNG implementation itself is the one allowed home. *)
+  check_int "allowed inside Numerics.Rng" 0
+    (List.length
+       (lint ~path:"lib/numerics/rng.ml" "let g n = Random.int n\n"))
+
+let test_nondet_clock () =
+  let fs =
+    lint
+      "let a () = Unix.gettimeofday ()\n\
+       let b () = Unix.time ()\n\
+       let c () = Sys.time ()\n"
+  in
+  check_int "all three clock reads flagged" 3 (List.length fs);
+  check_bool "rule id" true
+    (List.for_all (fun r -> r = "nondet_clock") (rules fs));
+  check_int "allowed inside Obs.Monotonic" 0
+    (List.length
+       (lint ~path:"lib/obs/monotonic.ml" "let a () = Unix.gettimeofday ()\n"))
+
+let test_hashtbl_order () =
+  let src = "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n" in
+  check_str "error on the deterministic (lib/) paths" "error"
+    (severity_of "hashtbl_order" (lint src));
+  check_str "warning elsewhere" "warning"
+    (severity_of "hashtbl_order" (lint ~path:"bench/helper.ml" src));
+  check_int "Hashtbl.find_opt is not order-sensitive" 0
+    (List.length (lint "let f t k = Hashtbl.find_opt t k\n"))
+
+(* --- R2: domain-safety of shared state ----------------------------------- *)
+
+let test_shared_state () =
+  let unguarded = "let cache : (string, int) Hashtbl.t = Hashtbl.create 8\n" in
+  check_str "unguarded toplevel Hashtbl is an error" "error"
+    (severity_of "shared_state" (lint unguarded));
+  check_str "unguarded toplevel ref too" "error"
+    (severity_of "shared_state" (lint "let hits = ref 0\n"));
+  (* A Mutex (or Atomic) anywhere in the module is the guard convention. *)
+  check_int "mutex in the module counts as guarded" 0
+    (List.length
+       (lint
+          "let lock = Mutex.create ()\n\
+           let cache : (string, int) Hashtbl.t = Hashtbl.create 8\n\
+           let get k = Mutex.lock lock; let r = Hashtbl.find_opt cache k in\n\
+           \  Mutex.unlock lock; r\n"));
+  check_int "atomics are their own guard" 0
+    (List.length (lint "let count = Atomic.make 0\n"));
+  (* Allocation under a function happens per call — not shared. *)
+  check_int "per-call state is fine" 0
+    (List.length (lint "let f () = let acc = ref 0 in incr acc; !acc\n"));
+  (* Outside the Pool-reachable prefixes the rule is off. *)
+  check_int "scoped to lib/" 0
+    (List.length (lint ~path:"bench/helper.ml" unguarded))
+
+(* --- R3 / R4: exception and output hygiene ------------------------------- *)
+
+let test_catch_all () =
+  let src = "let f g = try g () with _ -> 0\n" in
+  check_str "catch-all in lib/ is an error" "error"
+    (severity_of "catch_all" (lint src));
+  check_str "a warning outside" "warning"
+    (severity_of "catch_all" (lint ~path:"examples/demo.ml" src));
+  check_int "named exceptions are fine" 0
+    (List.length (lint "let f g = try g () with Not_found -> 0\n"))
+
+let test_output () =
+  let fs =
+    lint "let f () = print_endline \"x\"\nlet g () = Printf.printf \"y\"\n"
+  in
+  check_int "both prints flagged" 2 (List.length fs);
+  check_str "error severity" "error" (severity_of "output" fs);
+  check_int "binaries own their stdout" 0
+    (List.length
+       (lint ~path:"bin/tool.ml" "let f () = print_endline \"x\"\n"));
+  check_int "sprintf builds strings, no finding" 0
+    (List.length (lint "let f x = Printf.sprintf \"%d\" x\n"))
+
+(* --- suppressions --------------------------------------------------------- *)
+
+let test_suppression_roundtrip () =
+  (* Binding-level [@@lint.allow] with a justification: finding gone,
+     counted as suppressed, nothing else emitted. *)
+  let src =
+    "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n\
+     [@@lint.allow hashtbl_order \"result sorted by the caller\"]\n"
+  in
+  check_int "suppressed finding is dropped" 0 (List.length (lint src));
+  check_int "and counted" 1 (suppressed src);
+  (* Module-level [@@@lint.allow] covers the whole file. *)
+  let src =
+    "[@@@lint.allow hashtbl_order \"order-insensitive module\"]\n\
+     let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n\
+     let g t = Hashtbl.iter (fun _ _ -> ()) t\n"
+  in
+  check_int "module-level allowance covers both" 0 (List.length (lint src));
+  check_int "both counted" 2 (suppressed src);
+  (* Expression-level [@lint.allow] covers just that expression. *)
+  let src =
+    "let f t u =\n\
+     \  let a = (Hashtbl.fold (fun k _ acc -> k :: acc) t [] [@lint.allow \
+     hashtbl_order \"sorted next line\"]) in\n\
+     \  let b = Hashtbl.fold (fun k _ acc -> k :: acc) u [] in\n\
+     \  (List.sort compare a, b)\n"
+  in
+  let fs = lint src in
+  check_int "only the annotated expression is excused" 1 (List.length fs);
+  check_str "the other one still fires" "hashtbl_order" (List.hd fs).rule
+
+let test_suppression_hygiene () =
+  (* No justification string -> the annotation itself is an error and
+     the finding it would have covered still fires. *)
+  let fs =
+    lint
+      "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n\
+       [@@lint.allow hashtbl_order]\n"
+  in
+  check_bool "bad_suppression emitted" true
+    (List.mem "bad_suppression" (rules fs));
+  check_bool "original finding survives" true
+    (List.mem "hashtbl_order" (rules fs));
+  (* Unknown rule names are rejected, not silently inert. *)
+  check_bool "unknown rule is a bad_suppression" true
+    (List.mem "bad_suppression"
+       (rules (lint "let x = 1 [@@lint.allow frobnicate \"whatever\"]\n")));
+  (* Blank justification is no justification. *)
+  check_bool "blank justification rejected" true
+    (List.mem "bad_suppression"
+       (rules (lint "let x = 1 [@@lint.allow output \"  \"]\n")));
+  (* An allowance that matches nothing must rot visibly. *)
+  let fs = lint "let x = 1 [@@lint.allow output \"nothing to allow\"]\n" in
+  check_bool "unused_suppression emitted" true
+    (List.mem "unused_suppression" (rules fs));
+  check_str "as a warning" "warning" (severity_of "unused_suppression" fs)
+
+(* --- parse failures ------------------------------------------------------- *)
+
+let test_syntax_error () =
+  let fs = lint "let f = (\n" in
+  check_int "one finding" 1 (List.length fs);
+  check_str "syntax rule" "syntax" (List.hd fs).rule;
+  check_str "error severity" "error" (severity_of "syntax" fs)
+
+(* --- golden htlc-lint/v1 rendering ---------------------------------------- *)
+
+let test_json_golden () =
+  let result =
+    {
+      Lint.Driver.findings =
+        [
+          {
+            Lint.Finding.file = "lib/a.ml";
+            line = 3;
+            col = 4;
+            rule = "output";
+            severity = Lint.Finding.Error;
+            message = "say \"no\"";
+          };
+          {
+            Lint.Finding.file = "lib/b.ml";
+            line = 9;
+            col = 0;
+            rule = "unused_suppression";
+            severity = Lint.Finding.Warning;
+            message = "stale";
+          };
+        ];
+      files_scanned = 5;
+      suppressed = 1;
+      wall_s = 0.25;
+    }
+  in
+  check_str "golden document"
+    ("{\"schema\":\"htlc-lint/v1\",\"type\":\"lint\",\"files_scanned\":5,"
+   ^ "\"wall_s\":0.25,\"summary\":{\"errors\":1,\"warnings\":1,"
+   ^ "\"suppressed\":1,\"by_rule\":{\"output\":1,\"unused_suppression\":1}},"
+   ^ "\"findings\":[{\"file\":\"lib/a.ml\",\"line\":3,\"col\":4,"
+   ^ "\"rule\":\"output\",\"severity\":\"error\",\"message\":\"say \\\"no\\\"\"},"
+   ^ "{\"file\":\"lib/b.ml\",\"line\":9,\"col\":0,"
+   ^ "\"rule\":\"unused_suppression\",\"severity\":\"warning\","
+   ^ "\"message\":\"stale\"}]}")
+    (Lint.Driver.render_json result);
+  check_int "exit code gates on errors only" 1
+    (Lint.Driver.exit_code result);
+  (* The emitted document must satisfy the strict parser it will be
+     validated with (round trip through Obs.Json_parse). *)
+  match Obs.Json_parse.parse (Lint.Driver.render_json result) with
+  | _ -> ()
+  | exception Obs.Json_parse.Bad msg ->
+    Alcotest.failf "render_json does not re-parse: %s" msg
+
+(* --- clean-repo integration ----------------------------------------------- *)
+
+let test_repo_lints_clean () =
+  (* The real gate is the @lint alias over the whole tree; this pins the
+     library half from inside the test sandbox: zero unsuppressed
+     findings, and the two justified metrics-registry suppressions
+     accounted for. *)
+  (* Under [dune runtest] the cwd is [_build/default/test] and the
+     (source_tree ../lib) dep puts the sources one level up; a direct
+     [dune exec] from the repo root sees [lib] instead. *)
+  let root = if Sys.file_exists "../lib" then "../lib" else "lib" in
+  let result = Lint.Driver.run ~roots:[ root ] () in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Printf.eprintf "unexpected: %s\n" (Lint.Finding.to_line f))
+    result.Lint.Driver.findings;
+  check_int "no unsuppressed findings in lib/" 0
+    (List.length result.Lint.Driver.findings);
+  check_bool "a real tree was scanned" true
+    (result.Lint.Driver.files_scanned > 100);
+  check_int "exactly the two justified suppressions" 2
+    result.Lint.Driver.suppressed
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "nondet_random" `Quick test_nondet_random;
+          Alcotest.test_case "nondet_clock" `Quick test_nondet_clock;
+          Alcotest.test_case "hashtbl_order" `Quick test_hashtbl_order;
+          Alcotest.test_case "shared_state" `Quick test_shared_state;
+          Alcotest.test_case "catch_all" `Quick test_catch_all;
+          Alcotest.test_case "output" `Quick test_output;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_error;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "round-trip" `Quick test_suppression_roundtrip;
+          Alcotest.test_case "hygiene" `Quick test_suppression_hygiene;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "htlc-lint/v1 golden" `Quick test_json_golden ] );
+      ( "integration",
+        [
+          Alcotest.test_case "repo lib/ lints clean" `Quick
+            test_repo_lints_clean;
+        ] );
+    ]

@@ -188,6 +188,28 @@ let test_sink_event_json () =
     "{\"schema\":\"htlc-obs/v1\",\"type\":\"event\",\"ts\":1.5,\"kind\":\"step\",\"fields\":{\"msg\":\"hello \\\"world\\\"\",\"n\":3,\"x\":0.5,\"b\":true}}"
     (Obs.Sink.event_to_json e)
 
+(* --- json parser strictness ---------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_json_duplicate_keys () =
+  (* Strict decoding: without the check the last duplicate would win
+     silently for some consumers and the first for List.assoc_opt. *)
+  (match Obs.Json_parse.parse "{\"a\":1,\"b\":2,\"a\":3}" with
+  | _ -> Alcotest.fail "duplicate top-level key must be rejected"
+  | exception Obs.Json_parse.Bad msg ->
+    check_bool "error names the repeated key" true (contains msg "\"a\""));
+  (match Obs.Json_parse.parse "{\"o\":{\"x\":1,\"x\":2}}" with
+  | _ -> Alcotest.fail "duplicate nested key must be rejected"
+  | exception Obs.Json_parse.Bad _ -> ());
+  match Obs.Json_parse.parse "{\"o\":{\"x\":1},\"p\":{\"x\":2}}" with
+  | _ -> ()
+  | exception Obs.Json_parse.Bad msg ->
+    Alcotest.failf "the same key in sibling objects is legal: %s" msg
+
 (* --- pool stats + HTLC_JOBS validation ---------------------------------- *)
 
 let test_pool_stats () =
@@ -318,6 +340,11 @@ let () =
         [
           Alcotest.test_case "memory ordering" `Quick test_sink_memory_order;
           Alcotest.test_case "event JSON golden" `Quick test_sink_event_json;
+        ] );
+      ( "json_parse",
+        [
+          Alcotest.test_case "duplicate keys rejected" `Quick
+            test_json_duplicate_keys;
         ] );
       ( "pool",
         [

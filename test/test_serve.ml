@@ -119,6 +119,12 @@ let test_codec_errors () =
     (e.Serve.Request.err_id = Some "k");
   let e =
     decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"d\",\"req\":\"quote\",\"mu\":0,\"mu\":0.1,\"sigma\":0.05,\"spot\":2}"
+  in
+  check_str "duplicate key is a parse error (strict decoding)" "parse_error"
+    e.Serve.Request.code;
+  let e =
+    decode_err
       "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":-2}"
   in
   check_str "non-positive p_star" "invalid_params" e.Serve.Request.code;
