@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke lint lint-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -28,6 +28,14 @@ obs-smoke:
 serve-smoke:
 	dune build @serve-smoke
 
+# Chaos-serve smoke: seeded fault-injected load (torn writes, truncated
+# responses, resets, one injected worker crash) through the retrying
+# client; gate pins success >= 99%, zero byte mismatches, zero stranded
+# tickets, >= 1 supervised restart, and a hard wall budget (also part
+# of @ci).
+chaos-serve-smoke:
+	dune build @chaos-serve-smoke
+
 # Static analysis: parse the whole source tree and enforce the
 # determinism/domain-safety invariants (DESIGN.md §10); fails on any
 # unsuppressed error-severity finding (also part of @ci).
@@ -46,9 +54,11 @@ bench-baseline:
 
 # Full serve load run: 10k requests against the socket server (2
 # workers, 4 clients), byte-compared against direct library calls,
-# written to SERVE_bench.json.
+# then the same corpus again through the seeded chaos transports
+# (fault-injected clients + one injected worker crash), written to
+# SERVE_bench.json ("serve" + "chaos" sections).
 serve-bench:
-	dune exec bench/main.exe -- serve --json SERVE_bench.json
+	dune exec bench/main.exe -- serve --json SERVE_bench.json --chaos
 
 # Soak run of the chaos invariant suite (default is 500 schedules).
 chaos:

@@ -487,9 +487,181 @@ let percentile sorted q =
   if n = 0 then nan
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
 
-let write_serve_baseline ~file ~requests ~clients ~workers ~throughput_rps
-    ~p50_ms ~p99_ms ~cache_hit_rate ~shed ~deadline_exceeded ~mismatches
-    ~dropped ~identical =
+(* --- chaos phase ---------------------------------------------------------- *)
+
+(* `bench serve --chaos`: re-run the load through fault-injected
+   transports (Serve.Chaos wrapping Serve.Client dialers) against a
+   supervised engine that additionally takes one injected worker crash
+   mid-run.  Every response that does arrive must still be
+   byte-identical to the zero-worker reference; the gate is the
+   "chaos" JSON section validate_serve pins in CI. *)
+
+type chaos_summary = {
+  c_seed : int;
+  c_requests : int;
+  c_succeeded : int;
+  c_retries : int;
+  c_reconnects : int;
+  c_failures : int;
+  c_mismatches : int;
+  c_stranded : int;
+  c_worker_restarts : int;
+  c_internal_errors : int;
+  c_connection_errors : int;
+  c_ops : int;
+  c_wall_s : float;
+  c_budget_s : float;
+}
+
+(* The hang gate: a watchdog domain that kills the whole bench (exit 3)
+   if the chaos phase outlives its wall budget — a stranded ticket or a
+   deadlocked shutdown can then never masquerade as a slow pass. *)
+let with_watchdog ~budget_s f =
+  let finished = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let t0 = Obs.Monotonic.now_ns () in
+        let rec watch () =
+          if Atomic.get finished then ()
+          else if Obs.Monotonic.elapsed_s ~since_ns:t0 > budget_s then begin
+            Printf.eprintf
+              "bench serve --chaos: wall budget %.1fs exceeded -- aborting \
+               (stranded ticket or hung shutdown?)\n\
+               %!"
+              budget_s;
+            exit 3
+          end
+          else begin
+            Unix.sleepf 0.05;
+            watch ()
+          end
+        in
+        watch ())
+  in
+  let r = f () in
+  Atomic.set finished true;
+  Domain.join d;
+  r
+
+let run_chaos_client ~client ~requests ~(expected : string array) ~lo ~hi =
+  let succeeded = ref 0 and mismatched = ref 0 and failed = ref 0 in
+  for j = lo to hi - 1 do
+    match Serve.Client.call client requests.(j) with
+    | Ok resp ->
+      incr succeeded;
+      if not (String.equal resp expected.(j)) then incr mismatched
+    | Error _ -> incr failed
+  done;
+  Serve.Client.close client;
+  (!succeeded, !mismatched, !failed, Serve.Client.stats client)
+
+(* Force at least one real worker death/restart cycle: inject the
+   poisoned task (retrying past admission-control sheds), check its
+   ticket resolves with the structured internal_error, then wait for
+   the supervisor's restart to land in the stats. *)
+let force_worker_crash engine =
+  let rec inject tries =
+    if tries = 0 then failwith "bench serve --chaos: could not inject crash"
+    else
+      match Serve.Engine.inject_crash engine with
+      | `Ticket t -> Serve.Engine.await t
+      | `Done _ ->
+        Unix.sleepf 0.01;
+        inject (tries - 1)
+  in
+  let resp = inject 100 in
+  let has_internal_error =
+    let marker = "\"internal_error\"" in
+    let n = String.length resp and m = String.length marker in
+    let rec find i =
+      i + m <= n && (String.sub resp i m = marker || find (i + 1))
+    in
+    find 0
+  in
+  if not has_internal_error then
+    failwith ("bench serve --chaos: crash ticket resolved oddly: " ^ resp);
+  let t0 = Obs.Monotonic.now_ns () in
+  while
+    (Serve.Engine.stats engine).Serve.Engine.worker_restarts < 1
+    && Obs.Monotonic.elapsed_s ~since_ns:t0 < 2.
+  do
+    Unix.sleepf 0.005
+  done
+
+let chaos_phase ~seed ~budget_s ~corpus ~expected ~clients ~workers
+    ~make_engine =
+  let n = Array.length corpus in
+  Printf.printf
+    "bench serve chaos: seed %d, %d requests, %d clients, %d workers, \
+     budget %.1fs\n\
+     %!"
+    seed n clients workers budget_s;
+  let conn_errors_before =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "serve.connection_errors")
+  and ops_before =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "serve.chaos.ops")
+  in
+  with_watchdog ~budget_s (fun () ->
+      let engine = make_engine ~workers:(max 1 workers) in
+      let path =
+        Printf.sprintf "/tmp/htlc-serve-chaos-%d.sock" (Unix.getpid ())
+      in
+      let server = Serve.Server.listen engine ~path () in
+      let base_plan = Serve.Chaos.plan ~seed () in
+      let bounds c = (c * n / clients, (c + 1) * n / clients) in
+      let t0 = Obs.Monotonic.now_ns () in
+      let domains =
+        Array.init clients (fun c ->
+            Domain.spawn (fun () ->
+                let lo, hi = bounds c in
+                let plan = Serve.Chaos.for_stream base_plan ~stream:c in
+                let dialer =
+                  Serve.Chaos.wrap plan (Serve.Client.socket_dialer ~path)
+                in
+                let client =
+                  Serve.Client.create ~dialer ~max_attempts:8
+                    ~base_backoff_s:2e-4 ~max_backoff_s:0.02
+                    ~seed:(seed lxor ((c + 1) * 0x9E3779B9)) ()
+                in
+                run_chaos_client ~client ~requests:corpus ~expected ~lo ~hi))
+      in
+      force_worker_crash engine;
+      let results = Array.map Domain.join domains in
+      let wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0 in
+      (* Every Client.call returned, so any task still queued would be
+         a stranded ticket — the invariant the gate pins to zero. *)
+      let stranded = Serve.Engine.queue_depth engine in
+      Serve.Server.shutdown server;
+      Serve.Engine.shutdown ~drain:true engine;
+      let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
+      let s = Serve.Engine.stats engine in
+      {
+        c_seed = seed;
+        c_requests = n;
+        c_succeeded = sum (fun (ok, _, _, _) -> ok);
+        c_retries =
+          sum (fun (_, _, _, cs) -> cs.Serve.Client.retries);
+        c_reconnects =
+          sum (fun (_, _, _, cs) -> cs.Serve.Client.reconnects);
+        c_failures = sum (fun (_, _, fail, _) -> fail);
+        c_mismatches = sum (fun (_, mis, _, _) -> mis);
+        c_stranded = stranded;
+        c_worker_restarts = s.Serve.Engine.worker_restarts;
+        c_internal_errors = s.Serve.Engine.internal_errors;
+        c_connection_errors =
+          Obs.Metrics.counter_value
+            (Obs.Metrics.counter "serve.connection_errors")
+          - conn_errors_before;
+        c_ops =
+          Obs.Metrics.counter_value (Obs.Metrics.counter "serve.chaos.ops")
+          - ops_before;
+        c_wall_s = wall_s;
+        c_budget_s = budget_s;
+      })
+
+let write_serve_baseline ?chaos ~file ~requests ~clients ~workers
+    ~throughput_rps ~p50_ms ~p99_ms ~cache_hit_rate ~shed ~deadline_exceeded
+    ~mismatches ~dropped ~identical () =
   let oc = open_out file in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"htlc-bench/v1\",\n";
@@ -506,11 +678,36 @@ let write_serve_baseline ~file ~requests ~clients ~workers ~throughput_rps
   Printf.fprintf oc "    \"mismatches\": %d,\n" mismatches;
   Printf.fprintf oc "    \"dropped\": %d,\n" dropped;
   Printf.fprintf oc "    \"identical_to_direct\": %b\n" identical;
-  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "  }%s\n" (if chaos = None then "" else ",");
+  Option.iter
+    (fun c ->
+      let success_rate =
+        if c.c_requests = 0 then 0.
+        else float_of_int c.c_succeeded /. float_of_int c.c_requests
+      in
+      Printf.fprintf oc "  \"chaos\": {\n";
+      Printf.fprintf oc "    \"seed\": %d,\n" c.c_seed;
+      Printf.fprintf oc "    \"requests\": %d,\n" c.c_requests;
+      Printf.fprintf oc "    \"succeeded\": %d,\n" c.c_succeeded;
+      Printf.fprintf oc "    \"success_rate\": %s,\n" (json_num success_rate);
+      Printf.fprintf oc "    \"retries\": %d,\n" c.c_retries;
+      Printf.fprintf oc "    \"reconnects\": %d,\n" c.c_reconnects;
+      Printf.fprintf oc "    \"failures\": %d,\n" c.c_failures;
+      Printf.fprintf oc "    \"mismatches\": %d,\n" c.c_mismatches;
+      Printf.fprintf oc "    \"stranded\": %d,\n" c.c_stranded;
+      Printf.fprintf oc "    \"worker_restarts\": %d,\n" c.c_worker_restarts;
+      Printf.fprintf oc "    \"internal_errors\": %d,\n" c.c_internal_errors;
+      Printf.fprintf oc "    \"connection_errors\": %d,\n"
+        c.c_connection_errors;
+      Printf.fprintf oc "    \"chaos_ops\": %d,\n" c.c_ops;
+      Printf.fprintf oc "    \"wall_s\": %s,\n" (json_num c.c_wall_s);
+      Printf.fprintf oc "    \"budget_s\": %s\n" (json_num c.c_budget_s);
+      Printf.fprintf oc "  }\n")
+    chaos;
   Printf.fprintf oc "}\n";
   close_out oc
 
-let serve_bench ~json ~requests:n ~clients ~workers ~smoke =
+let serve_bench ~json ~requests:n ~clients ~workers ~smoke ~chaos ~budget_s =
   (* A reduced quote grid keeps the double warm build (serving +
      reference engine) fast; both engines must share it so responses
      are byte-comparable. *)
@@ -569,15 +766,44 @@ let serve_bench ~json ~requests:n ~clients ~workers ~smoke =
     s.cache.Serve.Cache.evictions s.Serve.Engine.shed
     s.Serve.Engine.deadline_exceeded mismatches dropped
     (if identical then "byte-identical to direct calls" else "NOT IDENTICAL");
+  let chaos_summary =
+    Option.map
+      (fun seed ->
+        let c =
+          chaos_phase ~seed ~budget_s ~corpus ~expected ~clients ~workers
+            ~make_engine:make
+        in
+        Printf.printf
+          "chaos: %d/%d succeeded (%.4f), %d retries, %d reconnects, %d \
+           failures, %d mismatches\n\
+           chaos: %d worker restarts, %d internal errors, %d connection \
+           errors, %d stranded, %.3fs wall (budget %.1fs)\n"
+          c.c_succeeded c.c_requests
+          (float_of_int c.c_succeeded /. float_of_int (max 1 c.c_requests))
+          c.c_retries c.c_reconnects c.c_failures c.c_mismatches
+          c.c_worker_restarts c.c_internal_errors c.c_connection_errors
+          c.c_stranded c.c_wall_s c.c_budget_s;
+        c)
+      chaos
+  in
   Option.iter
     (fun file ->
-      write_serve_baseline ~file ~requests:n ~clients ~workers ~throughput_rps
-        ~p50_ms ~p99_ms ~cache_hit_rate ~shed:s.Serve.Engine.shed
+      write_serve_baseline ?chaos:chaos_summary ~file ~requests:n ~clients
+        ~workers ~throughput_rps ~p50_ms ~p99_ms ~cache_hit_rate
+        ~shed:s.Serve.Engine.shed
         ~deadline_exceeded:s.Serve.Engine.deadline_exceeded ~mismatches
-        ~dropped ~identical;
+        ~dropped ~identical ();
       Printf.printf "wrote %s\n" file)
     json;
-  if not identical then exit 1
+  if not identical then exit 1;
+  match chaos_summary with
+  | Some c
+    when c.c_mismatches > 0 || c.c_stranded > 0 || c.c_worker_restarts < 1
+         || float_of_int c.c_succeeded
+            < 0.99 *. float_of_int c.c_requests ->
+    prerr_endline "bench serve: chaos gate failed";
+    exit 1
+  | _ -> ()
 
 (* --- entry point -------------------------------------------------------- *)
 
@@ -592,7 +818,8 @@ let usage () =
   prerr_endline
     "usage: bench [--json FILE] [--mc-trials N] [--jobs N] [--smoke]\n\
     \       bench serve [--json FILE] [--requests N] [--clients N] \
-     [--workers N] [--smoke]";
+     [--workers N]\n\
+    \                   [--chaos] [--seed N] [--budget-s X] [--smoke]";
   exit 2
 
 let int_arg name v =
@@ -602,11 +829,21 @@ let int_arg name v =
     Printf.eprintf "bench: %s expects a positive integer, got %S\n" name v;
     exit 2
 
+let float_arg name v =
+  match float_of_string_opt v with
+  | Some x when x > 0. -> x
+  | _ ->
+    Printf.eprintf "bench: %s expects a positive number, got %S\n" name v;
+    exit 2
+
 let parse_serve_args args =
   let json = ref None
   and requests = ref 10_000
   and clients = ref 4
   and workers = ref 2
+  and chaos = ref false
+  and seed = ref 42
+  and budget_s = ref None
   and smoke = ref false in
   let rec go = function
     | [] -> ()
@@ -622,6 +859,15 @@ let parse_serve_args args =
     | "--workers" :: v :: rest ->
       workers := int_arg "--workers" v;
       go rest
+    | "--chaos" :: rest ->
+      chaos := true;
+      go rest
+    | "--seed" :: v :: rest ->
+      seed := int_arg "--seed" v;
+      go rest
+    | "--budget-s" :: v :: rest ->
+      budget_s := Some (float_arg "--budget-s" v);
+      go rest
     | "--smoke" :: rest ->
       smoke := true;
       go rest
@@ -629,8 +875,13 @@ let parse_serve_args args =
   in
   go args;
   if !smoke && !requests = 10_000 then requests := 400;
+  let budget_s =
+    match !budget_s with Some b -> b | None -> if !smoke then 30. else 120.
+  in
   serve_bench ~json:!json ~requests:!requests ~clients:!clients
     ~workers:!workers ~smoke:!smoke
+    ~chaos:(if !chaos then Some !seed else None)
+    ~budget_s
 
 let parse_args () =
   let json = ref None

@@ -47,6 +47,37 @@ let check_quote path result =
   if not (p_star > 0.) then bad "%s.p_star: must be > 0" path;
   num_in (path ^ ".sr") (member path result "sr") ~lo:0. ~hi:1.
 
+(* The health payload reports live engine state, so it sits outside the
+   byte-identity contract — but the pipe run is sequential and
+   deterministic, so the interesting fields are still pinnable: a
+   zero-worker engine with an idle queue, no crashes, and a cache that
+   has both stored entries and served the r13 repeat from them. *)
+let check_health path result =
+  let num key = as_num (path ^ "." ^ key) (member path result key) in
+  let pin key want =
+    let got = num key in
+    if got <> want then bad "%s.%s: %g, want %g" path key got want
+  in
+  pin "workers" 0.;
+  pin "alive" 0.;
+  pin "queue_depth" 0.;
+  pin "worker_restarts" 0.;
+  pin "internal_errors" 0.;
+  if num "queue_capacity" < 1. then bad "%s.queue_capacity: must be >= 1" path;
+  (match member path result "draining" with
+  | Bool false -> ()
+  | _ -> bad "%s.draining: must be false mid-script" path);
+  let cache = member path result "cache" in
+  let cpath = path ^ ".cache" in
+  let cnum key = as_num (cpath ^ "." ^ key) (member cpath cache key) in
+  if cnum "entries" < 1. then bad "%s.entries: cache should hold bodies" cpath;
+  if cnum "hits" < 1. then
+    bad "%s.hits: the r13 repeat must have hit the cache" cpath;
+  List.iter
+    (fun key ->
+      if cnum key < 0. then bad "%s.%s: negative" cpath key)
+    [ "capacity"; "misses"; "evictions" ]
+
 let check_sweep n path result =
   let arr key =
     let l = as_arr (path ^ "." ^ key) (member path result key) in
@@ -78,6 +109,7 @@ let expected =
     err ~id:"r11" "parse_error";
     err ~id:"r12" "invalid_params";
     ok ~id:"r13" ~req:"success_rate" check_sr;
+    ok ~id:"r14" ~req:"health" check_health;
   ]
 
 let validate_line lineno line (e : expect) =
@@ -131,28 +163,78 @@ let check_cache_identity lines =
   if body (nth 2) <> body (nth 13) then
     bad "line 13: cached repeat of r2 is not byte-identical after the id"
 
-let () =
-  let file =
-    match Sys.argv with
-    | [| _; file |] -> file
-    | _ ->
-      prerr_endline "usage: validate_serve TRANSCRIPT";
-      exit 2
-  in
+(* `validate_serve --chaos BENCH_JSON`: the chaos-serve gate.  Pins the
+   resilience invariants of a fault-injected run — the only acceptable
+   degradation under the seeded fault schedule is retries, never wrong
+   bytes, lost tickets, or unsupervised worker death — plus the hard
+   wall-clock budget that turns a hang into a fast, explicit failure. *)
+let validate_chaos file =
+  let root = parse (In_channel.with_open_text file In_channel.input_all) in
+  let schema = as_str "schema" (member "doc" root "schema") in
+  if schema <> "htlc-bench/v1" then bad "unknown schema %S" schema;
+  let c = member "doc" root "chaos" in
+  let num key = as_num ("chaos." ^ key) (member "chaos" c key) in
+  let requests = num "requests" in
+  if requests < 1. then bad "chaos.requests: empty run proves nothing";
+  let success_rate = num "success_rate" in
+  if num "succeeded" > requests then bad "chaos.succeeded exceeds requests";
+  if success_rate < 0.99 then
+    bad "chaos.success_rate: %.4f < 0.99 -- retries failed to absorb the \
+         fault schedule"
+      success_rate;
+  if num "mismatches" <> 0. then
+    bad "chaos.mismatches: %g responses were not byte-identical to the \
+         zero-worker reference"
+      (num "mismatches");
+  if num "stranded" <> 0. then
+    bad "chaos.stranded: %g tickets never resolved" (num "stranded");
+  if num "worker_restarts" < 1. then
+    bad "chaos.worker_restarts: the injected crash was not supervised";
+  let wall = num "wall_s" and budget = num "budget_s" in
+  if wall > budget then
+    bad "chaos.wall_s: %.3fs exceeded the %.1fs budget" wall budget;
+  List.iter
+    (fun key ->
+      if num key < 0. then bad "chaos.%s: negative" key)
+    [ "retries"; "reconnects"; "failures"; "internal_errors";
+      "connection_errors"; "chaos_ops" ];
+  Printf.printf
+    "%s: chaos ok (%.0f requests, success %.4f, %.0f retries, %.0f \
+     restarts)\n"
+    file requests success_rate (num "retries") (num "worker_restarts")
+
+let validate_transcript file =
   let lines =
     In_channel.with_open_text file In_channel.input_lines
     |> List.filter (fun l -> String.trim l <> "")
   in
+  if List.length lines <> List.length expected then
+    bad "expected %d responses, got %d (dropped or duplicated lines)"
+      (List.length expected) (List.length lines);
+  List.iteri
+    (fun i (line, e) -> validate_line (i + 1) line e)
+    (List.combine lines expected);
+  check_cache_identity lines;
+  Printf.printf "%s: ok (%d responses)\n" file (List.length lines)
+
+let () =
+  let mode =
+    match Sys.argv with
+    | [| _; "--chaos"; file |] -> `Chaos file
+    | [| _; file |] -> `Transcript file
+    | _ ->
+      prerr_endline "usage: validate_serve TRANSCRIPT\n       validate_serve --chaos BENCH_JSON";
+      exit 2
+  in
   match
-    if List.length lines <> List.length expected then
-      bad "expected %d responses, got %d (dropped or duplicated lines)"
-        (List.length expected) (List.length lines);
-    List.iteri
-      (fun i (line, e) -> validate_line (i + 1) line e)
-      (List.combine lines expected);
-    check_cache_identity lines
+    match mode with
+    | `Chaos file -> validate_chaos file
+    | `Transcript file -> validate_transcript file
   with
-  | () -> Printf.printf "%s: ok (%d responses)\n" file (List.length lines)
+  | () -> ()
   | exception Bad msg ->
-    Printf.eprintf "%s: INVALID serve transcript: %s\n" file msg;
+    let file = match mode with `Chaos f | `Transcript f -> f in
+    Printf.eprintf "%s: INVALID serve %s: %s\n" file
+      (match mode with `Chaos _ -> "chaos run" | `Transcript _ -> "transcript")
+      msg;
     exit 1

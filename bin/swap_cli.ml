@@ -669,8 +669,20 @@ let serve_cmd =
           ~doc:
             "Quote-table grid density along sigma (default range, N nodes).")
   in
+  let drain =
+    Arg.(
+      value & opt bool true
+      & info [ "drain" ] ~docv:"BOOL"
+          ~doc:
+            "On SIGINT/SIGTERM, finish every queued request before \
+             exiting (graceful drain, the default).  With \
+             $(b,--drain=false) still-queued requests are answered with \
+             a structured $(b,overloaded) reject instead — shutdown \
+             waits only for requests already being computed.")
+  in
   let run params socket workers queue_capacity deadline_ms cache_capacity
-      cache_shards max_sweep table_mus table_sigmas jobs metrics trace_out =
+      cache_shards max_sweep table_mus table_sigmas drain jobs metrics
+      trace_out =
     with_obs ~metrics ~trace_out @@ fun () ->
     Option.iter Numerics.Pool.set_jobs jobs;
     let mus =
@@ -706,30 +718,122 @@ let serve_cmd =
         Unix.sleepf 0.1
       done;
       Serve.Server.shutdown server;
-      Serve.Engine.stop engine;
+      Serve.Engine.shutdown ~drain engine;
       let s = Serve.Engine.stats engine in
       Printf.eprintf
         "served %d requests (%d ok, %d errors, %d parse errors, %d shed, \
-         %d past deadline; cache %d/%d/%d hit/miss/evict)\n"
+         %d past deadline, %d internal errors, %d worker restarts; cache \
+         %d/%d/%d hit/miss/evict)\n"
         s.Serve.Engine.requests s.Serve.Engine.ok s.Serve.Engine.errors
         s.Serve.Engine.parse_errors s.Serve.Engine.shed
-        s.Serve.Engine.deadline_exceeded s.Serve.Engine.cache.Serve.Cache.hits
+        s.Serve.Engine.deadline_exceeded s.Serve.Engine.internal_errors
+        s.Serve.Engine.worker_restarts s.Serve.Engine.cache.Serve.Cache.hits
         s.Serve.Engine.cache.Serve.Cache.misses
         s.Serve.Engine.cache.Serve.Cache.evictions
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve cutoffs/success-rate/quote/sweep requests as a long-lived \
-          $(b,htlc-serve/v1) service: newline-delimited JSON on \
+         "Serve cutoffs/success-rate/quote/sweep/health requests as a \
+          long-lived $(b,htlc-serve/v1) service: newline-delimited JSON on \
           stdin/stdout, or a Unix-domain socket with a bounded worker \
-          queue, admission control, and a sharded result cache.  The \
-          quote table is warm-built at startup from the given base \
+          queue, admission control, a sharded result cache, and supervised \
+          workers (a crashed request handler answers \
+          $(b,internal_error) and the worker loop is restarted in place).  \
+          The quote table is warm-built at startup from the given base \
           parameters.")
     Term.(
       const run $ params_term $ socket $ workers $ queue_capacity
       $ deadline_ms $ cache_capacity $ cache_shards $ max_sweep $ table_mus
-      $ table_sigmas $ jobs_term $ metrics_term $ trace_out_term)
+      $ table_sigmas $ drain $ jobs_term $ metrics_term $ trace_out_term)
+
+(* --- call ------------------------------------------------------------------ *)
+
+let call_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of a running $(b,swap_cli serve).")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 6
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Attempts per request before reporting it unavailable.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall deadline (including reconnects and backoff \
+             sleeps) on the client side.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the deterministic retry-backoff jitter.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:
+            "Route the connection through the fault-injecting chaos \
+             transport with this schedule seed (torn writes, truncated \
+             responses, resets...) — exercises the retry path against a \
+             real server.")
+  in
+  let run socket max_attempts deadline_ms seed chaos_seed =
+    let dialer =
+      let d = Serve.Client.socket_dialer ~path:socket in
+      match chaos_seed with
+      | None -> d
+      | Some cs -> Serve.Chaos.wrap (Serve.Chaos.plan ~seed:cs ()) d
+    in
+    let client =
+      Serve.Client.create ~dialer ~max_attempts
+        ?deadline_s:(Option.map (fun ms -> ms /. 1000.) deadline_ms)
+        ~seed ()
+    in
+    let failures = ref 0 in
+    (try
+       while true do
+         let line = input_line stdin in
+         if String.trim line <> "" then
+           match Serve.Client.call client line with
+           | Ok resp -> print_endline resp
+           | Error e ->
+             incr failures;
+             Printf.printf
+               "{\"schema\":\"htlc-serve/v1\",\"id\":null,\"status\":\"error\",\"error\":%S,\"message\":%S,\"attempts\":%d}\n"
+               e.Serve.Client.code e.Serve.Client.message
+               e.Serve.Client.attempts
+       done
+     with End_of_file -> ());
+    Serve.Client.close client;
+    let s = Serve.Client.stats client in
+    Printf.eprintf "%d calls, %d retries, %d reconnects, %d failures\n"
+      s.Serve.Client.calls s.Serve.Client.retries s.Serve.Client.reconnects
+      s.Serve.Client.failures;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Drive a running $(b,swap_cli serve) socket with the resilient \
+          client: read request lines from stdin, print each verified \
+          response line to stdout.  Reconnects and retries (capped \
+          exponential backoff, seeded jitter) through transport faults; \
+          a response must echo the request id to count.  Exits nonzero \
+          if any request ultimately failed.")
+    Term.(
+      const run $ socket $ max_attempts $ deadline_ms $ seed $ chaos_seed)
 
 (* --- obs ------------------------------------------------------------------ *)
 
@@ -847,7 +951,8 @@ let main_cmd =
     (Cmd.info "swap_cli" ~version:"1.0.0" ~doc)
     [
       cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
-      ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; experiment_cmd; obs_cmd;
+      ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; call_cmd; experiment_cmd;
+      obs_cmd;
       lint_cmd;
     ]
 

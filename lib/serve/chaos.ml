@@ -1,0 +1,226 @@
+(* Seed-deterministic fault injection for the serve transports, in the
+   Chainsim.Faults style: every op's fate is a pure function of
+   (plan seed, op index) through its own Numerics.Rng stream, so a
+   chaos run's fault schedule — and hence its retry/success counts —
+   is bit-reproducible for a fixed seed regardless of timing.
+
+   Socket path: [wrap] decorates a Client.dialer.  Op indices are
+   allocated per wrapped dialer at send time and survive reconnects,
+   so a retried request draws a *fresh* fate — without this, a fault
+   would deterministically repeat and retries could never succeed.
+
+   Pipe path: [corrupt_script] applies the same fate family to a
+   request script (op = line index): torn/truncated lines arrive as
+   malformed requests the engine must answer [parse_error], dropped
+   lines model requests lost in transit, resets degrade to stray blank
+   lines the server skips. *)
+
+type fault =
+  | Clean
+  | Reset  (* connection severed before any request byte is sent *)
+  | Torn_write of float  (* strict prefix of the request, then severed *)
+  | Slow_loris  (* request dribbled in tiny chunks; completes *)
+  | Mid_response_disconnect  (* request delivered; severed before read *)
+  | Truncated_response of float  (* strict prefix of the response line *)
+
+type plan = {
+  seed : int;
+  p_reset : float;
+  p_torn : float;
+  p_slow : float;
+  p_disconnect : float;
+  p_truncate : float;
+  slow_chunk : int;
+  slow_pause_s : float;
+}
+
+let plan ?(seed = 1) ?(intensity = 1.0) ?(slow_chunk = 7)
+    ?(slow_pause_s = 5e-4) () =
+  if not (intensity >= 0. && intensity <= 1.) then
+    invalid_arg "Chaos.plan: intensity must be in [0, 1]";
+  if slow_chunk < 1 then invalid_arg "Chaos.plan: slow_chunk must be >= 1";
+  if not (slow_pause_s >= 0.) then
+    invalid_arg "Chaos.plan: slow_pause_s must be >= 0";
+  (* 6% per class at full intensity: a 30% overall fault rate, heavy
+     enough that a chaos run without retries would visibly fail the
+     >= 99% success gate, light enough that 6 attempts clear it. *)
+  let p base = base *. intensity in
+  {
+    seed;
+    p_reset = p 0.06;
+    p_torn = p 0.06;
+    p_slow = p 0.06;
+    p_disconnect = p 0.06;
+    p_truncate = p 0.06;
+    slow_chunk;
+    slow_pause_s;
+  }
+
+(* Same per-stream derivation constant as Chainsim.Faults: gives each
+   load-generator client an independent but seed-reproducible fault
+   schedule. *)
+let for_stream plan ~stream =
+  { plan with seed = plan.seed lxor ((stream + 1) * 0x2545F4914F6CDD1D) }
+
+let fate plan ~op =
+  let rng = Numerics.Rng.of_stream ~seed:plan.seed ~stream:op () in
+  let u = Numerics.Rng.uniform rng in
+  (* Cut fraction away from both ends so a "torn" op always tears:
+     never the empty prefix, never the whole payload. *)
+  let frac () = 0.1 +. (0.8 *. Numerics.Rng.uniform rng) in
+  let t1 = plan.p_reset in
+  let t2 = t1 +. plan.p_torn in
+  let t3 = t2 +. plan.p_slow in
+  let t4 = t3 +. plan.p_disconnect in
+  let t5 = t4 +. plan.p_truncate in
+  if u < t1 then Reset
+  else if u < t2 then Torn_write (frac ())
+  else if u < t3 then Slow_loris
+  else if u < t4 then Mid_response_disconnect
+  else if u < t5 then Truncated_response (frac ())
+  else Clean
+
+let fault_kind = function
+  | Clean -> "clean"
+  | Reset -> "reset"
+  | Torn_write _ -> "torn_write"
+  | Slow_loris -> "slow_loris"
+  | Mid_response_disconnect -> "mid_response_disconnect"
+  | Truncated_response _ -> "truncated_response"
+
+let m_ops = Obs.Metrics.counter "serve.chaos.ops"
+
+(* Per-kind injection counters; registration is idempotent. *)
+let m_fault kind = Obs.Metrics.counter ("serve.chaos.injected." ^ kind)
+
+let count_fate f =
+  Obs.Metrics.incr m_ops;
+  match f with Clean -> () | _ -> Obs.Metrics.incr (m_fault (fault_kind f))
+
+(* A strict-prefix cut point: in [1, n-1] for n >= 2 (0 for shorter —
+   an empty prefix is the best "strict prefix" a 1-byte payload has). *)
+let cut_point ~frac n =
+  max 0 (min (n - 1) (int_of_float (frac *. float_of_int n)))
+
+(* --- socket path: faulty dialer ------------------------------------------ *)
+
+let wrap plan (dial : Client.dialer) : Client.dialer =
+  (* One op counter per wrapped dialer, shared across the connections
+     it creates: a reconnect continues the schedule rather than
+     replaying it. *)
+  let next_op = Atomic.make 0 in
+  fun () ->
+    let io = dial () in
+    (* Owned by the single domain driving the client. *)
+    let dead = ref false in
+    let on_recv = ref `Pass in
+    let sever why =
+      dead := true;
+      io.Client.close ();
+      raise (Client.Broken why)
+    in
+    let send_bytes bytes =
+      if !dead then sever "chaos: connection already severed";
+      let f = fate plan ~op:(Atomic.fetch_and_add next_op 1) in
+      count_fate f;
+      match f with
+      | Reset -> sever "chaos: connection reset before send"
+      | Torn_write frac ->
+        let cut = cut_point ~frac (String.length bytes) in
+        if cut > 0 then io.Client.send_bytes (String.sub bytes 0 cut);
+        sever "chaos: torn mid-request write"
+      | Slow_loris ->
+        let n = String.length bytes in
+        let rec dribble off =
+          if off < n then begin
+            io.Client.send_bytes
+              (String.sub bytes off (min plan.slow_chunk (n - off)));
+            Unix.sleepf plan.slow_pause_s;
+            dribble (off + plan.slow_chunk)
+          end
+        in
+        dribble 0;
+        on_recv := `Slow
+      | Mid_response_disconnect ->
+        io.Client.send_bytes bytes;
+        on_recv := `Disconnect
+      | Truncated_response frac ->
+        io.Client.send_bytes bytes;
+        on_recv := `Truncate frac
+      | Clean -> io.Client.send_bytes bytes
+    in
+    let recv_line () =
+      if !dead then sever "chaos: connection already severed";
+      match !on_recv with
+      | `Pass -> io.Client.recv_line ()
+      | `Slow ->
+        on_recv := `Pass;
+        Unix.sleepf plan.slow_pause_s;
+        io.Client.recv_line ()
+      | `Disconnect ->
+        (* The server did answer; the link died first.  Consume and
+           discard so the real socket stays in a known state, then
+           surface the severed connection. *)
+        on_recv := `Pass;
+        (match io.Client.recv_line () with
+        | (_ : string) -> ()
+        | exception End_of_file -> ());
+        sever "chaos: disconnected mid-response"
+      | `Truncate frac -> (
+        on_recv := `Pass;
+        match io.Client.recv_line () with
+        | exception End_of_file -> sever "chaos: response never arrived"
+        | line ->
+          (* Hand the client a torn read: a strict prefix of the real
+             response with the connection gone underneath — its
+             parse/id-echo verification must reject it.  (A strict
+             prefix of a JSON object can never parse, so this cannot
+             be mistaken for a valid answer.) *)
+          dead := true;
+          io.Client.close ();
+          String.sub line 0 (cut_point ~frac (String.length line)))
+    in
+    let close () =
+      dead := true;
+      io.Client.close ()
+    in
+    { Client.send_bytes; recv_line; close }
+
+(* --- pipe path: script corruption ----------------------------------------- *)
+
+(* How line [i] of a request script arrives through the faulty pipe.
+   [`Line s] reaches the engine (possibly mangled); [`Noise s] is bytes
+   the server skips (blank lines); [`Lost] never arrives. *)
+let pipe_fate plan ~op line =
+  match fate plan ~op with
+  | Clean | Slow_loris -> `Line line
+  | Reset -> `Noise line (* degraded to a stray blank before the line *)
+  | Torn_write frac | Truncated_response frac ->
+    `Line (String.sub line 0 (cut_point ~frac (String.length line)))
+  | Mid_response_disconnect -> `Lost
+
+let corrupt_script plan lines =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i line ->
+      match pipe_fate plan ~op:i line with
+      | `Line l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+      | `Noise l ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+      | `Lost -> ())
+    lines;
+  Buffer.contents buf
+
+let expected_pipe_responses plan lines =
+  List.fold_left
+    (fun (i, n) line ->
+      match pipe_fate plan ~op:i line with
+      | `Line l -> (i + 1, if String.trim l = "" then n else n + 1)
+      | `Noise l -> (i + 1, if String.trim l = "" then n else n + 1)
+      | `Lost -> (i + 1, n))
+    (0, 0) lines
+  |> snd

@@ -1,0 +1,86 @@
+(** Seed-deterministic fault injection for the serve transports
+    (the [Chainsim.Faults] style applied to IO): torn mid-request
+    writes, truncated response lines, slow-loris dribbled sends,
+    mid-response disconnects, and connection resets, each op's fate a
+    pure function of [(plan seed, op index)].
+
+    For a fixed seed the fault {e schedule} is bit-reproducible — the
+    same ops draw the same fates in the same order — so a chaos bench's
+    retry and success counts are deterministic even though wall-clock
+    timing is not.  Injected faults surface to {!Client} as
+    [Client.Broken] (or as a corrupt line its id-echo verification
+    rejects), exercising exactly the retry path real network faults
+    would. *)
+
+type fault =
+  | Clean
+  | Reset  (** Connection severed before any request byte is sent. *)
+  | Torn_write of float
+      (** A strict prefix of the request is written, then the
+          connection is severed; the fraction picks the cut point. *)
+  | Slow_loris
+      (** The request is dribbled in [slow_chunk]-byte pieces with
+          [slow_pause_s] pauses (and one more pause before the read);
+          completes successfully. *)
+  | Mid_response_disconnect
+      (** The request is delivered and answered, but the connection is
+          severed before the response can be read. *)
+  | Truncated_response of float
+      (** The client receives only a strict prefix of the response
+          line, connection gone underneath — a torn read. *)
+
+type plan = {
+  seed : int;
+  p_reset : float;
+  p_torn : float;
+  p_slow : float;
+  p_disconnect : float;
+  p_truncate : float;
+  slow_chunk : int;
+  slow_pause_s : float;
+}
+
+val plan :
+  ?seed:int ->
+  ?intensity:float ->
+  ?slow_chunk:int ->
+  ?slow_pause_s:float ->
+  unit ->
+  plan
+(** A fault plan: 6% probability per fault class at [intensity] 1.0
+    (default) — a 30% overall fault rate — scaled linearly down to a
+    clean transport at 0.0.  [seed] defaults to 1.
+    @raise Invalid_argument on an intensity outside [[0, 1]],
+    [slow_chunk < 1], or a negative pause. *)
+
+val for_stream : plan -> stream:int -> plan
+(** An independent but seed-reproducible derived plan — give each
+    load-generator client its own stream so schedules do not depend on
+    cross-client interleaving. *)
+
+val fate : plan -> op:int -> fault
+(** The fate of op [op]: pure in [(plan.seed, op)]. *)
+
+val fault_kind : fault -> string
+(** Stable tag, e.g. ["torn_write"] — the [serve.chaos.injected.{kind}]
+    metric suffix. *)
+
+val wrap : plan -> Client.dialer -> Client.dialer
+(** Decorate a dialer with fault injection.  Op indices are allocated
+    per wrapped dialer at send time and {e survive reconnects}, so a
+    retried request draws a fresh fate rather than deterministically
+    replaying the fault that killed it.  Every op bumps
+    [serve.chaos.ops]; injected faults bump
+    [serve.chaos.injected.{kind}]. *)
+
+val corrupt_script : plan -> string list -> string
+(** The pipe-path analogue: apply fate [i] to request line [i] of a
+    script.  Torn/truncated lines arrive malformed (the engine answers
+    [parse_error]), disconnect fates drop the line entirely, resets
+    degrade to a stray blank line (skipped) before the intact request,
+    and slow-loris is a timing-only fault the pipe cannot express.
+    Returns the corrupted script as one string. *)
+
+val expected_pipe_responses : plan -> string list -> int
+(** How many response lines {!corrupt_script}'s output must produce —
+    every surviving non-blank line gets exactly one answer. *)

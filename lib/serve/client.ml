@@ -1,0 +1,231 @@
+(* A reconnecting htlc-serve/v1 socket client with a per-request
+   deadline, capped exponential backoff with deterministic seeded
+   jitter, and idempotent retry.
+
+   Retry safety: a request is retried by resending the same line on a
+   fresh connection.  This is idempotent by the service's byte-identity
+   contract — the response body is a pure function of the canonical
+   request bytes and the engine configuration, and the only server-side
+   effect of a duplicate is a cache hit — so at-least-once delivery
+   yields exactly-once semantics from the caller's point of view.
+   (Health responses are live snapshots, so a retried health request
+   may observe different state; that is inherent to what it asks.)
+
+   Corruption detection: every received line must parse as JSON and
+   echo the request's id (null for id-less requests).  A truncated or
+   interleaved response therefore surfaces as [Broken] and is retried
+   on a fresh connection rather than being handed to the caller.
+
+   Determinism: backoff jitter is drawn from a seeded Numerics.Rng
+   owned by the client, one draw per retry — so for a fixed seed and a
+   fixed failure pattern (e.g. a Chaos plan) the whole retry/backoff
+   decision sequence is reproducible.  Only the sleeps themselves take
+   wall time. *)
+
+exception Broken of string
+(* A transport-level failure injected or detected mid-call: the
+   connection is presumed poisoned and is dropped before retrying. *)
+
+type io = {
+  send_bytes : string -> unit;  (* write raw bytes and flush *)
+  recv_line : unit -> string;  (* next response line; End_of_file on EOF *)
+  close : unit -> unit;  (* idempotent *)
+}
+
+type dialer = unit -> io
+
+(* A client writing into a severed connection must see EPIPE (a
+   retryable [Unix_error]), not die of SIGPIPE. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let socket_dialer ~path () =
+  ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let closed = Atomic.make false in
+  {
+    send_bytes =
+      (fun bytes ->
+        output_string oc bytes;
+        flush oc);
+    recv_line = (fun () -> input_line ic);
+    close =
+      (fun () ->
+        if not (Atomic.exchange closed true) then
+          try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+(* --- shared observability ------------------------------------------------ *)
+
+let m_calls = Obs.Metrics.counter "serve.client.calls"
+let m_retries = Obs.Metrics.counter "serve.client.retries"
+let m_reconnects = Obs.Metrics.counter "serve.client.reconnects"
+let m_failures = Obs.Metrics.counter "serve.client.failures"
+
+(* --- client -------------------------------------------------------------- *)
+
+type t = {
+  dialer : dialer;
+  max_attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  deadline_s : float option;
+  rng : Numerics.Rng.t;
+  mutable conn : io option;
+  mutable connected_once : bool;
+  n_calls : int Atomic.t;
+  n_retries : int Atomic.t;
+  n_reconnects : int Atomic.t;
+  n_failures : int Atomic.t;
+}
+
+type error = { code : string; message : string; attempts : int }
+
+type stats = { calls : int; retries : int; reconnects : int; failures : int }
+
+let create ?(dialer : dialer option) ?path ?(max_attempts = 6)
+    ?(base_backoff_s = 0.001) ?(max_backoff_s = 0.25) ?deadline_s ?(seed = 0)
+    () =
+  let dialer =
+    match (dialer, path) with
+    | Some d, _ -> d
+    | None, Some path -> socket_dialer ~path
+    | None, None -> invalid_arg "Client.create: need a dialer or a path"
+  in
+  if max_attempts < 1 then
+    invalid_arg "Client.create: max_attempts must be >= 1";
+  if not (base_backoff_s > 0. && max_backoff_s >= base_backoff_s) then
+    invalid_arg "Client.create: backoff bounds must be 0 < base <= max";
+  (match deadline_s with
+  | Some d when not (d > 0.) ->
+    invalid_arg "Client.create: deadline_s must be > 0"
+  | _ -> ());
+  {
+    dialer;
+    max_attempts;
+    base_backoff_s;
+    max_backoff_s;
+    deadline_s;
+    rng = Numerics.Rng.create ~seed ();
+    conn = None;
+    connected_once = false;
+    n_calls = Atomic.make 0;
+    n_retries = Atomic.make 0;
+    n_reconnects = Atomic.make 0;
+    n_failures = Atomic.make 0;
+  }
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some io ->
+    t.conn <- None;
+    io.close ()
+
+let close t = drop_conn t
+
+(* The id the response must echo: the request's own id when it decodes,
+   the best-effort recovered id when it does not (the server echoes
+   that same id on its reject). *)
+let expected_id line =
+  match Request.decode line with
+  | Ok req -> req.Request.id
+  | Error err -> err.Request.err_id
+
+let response_matches ~id resp =
+  match Obs.Json_parse.parse resp with
+  | exception Obs.Json_parse.Bad _ -> false
+  | root -> (
+    match (Obs.Json_parse.member_opt root "id", id) with
+    | Some Obs.Json_parse.Null, None -> true
+    | Some (Obs.Json_parse.Str got), Some want -> String.equal got want
+    | _ -> false)
+
+(* Attempt [k] (1-based) failed: capped exponential backoff with
+   multiplicative jitter in [0.5, 1.0), clipped to the remaining
+   deadline budget. *)
+let backoff t ~attempt ~remaining_s =
+  let exp_s = t.base_backoff_s *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min t.max_backoff_s exp_s in
+  let jittered = capped *. (0.5 +. (0.5 *. Numerics.Rng.uniform t.rng)) in
+  let d =
+    match remaining_s with
+    | None -> jittered
+    | Some r -> Float.min jittered (Float.max 0. r)
+  in
+  if d > 0. then Unix.sleepf d
+
+let call t line =
+  Atomic.incr t.n_calls;
+  Obs.Metrics.incr m_calls;
+  let id = expected_id line in
+  let t0 = Obs.Monotonic.now_ns () in
+  let remaining () =
+    Option.map
+      (fun d -> d -. Obs.Monotonic.elapsed_s ~since_ns:t0)
+      t.deadline_s
+  in
+  let fail code message attempts =
+    Atomic.incr t.n_failures;
+    Obs.Metrics.incr m_failures;
+    drop_conn t;
+    Error { code; message; attempts }
+  in
+  let rec attempt k =
+    match remaining () with
+    | Some r when r <= 0. ->
+      fail "deadline_exceeded"
+        "client-side deadline elapsed before a response arrived" (k - 1)
+    | _ -> (
+      if k > 1 then begin
+        Atomic.incr t.n_retries;
+        Obs.Metrics.incr m_retries
+      end;
+      match
+        let io =
+          match t.conn with
+          | Some io -> io
+          | None ->
+            let io = t.dialer () in
+            if t.connected_once then begin
+              Atomic.incr t.n_reconnects;
+              Obs.Metrics.incr m_reconnects
+            end;
+            t.connected_once <- true;
+            t.conn <- Some io;
+            io
+        in
+        io.send_bytes (line ^ "\n");
+        io.recv_line ()
+      with
+      | resp when response_matches ~id resp -> Ok resp
+      | _corrupt ->
+        retry k "response did not echo the request id (corrupt stream)"
+      | exception (End_of_file | Broken _ | Sys_error _ | Unix.Unix_error _)
+        ->
+        retry k "connection failed"
+      )
+  and retry k why =
+    drop_conn t;
+    if k >= t.max_attempts then fail "unavailable" why k
+    else begin
+      backoff t ~attempt:k ~remaining_s:(remaining ());
+      attempt (k + 1)
+    end
+  in
+  attempt 1
+
+let stats t =
+  {
+    calls = Atomic.get t.n_calls;
+    retries = Atomic.get t.n_retries;
+    reconnects = Atomic.get t.n_reconnects;
+    failures = Atomic.get t.n_failures;
+  }

@@ -1,5 +1,5 @@
 (* The serve engine: request evaluation, result cache, worker pool,
-   admission control.
+   admission control, and worker supervision.
 
    Three execution modes share one compute path ([respond]):
 
@@ -22,11 +22,32 @@
    worker answers [deadline_exceeded] without computing.  Both paths
    bypass the cache.
 
+   Supervision: a request whose evaluation raises must never strand its
+   ticket.  On the worker path the job's ticket is completed with a
+   structured [internal_error] response, the exception is escalated out
+   of the worker loop (the conceptual "worker death"), and a supervisor
+   wrapper restarts the loop on the same domain, counting
+   [serve.worker_restarts].  On the synchronous [handle] path the
+   exception is absorbed into the same [internal_error] response —
+   there is no worker to restart.  [inject_crash] enqueues a poisoned
+   task that takes exactly this path deterministically, so tests and
+   the chaos bench can force a crash/restart cycle and assert the
+   contract ("every submitted request gets exactly one response").
+
+   Shutdown: [shutdown ~drain:true] (the default, and what [stop]
+   does) lets workers finish every queued job before joining them;
+   [~drain:false] rejects the still-queued jobs with an [overloaded]
+   response first, so shutdown latency is one in-flight job, not a
+   queue.  Either way no issued ticket is left unresolved and
+   subsequent [submit]s shed.
+
    Byte-identity contract: computed bodies depend only on the canonical
    request and the engine's configuration (base params + quote grid).
    The cache stores bodies keyed by canonical request bytes and the id
    is spliced in at assembly, so cached, pooled, and worker responses
-   are byte-identical to a direct [handle] call. *)
+   are byte-identical to a direct [handle] call.  [Health] is the one
+   deliberate exception: it reports live queue/worker/cache state, is
+   never cached, and sits outside the contract. *)
 
 type job = {
   req : Request.t;
@@ -36,6 +57,11 @@ type job = {
   mutable resp : string option;
 }
 
+(* What the queue actually carries: real work, or a poisoned task that
+   deterministically crashes the worker that takes it (supervision
+   test hook; its ticket still resolves with [internal_error]). *)
+type task = Job of job | Crash of job
+
 type stats = {
   requests : int;
   parse_errors : int;
@@ -43,6 +69,8 @@ type stats = {
   errors : int;
   shed : int;
   deadline_exceeded : int;
+  internal_errors : int;
+  worker_restarts : int;
   cache : Cache.stats;
 }
 
@@ -53,7 +81,7 @@ type t = {
   max_sweep_n : int;
   deadline_s : float option;
   queue_capacity : int;
-  queue : job Queue.t;
+  queue : task Queue.t;
   q_mutex : Mutex.t;
   q_nonempty : Condition.t;
   mutable worker_domains : unit Domain.t list;
@@ -65,6 +93,9 @@ type t = {
   n_errors : int Atomic.t;
   n_shed : int Atomic.t;
   n_deadline : int Atomic.t;
+  n_internal : int Atomic.t;
+  n_restarts : int Atomic.t;
+  n_alive : int Atomic.t;
 }
 
 (* --- shared observability ------------------------------------------------ *)
@@ -75,6 +106,8 @@ let m_ok = Obs.Metrics.counter "serve.ok"
 let m_errors = Obs.Metrics.counter "serve.errors"
 let m_shed = Obs.Metrics.counter "serve.shed"
 let m_deadline = Obs.Metrics.counter "serve.deadline_exceeded"
+let m_internal = Obs.Metrics.counter "serve.internal_errors"
+let m_restarts = Obs.Metrics.counter "serve.worker_restarts"
 let m_queue_hwm = Obs.Metrics.gauge "serve.queue_depth_hwm"
 let m_latency = Obs.Metrics.histogram "serve.handle_latency_s"
 let m_queue_wait = Obs.Metrics.histogram "serve.queue_wait_s"
@@ -83,6 +116,7 @@ let m_kind = function
   | "cutoffs" -> Obs.Metrics.counter "serve.req.cutoffs"
   | "success_rate" -> Obs.Metrics.counter "serve.req.success_rate"
   | "sweep" -> Obs.Metrics.counter "serve.req.sweep"
+  | "health" -> Obs.Metrics.counter "serve.req.health"
   | _ -> Obs.Metrics.counter "serve.req.quote"
 
 (* --- evaluation ---------------------------------------------------------- *)
@@ -90,6 +124,20 @@ let m_kind = function
 let sr_at params ~p_star ~q =
   if q = 0. then Swap.Success.analytic params ~p_star
   else Swap.Collateral.success_rate (Swap.Collateral.symmetric params ~q) ~p_star
+
+let queue_depth t =
+  Mutex.lock t.q_mutex;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.q_mutex;
+  d
+
+let draining t =
+  Mutex.lock t.q_mutex;
+  let s = t.stopping in
+  Mutex.unlock t.q_mutex;
+  s
+
+let alive_workers t = Atomic.get t.n_alive
 
 let compute_result t (req : Request.t) =
   match req.body with
@@ -129,6 +177,29 @@ let compute_result t (req : Request.t) =
       Error
         ( Market.Quote_table.reason_to_string reason,
           "no quote at these calibrated parameters" ))
+  | Health ->
+    let cs = Cache.stats t.cache in
+    Ok
+      (Printf.sprintf
+         "{\"workers\":%d,\"alive\":%d,\"queue_depth\":%d,\"queue_capacity\":%d,\"draining\":%b,\"worker_restarts\":%d,\"internal_errors\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d}}"
+         (List.length t.worker_domains)
+         (Atomic.get t.n_alive) (queue_depth t) t.queue_capacity (draining t)
+         (Atomic.get t.n_restarts)
+         (Atomic.get t.n_internal) (Cache.length t.cache) (Cache.capacity t.cache)
+         cs.Cache.hits cs.Cache.misses cs.Cache.evictions)
+
+let computed_body t (req : Request.t) kind =
+  Obs.Trace.with_span "serve.compute" (fun span ->
+      Obs.Trace.annotate span "req" kind;
+      match compute_result t req with
+      | Ok result ->
+        Atomic.incr t.n_ok;
+        Obs.Metrics.incr m_ok;
+        Response.ok_body ~req:kind ~result
+      | Error (code, message) ->
+        Atomic.incr t.n_errors;
+        Obs.Metrics.incr m_errors;
+        Response.error_body ~req:kind ~code ~message ())
 
 (* Compute (or fetch) the response body for a parsed request, then
    assemble with the caller's id. *)
@@ -139,25 +210,18 @@ let respond t (req : Request.t) =
   Obs.Metrics.incr (m_kind kind);
   let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_ns () else 0L in
   let body =
-    let key = Request.key req in
-    match Cache.find t.cache key with
-    | Some body -> body
-    | None ->
-      let body =
-        Obs.Trace.with_span "serve.compute" (fun span ->
-            Obs.Trace.annotate span "req" kind;
-            match compute_result t req with
-            | Ok result ->
-              Atomic.incr t.n_ok;
-              Obs.Metrics.incr m_ok;
-              Response.ok_body ~req:kind ~result
-            | Error (code, message) ->
-              Atomic.incr t.n_errors;
-              Obs.Metrics.incr m_errors;
-              Response.error_body ~req:kind ~code ~message ())
-      in
-      Cache.add t.cache key body;
-      body
+    match req.body with
+    | Health ->
+      (* Live state: never cached, recomputed on every ask. *)
+      computed_body t req kind
+    | _ -> (
+      let key = Request.key req in
+      match Cache.find t.cache key with
+      | Some body -> body
+      | None ->
+        let body = computed_body t req kind in
+        Cache.add t.cache key body;
+        body)
   in
   if t0 <> 0L then
     Obs.Metrics.observe m_latency (Obs.Monotonic.elapsed_s ~since_ns:t0);
@@ -168,14 +232,33 @@ let parse_failure t (err : Request.error) =
   Obs.Metrics.incr m_parse_errors;
   Response.error ~id:err.err_id ~code:err.code ~message:err.message ()
 
+let internal_error_response ?req ~id exn =
+  Response.error ~id ?req ~code:"internal_error"
+    ~message:
+      (Printf.sprintf "request handler crashed: %s" (Printexc.to_string exn))
+    ()
+
 let handle t line =
   match Request.decode line with
-  | Ok req -> respond t req
   | Error err -> parse_failure t err
+  | Ok req -> (
+    (* The synchronous path has no worker to restart: absorb the crash
+       into a structured response so pipe servers and batch callers
+       keep their one-response-per-request contract. *)
+    try respond t req
+    with exn ->
+      Atomic.incr t.n_internal;
+      Obs.Metrics.incr m_internal;
+      internal_error_response ~req:(Request.kind req) ~id:req.Request.id exn)
 
 let handle_batch ?jobs t lines = Numerics.Pool.map_array ?jobs (handle t) lines
 
 (* --- worker pool + admission control ------------------------------------ *)
+
+exception Crashed
+(* Internal: escalates a worker failure out of the worker loop after
+   the in-flight ticket has been completed, so the supervisor registers
+   a restart. *)
 
 let finish_job job resp =
   Mutex.lock job.cell_mutex;
@@ -204,6 +287,29 @@ let run_job t job =
   in
   finish_job job resp
 
+(* Run one queued task.  A crash (evaluation exception or an injected
+   poison task) completes the ticket with [internal_error] and then
+   raises [Crashed] so the caller decides: workers escalate to their
+   supervisor (restart + counter), [pump] absorbs it. *)
+let run_task t task =
+  match task with
+  | Job job -> (
+    try run_job t job
+    with exn ->
+      Atomic.incr t.n_internal;
+      Obs.Metrics.incr m_internal;
+      finish_job job
+        (internal_error_response ~req:(Request.kind job.req)
+           ~id:job.req.Request.id exn);
+      raise Crashed)
+  | Crash job ->
+    Atomic.incr t.n_internal;
+    Obs.Metrics.incr m_internal;
+    finish_job job
+      (Response.error ~id:job.req.Request.id ~code:"internal_error"
+         ~message:"injected worker crash" ());
+    raise Crashed
+
 type ticket = job
 
 let await (job : ticket) =
@@ -215,66 +321,93 @@ let await (job : ticket) =
   Mutex.unlock job.cell_mutex;
   r
 
+let enqueue t ~make_task (req : Request.t) =
+  let shed message =
+    Atomic.incr t.n_shed;
+    Obs.Metrics.incr m_shed;
+    `Done
+      (Response.error ~id:req.Request.id ~req:(Request.kind req)
+         ~code:"overloaded" ~message ())
+  in
+  Mutex.lock t.q_mutex;
+  if t.stopping then begin
+    Mutex.unlock t.q_mutex;
+    shed "server is shutting down"
+  end
+  else if Queue.length t.queue >= t.queue_capacity then begin
+    Mutex.unlock t.q_mutex;
+    shed "submission queue is full"
+  end
+  else begin
+    let job =
+      {
+        req;
+        enqueued_ns = Obs.Monotonic.now_ns ();
+        cell_mutex = Mutex.create ();
+        cell_cond = Condition.create ();
+        resp = None;
+      }
+    in
+    Queue.push (make_task job) t.queue;
+    Obs.Metrics.max_gauge m_queue_hwm (float_of_int (Queue.length t.queue));
+    Condition.signal t.q_nonempty;
+    Mutex.unlock t.q_mutex;
+    `Ticket job
+  end
+
 let submit t line =
   match Request.decode line with
   | Error err -> `Done (parse_failure t err)
-  | Ok req ->
-    let shed message =
-      Atomic.incr t.n_shed;
-      Obs.Metrics.incr m_shed;
-      `Done
-        (Response.error ~id:req.Request.id ~req:(Request.kind req)
-           ~code:"overloaded" ~message ())
-    in
-    Mutex.lock t.q_mutex;
-    if t.stopping then begin
-      Mutex.unlock t.q_mutex;
-      shed "server is shutting down"
-    end
-    else if Queue.length t.queue >= t.queue_capacity then begin
-      Mutex.unlock t.q_mutex;
-      shed "submission queue is full"
-    end
-    else begin
-      let job =
-        {
-          req;
-          enqueued_ns = Obs.Monotonic.now_ns ();
-          cell_mutex = Mutex.create ();
-          cell_cond = Condition.create ();
-          resp = None;
-        }
-      in
-      Queue.push job t.queue;
-      Obs.Metrics.max_gauge m_queue_hwm (float_of_int (Queue.length t.queue));
-      Condition.signal t.q_nonempty;
-      Mutex.unlock t.q_mutex;
-      `Ticket job
-    end
+  | Ok req -> enqueue t ~make_task:(fun j -> Job j) req
 
-let take_job t ~block =
+let inject_crash ?(id = "crash") t =
+  (* The body is irrelevant (the task never reaches [respond]); Health
+     is just the cheapest placeholder to construct. *)
+  enqueue t
+    ~make_task:(fun j -> Crash j)
+    { Request.id = Some id; body = Request.Health }
+
+let take_task t ~block =
   Mutex.lock t.q_mutex;
   if block then
     while Queue.is_empty t.queue && not t.stopping do
       Condition.wait t.q_nonempty t.q_mutex
     done;
-  let job = Queue.take_opt t.queue in
+  let task = Queue.take_opt t.queue in
   Mutex.unlock t.q_mutex;
-  job
+  task
 
 let pump t =
-  match take_job t ~block:false with
-  | Some job ->
-    run_job t job;
+  match take_task t ~block:false with
+  | Some task ->
+    (try run_task t task with Crashed -> ());
     true
   | None -> false
 
 let rec worker_loop t =
-  match take_job t ~block:true with
-  | Some job ->
-    run_job t job;
+  match take_task t ~block:true with
+  | Some task ->
+    run_task t task;
     worker_loop t
   | None -> () (* stopping and drained *)
+
+(* The supervisor: every escape from the worker loop short of a clean
+   stop is a worker death.  The in-flight ticket was already completed
+   by [run_task], so all that is left is to count the restart and
+   resume consuming — on the same domain, which keeps the domain count
+   an invariant of the engine instead of an unbounded spawn stream. *)
+let supervised_worker t =
+  Atomic.incr t.n_alive;
+  let rec go () =
+    match worker_loop t with
+    | () -> ()
+    | exception _ ->
+      Atomic.incr t.n_restarts;
+      Obs.Metrics.incr m_restarts;
+      if not (draining t) then go ()
+  in
+  go ();
+  Atomic.decr t.n_alive
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
@@ -314,28 +447,60 @@ let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
       n_errors = Atomic.make 0;
       n_shed = Atomic.make 0;
       n_deadline = Atomic.make 0;
+      n_internal = Atomic.make 0;
+      n_restarts = Atomic.make 0;
+      n_alive = Atomic.make 0;
     }
   in
   t.worker_domains <-
-    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init workers (fun _ -> Domain.spawn (fun () -> supervised_worker t));
   t
 
 let workers t = List.length t.worker_domains
 let quote_table t = t.table
 let base_params t = t.base
 
-let stop t =
+let shutdown ?(drain = true) t =
   Mutex.lock t.q_mutex;
+  let already = t.stopping in
   t.stopping <- true;
+  let rejected =
+    if drain || already then []
+    else begin
+      (* Fast abort: pull everything still queued and answer it below
+         (outside the lock) so shutdown latency is one in-flight job. *)
+      let l = Queue.fold (fun acc task -> task :: acc) [] t.queue in
+      Queue.clear t.queue;
+      List.rev l
+    end
+  in
   Condition.broadcast t.q_nonempty;
   Mutex.unlock t.q_mutex;
-  List.iter Domain.join t.worker_domains;
-  t.worker_domains <- [];
-  (* No workers left: drain anything still queued on this domain so
-     every issued ticket resolves. *)
-  while pump t do
-    ()
-  done
+  List.iter
+    (fun task ->
+      Atomic.incr t.n_shed;
+      Obs.Metrics.incr m_shed;
+      match task with
+      | Job job ->
+        finish_job job
+          (Response.error ~id:job.req.Request.id ~req:(Request.kind job.req)
+             ~code:"overloaded" ~message:"server is shutting down" ())
+      | Crash job ->
+        finish_job job
+          (Response.error ~id:job.req.Request.id ~code:"overloaded"
+             ~message:"server is shutting down" ()))
+    rejected;
+  if not already then begin
+    List.iter Domain.join t.worker_domains;
+    t.worker_domains <- [];
+    (* No workers left: drain anything still queued on this domain so
+       every issued ticket resolves. *)
+    while pump t do
+      ()
+    done
+  end
+
+let stop t = shutdown ~drain:true t
 
 let stats t =
   {
@@ -345,5 +510,7 @@ let stats t =
     errors = Atomic.get t.n_errors;
     shed = Atomic.get t.n_shed;
     deadline_exceeded = Atomic.get t.n_deadline;
+    internal_errors = Atomic.get t.n_internal;
+    worker_restarts = Atomic.get t.n_restarts;
     cache = Cache.stats t.cache;
   }

@@ -1,6 +1,6 @@
 (** The swap-quote engine: request evaluation behind a sharded result
-    cache, a dedicated worker pool with a {e bounded} submission queue,
-    and admission control.
+    cache, a dedicated {e supervised} worker pool with a bounded
+    submission queue, and admission control.
 
     {b Byte-identity contract.}  Response bodies depend only on the
     canonical request bytes and the engine's configuration (base
@@ -8,11 +8,23 @@
     spliced in at assembly.  Cached, batched ({!handle_batch} at any
     jobs count), and worker-pool responses are therefore byte-identical
     to a direct {!handle} call on an identically configured engine.
+    [Health] is the one deliberate exception: it reports live
+    queue/worker/cache state and is never cached.
 
     {b Backpressure.}  {!submit} sheds with an [overloaded] error the
     moment the queue is full (never queueing without bound), and a
     queued request older than [deadline_s] is answered
-    [deadline_exceeded] without computing. *)
+    [deadline_exceeded] without computing.
+
+    {b Supervision.}  A request whose evaluation raises never strands
+    its ticket: the ticket is completed with a structured
+    [internal_error] response, the worker loop that died is restarted
+    in place (counted in [serve.worker_restarts] and
+    {!stats}[.worker_restarts]), and the engine keeps serving.  On the
+    synchronous {!handle} path the crash is absorbed into the same
+    [internal_error] response.  {!inject_crash} forces one such
+    death/restart cycle deterministically — the fault-injection hook
+    the chaos bench and the supervision tests drive. *)
 
 type t
 
@@ -40,7 +52,8 @@ val create :
 
 val handle : t -> string -> string
 (** Parse, answer from the cache or compute, and encode — synchronously
-    on the calling domain.  Never sheds. *)
+    on the calling domain.  Never sheds, never raises on request
+    evaluation (crashes become [internal_error] responses). *)
 
 val handle_batch : ?jobs:int -> t -> string array -> string array
 (** Order-preserving parallel {!handle} over the shared
@@ -52,7 +65,9 @@ val submit : t -> string -> [ `Done of string | `Ticket of ticket ]
 (** Hand a request line to the worker pool.  [`Done] carries an
     immediate response: a parse error, or an [overloaded] shed when the
     queue is full (admission control) or the engine is stopping.
-    [`Ticket] resolves via {!await}. *)
+    [`Ticket] resolves via {!await} — always, even if the worker
+    handling it crashes ([internal_error]) or {!shutdown} rejects it
+    ([overloaded]). *)
 
 val await : ticket -> string
 (** Block until a worker (or {!pump}) answers the ticket. *)
@@ -60,14 +75,45 @@ val await : ticket -> string
 val pump : t -> bool
 (** Run one queued request on the calling domain; [false] when the
     queue is empty.  Lets transports or tests drive a worker-less
-    engine deterministically. *)
+    engine deterministically.  A crashing task is absorbed (its ticket
+    still resolves with [internal_error]); no restart is counted — the
+    caller's domain did not die. *)
+
+val inject_crash : ?id:string -> t -> [ `Done of string | `Ticket of ticket ]
+(** Enqueue a poisoned task (admission control as {!submit}): the
+    worker that takes it completes the ticket with [internal_error]
+    ["injected worker crash"] and then dies; its supervisor restarts
+    the loop and counts [serve.worker_restarts].  Deterministic — the
+    chaos bench and the supervision tests force exactly the failure
+    mode a real evaluation crash would produce.  [id] (default
+    ["crash"]) is echoed in the response. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop accepting new submissions (subsequent {!submit}s shed with
+    [overloaded]).  With [~drain:true] (default) workers finish every
+    queued job before being joined; with [~drain:false] still-queued
+    jobs are answered [overloaded] ("server is shutting down")
+    immediately, so shutdown waits only for the jobs already being
+    computed.  Either way every issued ticket resolves and the queue
+    is empty on return.  Idempotent; {!handle} keeps working after. *)
 
 val stop : t -> unit
-(** Stop accepting queued work, join the worker domains, and drain any
-    remaining queue on the caller so every issued ticket resolves.
-    Subsequent {!submit}s shed; {!handle} keeps working. *)
+(** [shutdown ~drain:true] — the historical name. *)
 
 val workers : t -> int
+(** Worker domains spawned at {!create} (0 after {!shutdown}). *)
+
+val alive_workers : t -> int
+(** Worker loops currently consuming the queue.  Transiently below
+    {!workers} while a supervisor is restarting a crashed loop; 0 after
+    {!shutdown}. *)
+
+val queue_depth : t -> int
+(** Tasks currently queued (excludes jobs being computed). *)
+
+val draining : t -> bool
+(** True once {!shutdown} (either mode) has begun. *)
+
 val quote_table : t -> Market.Quote_table.t
 val base_params : t -> Swap.Params.t
 
@@ -76,8 +122,12 @@ type stats = {
   parse_errors : int;
   ok : int;  (** Computed [ok] bodies (cache hits not re-counted). *)
   errors : int;  (** Computed error bodies (ditto). *)
-  shed : int;  (** Admission-control rejections. *)
+  shed : int;  (** Admission-control + shutdown rejections. *)
   deadline_exceeded : int;
+  internal_errors : int;
+      (** Evaluation crashes answered [internal_error] (includes
+          injected ones). *)
+  worker_restarts : int;  (** Supervisor restarts of died worker loops. *)
   cache : Cache.stats;
 }
 

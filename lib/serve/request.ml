@@ -22,6 +22,7 @@ type body =
   | Success_rate of { params : Swap.Params.t; p_star : float; q : float }
   | Sweep of { params : Swap.Params.t; q : float; spec : sweep_spec }
   | Quote of { mu : float; sigma : float; spot : float }
+  | Health
 
 type t = { id : string option; body : body }
 
@@ -33,6 +34,7 @@ let kind t =
   | Success_rate _ -> "success_rate"
   | Sweep _ -> "sweep"
   | Quote _ -> "quote"
+  | Health -> "health"
 
 (* --- canonical encoding ------------------------------------------------- *)
 
@@ -59,6 +61,7 @@ let body_fields = function
   | Quote { mu; sigma; spot } ->
     Printf.sprintf "\"req\":\"quote\",\"mu\":%s,\"sigma\":%s,\"spot\":%s"
       (J.num mu) (J.num sigma) (J.num spot)
+  | Health -> "\"req\":\"health\""
 
 let key t =
   Printf.sprintf "{\"schema\":%s,%s}" (J.str schema) (body_fields t.body)
@@ -195,6 +198,11 @@ let decode_root root =
         let sigma = finite_num "sigma" (require root "sigma") in
         let spot = finite_num "spot" (require root "spot") in
         Quote { mu; sigma; spot }
+      | "health" ->
+        (* No params: health reports live engine state, so there is
+           nothing to parameterise and nothing to cache. *)
+        check_keys "request" [ "schema"; "id"; "req" ] fields;
+        Health
       | other -> P.bad "unknown req %S" other
     in
     { id; body }

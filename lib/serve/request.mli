@@ -21,6 +21,11 @@ type body =
       (** SR across [n] rates in [lo, hi]. *)
   | Quote of { mu : float; sigma : float; spot : float }
       (** SR-optimal rate off the warm {!Market.Quote_table}. *)
+  | Health
+      (** Live engine state: queue depth, workers alive, restart and
+          cache counters.  Never cached (the answer is a snapshot, not
+          a pure function of the request), so it sits outside the
+          byte-identity contract. *)
 
 type t = { id : string option; body : body }
 
@@ -31,8 +36,8 @@ type error = { err_id : string option; code : string; message : string }
     rejections stay client-correlatable. *)
 
 val kind : t -> string
-(** ["cutoffs" | "success_rate" | "sweep" | "quote"] — the wire [req]
-    tag, echoed in responses and used as a metric label. *)
+(** ["cutoffs" | "success_rate" | "sweep" | "quote" | "health"] — the
+    wire [req] tag, echoed in responses and used as a metric label. *)
 
 val decode : string -> (t, error) result
 (** Parse one request line.  Requires [schema]; [id] is optional;

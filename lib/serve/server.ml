@@ -16,6 +16,35 @@
 
 let m_connections = Obs.Metrics.counter "serve.connections"
 let m_conn_requests = Obs.Metrics.counter "serve.connection_requests"
+let m_conn_errors = Obs.Metrics.counter "serve.connection_errors"
+
+(* Classified sub-counters (the {reason} dimension): registration is
+   idempotent, so resolving on each event is cheap and keeps the set of
+   reasons open-ended. *)
+let m_conn_error reason =
+  Obs.Metrics.counter ("serve.connection_errors." ^ reason)
+
+(* A connection error's reason tag.  EPIPE and ECONNRESET get their own
+   buckets — they are the signature of mid-response disconnects and
+   resets, exactly what the chaos transport injects — everything else
+   folds into coarse classes. *)
+let conn_error_reason = function
+  | Sys_error _ -> "sys_error"
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> "epipe"
+  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> "econnreset"
+  | Unix.Unix_error (_, _, _) -> "unix_error"
+  | _ -> "handler_crash"
+
+let count_conn_error exn =
+  Obs.Metrics.incr m_conn_errors;
+  Obs.Metrics.incr (m_conn_error (conn_error_reason exn))
+
+(* A handler writing into a reset connection must see EPIPE — counted
+   and classified above — not the POSIX default of the whole process
+   dying of SIGPIPE on the first mid-response disconnect. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
 
 (* --- pipe ----------------------------------------------------------------- *)
 
@@ -68,7 +97,15 @@ let handle_conn t fd =
          flush oc
        end
      done
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+   with
+  | End_of_file -> () (* clean close: the client simply hung up *)
+  | exn ->
+    (* Handler supervision: a torn read, a write into a reset
+       connection (EPIPE/ECONNRESET), or any unexpected crash must not
+       kill the handler domain silently — count and classify it, then
+       fall through to the normal fd cleanup below so the connection
+       slot is reclaimed either way. *)
+    count_conn_error exn);
   (* Self-removal is gated on [closing] and runs under the connection
      mutex: once [shutdown] has flipped the flag its snapshot owns every
      listed fd, so no fd in that snapshot is ever closed (or its number
@@ -102,15 +139,47 @@ let rec accept_loop t =
       (try Unix.close fd with Unix.Unix_error _ -> ())
     else accept_loop t
 
+(* A Unix-domain socket path cannot be rebound, so a crashed server
+   leaves a stale file behind.  unlink-then-bind has two failure modes:
+   it silently evicts a *live* server, and between the unlink and the
+   bind there is a window with no socket at the path at all.  Instead:
+   refuse paths that answer a probe connect (live server — a clear
+   EADDRINUSE, not silent eviction), refuse non-socket files (never
+   unlink something we did not create), and otherwise bind to a
+   process-unique temp path and atomically rename it over the stale
+   file — at every instant the path resolves to either the old socket
+   or the new one. *)
+let check_bindable path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "Serve.Server.listen", path))
+  | _ -> raise (Unix.Unix_error (Unix.ENOTSOCK, "Serve.Server.listen", path))
+
 let listen engine ~path ?(backlog = 16) () =
-  if Sys.file_exists path then (
-    try Unix.unlink path with Unix.Unix_error _ -> ());
+  ignore_sigpipe ();
+  check_bindable path;
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try Unix.unlink tmp with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX path);
-     Unix.listen listen_fd backlog
+     Unix.bind listen_fd (Unix.ADDR_UNIX tmp);
+     Unix.listen listen_fd backlog;
+     (* Atomic replace: the listening socket keeps accepting under its
+        new name; a stale file at [path] is overwritten in one step. *)
+     Unix.rename tmp path
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
      raise e);
   let t =
     {

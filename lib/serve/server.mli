@@ -7,7 +7,15 @@
     The socket server is one listener domain plus one IO handler domain
     per connection; request compute is handed to the engine's worker
     pool, so admission control and deadlines apply.  Responses come
-    back in request order per connection. *)
+    back in request order per connection.
+
+    {b Fault behaviour.}  A handler that hits a torn read, a write into
+    a reset/closed connection, or any unexpected exception counts and
+    classifies the event under [serve.connection_errors] (sub-counters
+    [.epipe], [.econnreset], [.sys_error], [.unix_error],
+    [.handler_crash]) and reclaims the connection slot — it never dies
+    silently and never takes the server down.  A client hanging up
+    cleanly (EOF) is not an error. *)
 
 val serve_pipe : Engine.t -> in_channel -> out_channel -> int
 (** Read request lines until EOF, answering each on the next line
@@ -18,12 +26,19 @@ type t
 (** A listening Unix-domain-socket server. *)
 
 val listen : Engine.t -> path:string -> ?backlog:int -> unit -> t
-(** Bind and listen on [path] (an existing file at [path] is unlinked
-    first — Unix-domain sockets do not rebind), then accept in a
-    background domain.  With an engine of zero workers, handlers
-    compute inline instead of submitting.
-    @raise Unix.Unix_error when the socket cannot be bound (e.g. a
-    path longer than the [sun_path] limit). *)
+(** Bind and listen on [path], then accept in a background domain.
+    With an engine of zero workers, handlers compute inline instead of
+    submitting.
+
+    A stale socket file at [path] (left by a crashed server) is
+    replaced {e atomically}: the socket is bound to a process-unique
+    temp path and renamed over the stale file, so there is no instant
+    at which [path] does not resolve.  A {e live} socket at [path]
+    (something answers a probe connect) raises [EADDRINUSE] instead of
+    being evicted, and a non-socket file raises [ENOTSOCK] — the
+    server never unlinks a file it cannot prove abandoned.
+    @raise Unix.Unix_error as above, or when the socket cannot be
+    bound (e.g. a path longer than the [sun_path] limit). *)
 
 val path : t -> string
 

@@ -368,6 +368,352 @@ let test_determinism_guard () =
   Serve.Engine.stop e1;
   Serve.Engine.stop e2
 
+(* --- supervision ---------------------------------------------------------- *)
+
+let sr_line id =
+  Printf.sprintf
+    "{\"schema\":\"htlc-serve/v1\",\"id\":\"%s\",\"req\":\"success_rate\",\"p_star\":2}"
+    id
+
+let await_restarts e ~at_least =
+  (* The supervisor counts the restart a moment after the crash ticket
+     resolves; poll briefly rather than racing it. *)
+  let t0 = Obs.Monotonic.now_ns () in
+  while
+    (Serve.Engine.stats e).Serve.Engine.worker_restarts < at_least
+    && Obs.Monotonic.elapsed_s ~since_ns:t0 < 5.
+  do
+    Unix.sleepf 0.002
+  done;
+  (Serve.Engine.stats e).Serve.Engine.worker_restarts
+
+let test_supervision_restart () =
+  let e = make_engine ~workers:2 () in
+  let resp =
+    match Serve.Engine.inject_crash ~id:"boom" e with
+    | `Ticket t -> Serve.Engine.await t
+    | `Done resp -> resp
+  in
+  check_bool "crash ticket resolves with internal_error" true
+    (contains resp "\"error\":\"internal_error\"");
+  check_bool "crash response names the injected fault" true
+    (contains resp "injected worker crash");
+  check_bool "id echoed on the crash response" true
+    (contains resp "\"id\":\"boom\"");
+  check_bool "supervisor restarted the dead worker" true
+    (await_restarts e ~at_least:1 >= 1);
+  (* The engine must keep serving after the death/restart cycle. *)
+  let after =
+    match Serve.Engine.submit e (sr_line "after-crash") with
+    | `Ticket t -> Serve.Engine.await t
+    | `Done resp -> resp
+  in
+  check_bool "engine still serves after a restart" true
+    (contains after "\"status\":\"ok\"");
+  check_int "internal error counted" 1
+    (Serve.Engine.stats e).Serve.Engine.internal_errors;
+  Serve.Engine.stop e;
+  check_int "no workers left after stop" 0 (Serve.Engine.alive_workers e)
+
+let test_pump_absorbs_crash () =
+  (* On a worker-less engine the caller's own domain runs the poisoned
+     task: the ticket must still resolve, but nothing died, so no
+     restart is counted. *)
+  let e = make_engine ~workers:0 () in
+  let t =
+    match Serve.Engine.inject_crash e with
+    | `Ticket t -> t
+    | `Done _ -> Alcotest.fail "crash task must queue on an idle engine"
+  in
+  check_bool "pump survives the poisoned task" true (Serve.Engine.pump e);
+  check_bool "ticket resolved with internal_error" true
+    (contains (Serve.Engine.await t) "\"error\":\"internal_error\"");
+  check_int "no restart counted on the pump path" 0
+    (Serve.Engine.stats e).Serve.Engine.worker_restarts;
+  Serve.Engine.stop e
+
+let test_health_request () =
+  let e = make_engine ~workers:0 () in
+  let health = "{\"schema\":\"htlc-serve/v1\",\"id\":\"h\",\"req\":\"health\"}" in
+  let resp = Serve.Engine.handle e health in
+  List.iter
+    (fun frag ->
+      check_bool (Printf.sprintf "health reports %s" frag) true
+        (contains resp frag))
+    [
+      "\"status\":\"ok\"";
+      "\"req\":\"health\"";
+      "\"workers\":0";
+      "\"queue_depth\":0";
+      "\"draining\":false";
+      "\"worker_restarts\":0";
+      "\"cache\":{";
+    ];
+  (* Health is live state: it must bypass the cache entirely. *)
+  ignore (Serve.Engine.handle e health);
+  let s = Serve.Engine.stats e in
+  check_int "health is never cached (no hits)" 0
+    s.Serve.Engine.cache.Serve.Cache.hits;
+  check_int "health is never cached (no misses)" 0
+    s.Serve.Engine.cache.Serve.Cache.misses;
+  Serve.Engine.stop e;
+  check_bool "draining reported after shutdown" true
+    (contains (Serve.Engine.handle e health) "\"draining\":true")
+
+(* --- shutdown under load -------------------------------------------------- *)
+
+let test_shutdown_drain_finishes_queue () =
+  let e = make_engine ~workers:0 () in
+  let tickets =
+    List.init 5 (fun i ->
+        match Serve.Engine.submit e (sr_line (Printf.sprintf "d%d" i)) with
+        | `Ticket t -> t
+        | `Done _ -> Alcotest.fail "submit must queue")
+  in
+  Serve.Engine.shutdown ~drain:true e;
+  List.iteri
+    (fun i t ->
+      check_bool (Printf.sprintf "drained ticket %d resolved ok" i) true
+        (contains (Serve.Engine.await t) "\"status\":\"ok\""))
+    tickets;
+  check_int "queue empty after drain" 0 (Serve.Engine.queue_depth e)
+
+let test_shutdown_nodrain_rejects_queue () =
+  let e = make_engine ~workers:0 () in
+  let tickets =
+    List.init 5 (fun i ->
+        match Serve.Engine.submit e (sr_line (Printf.sprintf "n%d" i)) with
+        | `Ticket t -> t
+        | `Done _ -> Alcotest.fail "submit must queue")
+  in
+  Serve.Engine.shutdown ~drain:false e;
+  List.iteri
+    (fun i t ->
+      let resp = Serve.Engine.await t in
+      check_bool (Printf.sprintf "queued ticket %d rejected" i) true
+        (contains resp "\"error\":\"overloaded\"");
+      check_bool (Printf.sprintf "rejection %d names shutdown" i) true
+        (contains resp "shutting down"))
+    tickets;
+  check_int "queue empty after fast shutdown" 0 (Serve.Engine.queue_depth e);
+  match Serve.Engine.submit e (sr_line "late") with
+  | `Done resp ->
+    check_bool "new submissions shed while shutting down" true
+      (contains resp "\"error\":\"overloaded\"")
+  | `Ticket _ -> Alcotest.fail "draining engine must not queue"
+
+let test_shutdown_under_load () =
+  (* Submitters race shutdown: every submission must get exactly one
+     response — computed, rejected, or shed — and nothing may hang or
+     be double-completed. *)
+  let e = make_engine ~workers:2 ~queue_capacity:8 () in
+  let per_domain = 40 in
+  let ok = Atomic.make 0 and rejected = Atomic.make 0 in
+  let submitter d =
+    Domain.spawn (fun () ->
+        for i = 0 to per_domain - 1 do
+          let resp =
+            match
+              Serve.Engine.submit e (sr_line (Printf.sprintf "u%d-%d" d i))
+            with
+            | `Ticket t -> Serve.Engine.await t
+            | `Done resp -> resp
+          in
+          if contains resp "\"status\":\"ok\"" then Atomic.incr ok
+          else if contains resp "\"error\":\"overloaded\"" then
+            Atomic.incr rejected
+          else Alcotest.failf "unexpected response under shutdown: %s" resp
+        done)
+  in
+  let domains = List.init 3 submitter in
+  Unix.sleepf 0.002;
+  Serve.Engine.shutdown ~drain:false e;
+  List.iter Domain.join domains;
+  check_int "every submission got exactly one response"
+    (3 * per_domain)
+    (Atomic.get ok + Atomic.get rejected);
+  check_int "queue empty after racing shutdown" 0
+    (Serve.Engine.queue_depth e);
+  check_int "idempotent second shutdown is safe" 0
+    (Serve.Engine.shutdown ~drain:true e;
+     Serve.Engine.queue_depth e)
+
+let test_server_shutdown_with_live_conn () =
+  (* A connection mid-request when the server shuts down: shutdown must
+     not hang, and the client sees EOF, not a stuck socket. *)
+  let e = make_engine ~workers:1 () in
+  let path =
+    Printf.sprintf "/tmp/htlc-serve-live-%d.sock" (Unix.getpid ())
+  in
+  let server = Serve.Server.listen e ~path () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc = Unix.out_channel_of_descr fd in
+  (* Half a request: no newline, so the handler is parked in input_line. *)
+  output_string oc "{\"schema\":\"htlc-serve";
+  flush oc;
+  Serve.Server.shutdown server;
+  let ic = Unix.in_channel_of_descr fd in
+  (* Depending on timing the forced shutdown surfaces as clean EOF or
+     as a reset — either way the connection is over, not stuck. *)
+  (match input_line ic with
+  | line -> Alcotest.failf "expected EOF after shutdown, got %S" line
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  check_bool "socket unlinked" false (Sys.file_exists path);
+  Serve.Engine.stop e
+
+(* --- stale / live / non-socket paths -------------------------------------- *)
+
+let test_listen_stale_and_live () =
+  let e = make_engine ~workers:0 () in
+  let path =
+    Printf.sprintf "/tmp/htlc-serve-stale-%d.sock" (Unix.getpid ())
+  in
+  (* A stale socket file: bound and listened once, then abandoned
+     without unlink (a crashed server). *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  check_bool "stale socket file exists" true (Sys.file_exists path);
+  let server = Serve.Server.listen e ~path () in
+  check_bool "stale socket replaced atomically" true (Sys.file_exists path);
+  (* A live server at the path: a second listen must refuse loudly. *)
+  (match Serve.Server.listen e ~path () with
+  | _ -> Alcotest.fail "listen over a live server must raise"
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+  Serve.Server.shutdown server;
+  (* A non-socket file: never unlinked, clearly refused. *)
+  let regular =
+    Printf.sprintf "/tmp/htlc-serve-notsock-%d" (Unix.getpid ())
+  in
+  Out_channel.with_open_text regular (fun oc ->
+      Out_channel.output_string oc "precious data\n");
+  (match Serve.Server.listen e ~path:regular () with
+  | _ -> Alcotest.fail "listen on a regular file must raise"
+  | exception Unix.Unix_error (Unix.ENOTSOCK, _, _) -> ());
+  check_bool "regular file untouched" true (Sys.file_exists regular);
+  Sys.remove regular;
+  Serve.Engine.stop e
+
+(* --- chaos + client ------------------------------------------------------- *)
+
+let test_chaos_determinism () =
+  let plan = Serve.Chaos.plan ~seed:11 () in
+  let fates n p = List.init n (fun op -> Serve.Chaos.fate p ~op) in
+  check_bool "fates are a pure function of (seed, op)" true
+    (fates 200 plan = fates 200 (Serve.Chaos.plan ~seed:11 ()));
+  check_bool "a different seed draws a different schedule" true
+    (fates 200 plan <> fates 200 (Serve.Chaos.plan ~seed:12 ()));
+  check_bool "derived streams differ from the base plan" true
+    (fates 200 plan <> fates 200 (Serve.Chaos.for_stream plan ~stream:1));
+  let faulty =
+    List.filter (fun f -> f <> Serve.Chaos.Clean) (fates 200 plan)
+  in
+  check_bool "a 200-op schedule at full intensity injects faults" true
+    (List.length faulty > 0);
+  check_bool "zero intensity is a clean transport" true
+    (List.for_all
+       (fun f -> f = Serve.Chaos.Clean)
+       (fates 200 (Serve.Chaos.plan ~seed:11 ~intensity:0. ())))
+
+let test_chaos_pipe_script () =
+  let lines = List.init 24 (fun i -> sr_line (Printf.sprintf "p%d" i)) in
+  let plan = Serve.Chaos.plan ~seed:5 () in
+  let script = Serve.Chaos.corrupt_script plan lines in
+  check_str "script corruption is deterministic" script
+    (Serve.Chaos.corrupt_script plan lines);
+  let expected = Serve.Chaos.expected_pipe_responses plan lines in
+  (* Feed the corrupted script through the real pipe transport and
+     count answers: every surviving line gets exactly one response. *)
+  let tmp = Filename.temp_file "htlc-chaos" ".script" in
+  Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.output_string oc script);
+  let out = Filename.temp_file "htlc-chaos" ".out" in
+  let e = make_engine ~workers:0 () in
+  let served =
+    In_channel.with_open_text tmp (fun ic ->
+        Out_channel.with_open_text out (fun oc ->
+            Serve.Server.serve_pipe e ic oc))
+  in
+  Serve.Engine.stop e;
+  check_int "pipe answers every surviving line" expected served;
+  let responses =
+    In_channel.with_open_text out In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_int "one response line per served request" expected
+    (List.length responses);
+  Sys.remove tmp;
+  Sys.remove out
+
+let test_client_retries_through_chaos () =
+  let e = make_engine ~workers:2 () in
+  let path =
+    Printf.sprintf "/tmp/htlc-serve-chaos-%d.sock" (Unix.getpid ())
+  in
+  let server = Serve.Server.listen e ~path () in
+  let reference = make_engine ~workers:0 () in
+  let plan = Serve.Chaos.plan ~seed:21 () in
+  let client =
+    Serve.Client.create
+      ~dialer:(Serve.Chaos.wrap plan (Serve.Client.socket_dialer ~path))
+      ~max_attempts:10 ~base_backoff_s:1e-4 ~max_backoff_s:0.01 ~seed:3 ()
+  in
+  let lines = List.init 40 (fun i -> sr_line (Printf.sprintf "c%d" i)) in
+  List.iteri
+    (fun i line ->
+      match Serve.Client.call client line with
+      | Ok resp ->
+        check_str
+          (Printf.sprintf "response %d byte-identical through faults" i)
+          (Serve.Engine.handle reference line)
+          resp
+      | Error err ->
+        Alcotest.failf "call %d failed: %s (%s after %d attempts)" i
+          err.Serve.Client.message err.Serve.Client.code
+          err.Serve.Client.attempts)
+    lines;
+  let s = Serve.Client.stats client in
+  check_int "every call counted" 40 s.Serve.Client.calls;
+  check_bool "the seeded schedule made the client retry" true
+    (s.Serve.Client.retries > 0);
+  check_bool "retries re-dialed" true (s.Serve.Client.reconnects > 0);
+  check_int "no call ultimately failed" 0 s.Serve.Client.failures;
+  Serve.Client.close client;
+  Serve.Server.shutdown server;
+  Serve.Engine.stop e;
+  Serve.Engine.stop reference
+
+let test_client_deadline_and_unavailable () =
+  (* No server at all: the client must fail fast and structured, never
+     hang. *)
+  let path = Printf.sprintf "/tmp/htlc-serve-nope-%d.sock" (Unix.getpid ()) in
+  let c =
+    Serve.Client.create ~path ~max_attempts:3 ~base_backoff_s:1e-4
+      ~max_backoff_s:1e-3 ()
+  in
+  (match Serve.Client.call c (sr_line "x") with
+  | Ok _ -> Alcotest.fail "call without a server must fail"
+  | Error err ->
+    check_str "attempts exhausted" "unavailable" err.Serve.Client.code;
+    check_int "all attempts made" 3 err.Serve.Client.attempts);
+  Serve.Client.close c;
+  let c =
+    Serve.Client.create ~path ~max_attempts:1000 ~base_backoff_s:0.02
+      ~max_backoff_s:0.02 ~deadline_s:0.05 ()
+  in
+  let t0 = Obs.Monotonic.now_ns () in
+  (match Serve.Client.call c (sr_line "y") with
+  | Ok _ -> Alcotest.fail "call without a server must fail"
+  | Error err ->
+    check_str "deadline beats the attempt budget" "deadline_exceeded"
+      err.Serve.Client.code);
+  check_bool "deadline bounded the wall time" true
+    (Obs.Monotonic.elapsed_s ~since_ns:t0 < 2.);
+  Serve.Client.close c
+
 (* --- socket transport ---------------------------------------------------- *)
 
 let test_socket_roundtrip () =
@@ -449,6 +795,38 @@ let () =
           Alcotest.test_case "shed + pump" `Quick test_engine_shed_and_pump;
           Alcotest.test_case "deadline" `Quick test_engine_deadline;
           Alcotest.test_case "jobs invariance" `Quick test_determinism_guard;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash + restart" `Quick test_supervision_restart;
+          Alcotest.test_case "pump absorbs crash" `Quick
+            test_pump_absorbs_crash;
+          Alcotest.test_case "health request" `Quick test_health_request;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "drain finishes queue" `Quick
+            test_shutdown_drain_finishes_queue;
+          Alcotest.test_case "no-drain rejects queue" `Quick
+            test_shutdown_nodrain_rejects_queue;
+          Alcotest.test_case "racing submitters" `Quick
+            test_shutdown_under_load;
+          Alcotest.test_case "live connection" `Quick
+            test_server_shutdown_with_live_conn;
+        ] );
+      ( "listen",
+        [
+          Alcotest.test_case "stale/live/non-socket" `Quick
+            test_listen_stale_and_live;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "fate determinism" `Quick test_chaos_determinism;
+          Alcotest.test_case "pipe script" `Quick test_chaos_pipe_script;
+          Alcotest.test_case "client retries" `Quick
+            test_client_retries_through_chaos;
+          Alcotest.test_case "client failure modes" `Quick
+            test_client_deadline_and_unavailable;
         ] );
       ( "transport",
         [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ] );
