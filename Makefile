@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -27,6 +27,13 @@ obs-smoke:
 # cache byte-identity of the repeated request) (also part of @ci).
 serve-smoke:
 	dune build @serve-smoke
+
+# Reactor smoke: the fixed request script over a real socket reactor —
+# JSON leg pinned to the pipe-mode transcript, binary leg pinned
+# byte-identical to the JSON rows (health shape-pinned) (also part of
+# @ci).
+reactor-smoke:
+	dune build @reactor-smoke
 
 # Chaos-serve smoke: seeded fault-injected load (torn writes, truncated
 # responses, resets, one injected worker crash) through the retrying

@@ -410,19 +410,28 @@ let mc_wall_clock ~trials ~jobs_n =
 
 (* --- serve load generator ----------------------------------------------- *)
 
-(* `bench serve`: drive the Unix-socket server with concurrent client
-   domains and byte-compare every response against a direct-call
-   reference — an identically configured zero-worker engine answering
-   the same request lines via [Engine.handle].  Any byte difference is
-   a mismatch; a missing response line is a drop.  Reported alongside
-   throughput and latency percentiles in the htlc-bench JSON. *)
+(* `bench serve`: drive the reactor server head-to-head over both wire
+   codecs — newline-delimited htlc-serve/v1 JSON and length-prefixed
+   htlc-serve/b1 binary — with concurrent pipelining client domains,
+   and byte-compare every response body against a direct-call
+   reference: an identically configured zero-worker engine answering
+   the same typed requests via [Engine.handle_decoded].  Any byte
+   difference is a mismatch; a missing response is a drop.  Both legs
+   are reported in the htlc-bench JSON under "codecs". *)
 
-(* A deterministic corpus: [distinct] different questions (all four
-   request kinds, parameter values derived from the index) cycled over
-   [n] request lines, so the result cache sees a realistic mix of cold
-   and repeated questions. *)
+(* Clients send [pipeline_window] requests per write and then read the
+   window's responses back — the reactor's pipelining path, and the
+   only way a 1-core box clears the syscall-per-request ceiling. *)
+let pipeline_window = 64
+
+(* A deterministic hot/cold corpus: [distinct] hot questions (all four
+   request kinds, parameter values derived from the index) carry ~90%
+   of traffic; the remaining ~10% are one-off cold quote lookups keyed
+   by the request index, so the cache sees misses and eviction churn
+   mid-run, not just a warm loop.  Index mixing is a fixed odd
+   multiplier (Knuth), not [Random] — the corpus is reproducible. *)
 let serve_corpus ~n ~distinct =
-  let body i =
+  let hot i =
     let open Serve.Request in
     let f = float_of_int (i / 4) in
     match i mod 4 with
@@ -444,11 +453,16 @@ let serve_corpus ~n ~distinct =
         }
   in
   Array.init n (fun j ->
-      Serve.Request.encode
-        {
-          Serve.Request.id = Some (Printf.sprintf "q%d" j);
-          body = body (j mod distinct);
-        })
+      let u = j * 0x9E3779B1 land 0x3FFFFFFF in
+      let body =
+        if u mod 10 = 0 then
+          (* Cold: a spot nobody asks about twice (table lookup, so the
+             reference double-compute stays cheap). *)
+          Serve.Request.Quote
+            { mu = 0.; sigma = 0.08; spot = 2. +. (1e-6 *. float_of_int j) }
+        else hot (u mod distinct)
+      in
+      { Serve.Request.id = Some (Printf.sprintf "q%d" j); body })
 
 type client_result = {
   latencies_ms : float array;  (** One sample per answered request. *)
@@ -456,7 +470,10 @@ type client_result = {
   mismatched : int;
 }
 
-let run_client ~path ~requests ~(expected : string array) ~lo ~hi =
+(* Latency per pipelined request is measured from its window's send
+   instant — what a batching caller actually waits. *)
+let run_client_json ~path ~(lines : string array) ~(expected : string array)
+    ~lo ~hi =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX path);
   let ic = Unix.in_channel_of_descr fd
@@ -464,17 +481,65 @@ let run_client ~path ~requests ~(expected : string array) ~lo ~hi =
   let latencies_ms = Array.make (hi - lo) nan in
   let answered = ref 0 and mismatched = ref 0 in
   (try
-     for j = lo to hi - 1 do
+     let w0 = ref lo in
+     while !w0 < hi do
+       let w1 = min hi (!w0 + pipeline_window) in
        let t0 = Obs.Monotonic.now_ns () in
-       output_string oc requests.(j);
-       output_char oc '\n';
+       for j = !w0 to w1 - 1 do
+         output_string oc lines.(j);
+         output_char oc '\n'
+       done;
        flush oc;
-       let resp = input_line ic in
-       latencies_ms.(j - lo) <- Obs.Monotonic.elapsed_s ~since_ns:t0 *. 1e3;
-       incr answered;
-       if not (String.equal resp expected.(j)) then incr mismatched
+       for j = !w0 to w1 - 1 do
+         let resp = input_line ic in
+         latencies_ms.(!answered) <-
+           Obs.Monotonic.elapsed_s ~since_ns:t0 *. 1e3;
+         incr answered;
+         if not (String.equal resp expected.(j)) then incr mismatched
+       done;
+       w0 := w1
      done
    with End_of_file | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  {
+    latencies_ms = Array.sub latencies_ms 0 !answered;
+    answered = !answered;
+    mismatched = !mismatched;
+  }
+
+(* The binary leg: same windows, frames pre-encoded once by the driver.
+   A b1 response frame carries exactly the JSON response line's bytes,
+   so the comparison target is the same [expected] array. *)
+let run_client_binary ~path ~(frames : string array)
+    ~(expected : string array) ~lo ~hi =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  let latencies_ms = Array.make (hi - lo) nan in
+  let answered = ref 0 and mismatched = ref 0 in
+  (try
+     output_string oc Serve.Binary.magic;
+     let w0 = ref lo in
+     while !w0 < hi do
+       let w1 = min hi (!w0 + pipeline_window) in
+       let t0 = Obs.Monotonic.now_ns () in
+       for j = !w0 to w1 - 1 do
+         output_string oc frames.(j)
+       done;
+       flush oc;
+       for j = !w0 to w1 - 1 do
+         match Serve.Binary.input_frame ic with
+         | None -> raise End_of_file
+         | Some body ->
+           latencies_ms.(!answered) <-
+             Obs.Monotonic.elapsed_s ~since_ns:t0 *. 1e3;
+           incr answered;
+           if not (String.equal body expected.(j)) then incr mismatched
+       done;
+       w0 := w1
+     done
+   with End_of_file | Sys_error _ | Failure _ -> ());
   (try Unix.close fd with Unix.Unix_error _ -> ());
   {
     latencies_ms = Array.sub latencies_ms 0 !answered;
@@ -659,9 +724,40 @@ let chaos_phase ~seed ~budget_s ~corpus ~expected ~clients ~workers
         c_budget_s = budget_s;
       })
 
-let write_serve_baseline ?chaos ~file ~requests ~clients ~workers
-    ~throughput_rps ~p50_ms ~p99_ms ~cache_hit_rate ~shed ~deadline_exceeded
-    ~mismatches ~dropped ~identical () =
+(* One measured leg of the head-to-head: a fresh engine + reactor
+   server driven entirely over a single wire codec. *)
+type leg = {
+  g_codec : string;
+  g_throughput_rps : float;
+  g_p50_ms : float;
+  g_p99_ms : float;
+  g_cache_hit_rate : float;
+  g_shed : int;
+  g_deadline_exceeded : int;
+  g_mismatches : int;
+  g_dropped : int;
+  g_identical : bool;
+}
+
+let write_leg oc ~last l =
+  Printf.fprintf oc "      \"%s\": {\n" l.g_codec;
+  Printf.fprintf oc "        \"throughput_rps\": %s,\n"
+    (json_num l.g_throughput_rps);
+  Printf.fprintf oc "        \"p50_ms\": %s,\n" (json_num l.g_p50_ms);
+  Printf.fprintf oc "        \"p99_ms\": %s,\n" (json_num l.g_p99_ms);
+  Printf.fprintf oc "        \"cache_hit_rate\": %s,\n"
+    (json_num l.g_cache_hit_rate);
+  Printf.fprintf oc "        \"mismatches\": %d,\n" l.g_mismatches;
+  Printf.fprintf oc "        \"dropped\": %d,\n" l.g_dropped;
+  Printf.fprintf oc "        \"identical_to_direct\": %b\n" l.g_identical;
+  Printf.fprintf oc "      }%s\n" (if last then "" else ",")
+
+(* Top-level serve fields keep the historical shape (mirroring the
+   JSON-codec leg, the wire format every prior baseline measured);
+   "codecs" carries the per-codec breakdown. *)
+let write_serve_baseline ?chaos ~file ~requests ~clients ~workers ~shards
+    ~json_leg ~binary_leg () =
+  let identical = json_leg.g_identical && binary_leg.g_identical in
   let oc = open_out file in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"htlc-bench/v1\",\n";
@@ -669,15 +765,27 @@ let write_serve_baseline ?chaos ~file ~requests ~clients ~workers
   Printf.fprintf oc "    \"requests\": %d,\n" requests;
   Printf.fprintf oc "    \"clients\": %d,\n" clients;
   Printf.fprintf oc "    \"workers\": %d,\n" workers;
-  Printf.fprintf oc "    \"throughput_rps\": %s,\n" (json_num throughput_rps);
-  Printf.fprintf oc "    \"p50_ms\": %s,\n" (json_num p50_ms);
-  Printf.fprintf oc "    \"p99_ms\": %s,\n" (json_num p99_ms);
-  Printf.fprintf oc "    \"cache_hit_rate\": %s,\n" (json_num cache_hit_rate);
-  Printf.fprintf oc "    \"shed\": %d,\n" shed;
-  Printf.fprintf oc "    \"deadline_exceeded\": %d,\n" deadline_exceeded;
-  Printf.fprintf oc "    \"mismatches\": %d,\n" mismatches;
-  Printf.fprintf oc "    \"dropped\": %d,\n" dropped;
-  Printf.fprintf oc "    \"identical_to_direct\": %b\n" identical;
+  Printf.fprintf oc "    \"reactor_shards\": %d,\n" shards;
+  Printf.fprintf oc "    \"pipeline_window\": %d,\n" pipeline_window;
+  Printf.fprintf oc "    \"throughput_rps\": %s,\n"
+    (json_num json_leg.g_throughput_rps);
+  Printf.fprintf oc "    \"p50_ms\": %s,\n" (json_num json_leg.g_p50_ms);
+  Printf.fprintf oc "    \"p99_ms\": %s,\n" (json_num json_leg.g_p99_ms);
+  Printf.fprintf oc "    \"cache_hit_rate\": %s,\n"
+    (json_num json_leg.g_cache_hit_rate);
+  Printf.fprintf oc "    \"shed\": %d,\n"
+    (json_leg.g_shed + binary_leg.g_shed);
+  Printf.fprintf oc "    \"deadline_exceeded\": %d,\n"
+    (json_leg.g_deadline_exceeded + binary_leg.g_deadline_exceeded);
+  Printf.fprintf oc "    \"mismatches\": %d,\n"
+    (json_leg.g_mismatches + binary_leg.g_mismatches);
+  Printf.fprintf oc "    \"dropped\": %d,\n"
+    (json_leg.g_dropped + binary_leg.g_dropped);
+  Printf.fprintf oc "    \"identical_to_direct\": %b,\n" identical;
+  Printf.fprintf oc "    \"codecs\": {\n";
+  write_leg oc ~last:false json_leg;
+  write_leg oc ~last:true binary_leg;
+  Printf.fprintf oc "    }\n";
   Printf.fprintf oc "  }%s\n" (if chaos = None then "" else ",");
   Option.iter
     (fun c ->
@@ -707,24 +815,13 @@ let write_serve_baseline ?chaos ~file ~requests ~clients ~workers
   Printf.fprintf oc "}\n";
   close_out oc
 
-let serve_bench ~json ~requests:n ~clients ~workers ~smoke ~chaos ~budget_s =
-  (* A reduced quote grid keeps the double warm build (serving +
-     reference engine) fast; both engines must share it so responses
-     are byte-comparable. *)
-  let mus = Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:(if smoke then 3 else 5)
-  and sigmas =
-    Numerics.Grid.linspace ~lo:0.02 ~hi:0.16 ~n:(if smoke then 3 else 4)
-  in
-  let make ~workers = Serve.Engine.create ~workers ~mus ~sigmas ~base:p () in
-  Printf.printf "bench serve: %d requests, %d clients, %d workers\n%!" n
-    clients workers;
-  let engine = make ~workers in
-  let reference = make ~workers:0 in
-  let distinct = min 64 (max 8 (n / 8)) in
-  let corpus = serve_corpus ~n ~distinct in
-  let expected = Array.map (Serve.Engine.handle reference) corpus in
-  let path = Printf.sprintf "/tmp/htlc-serve-%d.sock" (Unix.getpid ()) in
-  let server = Serve.Server.listen engine ~path () in
+(* Run one codec leg on a {e fresh} engine (cold cache — a fair
+   head-to-head) sharing the prebuilt quote table. *)
+let run_leg ~codec ~make_engine ~workers ~shards ~path ~(payloads : string array)
+    ~(expected : string array) ~clients =
+  let n = Array.length payloads in
+  let engine = make_engine ~workers in
+  let server = Serve.Server.listen engine ~path ?shards () in
   let bounds c =
     (* Contiguous per-client slices covering all n requests. *)
     (c * n / clients, (c + 1) * n / clients)
@@ -734,44 +831,105 @@ let serve_bench ~json ~requests:n ~clients ~workers ~smoke ~chaos ~budget_s =
     Array.init clients (fun c ->
         Domain.spawn (fun () ->
             let lo, hi = bounds c in
-            run_client ~path ~requests:corpus ~expected ~lo ~hi))
+            match codec with
+            | "binary" ->
+              run_client_binary ~path ~frames:payloads ~expected ~lo ~hi
+            | _ -> run_client_json ~path ~lines:payloads ~expected ~lo ~hi))
   in
   let results = Array.map Domain.join domains in
   let wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0 in
+  let reactor_shards = Serve.Server.reactor_shards server in
   Serve.Server.shutdown server;
   Serve.Engine.stop engine;
   let answered = Array.fold_left (fun a r -> a + r.answered) 0 results in
   let mismatches = Array.fold_left (fun a r -> a + r.mismatched) 0 results in
   let dropped = n - answered in
-  let all_lat = Array.concat (Array.to_list (Array.map (fun r -> r.latencies_ms) results)) in
-  Array.sort compare all_lat;
-  let p50_ms = percentile all_lat 0.50
-  and p99_ms = percentile all_lat 0.99 in
-  let throughput_rps =
-    if wall_s > 0. then float_of_int answered /. wall_s else nan
+  let all_lat =
+    Array.concat (Array.to_list (Array.map (fun r -> r.latencies_ms) results))
   in
+  Array.sort compare all_lat;
   let s = Serve.Engine.stats engine in
   let cache_hit_rate =
-    let total = s.Serve.Engine.cache.Serve.Cache.hits + s.cache.Serve.Cache.misses in
+    let total =
+      s.Serve.Engine.cache.Serve.Cache.hits + s.cache.Serve.Cache.misses
+    in
     if total = 0 then 0.
     else float_of_int s.cache.Serve.Cache.hits /. float_of_int total
   in
-  let identical = mismatches = 0 && dropped = 0 in
+  let leg =
+    {
+      g_codec = codec;
+      g_throughput_rps =
+        (if wall_s > 0. then float_of_int answered /. wall_s else nan);
+      g_p50_ms = percentile all_lat 0.50;
+      g_p99_ms = percentile all_lat 0.99;
+      g_cache_hit_rate = cache_hit_rate;
+      g_shed = s.Serve.Engine.shed;
+      g_deadline_exceeded = s.Serve.Engine.deadline_exceeded;
+      g_mismatches = mismatches;
+      g_dropped = dropped;
+      g_identical = mismatches = 0 && dropped = 0;
+    }
+  in
   Printf.printf
-    "served %d/%d in %.3fs: %.0f req/s, p50 %.3fms, p99 %.3fms\n\
-     cache hit rate %.3f (%d hits / %d misses / %d evictions)\n\
-     shed %d, past deadline %d, mismatches %d, dropped %d -> %s\n"
-    answered n wall_s throughput_rps p50_ms p99_ms cache_hit_rate
-    s.cache.Serve.Cache.hits s.cache.Serve.Cache.misses
-    s.cache.Serve.Cache.evictions s.Serve.Engine.shed
-    s.Serve.Engine.deadline_exceeded mismatches dropped
-    (if identical then "byte-identical to direct calls" else "NOT IDENTICAL");
+    "%-6s served %d/%d in %.3fs: %.0f req/s, p50 %.3fms, p99 %.3fms\n\
+     %-6s cache hit rate %.3f (%d hits / %d misses / %d evictions), \
+     mismatches %d, dropped %d -> %s\n\
+     %!"
+    codec answered n wall_s leg.g_throughput_rps leg.g_p50_ms leg.g_p99_ms
+    codec cache_hit_rate s.cache.Serve.Cache.hits s.cache.Serve.Cache.misses
+    s.cache.Serve.Cache.evictions mismatches dropped
+    (if leg.g_identical then "byte-identical to direct calls"
+     else "NOT IDENTICAL");
+  (leg, reactor_shards)
+
+let serve_bench ~json ~requests:n ~clients ~workers ~shards ~smoke ~chaos
+    ~budget_s =
+  (* A reduced quote grid keeps the warm build fast; every engine
+     (both legs + the reference) shares one prebuilt table so
+     responses are byte-comparable and the build cost is paid once. *)
+  let mus =
+    Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:(if smoke then 3 else 5)
+  and sigmas =
+    Numerics.Grid.linspace ~lo:0.02 ~hi:0.16 ~n:(if smoke then 3 else 4)
+  in
+  let table = Market.Quote_table.build ~mus ~sigmas p in
+  let make_engine ~workers =
+    Serve.Engine.create ~workers ~table ~base:p ()
+  in
+  Printf.printf
+    "bench serve: %d requests, %d clients, %d workers, window %d\n%!" n
+    clients workers pipeline_window;
+  let reference = make_engine ~workers:0 in
+  let distinct = min 64 (max 8 (n / 8)) in
+  let corpus = serve_corpus ~n ~distinct in
+  let lines = Array.map Serve.Request.encode corpus in
+  let frames = Array.map Serve.Binary.encode_request corpus in
+  let expected = Array.map (Serve.Engine.handle_decoded reference) corpus in
+  let path = Printf.sprintf "/tmp/htlc-serve-%d.sock" (Unix.getpid ()) in
+  let json_leg, reactor_shards =
+    run_leg ~codec:"json" ~make_engine ~workers ~shards ~path ~payloads:lines
+      ~expected ~clients
+  in
+  let binary_leg, _ =
+    run_leg ~codec:"binary" ~make_engine ~workers ~shards ~path
+      ~payloads:frames ~expected ~clients
+  in
+  if json_leg.g_throughput_rps > 0. then
+    Printf.printf "binary/json throughput: %.2fx\n%!"
+      (binary_leg.g_throughput_rps /. json_leg.g_throughput_rps);
+  let identical = json_leg.g_identical && binary_leg.g_identical in
   let chaos_summary =
     Option.map
       (fun seed ->
+        (* Chaos fates sleep on a per-op schedule, so the phase scales
+           linearly with corpus size — cap it: the gate exercises fault
+           recovery, not throughput. *)
+        let c_n = min n 10_000 in
         let c =
-          chaos_phase ~seed ~budget_s ~corpus ~expected ~clients ~workers
-            ~make_engine:make
+          chaos_phase ~seed ~budget_s ~corpus:(Array.sub lines 0 c_n)
+            ~expected:(Array.sub expected 0 c_n) ~clients ~workers
+            ~make_engine
         in
         Printf.printf
           "chaos: %d/%d succeeded (%.4f), %d retries, %d reconnects, %d \
@@ -789,10 +947,7 @@ let serve_bench ~json ~requests:n ~clients ~workers ~smoke ~chaos ~budget_s =
   Option.iter
     (fun file ->
       write_serve_baseline ?chaos:chaos_summary ~file ~requests:n ~clients
-        ~workers ~throughput_rps ~p50_ms ~p99_ms ~cache_hit_rate
-        ~shed:s.Serve.Engine.shed
-        ~deadline_exceeded:s.Serve.Engine.deadline_exceeded ~mismatches
-        ~dropped ~identical ();
+        ~workers ~shards:reactor_shards ~json_leg ~binary_leg ();
       Printf.printf "wrote %s\n" file)
     json;
   if not identical then exit 1;
@@ -819,7 +974,8 @@ let usage () =
     "usage: bench [--json FILE] [--mc-trials N] [--jobs N] [--smoke]\n\
     \       bench serve [--json FILE] [--requests N] [--clients N] \
      [--workers N]\n\
-    \                   [--chaos] [--seed N] [--budget-s X] [--smoke]";
+    \                   [--shards N] [--chaos] [--seed N] [--budget-s X] \
+     [--smoke]";
   exit 2
 
 let int_arg name v =
@@ -838,9 +994,10 @@ let float_arg name v =
 
 let parse_serve_args args =
   let json = ref None
-  and requests = ref 10_000
+  and requests = ref 100_000
   and clients = ref 4
   and workers = ref 2
+  and shards = ref None
   and chaos = ref false
   and seed = ref 42
   and budget_s = ref None
@@ -859,6 +1016,9 @@ let parse_serve_args args =
     | "--workers" :: v :: rest ->
       workers := int_arg "--workers" v;
       go rest
+    | "--shards" :: v :: rest ->
+      shards := Some (int_arg "--shards" v);
+      go rest
     | "--chaos" :: rest ->
       chaos := true;
       go rest
@@ -874,12 +1034,12 @@ let parse_serve_args args =
     | _ -> usage ()
   in
   go args;
-  if !smoke && !requests = 10_000 then requests := 400;
+  if !smoke && !requests = 100_000 then requests := 400;
   let budget_s =
     match !budget_s with Some b -> b | None -> if !smoke then 30. else 120.
   in
   serve_bench ~json:!json ~requests:!requests ~clients:!clients
-    ~workers:!workers ~smoke:!smoke
+    ~workers:!workers ~shards:!shards ~smoke:!smoke
     ~chaos:(if !chaos then Some !seed else None)
     ~budget_s
 
@@ -933,12 +1093,42 @@ let () =
     let quota = if o.smoke then 0.02 else 0.3 in
     let rows = run_benchmarks ~quota tests in
     print_benchmarks rows;
+    (* A junk OLS fit means the ns/run column is noise, not a
+       measurement — say so instead of recording it silently. *)
+    List.iter
+      (fun (name, _, r2) ->
+        if Float.is_nan r2 || r2 < 0.5 then
+          Printf.eprintf
+            "bench: WARNING: %s: poor timing fit (r_square = %s); \
+             ns_per_run is unreliable\n\
+             %!"
+            name
+            (if Float.is_nan r2 then "nan" else Printf.sprintf "%.3f" r2))
+      rows;
     let jobs_n =
       match o.jobs with Some j -> j | None -> Numerics.Pool.recommended ()
     in
     let wall_1, wall_n, identical =
       mc_wall_clock ~trials:o.mc_trials ~jobs_n
     in
+    (* A multicore baseline recorded with jobs=1 (or with a parallel run
+       slower than sequential) is not a baseline — refuse to write one.
+       Smoke runs pass tiny trial counts where spawn overhead dominates,
+       so the assertion only bites on full recordings. *)
+    if jobs_n = 1 then
+      Printf.eprintf
+        "bench: note: single core available (jobs=1); parallel speedup \
+         cannot be demonstrated on this host\n\
+         %!"
+    else if (not o.smoke) && wall_n >= wall_1 then begin
+      Printf.eprintf
+        "bench: FAIL: parallel Monte-Carlo (jobs=%d, %.4fs) did not beat \
+         sequential (%.4fs) -- refusing to record a bogus multicore \
+         baseline\n\
+         %!"
+        jobs_n wall_n wall_1;
+      exit 1
+    end;
     write_baseline ~file ~rows ~jobs_n ~trials:o.mc_trials ~wall_1 ~wall_n
       ~identical
       ~obs_json:(Obs.Metrics.to_json (Obs.Metrics.snapshot ()));

@@ -33,9 +33,36 @@ let validate_obs_member obs =
   ignore (as_obj "obs.gauges" (member "obs" obs "gauges"));
   ignore (as_obj "obs.histograms" (member "obs" obs "histograms"))
 
+(* One codec leg under serve.codecs: the per-wire-format measurement of
+   the head-to-head (the reactor serves htlc-serve/v1 JSON and
+   htlc-serve/b1 binary over the same engine). *)
+let validate_codec_leg ~codec leg =
+  let path key = Printf.sprintf "serve.codecs.%s.%s" codec key in
+  let num key = as_num (path key) (member ("serve.codecs." ^ codec) leg key) in
+  if num "throughput_rps" <= 0. then bad "%s must be > 0" (path "throughput_rps");
+  let p50 = num "p50_ms" and p99 = num "p99_ms" in
+  if p50 < 0. then bad "%s must be >= 0" (path "p50_ms");
+  if p99 < p50 then bad "%s must be >= p50_ms" (path "p99_ms");
+  let hit_rate = num "cache_hit_rate" in
+  if hit_rate < 0. || hit_rate > 1. then
+    bad "%s must be in [0, 1] (got %g)" (path "cache_hit_rate") hit_rate;
+  if num "mismatches" <> 0. then
+    bad "%s must be 0: a response was corrupted" (path "mismatches");
+  if num "dropped" <> 0. then
+    bad "%s must be 0: a response never arrived" (path "dropped");
+  if
+    not
+      (as_bool
+         (path "identical_to_direct")
+         (member ("serve.codecs." ^ codec) leg "identical_to_direct"))
+  then
+    bad "%s is false: a served response diverged from the direct library call"
+      (path "identical_to_direct")
+
 (* The "serve" member records the socket load test (bench serve): client
-   totals, latency quantiles, cache hit-rate, and the byte-identity
-   check against direct in-process calls. *)
+   totals, latency quantiles, cache hit-rate, the byte-identity check
+   against direct in-process calls, and the per-codec breakdown of the
+   JSON vs binary head-to-head. *)
 let validate_serve_member serve =
   let num key = as_num ("serve." ^ key) (member "serve" serve key) in
   let non_negative_int key =
@@ -46,6 +73,8 @@ let validate_serve_member serve =
   if num "requests" < 1. then bad "serve.requests must be >= 1";
   if num "clients" < 1. then bad "serve.clients must be >= 1";
   if num "workers" < 1. then bad "serve.workers must be >= 1";
+  if num "reactor_shards" < 1. then bad "serve.reactor_shards must be >= 1";
+  if num "pipeline_window" < 1. then bad "serve.pipeline_window must be >= 1";
   if num "throughput_rps" <= 0. then bad "serve.throughput_rps must be > 0";
   let p50 = num "p50_ms" and p99 = num "p99_ms" in
   if p50 < 0. then bad "serve.p50_ms must be >= 0";
@@ -64,7 +93,36 @@ let validate_serve_member serve =
   then
     bad
       "serve.identical_to_direct is false: a served response diverged from \
-       the direct library call"
+       the direct library call";
+  let codecs = member "serve" serve "codecs" in
+  validate_codec_leg ~codec:"json" (member "serve.codecs" codecs "json");
+  validate_codec_leg ~codec:"binary" (member "serve.codecs" codecs "binary")
+
+(* A nullable-number member as an option (num_or_null checks shape
+   only); NaN — which Obs.Json emits as null — reads back as None. *)
+let opt_num path v =
+  num_or_null path v;
+  match v with
+  | Num x when not (Float.is_nan x) -> Some x
+  | _ -> None
+
+(* An OLS fit this poor means ns_per_run is noise, not a measurement:
+   unusable as a budget baseline, and worth flagging loudly. *)
+let junk_fit r2 = match r2 with None -> true | Some r2 -> r2 < 0.5
+
+(* name -> (ns_per_run, r_square) for every kernel row, shape-checking
+   as it goes. *)
+let kernel_rows root =
+  let kernels = as_arr "kernels" (member "top level" root "kernels") in
+  List.mapi
+    (fun i k ->
+      let path = Printf.sprintf "kernels[%d]" i in
+      let name = as_str (path ^ ".name") (member path k "name") in
+      if name = "" then bad "%s.name is empty" path;
+      let ns = opt_num (path ^ ".ns_per_run") (member path k "ns_per_run") in
+      let r2 = opt_num (path ^ ".r_square") (member path k "r_square") in
+      (name, ns, r2))
+    kernels
 
 let validate_kernels_and_mc root =
   let jobs = member "top level" root "jobs" in
@@ -72,15 +130,17 @@ let validate_kernels_and_mc root =
   if seq <> 1. then bad "jobs.sequential must be 1 (got %g)" seq;
   let par = as_num "jobs.parallel" (member "jobs" jobs "parallel") in
   if par < 1. then bad "jobs.parallel must be >= 1 (got %g)" par;
-  let kernels = as_arr "kernels" (member "top level" root "kernels") in
+  let kernels = kernel_rows root in
   if kernels = [] then bad "kernels must be non-empty";
-  List.iteri
-    (fun i k ->
-      let path = Printf.sprintf "kernels[%d]" i in
-      let name = as_str (path ^ ".name") (member path k "name") in
-      if name = "" then bad "%s.name is empty" path;
-      num_or_null (path ^ ".ns_per_run") (member path k "ns_per_run");
-      num_or_null (path ^ ".r_square") (member path k "r_square"))
+  List.iter
+    (fun (name, _, r2) ->
+      if junk_fit r2 then
+        Printf.eprintf
+          "WARNING: kernel %s: poor timing fit (r_square = %s); ns_per_run \
+           is unreliable\n\
+           %!"
+          name
+          (match r2 with None -> "null" | Some r2 -> Printf.sprintf "%.3f" r2))
     kernels;
   let mc = member "top level" root "mc" in
   let trials = as_num "mc.trials" (member "mc" mc "trials") in
@@ -113,16 +173,86 @@ let validate root =
   | None -> ());
   n_kernels
 
-let () =
-  let file =
-    match Sys.argv with
-    | [| _; file |] -> file
-    | _ ->
-      prerr_endline "usage: validate_bench_json FILE";
-      exit 2
+(* --- per-kernel budgets --------------------------------------------------- *)
+
+(* Compare the new file's kernels against a recorded baseline: any
+   kernel slower than [factor] x its baseline ns_per_run fails.  Rows
+   are skipped — not silently, the count is printed — when either side
+   has a junk fit or the baseline sits under the noise floor where
+   scheduler jitter swamps the signal. *)
+let noise_floor_ns = 500.
+
+let check_budget ~file ~baseline_file ~factor root base =
+  let base_rows =
+    List.map (fun (name, ns, r2) -> (name, (ns, r2))) (kernel_rows base)
   in
+  let checked = ref 0 and skipped = ref 0 and failed = ref 0 in
+  List.iter
+    (fun (name, ns, r2) ->
+      match List.assoc_opt name base_rows with
+      | None -> ()  (* new kernel: no recorded budget yet *)
+      | Some (base_ns, base_r2) -> (
+        match (ns, base_ns) with
+        | Some ns, Some base_ns
+          when (not (junk_fit r2))
+               && (not (junk_fit base_r2))
+               && base_ns >= noise_floor_ns ->
+          incr checked;
+          if ns > factor *. base_ns then begin
+            incr failed;
+            Printf.eprintf
+              "%s: BUDGET EXCEEDED: %s: %.0f ns/run is %.2fx the recorded \
+               baseline %.0f ns/run (budget %.1fx)\n"
+              file name ns (ns /. base_ns) base_ns factor
+          end
+        | _ -> incr skipped))
+    (kernel_rows root);
+  Printf.printf
+    "%s: budget vs %s: %d kernels within %.1fx, %d skipped (junk fit or \
+     sub-%.0fns baseline)\n"
+    file baseline_file !checked factor !skipped noise_floor_ns;
+  if !failed > 0 then exit 1
+
+let usage () =
+  prerr_endline
+    "usage: validate_bench_json FILE [--budget BASELINE] [--budget-factor F]";
+  exit 2
+
+let () =
+  let file = ref None
+  and budget = ref None
+  and factor = ref 2.0 in
+  let rec go = function
+    | [] -> ()
+    | "--budget" :: b :: rest ->
+      budget := Some b;
+      go rest
+    | "--budget-factor" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some f when f > 0. -> factor := f
+      | _ -> usage ());
+      go rest
+    | f :: rest when !file = None ->
+      file := Some f;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
   let contents = In_channel.with_open_text file In_channel.input_all in
-  match validate (parse contents) with
+  match
+    let root = parse contents in
+    let n = validate root in
+    Option.iter
+      (fun baseline_file ->
+        let base =
+          parse
+            (In_channel.with_open_text baseline_file In_channel.input_all)
+        in
+        check_budget ~file ~baseline_file ~factor:!factor root base)
+      !budget;
+    n
+  with
   | n -> Printf.printf "%s: ok (%d kernels)\n" file n
   | exception Bad msg ->
     Printf.eprintf "%s: INVALID baseline: %s\n" file msg;

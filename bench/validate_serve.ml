@@ -203,11 +203,12 @@ let validate_chaos file =
      restarts)\n"
     file requests success_rate (num "retries") (num "worker_restarts")
 
+let read_transcript file =
+  In_channel.with_open_text file In_channel.input_lines
+  |> List.filter (fun l -> String.trim l <> "")
+
 let validate_transcript file =
-  let lines =
-    In_channel.with_open_text file In_channel.input_lines
-    |> List.filter (fun l -> String.trim l <> "")
-  in
+  let lines = read_transcript file in
   if List.length lines <> List.length expected then
     bad "expected %d responses, got %d (dropped or duplicated lines)"
       (List.length expected) (List.length lines);
@@ -217,24 +218,72 @@ let validate_transcript file =
   check_cache_identity lines;
   Printf.printf "%s: ok (%d responses)\n" file (List.length lines)
 
+(* `validate_serve --reactor JSON_T BIN_T`: the reactor-smoke gate.
+   JSON_T is the full transcript served over the socket reactor in one
+   pipelined burst — validated with exactly the pipe-mode pins above.
+   BIN_T is the htlc-serve/b1 leg: every script line the request codec
+   can decode (the four rejected lines cannot be framed), re-encoded in
+   binary on a fresh connection against the same engine.  Each binary
+   row except health must be byte-identical to its JSON counterpart —
+   one cache, one response assembly, two wire formats.  Health reports
+   live cache state that the JSON leg's traffic has advanced, so it is
+   shape-pinned instead. *)
+
+(* 1-indexed script rows that survive Request.decode (see
+   serve_requests.txt; rows 9-12 are the rejection cases) — keep in
+   sync with [expected] above. *)
+let binary_row_sources = [ 1; 2; 3; 4; 5; 6; 7; 8; 13; 14 ]
+
+let validate_reactor json_file bin_file =
+  validate_transcript json_file;
+  let json_lines = read_transcript json_file in
+  let bin_lines = read_transcript bin_file in
+  if List.length bin_lines <> List.length binary_row_sources then
+    bad "expected %d binary rows, got %d (dropped or duplicated frames)"
+      (List.length binary_row_sources)
+      (List.length bin_lines);
+  List.iteri
+    (fun i (row, src) ->
+      if src = List.length expected then
+        (* The health row: same pins as the JSON leg's. *)
+        validate_line (i + 1) row (List.nth expected (src - 1))
+      else if row <> List.nth json_lines (src - 1) then
+        bad "binary row %d: not byte-identical to json row %d" (i + 1) src)
+    (List.combine bin_lines binary_row_sources);
+  Printf.printf
+    "%s: ok (%d binary rows byte-identical to the json leg; health \
+     shape-pinned)\n"
+    bin_file
+    (List.length bin_lines - 1)
+
 let () =
   let mode =
     match Sys.argv with
     | [| _; "--chaos"; file |] -> `Chaos file
+    | [| _; "--reactor"; json_file; bin_file |] -> `Reactor (json_file, bin_file)
     | [| _; file |] -> `Transcript file
     | _ ->
-      prerr_endline "usage: validate_serve TRANSCRIPT\n       validate_serve --chaos BENCH_JSON";
+      prerr_endline
+        "usage: validate_serve TRANSCRIPT\n\
+        \       validate_serve --chaos BENCH_JSON\n\
+        \       validate_serve --reactor JSON_TRANSCRIPT BIN_TRANSCRIPT";
       exit 2
   in
   match
     match mode with
     | `Chaos file -> validate_chaos file
     | `Transcript file -> validate_transcript file
+    | `Reactor (json_file, bin_file) -> validate_reactor json_file bin_file
   with
   | () -> ()
   | exception Bad msg ->
-    let file = match mode with `Chaos f | `Transcript f -> f in
+    let file =
+      match mode with `Chaos f | `Transcript f | `Reactor (f, _) -> f
+    in
     Printf.eprintf "%s: INVALID serve %s: %s\n" file
-      (match mode with `Chaos _ -> "chaos run" | `Transcript _ -> "transcript")
+      (match mode with
+      | `Chaos _ -> "chaos run"
+      | `Transcript _ -> "transcript"
+      | `Reactor _ -> "reactor run")
       msg;
     exit 1

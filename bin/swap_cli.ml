@@ -669,6 +669,15 @@ let serve_cmd =
           ~doc:
             "Quote-table grid density along sigma (default range, N nodes).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Reactor event-loop domains multiplexing socket connections \
+             (default: the jobs setting).  Pipe mode ignores this.")
+  in
   let drain =
     Arg.(
       value & opt bool true
@@ -681,7 +690,7 @@ let serve_cmd =
              waits only for requests already being computed.")
   in
   let run params socket workers queue_capacity deadline_ms cache_capacity
-      cache_shards max_sweep table_mus table_sigmas drain jobs metrics
+      cache_shards max_sweep table_mus table_sigmas shards drain jobs metrics
       trace_out =
     with_obs ~metrics ~trace_out @@ fun () ->
     Option.iter Numerics.Pool.set_jobs jobs;
@@ -705,7 +714,7 @@ let serve_cmd =
       Printf.eprintf "served %d requests\n" served
     | Some path ->
       let engine = make_engine ~workers:(max 1 workers) in
-      let server = Serve.Server.listen engine ~path () in
+      let server = Serve.Server.listen engine ~path ?shards () in
       let stop_requested = Atomic.make false in
       let request_stop _ = Atomic.set stop_requested true in
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -745,7 +754,8 @@ let serve_cmd =
     Term.(
       const run $ params_term $ socket $ workers $ queue_capacity
       $ deadline_ms $ cache_capacity $ cache_shards $ max_sweep $ table_mus
-      $ table_sigmas $ drain $ jobs_term $ metrics_term $ trace_out_term)
+      $ table_sigmas $ shards $ drain $ jobs_term $ metrics_term
+      $ trace_out_term)
 
 (* --- call ------------------------------------------------------------------ *)
 

@@ -1,11 +1,20 @@
 (* Sharded result cache: canonical request bytes -> response body.
 
-   Each shard is an independent hash table + second-chance (clock)
-   eviction queue behind its own mutex, so concurrent workers touching
-   different shards never contend.  Eviction mirrors Swap.Cutoff's memo:
-   a hit sets the entry's referenced bit, and a full shard evicts the
-   first unreferenced entry in arrival order — recently-hit keys survive
-   a burst of new traffic instead of the shard being dropped wholesale.
+   Reads are lock-free: each shard publishes an immutable map snapshot
+   through an [Atomic.t], so [find] is one atomic load plus a purely
+   functional lookup — reactor shards and engine workers never contend
+   on the read path, no matter how hot one key is.  Mutation
+   (add/evict/clear) serialises on the shard's mutex, builds the next
+   snapshot copy-on-write, and publishes it with a single atomic store;
+   a concurrent reader sees either the old or the new snapshot, never a
+   torn one.
+
+   Eviction stays second-chance (clock), mirroring Swap.Cutoff's memo:
+   a hit sets the entry's referenced bit (an [Atomic.t] flip on the
+   shared entry — visible to the writer without republishing), and a
+   full shard evicts the first unreferenced entry in arrival order, so
+   recently-hit keys survive a burst of new traffic instead of the
+   shard being dropped wholesale.
 
    Stats are tracked twice on purpose: per-instance atomics (exact
    counts for this cache — the bench report and Engine.stats read
@@ -13,12 +22,15 @@
    observability view; several caches with the same prefix share those
    counters). *)
 
-type entry = { value : string; mutable referenced : bool }
+module Smap = Map.Make (String)
+
+type entry = { value : string; referenced : bool Atomic.t }
 
 type shard = {
-  mutex : Mutex.t;
-  tbl : (string, entry) Hashtbl.t;
-  order : string Queue.t;
+  mutex : Mutex.t;  (* serialises writers; readers never take it *)
+  published : entry Smap.t Atomic.t;
+  order : string Queue.t;  (* writer-owned clock hand (guarded by mutex) *)
+  mutable population : int;  (* |published|, maintained under mutex *)
 }
 
 type stats = { hits : int; misses : int; evictions : int }
@@ -44,8 +56,9 @@ let create ?(shards = 8) ?(capacity = 1024) ?(metrics_prefix = "serve.cache")
       Array.init shards (fun _ ->
           {
             mutex = Mutex.create ();
-            tbl = Hashtbl.create 64;
+            published = Atomic.make Smap.empty;
             order = Queue.create ();
+            population = 0;
           });
     shard_capacity = capacity / shards;
     hits = Atomic.make 0;
@@ -61,68 +74,68 @@ let shard_of t key =
 
 let find t key =
   let s = shard_of t key in
-  Mutex.lock s.mutex;
-  let r =
-    match Hashtbl.find_opt s.tbl key with
-    | Some e ->
-      e.referenced <- true;
-      Some e.value
-    | None -> None
-  in
-  Mutex.unlock s.mutex;
-  (match r with
-  | Some _ ->
+  match Smap.find_opt key (Atomic.get s.published) with
+  | Some e ->
+    (* Plain store, not CAS: the bit is a monotone hint until the next
+       clock sweep clears it, so lost races between hitters are
+       harmless. *)
+    Atomic.set e.referenced true;
     Atomic.incr t.hits;
-    Obs.Metrics.incr t.m_hits
+    Obs.Metrics.incr t.m_hits;
+    Some e.value
   | None ->
     Atomic.incr t.misses;
-    Obs.Metrics.incr t.m_misses);
-  r
+    Obs.Metrics.incr t.m_misses;
+    None
 
 (* Called with the shard mutex held: clock sweep until one unreferenced
-   entry goes; the budget bounds the walk when everything is hot. *)
-let evict_one t s =
+   entry goes; the budget bounds the walk when everything is hot.
+   Returns the map with the victim removed (published by the caller,
+   batched with its insert). *)
+let evict_one t s map =
   let budget = ref ((2 * Queue.length s.order) + 1) in
   let evicted = ref false in
+  let map = ref map in
   while (not !evicted) && !budget > 0 do
     decr budget;
     match Queue.take_opt s.order with
     | None -> budget := 0
     | Some key -> (
-      match Hashtbl.find_opt s.tbl key with
+      match Smap.find_opt key !map with
       | None -> () (* stale: removed by clear *)
       | Some e ->
-        if e.referenced then begin
-          e.referenced <- false;
+        if Atomic.get e.referenced then begin
+          Atomic.set e.referenced false;
           Queue.push key s.order
         end
         else begin
-          Hashtbl.remove s.tbl key;
+          map := Smap.remove key !map;
+          s.population <- s.population - 1;
           Atomic.incr t.evictions;
           Obs.Metrics.incr t.m_evictions;
           evicted := true
         end)
-  done
+  done;
+  !map
 
 let add t key value =
   let s = shard_of t key in
   Mutex.lock s.mutex;
+  let map = Atomic.get s.published in
   (* A racing worker may have answered the same question first; keep the
      incumbent so concurrent readers share one value. *)
-  if not (Hashtbl.mem s.tbl key) then begin
-    if Hashtbl.length s.tbl >= t.shard_capacity then evict_one t s;
-    Hashtbl.replace s.tbl key { value; referenced = false };
-    Queue.push key s.order
+  if not (Smap.mem key map) then begin
+    let map = if s.population >= t.shard_capacity then evict_one t s map else map in
+    let map = Smap.add key { value; referenced = Atomic.make false } map in
+    s.population <- s.population + 1;
+    Queue.push key s.order;
+    Atomic.set s.published map
   end;
   Mutex.unlock s.mutex
 
 let length t =
   Array.fold_left
-    (fun acc s ->
-      Mutex.lock s.mutex;
-      let n = Hashtbl.length s.tbl in
-      Mutex.unlock s.mutex;
-      acc + n)
+    (fun acc s -> acc + Smap.cardinal (Atomic.get s.published))
     0 t.shards
 
 let capacity t = t.shard_capacity * Array.length t.shards
@@ -132,7 +145,8 @@ let clear t =
   Array.iter
     (fun s ->
       Mutex.lock s.mutex;
-      Hashtbl.reset s.tbl;
+      Atomic.set s.published Smap.empty;
+      s.population <- 0;
       Queue.clear s.order;
       Mutex.unlock s.mutex)
     t.shards

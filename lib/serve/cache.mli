@@ -1,10 +1,18 @@
 (** Sharded result cache (canonical request bytes → response body).
 
-    Shards are independent hash tables behind per-shard mutexes with
-    second-chance (clock) eviction, like [Swap.Cutoff]'s memo — a hit
-    marks the entry referenced and a full shard evicts the first
-    unreferenced entry in arrival order.  Capacity is split evenly
-    across shards, so [length t <= capacity t] always holds. *)
+    {b Reads are lock-free}: each shard publishes an immutable map
+    snapshot through an [Atomic.t], so {!find} is one atomic load plus
+    a functional lookup — no reader ever blocks on a writer or on
+    another reader.  Mutation serialises on the shard's mutex, builds
+    the next snapshot copy-on-write and publishes it atomically, so a
+    concurrent reader sees the old or the new snapshot, never a torn
+    one.
+
+    Eviction is second-chance (clock), like [Swap.Cutoff]'s memo — a
+    hit marks the entry referenced (an atomic bit on the shared entry,
+    no republish) and a full shard evicts the first unreferenced entry
+    in arrival order.  Capacity is split evenly across shards, so
+    [length t <= capacity t] always holds. *)
 
 type t
 

@@ -112,12 +112,20 @@ let m_queue_hwm = Obs.Metrics.gauge "serve.queue_depth_hwm"
 let m_latency = Obs.Metrics.histogram "serve.handle_latency_s"
 let m_queue_wait = Obs.Metrics.histogram "serve.queue_wait_s"
 
+(* Resolved once: [Obs.Metrics.counter] walks the registry under its
+   mutex, which is too much for a per-request label lookup. *)
+let m_req_cutoffs = Obs.Metrics.counter "serve.req.cutoffs"
+let m_req_success_rate = Obs.Metrics.counter "serve.req.success_rate"
+let m_req_sweep = Obs.Metrics.counter "serve.req.sweep"
+let m_req_health = Obs.Metrics.counter "serve.req.health"
+let m_req_quote = Obs.Metrics.counter "serve.req.quote"
+
 let m_kind = function
-  | "cutoffs" -> Obs.Metrics.counter "serve.req.cutoffs"
-  | "success_rate" -> Obs.Metrics.counter "serve.req.success_rate"
-  | "sweep" -> Obs.Metrics.counter "serve.req.sweep"
-  | "health" -> Obs.Metrics.counter "serve.req.health"
-  | _ -> Obs.Metrics.counter "serve.req.quote"
+  | "cutoffs" -> m_req_cutoffs
+  | "success_rate" -> m_req_success_rate
+  | "sweep" -> m_req_sweep
+  | "health" -> m_req_health
+  | _ -> m_req_quote
 
 (* --- evaluation ---------------------------------------------------------- *)
 
@@ -238,18 +246,22 @@ let internal_error_response ?req ~id exn =
       (Printf.sprintf "request handler crashed: %s" (Printexc.to_string exn))
     ()
 
+(* The synchronous path has no worker to restart: absorb the crash
+   into a structured response so pipe servers, the reactor and batch
+   callers keep their one-response-per-request contract. *)
+let handle_decoded t (req : Request.t) =
+  try respond t req
+  with exn ->
+    Atomic.incr t.n_internal;
+    Obs.Metrics.incr m_internal;
+    internal_error_response ~req:(Request.kind req) ~id:req.Request.id exn
+
+let reject t err = parse_failure t err
+
 let handle t line =
   match Request.decode line with
   | Error err -> parse_failure t err
-  | Ok req -> (
-    (* The synchronous path has no worker to restart: absorb the crash
-       into a structured response so pipe servers and batch callers
-       keep their one-response-per-request contract. *)
-    try respond t req
-    with exn ->
-      Atomic.incr t.n_internal;
-      Obs.Metrics.incr m_internal;
-      internal_error_response ~req:(Request.kind req) ~id:req.Request.id exn)
+  | Ok req -> handle_decoded t req
 
 let handle_batch ?jobs t lines = Numerics.Pool.map_array ?jobs (handle t) lines
 
@@ -412,7 +424,7 @@ let supervised_worker t =
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
-    ?(cache_capacity = 1024) ?(max_sweep_n = 4096) ?mus ?sigmas
+    ?(cache_capacity = 1024) ?(max_sweep_n = 4096) ?mus ?sigmas ?table
     ?(base = Swap.Params.defaults) () =
   if queue_capacity < 1 then
     invalid_arg "Engine.create: queue_capacity must be >= 1";
@@ -430,8 +442,13 @@ let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
     {
       base;
       (* Warm build: one full solve per grid node, fanned out on the
-         shared pool, so the first quote request is already microseconds. *)
-      table = Market.Quote_table.build ?mus ?sigmas base;
+         shared pool, so the first quote request is already
+         microseconds.  A caller holding a prebuilt table (bench legs
+         comparing engines on identical grids) passes it in instead. *)
+      table =
+        (match table with
+        | Some tb -> tb
+        | None -> Market.Quote_table.build ?mus ?sigmas base);
       cache = Cache.create ~shards:cache_shards ~capacity:cache_capacity ();
       max_sweep_n;
       deadline_s;

@@ -37,6 +37,7 @@ val create :
   ?max_sweep_n:int ->
   ?mus:float array ->
   ?sigmas:float array ->
+  ?table:Market.Quote_table.t ->
   ?base:Swap.Params.t ->
   unit ->
   t
@@ -44,16 +45,30 @@ val create :
     defaults as in [Quote_table.build], fanned out on the shared
     domain pool) and spawns [workers] dedicated domains (default: the
     pool's jobs setting; [0] = no background workers — {!handle},
-    {!handle_batch} and {!pump} still work).  [queue_capacity]
-    (default 128) bounds the submission queue; [deadline_s] (default
-    none) bounds queue wait; [max_sweep_n] (default 4096) caps sweep
-    sizes with an [invalid_params] answer.
+    {!handle_batch} and {!pump} still work).  [table] supplies a
+    prebuilt quote table instead (then [mus]/[sigmas] are ignored) —
+    for callers standing up several engines that must share one grid,
+    e.g. a served engine and its byte-identity reference.
+    [queue_capacity] (default 128) bounds the submission queue;
+    [deadline_s] (default none) bounds queue wait; [max_sweep_n]
+    (default 4096) caps sweep sizes with an [invalid_params] answer.
     @raise Invalid_argument on non-positive capacities or deadline. *)
 
 val handle : t -> string -> string
 (** Parse, answer from the cache or compute, and encode — synchronously
     on the calling domain.  Never sheds, never raises on request
     evaluation (crashes become [internal_error] responses). *)
+
+val handle_decoded : t -> Request.t -> string
+(** {!handle} for an already-decoded request — the binary codec's
+    compute path (its decoder is not line-based, so the reactor decodes
+    and hands the typed request straight in).  Same crash absorption,
+    caching and byte-identity contract as {!handle}. *)
+
+val reject : t -> Request.error -> string
+(** The structured response for a request that failed decoding
+    (either codec): counts the parse error and encodes
+    [code]/[message] with the best-effort id echo. *)
 
 val handle_batch : ?jobs:int -> t -> string array -> string array
 (** Order-preserving parallel {!handle} over the shared

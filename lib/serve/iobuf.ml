@@ -1,0 +1,99 @@
+(* Growable byte buffer with a consumption cursor — the per-connection
+   read/write staging area of the reactor.
+
+   One [Bytes.t] backs both roles: producers append at the tail
+   ([add_string] / [refill] from an fd), consumers take from the head
+   ([consume] after parsing, [write] to an fd).  The head offset slides
+   instead of shifting bytes on every consume; the buffer compacts
+   (blit to offset 0) only when the tail runs out of room, and doubles
+   when the live span itself does not fit.  An emptied buffer resets
+   its offset so a long-lived idle connection does not pin a large
+   window.
+
+   Not domain-safe: each buffer is owned by exactly one reactor shard
+   domain. *)
+
+type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let create ?(initial = 4096) () =
+  if initial < 1 then invalid_arg "Iobuf.create: initial must be >= 1";
+  { buf = Bytes.create initial; off = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* Make room for [n] more bytes at the tail: compact if the live span
+   fits the current storage, otherwise grow geometrically. *)
+let reserve t n =
+  let cap = Bytes.length t.buf in
+  if t.off + t.len + n > cap then
+    if t.len + n <= cap then begin
+      Bytes.blit t.buf t.off t.buf 0 t.len;
+      t.off <- 0
+    end
+    else begin
+      let want = t.len + n in
+      let cap' = ref (max cap 1) in
+      while !cap' < want do
+        cap' := !cap' * 2
+      done;
+      let b = Bytes.create !cap' in
+      Bytes.blit t.buf t.off b 0 t.len;
+      t.buf <- b;
+      t.off <- 0
+    end
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let add_char t c =
+  reserve t 1;
+  Bytes.set t.buf (t.off + t.len) c;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Iobuf.get: out of bounds";
+  Bytes.get t.buf (t.off + i)
+
+let get_u32_be t pos =
+  if pos < 0 || pos + 4 > t.len then invalid_arg "Iobuf.get_u32_be";
+  let b i = Char.code (Bytes.get t.buf (t.off + pos + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let index t c =
+  (* index_from searches the raw storage; a hit beyond the live span is
+     stale garbage and must read as "not found". *)
+  match Bytes.index_from_opt t.buf t.off c with
+  | Some j when j < t.off + t.len -> j - t.off
+  | Some _ | None -> -1
+
+let sub t pos n =
+  if pos < 0 || n < 0 || pos + n > t.len then
+    invalid_arg "Iobuf.sub: out of bounds";
+  Bytes.sub_string t.buf (t.off + pos) n
+
+let consume t n =
+  if n < 0 || n > t.len then invalid_arg "Iobuf.consume: out of bounds";
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  if t.len = 0 then t.off <- 0
+
+let refill t fd ~max =
+  reserve t max;
+  let n = Unix.read fd t.buf (t.off + t.len) max in
+  t.len <- t.len + n;
+  n
+
+let write t fd =
+  if t.len = 0 then 0
+  else begin
+    (* single_write: exactly one write(2), so a partial transfer on a
+       non-blocking fd reports how much actually left the buffer
+       (Unix.write retries internally and loses that count on EAGAIN). *)
+    let n = Unix.single_write fd t.buf t.off t.len in
+    consume t n;
+    n
+  end

@@ -1,47 +1,21 @@
-(* Transports: a stdin/stdout pipe loop and a Unix-domain-socket accept
-   loop (stdlib Unix only), both speaking newline-delimited
-   htlc-serve/v1.
+(* Transports: a stdin/stdout pipe loop and a Unix-domain-socket server
+   (stdlib Unix only), both speaking htlc-serve protocols.
 
    Pipe mode answers synchronously on the calling domain — one client,
    natural backpressure, deterministic output for a fixed script (the
    serve-smoke CI check relies on this).
 
-   Socket mode is one listener domain plus one lightweight handler
-   domain per connection.  Handlers do IO only: each request line is
-   handed to the engine's worker pool (submit/await), so compute
-   parallelism is the engine's worker count while handlers mostly block
-   on socket reads — the listener/worker handoff shape.  Per-connection
-   responses come back in request order.  On an engine with zero
-   workers the handler computes inline instead. *)
-
-let m_connections = Obs.Metrics.counter "serve.connections"
-let m_conn_requests = Obs.Metrics.counter "serve.connection_requests"
-let m_conn_errors = Obs.Metrics.counter "serve.connection_errors"
-
-(* Classified sub-counters (the {reason} dimension): registration is
-   idempotent, so resolving on each event is cheap and keeps the set of
-   reasons open-ended. *)
-let m_conn_error reason =
-  Obs.Metrics.counter ("serve.connection_errors." ^ reason)
-
-(* A connection error's reason tag.  EPIPE and ECONNRESET get their own
-   buckets — they are the signature of mid-response disconnects and
-   resets, exactly what the chaos transport injects — everything else
-   folds into coarse classes. *)
-let conn_error_reason = function
-  | Sys_error _ -> "sys_error"
-  | Unix.Unix_error (Unix.EPIPE, _, _) -> "epipe"
-  | Unix.Unix_error (Unix.ECONNRESET, _, _) -> "econnreset"
-  | Unix.Unix_error (_, _, _) -> "unix_error"
-  | _ -> "handler_crash"
-
-let count_conn_error exn =
-  Obs.Metrics.incr m_conn_errors;
-  Obs.Metrics.incr (m_conn_error (conn_error_reason exn))
+   Socket mode owns the bind/unlink lifecycle of the path and delegates
+   connection handling to {!Reactor}: a fixed set of shard domains
+   multiplexing non-blocking connections with [select], speaking
+   newline-delimited htlc-serve/v1 JSON or length-prefixed
+   htlc-serve/b1 binary per first-bytes negotiation.  (Earlier versions
+   spawned one blocking handler domain per connection; the reactor
+   replaced that — see DESIGN.md §12.) *)
 
 (* A handler writing into a reset connection must see EPIPE — counted
-   and classified above — not the POSIX default of the whole process
-   dying of SIGPIPE on the first mid-response disconnect. *)
+   and classified by the reactor — not the POSIX default of the whole
+   process dying of SIGPIPE on the first mid-response disconnect. *)
 let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ -> ()
@@ -65,79 +39,13 @@ let serve_pipe engine ic oc =
 
 (* --- unix-domain socket --------------------------------------------------- *)
 
-type conn = { fd : Unix.file_descr; domain : unit Domain.t }
-
 type t = {
-  engine : Engine.t;
   path : string;
   listen_fd : Unix.file_descr;
-  mutable listener : unit Domain.t option;
-  conns_mutex : Mutex.t;
-  mutable conns : conn list;
-  mutable closing : bool;
+  reactor : Reactor.t;
+  close_mutex : Mutex.t;
+  mutable closed : bool;
 }
-
-let answer engine line =
-  if Engine.workers engine = 0 then Engine.handle engine line
-  else
-    match Engine.submit engine line with
-    | `Done resp -> resp
-    | `Ticket ticket -> Engine.await ticket
-
-let handle_conn t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         Obs.Metrics.incr m_conn_requests;
-         output_string oc (answer t.engine line);
-         output_char oc '\n';
-         flush oc
-       end
-     done
-   with
-  | End_of_file -> () (* clean close: the client simply hung up *)
-  | exn ->
-    (* Handler supervision: a torn read, a write into a reset
-       connection (EPIPE/ECONNRESET), or any unexpected crash must not
-       kill the handler domain silently — count and classify it, then
-       fall through to the normal fd cleanup below so the connection
-       slot is reclaimed either way. *)
-    count_conn_error exn);
-  (* Self-removal is gated on [closing] and runs under the connection
-     mutex: once [shutdown] has flipped the flag its snapshot owns every
-     listed fd, so no fd in that snapshot is ever closed (or its number
-     reused) behind shutdown's back. *)
-  Mutex.lock t.conns_mutex;
-  if not t.closing then begin
-    t.conns <- List.filter (fun c -> c.fd != fd) t.conns;
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  end;
-  Mutex.unlock t.conns_mutex
-
-let rec accept_loop t =
-  match Unix.accept t.listen_fd with
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
-  | exception _ ->
-    (* The listening socket was shut down (or the process is in real
-       trouble); either way stop accepting. *)
-    ()
-  | fd, _ ->
-    Mutex.lock t.conns_mutex;
-    let closing = t.closing in
-    if not closing then begin
-      Obs.Metrics.incr m_connections;
-      t.conns <- { fd; domain = Domain.spawn (fun () -> handle_conn t fd) }
-                 :: t.conns
-    end;
-    Mutex.unlock t.conns_mutex;
-    if closing then
-      (* This is shutdown's wake-up self-connect (or a client that lost
-         the race with it): drop it and stop accepting. *)
-      (try Unix.close fd with Unix.Unix_error _ -> ())
-    else accept_loop t
 
 (* A Unix-domain socket path cannot be rebound, so a crashed server
    leaves a stale file behind.  unlink-then-bind has two failure modes:
@@ -165,7 +73,7 @@ let check_bindable path =
       raise (Unix.Unix_error (Unix.EADDRINUSE, "Serve.Server.listen", path))
   | _ -> raise (Unix.Unix_error (Unix.ENOTSOCK, "Serve.Server.listen", path))
 
-let listen engine ~path ?(backlog = 16) () =
+let listen engine ~path ?(backlog = 16) ?shards () =
   ignore_sigpipe ();
   check_bindable path;
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
@@ -181,58 +89,35 @@ let listen engine ~path ?(backlog = 16) () =
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      (try Unix.unlink tmp with Unix.Unix_error _ -> ());
      raise e);
-  let t =
-    {
-      engine;
-      path;
-      listen_fd;
-      listener = None;
-      conns_mutex = Mutex.create ();
-      conns = [];
-      closing = false;
-    }
-  in
-  t.listener <- Some (Domain.spawn (fun () -> accept_loop t));
-  t
+  {
+    path;
+    listen_fd;
+    reactor = Reactor.start engine ~listen_fd ?shards ();
+    close_mutex = Mutex.create ();
+    closed = false;
+  }
 
 let path t = t.path
+let reactor_shards t = Reactor.shards t.reactor
 
 let shutdown t =
-  Mutex.lock t.conns_mutex;
-  let already = t.closing in
-  t.closing <- true;
-  Mutex.unlock t.conns_mutex;
+  Mutex.lock t.close_mutex;
+  let already = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.close_mutex;
   if not already then begin
-    (* Waking a blocked [accept]: closing the fd does NOT interrupt a
-       thread already parked in accept(2) on Linux, so shut the
-       listening socket down (pops the accept with an error) and
-       self-connect as a fallback for platforms that ignore
-       listening-socket shutdown; the accept loop exits either way. *)
-    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
-     with Unix.Unix_error _ -> ());
-    (try
-       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-       (try Unix.connect fd (Unix.ADDR_UNIX t.path)
-        with Unix.Unix_error _ -> ());
-       Unix.close fd
-     with Unix.Unix_error _ -> ());
-    Option.iter Domain.join t.listener;
-    t.listener <- None;
+    (* The reactor shuts the listening socket down itself; the [wake]
+       self-connect is the fallback for platforms where that does not
+       pop a parked accept(2). *)
+    Reactor.stop
+      ~wake:(fun () ->
+        try
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX t.path)
+           with Unix.Unix_error _ -> ());
+          Unix.close fd
+        with Unix.Unix_error _ -> ())
+      t.reactor;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (* The listener is gone and [closing] is set, so the list is now
-       frozen and every fd in it is owned by us (handlers no longer
-       self-close).  Force EOF so the handlers drain and exit. *)
-    Mutex.lock t.conns_mutex;
-    let conns = t.conns in
-    t.conns <- [];
-    Mutex.unlock t.conns_mutex;
-    List.iter
-      (fun c ->
-        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns;
-    List.iter (fun c -> Domain.join c.domain) conns;
-    List.iter
-      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-      conns;
     try Unix.unlink t.path with Unix.Unix_error _ -> ()
   end

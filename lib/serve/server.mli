@@ -1,21 +1,22 @@
-(** Transports for the swap-quote service (newline-delimited
-    [htlc-serve/v1]; stdlib [Unix] only).
+(** Transports for the swap-quote service (stdlib [Unix] only).
 
     {!serve_pipe} answers synchronously on the caller — one client,
     natural backpressure, deterministic output for a fixed script.
 
-    The socket server is one listener domain plus one IO handler domain
-    per connection; request compute is handed to the engine's worker
-    pool, so admission control and deadlines apply.  Responses come
-    back in request order per connection.
+    The socket server owns the bind/unlink lifecycle of the path and
+    hands connections to {!Reactor}: a fixed set of shard domains
+    multiplexing non-blocking connections, speaking newline-delimited
+    [htlc-serve/v1] JSON or length-prefixed [htlc-serve/b1] binary per
+    first-bytes negotiation, with request pipelining and response
+    batching.  Responses come back in request order per connection.
 
-    {b Fault behaviour.}  A handler that hits a torn read, a write into
-    a reset/closed connection, or any unexpected exception counts and
-    classifies the event under [serve.connection_errors] (sub-counters
-    [.epipe], [.econnreset], [.sys_error], [.unix_error],
-    [.handler_crash]) and reclaims the connection slot — it never dies
-    silently and never takes the server down.  A client hanging up
-    cleanly (EOF) is not an error. *)
+    {b Fault behaviour.}  Torn reads, writes into reset/closed
+    connections and protocol violations are counted and classified
+    under [serve.connection_errors] (sub-counters [.epipe],
+    [.econnreset], [.sys_error], [.unix_error], [.handler_crash],
+    [.protocol]) and the connection slot is reclaimed — a bad peer
+    never takes the server down.  A client hanging up cleanly (EOF) is
+    not an error. *)
 
 val serve_pipe : Engine.t -> in_channel -> out_channel -> int
 (** Read request lines until EOF, answering each on the next line
@@ -25,10 +26,10 @@ val serve_pipe : Engine.t -> in_channel -> out_channel -> int
 type t
 (** A listening Unix-domain-socket server. *)
 
-val listen : Engine.t -> path:string -> ?backlog:int -> unit -> t
-(** Bind and listen on [path], then accept in a background domain.
-    With an engine of zero workers, handlers compute inline instead of
-    submitting.
+val listen : Engine.t -> path:string -> ?backlog:int -> ?shards:int -> unit -> t
+(** Bind and listen on [path], then serve through a reactor of
+    [shards] event-loop domains (default: the [Numerics.Pool] jobs
+    setting).
 
     A stale socket file at [path] (left by a crashed server) is
     replaced {e atomically}: the socket is bound to a process-unique
@@ -38,11 +39,16 @@ val listen : Engine.t -> path:string -> ?backlog:int -> unit -> t
     being evicted, and a non-socket file raises [ENOTSOCK] — the
     server never unlinks a file it cannot prove abandoned.
     @raise Unix.Unix_error as above, or when the socket cannot be
-    bound (e.g. a path longer than the [sun_path] limit). *)
+    bound (e.g. a path longer than the [sun_path] limit).
+    @raise Invalid_argument when [shards < 1]. *)
 
 val path : t -> string
 
+val reactor_shards : t -> int
+(** Event-loop domains serving this socket. *)
+
 val shutdown : t -> unit
-(** Stop accepting, force EOF on live connections, join every handler,
-    and unlink the socket path.  Idempotent.  Does {e not} stop the
+(** Stop accepting, close every live connection (clients see EOF after
+    buffered responses are flushed), join the reactor domains, and
+    unlink the socket path.  Idempotent.  Does {e not} stop the
     engine — callers own its lifecycle. *)

@@ -150,6 +150,347 @@ let test_codec_errors () =
   in
   check_str "params are validated" "invalid_params" e.Serve.Request.code
 
+let test_decode_fastpath_agreement () =
+  (* The canonical scanner and the general JSON parser must agree: for
+     every kind, the canonical encoding (fast path) and a reordered,
+     whitespace-padded spelling of the same request (slow path) decode
+     to the same cache key. *)
+  let canonical_and_sloppy =
+    [
+      ( "{\"schema\":\"htlc-serve/v1\",\"id\":\"a\",\"req\":\"cutoffs\",\"p_star\":2}",
+        "{ \"p_star\": 2.0, \"req\": \"cutoffs\", \"id\": \"a\", \"schema\": \"htlc-serve/v1\" }"
+      );
+      ( "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":1.9,\"q\":0.25}",
+        "{\"q\":0.25, \"p_star\":1.9, \"req\":\"success_rate\", \"schema\":\"htlc-serve/v1\"}"
+      );
+      ( "{\"schema\":\"htlc-serve/v1\",\"req\":\"sweep\",\"q\":0,\"lo\":1.6,\"hi\":2.4,\"n\":5}",
+        "{\"n\":5, \"hi\":2.4, \"lo\":1.6, \"q\":0.0, \"req\":\"sweep\", \"schema\":\"htlc-serve/v1\"}"
+      );
+      ( "{\"schema\":\"htlc-serve/v1\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":2}",
+        "{\"spot\":2e0, \"sigma\":7.5e-2, \"mu\":0, \"req\":\"quote\", \"schema\":\"htlc-serve/v1\"}"
+      );
+      ( "{\"schema\":\"htlc-serve/v1\",\"id\":\"h\",\"req\":\"health\"}",
+        "{ \"req\":\"health\", \"id\":\"h\", \"schema\":\"htlc-serve/v1\" }" );
+    ]
+  in
+  List.iteri
+    (fun i (fast, slow) ->
+      match (Serve.Request.decode fast, Serve.Request.decode slow) with
+      | Ok a, Ok b ->
+        check_str
+          (Printf.sprintf "fast and slow paths agree on key #%d" i)
+          (Serve.Request.key a) (Serve.Request.key b);
+        (* The canonical re-encoding (params spelled out) must decode —
+           through the general parser — back to the same key. *)
+        (match Serve.Request.decode (Serve.Request.encode a) with
+        | Ok c ->
+          check_str
+            (Printf.sprintf "re-encoded request keeps the key #%d" i)
+            (Serve.Request.key a) (Serve.Request.key c)
+        | Error e ->
+          Alcotest.failf "re-encoding #%d must decode: %s" i e.message)
+      | _ -> Alcotest.failf "pair #%d must decode on both paths" i)
+    canonical_and_sloppy;
+  (* A request with an explicit params object never takes the fast path;
+     spelling the defaults out must still share the defaults key. *)
+  let explicit =
+    "{\"schema\":\"htlc-serve/v1\",\"req\":\"cutoffs\",\"params\":"
+    ^ Serve.Request.params_json Swap.Params.defaults
+    ^ ",\"p_star\":2}"
+  and implicit = "{\"schema\":\"htlc-serve/v1\",\"req\":\"cutoffs\",\"p_star\":2}" in
+  match (Serve.Request.decode explicit, Serve.Request.decode implicit) with
+  | Ok a, Ok b ->
+    check_str "explicit defaults share the implicit key"
+      (Serve.Request.key b) (Serve.Request.key a)
+  | _ -> Alcotest.fail "both spellings must decode"
+
+(* --- binary codec (htlc-serve/b1) ---------------------------------------- *)
+
+let f64_be x =
+  let bits = Int64.bits_of_float x in
+  String.init 8 (fun i ->
+      Char.chr
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical bits ((7 - i) * 8)) 0xFFL)))
+
+let test_binary_golden () =
+  (* Pin the wire bytes exactly: kind tag, flags, id block, fields. *)
+  let health = { Serve.Request.id = Some "h"; body = Serve.Request.Health } in
+  check_str "health payload" "\x05\x01\x00\x01h"
+    (Serve.Binary.encode_payload health);
+  check_str "framed health request" "\x00\x00\x00\x05\x05\x01\x00\x01h"
+    (Serve.Binary.encode_request health);
+  let cutoffs =
+    {
+      Serve.Request.id = None;
+      body = Serve.Request.Cutoffs { params = Swap.Params.defaults; p_star = 2. };
+    }
+  in
+  (* Defaults params travel as "omitted": flags bit1 clear, 10 bytes total. *)
+  check_str "cutoffs payload (defaults omitted)"
+    ("\x01\x00" ^ f64_be 2.)
+    (Serve.Binary.encode_payload cutoffs);
+  let quote =
+    {
+      Serve.Request.id = Some "r1";
+      body = Serve.Request.Quote { mu = 0.; sigma = 0.125; spot = 2. };
+    }
+  in
+  check_str "quote payload"
+    ("\x04\x01\x00\x02r1" ^ f64_be 0. ^ f64_be 0.125 ^ f64_be 2.)
+    (Serve.Binary.encode_payload quote);
+  let sweep =
+    {
+      Serve.Request.id = None;
+      body =
+        Serve.Request.Sweep
+          {
+            params = Swap.Params.defaults;
+            q = 0.25;
+            spec = { lo = 1.6; hi = 2.4; n = 9 };
+          };
+    }
+  in
+  (* u32 n is the last field — the torn-cursor regression case. *)
+  check_str "sweep payload"
+    ("\x03\x00" ^ f64_be 0.25 ^ f64_be 1.6 ^ f64_be 2.4 ^ "\x00\x00\x00\x09")
+    (Serve.Binary.encode_payload sweep)
+
+let test_binary_roundtrip () =
+  let custom =
+    { Swap.Params.defaults with sigma = 0.11; p0 = 1.7 }
+  in
+  let bodies =
+    [
+      Serve.Request.Cutoffs { params = Swap.Params.defaults; p_star = 2. };
+      Serve.Request.Cutoffs { params = custom; p_star = 1.8 };
+      Serve.Request.Success_rate
+        { params = Swap.Params.defaults; p_star = 2.; q = 0.25 };
+      Serve.Request.Sweep
+        {
+          params = custom;
+          q = 0.1;
+          spec = { lo = 1.6; hi = 2.4; n = 7 };
+        };
+      Serve.Request.Quote { mu = 0.003; sigma = 0.07; spot = 1.9 };
+      Serve.Request.Health;
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let id = if i mod 2 = 0 then Some (Printf.sprintf "b%d" i) else None in
+      let t = { Serve.Request.id; body } in
+      match Serve.Binary.decode_payload (Serve.Binary.encode_payload t) with
+      | Ok t' ->
+        check_bool (Printf.sprintf "binary roundtrip #%d" i) true (t = t');
+        check_str
+          (Printf.sprintf "binary and JSON decode share the key #%d" i)
+          (Serve.Request.key t) (Serve.Request.key t')
+      | Error e -> Alcotest.failf "roundtrip #%d rejected: %s" i e.message)
+    bodies;
+  (* Omitted params must decode to the physically shared defaults so the
+     memoised key fast path applies to wire-decoded requests too. *)
+  let t =
+    {
+      Serve.Request.id = None;
+      body = Serve.Request.Cutoffs { params = Swap.Params.defaults; p_star = 2. };
+    }
+  in
+  match Serve.Binary.decode_payload (Serve.Binary.encode_payload t) with
+  | Ok { body = Serve.Request.Cutoffs { params; _ }; _ } ->
+    check_bool "decoded defaults are physically shared" true
+      (params == Swap.Params.defaults)
+  | _ -> Alcotest.fail "cutoffs must roundtrip"
+
+let bin_err payload =
+  match Serve.Binary.decode_payload payload with
+  | Ok _ -> Alcotest.failf "payload unexpectedly decoded"
+  | Error e -> e
+
+let test_binary_errors () =
+  (* Malformed bytes are parse_error; out-of-domain values are
+     invalid_params — the same taxonomy the JSON codec answers. *)
+  let e = bin_err "" in
+  check_str "empty payload" "parse_error" e.Serve.Request.code;
+  let e = bin_err "\x09\x00" in
+  check_str "unknown kind tag" "parse_error" e.Serve.Request.code;
+  let e = bin_err "\x01\x04" in
+  check_str "unknown flags" "parse_error" e.Serve.Request.code;
+  let e = bin_err "\x01\x00\x40\x00" in
+  check_str "truncated field" "parse_error" e.Serve.Request.code;
+  let e = bin_err ("\x01\x00" ^ f64_be 2. ^ "junk") in
+  check_str "trailing bytes" "parse_error" e.Serve.Request.code;
+  let e = bin_err ("\x04\x02" ^ f64_be 0. ^ f64_be 0.05 ^ f64_be 2.) in
+  check_str "quote refuses a params block" "parse_error" e.Serve.Request.code;
+  let e = bin_err ("\x01\x01\x00\x01k" ^ f64_be (-2.)) in
+  check_str "negative p_star" "invalid_params" e.Serve.Request.code;
+  check_bool "id recovered from a rejected payload" true
+    (e.Serve.Request.err_id = Some "k");
+  let e =
+    bin_err
+      ("\x03\x00" ^ f64_be 0. ^ f64_be 1.6 ^ f64_be 2.4 ^ "\x00\x00\x00\x01")
+  in
+  check_str "sweep needs n >= 2" "invalid_params" e.Serve.Request.code;
+  let e = bin_err ("\x01\x00" ^ f64_be Float.nan) in
+  check_str "non-finite field" "invalid_params" e.Serve.Request.code
+
+let test_binary_incremental () =
+  (* The incremental decoder must reassemble frames identically no
+     matter how the bytes arrive: whole, byte-at-a-time, or in a
+     deterministic pseudo-random chunk schedule. *)
+  let payloads =
+    List.init 32 (fun i ->
+        Serve.Binary.encode_payload
+          {
+            Serve.Request.id = Some (Printf.sprintf "f%d" i);
+            body =
+              (if i mod 3 = 0 then
+                 Serve.Request.Sweep
+                   {
+                     params = Swap.Params.defaults;
+                     q = 0.;
+                     spec = { lo = 1.6; hi = 2.4; n = 2 + i };
+                   }
+               else
+                 Serve.Request.Quote
+                   { mu = 0.; sigma = 0.05; spot = 1. +. (0.01 *. float_of_int i) });
+          })
+  in
+  let stream = String.concat "" (List.map Serve.Binary.frame_response payloads) in
+  let feed schedule =
+    let buf = Serve.Iobuf.create () in
+    let got = ref [] in
+    let drain () =
+      let rec go () =
+        match Serve.Binary.decode_frame buf with
+        | `Frame p ->
+          got := p :: !got;
+          go ()
+        | `Need_more -> ()
+        | `Too_large n -> Alcotest.failf "spurious Too_large %d" n
+      in
+      go ()
+    in
+    let pos = ref 0 in
+    let state = ref schedule in
+    while !pos < String.length stream do
+      (* Chunk sizes 1..9 from a seeded LCG: deterministic, lint-clean. *)
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      let chunk = min (1 + (!state mod 9)) (String.length stream - !pos) in
+      Serve.Iobuf.add_string buf (String.sub stream !pos chunk);
+      pos := !pos + chunk;
+      drain ()
+    done;
+    check_bool "no residual bytes" true (Serve.Iobuf.is_empty buf);
+    List.rev !got
+  in
+  List.iter
+    (fun seed ->
+      check_bool
+        (Printf.sprintf "chunked reassembly matches (seed %d)" seed)
+        true
+        (feed seed = payloads))
+    [ 1; 7; 42; 1337 ];
+  (* A partial frame is Need_more, never a frame and never an error. *)
+  let buf = Serve.Iobuf.create () in
+  Serve.Iobuf.add_string buf "\x00\x00\x00\x0a\x05\x00";
+  check_bool "partial frame parks" true
+    (Serve.Binary.decode_frame buf = `Need_more);
+  check_int "partial frame left buffered" 6 (Serve.Iobuf.length buf);
+  (* An oversized header is unrecoverable and reported as such. *)
+  let buf = Serve.Iobuf.create () in
+  Serve.Iobuf.add_string buf "\x7f\xff\xff\xff";
+  match Serve.Binary.decode_frame buf with
+  | `Too_large n -> check_int "oversized header reported" 0x7fffffff n
+  | _ -> Alcotest.fail "oversized header must be Too_large"
+
+let test_binary_socket_roundtrip () =
+  let e = make_engine ~workers:0 () in
+  let path = Printf.sprintf "/tmp/htlc-serve-bin-%d.sock" (Unix.getpid ()) in
+  let server = Serve.Server.listen e ~path () in
+  let reference = make_engine ~workers:0 () in
+  let json_lines =
+    [
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s1\",\"req\":\"success_rate\",\"p_star\":2}";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s2\",\"req\":\"quote\",\"mu\":0,\"sigma\":0.075,\"spot\":2}";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s3\",\"req\":\"quote\",\"mu\":0.9,\"sigma\":0.075,\"spot\":2}";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"s1\",\"req\":\"success_rate\",\"p_star\":2}";
+    ]
+  in
+  let reqs =
+    List.map
+      (fun l ->
+        match Serve.Request.decode l with
+        | Ok r -> r
+        | Error _ -> Alcotest.failf "test line must decode: %s" l)
+      json_lines
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* One pipelined burst: magic, then every frame, then read them back. *)
+  output_string oc Serve.Binary.magic;
+  List.iter (fun r -> output_string oc (Serve.Binary.encode_request r)) reqs;
+  flush oc;
+  List.iteri
+    (fun i line ->
+      match Serve.Binary.input_frame ic with
+      | Some body ->
+        check_str
+          (Printf.sprintf "binary response #%d byte-identical to direct" i)
+          (Serve.Engine.handle reference line)
+          body
+      | None -> Alcotest.failf "server closed before response #%d" i)
+    json_lines;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* A torn frame: header promising 20 bytes, only 5 sent, then EOF.
+     The server must drop the connection without answering — and keep
+     serving new connections. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc2 = Unix.out_channel_of_descr fd in
+  output_string oc2 Serve.Binary.magic;
+  output_string oc2 "\x00\x00\x00\x14\x05\x01\x00\x01h";
+  flush oc2;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let ic2 = Unix.in_channel_of_descr fd in
+  (match Serve.Binary.input_frame ic2 with
+  | None -> ()
+  | Some body -> Alcotest.failf "torn frame must not be answered, got %S" body);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* An oversized header: the server kills the connection immediately. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc3 = Unix.out_channel_of_descr fd in
+  output_string oc3 Serve.Binary.magic;
+  output_string oc3 "\x7f\xff\xff\xff";
+  flush oc3;
+  let ic3 = Unix.in_channel_of_descr fd in
+  (match input_char ic3 with
+  | _ -> Alcotest.fail "oversized header must close the connection"
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* The server survived both protocol violations. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic4 = Unix.in_channel_of_descr fd in
+  let oc4 = Unix.out_channel_of_descr fd in
+  output_string oc4 Serve.Binary.magic;
+  output_string oc4
+    (Serve.Binary.encode_request
+       { Serve.Request.id = Some "again"; body = Serve.Request.Health });
+  flush oc4;
+  (match Serve.Binary.input_frame ic4 with
+  | Some body ->
+    check_bool "server still serves after violations" true
+      (contains body "\"status\":\"ok\"" && contains body "\"id\":\"again\"")
+  | None -> Alcotest.fail "server must still answer after violations");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Serve.Server.shutdown server;
+  Serve.Engine.stop e;
+  Serve.Engine.stop reference
+
 (* --- cache --------------------------------------------------------------- *)
 
 let test_cache_hit_miss () =
@@ -781,6 +1122,18 @@ let () =
           Alcotest.test_case "golden encodings" `Quick test_codec_golden;
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "error taxonomy" `Quick test_codec_errors;
+          Alcotest.test_case "fast/slow path agreement" `Quick
+            test_decode_fastpath_agreement;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "golden vectors" `Quick test_binary_golden;
+          Alcotest.test_case "roundtrip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "error taxonomy" `Quick test_binary_errors;
+          Alcotest.test_case "incremental framing" `Quick
+            test_binary_incremental;
+          Alcotest.test_case "socket + torn frames" `Quick
+            test_binary_socket_roundtrip;
         ] );
       ( "cache",
         [
