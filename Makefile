@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke telemetry-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -34,6 +34,12 @@ serve-smoke:
 # @ci).
 reactor-smoke:
 	dune build @reactor-smoke
+
+# Telemetry smoke: the fixed script through a single-shard reactor with
+# sampling forced to 1-in-1, then the `stats` request over both codecs
+# and a flight-recorder dump, shapes validated (also part of @ci).
+telemetry-smoke:
+	dune build @telemetry-smoke
 
 # Chaos-serve smoke: seeded fault-injected load (torn writes, truncated
 # responses, resets, one injected worker crash) through the retrying

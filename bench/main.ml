@@ -752,11 +752,34 @@ let write_leg oc ~last l =
   Printf.fprintf oc "        \"identical_to_direct\": %b\n" l.g_identical;
   Printf.fprintf oc "      }%s\n" (if last then "" else ",")
 
+(* Telemetry-overhead head-to-head: the JSON leg rerun with the stage
+   clocks compiled out (Serve.Telemetry disabled), against the
+   telemetry-on measurement of the same corpus. *)
+type telemetry_overhead = {
+  t_sample_every : int;
+  t_enabled_rps : float;
+  t_disabled_rps : float;
+  t_overhead_frac : float; (* (disabled - enabled) / disabled *)
+}
+
+let write_stage oc ~last (s : Serve.Telemetry.stage_stat) =
+  let us x = json_num (x *. 1e6) in
+  Printf.fprintf oc "      \"%s\": {\n" s.st_stage;
+  Printf.fprintf oc "        \"count\": %d,\n" s.st_count;
+  Printf.fprintf oc "        \"mean_us\": %s,\n" (us s.st_mean_s);
+  Printf.fprintf oc "        \"window\": %d,\n" s.st_window;
+  Printf.fprintf oc "        \"p50_us\": %s,\n" (us s.st_p50_s);
+  Printf.fprintf oc "        \"p90_us\": %s,\n" (us s.st_p90_s);
+  Printf.fprintf oc "        \"p99_us\": %s,\n" (us s.st_p99_s);
+  Printf.fprintf oc "        \"p999_us\": %s\n" (us s.st_p999_s);
+  Printf.fprintf oc "      }%s\n" (if last then "" else ",")
+
 (* Top-level serve fields keep the historical shape (mirroring the
    JSON-codec leg, the wire format every prior baseline measured);
-   "codecs" carries the per-codec breakdown. *)
+   "codecs" carries the per-codec breakdown, "stages" the telemetry
+   stage-clock quantiles, "telemetry" the overhead head-to-head. *)
 let write_serve_baseline ?chaos ~file ~requests ~clients ~workers ~shards
-    ~json_leg ~binary_leg () =
+    ~json_leg ~binary_leg ~stages ~telemetry () =
   let identical = json_leg.g_identical && binary_leg.g_identical in
   let oc = open_out file in
   Printf.fprintf oc "{\n";
@@ -785,6 +808,25 @@ let write_serve_baseline ?chaos ~file ~requests ~clients ~workers ~shards
   Printf.fprintf oc "    \"codecs\": {\n";
   write_leg oc ~last:false json_leg;
   write_leg oc ~last:true binary_leg;
+  Printf.fprintf oc "    },\n";
+  Printf.fprintf oc "    \"stages\": {\n";
+  let rec write_stages = function
+    | [] -> ()
+    | [ s ] -> write_stage oc ~last:true s
+    | s :: rest ->
+      write_stage oc ~last:false s;
+      write_stages rest
+  in
+  write_stages stages;
+  Printf.fprintf oc "    },\n";
+  Printf.fprintf oc "    \"telemetry\": {\n";
+  Printf.fprintf oc "      \"sample_every\": %d,\n" telemetry.t_sample_every;
+  Printf.fprintf oc "      \"enabled_rps\": %s,\n"
+    (json_num telemetry.t_enabled_rps);
+  Printf.fprintf oc "      \"disabled_rps\": %s,\n"
+    (json_num telemetry.t_disabled_rps);
+  Printf.fprintf oc "      \"overhead_frac\": %s\n"
+    (json_num telemetry.t_overhead_frac);
   Printf.fprintf oc "    }\n";
   Printf.fprintf oc "  }%s\n" (if chaos = None then "" else ",");
   Option.iter
@@ -817,8 +859,9 @@ let write_serve_baseline ?chaos ~file ~requests ~clients ~workers ~shards
 
 (* Run one codec leg on a {e fresh} engine (cold cache — a fair
    head-to-head) sharing the prebuilt quote table. *)
-let run_leg ~codec ~make_engine ~workers ~shards ~path ~(payloads : string array)
-    ~(expected : string array) ~clients =
+let run_leg ?label ~codec ~make_engine ~workers ~shards ~path
+    ~(payloads : string array) ~(expected : string array) ~clients () =
+  let label = Option.value label ~default:codec in
   let n = Array.length payloads in
   let engine = make_engine ~workers in
   let server = Serve.Server.listen engine ~path ?shards () in
@@ -876,8 +919,8 @@ let run_leg ~codec ~make_engine ~workers ~shards ~path ~(payloads : string array
      %-6s cache hit rate %.3f (%d hits / %d misses / %d evictions), \
      mismatches %d, dropped %d -> %s\n\
      %!"
-    codec answered n wall_s leg.g_throughput_rps leg.g_p50_ms leg.g_p99_ms
-    codec cache_hit_rate s.cache.Serve.Cache.hits s.cache.Serve.Cache.misses
+    label answered n wall_s leg.g_throughput_rps leg.g_p50_ms leg.g_p99_ms
+    label cache_hit_rate s.cache.Serve.Cache.hits s.cache.Serve.Cache.misses
     s.cache.Serve.Cache.evictions mismatches dropped
     (if leg.g_identical then "byte-identical to direct calls"
      else "NOT IDENTICAL");
@@ -907,17 +950,88 @@ let serve_bench ~json ~requests:n ~clients ~workers ~shards ~smoke ~chaos
   let frames = Array.map Serve.Binary.encode_request corpus in
   let expected = Array.map (Serve.Engine.handle_decoded reference) corpus in
   let path = Printf.sprintf "/tmp/htlc-serve-%d.sock" (Unix.getpid ()) in
+  (* Measured legs start from empty reservoirs so the recorded stage
+     breakdown covers exactly this corpus (telemetry is on by default;
+     the default 1/256 sampler stays in effect — what production
+     overhead looks like). *)
+  Serve.Telemetry.reset ();
   let json_leg, reactor_shards =
     run_leg ~codec:"json" ~make_engine ~workers ~shards ~path ~payloads:lines
-      ~expected ~clients
+      ~expected ~clients ()
   in
   let binary_leg, _ =
     run_leg ~codec:"binary" ~make_engine ~workers ~shards ~path
-      ~payloads:frames ~expected ~clients
+      ~payloads:frames ~expected ~clients ()
   in
   if json_leg.g_throughput_rps > 0. then
     Printf.printf "binary/json throughput: %.2fx\n%!"
       (binary_leg.g_throughput_rps /. json_leg.g_throughput_rps);
+  (* Snapshot the stage quantiles before the telemetry-off overhead leg
+     (which records nothing) and the chaos phase (which would fold its
+     injected-fault latencies into the breakdown). *)
+  let stages = Serve.Telemetry.stage_stats () in
+  (* Overhead head-to-head: warm reruns of the JSON corpus.  The codec
+     legs above already paid the cold-start costs, but on a shared
+     single core the leg-to-leg scheduler/GC drift still swamps one
+     comparison, so each mode runs several times interleaved and the
+     record keeps per-mode medians.  The within-pair order alternates:
+     a fixed off-then-on order turns any monotonic machine drift into a
+     systematic bias against the second leg (running the identical
+     binary in both roles still "measured" ~5% overhead), and
+     alternating cancels it. *)
+  let rerun ~label ~on =
+    Serve.Telemetry.set_enabled on;
+    let g0 = Gc.quick_stat () in
+    let leg, _ =
+      run_leg ~label ~codec:"json" ~make_engine ~workers ~shards ~path
+        ~payloads:lines ~expected ~clients ()
+    in
+    let g1 = Gc.quick_stat () in
+    Printf.printf "  %s: %d minor GCs, %.1f Mw minor, %.1f Mw promoted\n%!"
+      label
+      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+      ((g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6)
+      ((g1.Gc.promoted_words -. g0.Gc.promoted_words) /. 1e6);
+    Serve.Telemetry.set_enabled true;
+    leg.g_throughput_rps
+  in
+  let telemetry =
+    let runs = 5 in
+    let offs = Array.make runs 0.
+    and ons = Array.make runs 0.
+    and ratios = Array.make runs 0. in
+    for i = 0 to runs - 1 do
+      if i land 1 = 0 then begin
+        offs.(i) <- rerun ~label:"tel-off" ~on:false;
+        ons.(i) <- rerun ~label:"tel-on" ~on:true
+      end
+      else begin
+        ons.(i) <- rerun ~label:"tel-on" ~on:true;
+        offs.(i) <- rerun ~label:"tel-off" ~on:false
+      end;
+      ratios.(i) <- (if offs.(i) > 0. then ons.(i) /. offs.(i) else nan)
+    done;
+    let median a =
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    let enabled = median ons
+    and disabled = median offs in
+    (* Overhead from the median of within-pair ratios, not the ratio of
+       medians: the two legs of a pair run back-to-back, so machine
+       drift mostly cancels inside each ratio, while legs minutes apart
+       can differ by more than the effect being measured. *)
+    let overhead_frac = 1. -. median ratios in
+    Printf.printf
+      "telemetry overhead: %.0f req/s on vs %.0f req/s off (%+.1f%%)\n%!"
+      enabled disabled (100. *. overhead_frac);
+    {
+      t_sample_every = Serve.Telemetry.sample_every ();
+      t_enabled_rps = enabled;
+      t_disabled_rps = disabled;
+      t_overhead_frac = overhead_frac;
+    }
+  in
   let identical = json_leg.g_identical && binary_leg.g_identical in
   let chaos_summary =
     Option.map
@@ -947,7 +1061,8 @@ let serve_bench ~json ~requests:n ~clients ~workers ~shards ~smoke ~chaos
   Option.iter
     (fun file ->
       write_serve_baseline ?chaos:chaos_summary ~file ~requests:n ~clients
-        ~workers ~shards:reactor_shards ~json_leg ~binary_leg ();
+        ~workers ~shards:reactor_shards ~json_leg ~binary_leg ~stages
+        ~telemetry ();
       Printf.printf "wrote %s\n" file)
     json;
   if not identical then exit 1;
@@ -956,6 +1071,16 @@ let serve_bench ~json ~requests:n ~clients ~workers ~shards ~smoke ~chaos
     when c.c_mismatches > 0 || c.c_stranded > 0 || c.c_worker_restarts < 1
          || float_of_int c.c_succeeded
             < 0.99 *. float_of_int c.c_requests ->
+    (* Preserve the flight recorder for the post-mortem: the last
+       requests completed before the gate tripped, with per-stage
+       clocks. *)
+    let dump = "serve_chaos_recorder.jsonl" in
+    (try
+       let oc = open_out dump in
+       Serve.Telemetry.write_recorder ~reason:"chaos-gate-failure" oc;
+       close_out oc;
+       Printf.eprintf "bench serve: flight recorder dumped to %s\n" dump
+     with Sys_error _ -> ());
     prerr_endline "bench serve: chaos gate failed";
     exit 1
   | _ -> ()

@@ -59,6 +59,50 @@ let validate_codec_leg ~codec leg =
     bad "%s is false: a served response diverged from the direct library call"
       (path "identical_to_direct")
 
+(* One stage row under serve.stages: the telemetry stage-clock quantiles
+   folded over the measured legs (microseconds, exact reservoirs). *)
+let known_stages =
+  [ "decode"; "cache"; "queue"; "compute"; "encode"; "flush"; "total" ]
+
+let validate_stage ~stage row =
+  let path key = Printf.sprintf "serve.stages.%s.%s" stage key in
+  if not (List.mem stage known_stages) then
+    bad "serve.stages: unknown stage %S" stage;
+  let num key = as_num (path key) (member ("serve.stages." ^ stage) row key) in
+  if num "count" < 1. then bad "%s must be >= 1" (path "count");
+  if num "mean_us" < 0. then bad "%s must be >= 0" (path "mean_us");
+  let window = num "window" in
+  if window < 1. || window > num "count" then
+    bad "%s must be in [1, count]" (path "window");
+  let qs =
+    List.map (fun k -> (k, num k)) [ "p50_us"; "p90_us"; "p99_us"; "p999_us" ]
+  in
+  List.iter
+    (fun (k, v) -> if v < 0. then bad "%s must be >= 0" (path k))
+    qs;
+  let rec ordered = function
+    | (ka, a) :: ((kb, b) :: _ as rest) ->
+      if b < a then bad "%s < %s: quantiles out of order" (path kb) (path ka);
+      ordered rest
+    | _ -> ()
+  in
+  ordered qs
+
+(* serve.telemetry: the overhead head-to-head (JSON leg rerun with the
+   stage clocks disabled). *)
+let validate_telemetry_member tel =
+  let num key = as_num ("serve.telemetry." ^ key) (member "serve.telemetry" tel key) in
+  let sample_every = num "sample_every" in
+  if sample_every < 1. || Float.rem sample_every 1. <> 0. then
+    bad "serve.telemetry.sample_every must be a positive integer (got %g)"
+      sample_every;
+  if num "enabled_rps" <= 0. then bad "serve.telemetry.enabled_rps must be > 0";
+  if num "disabled_rps" <= 0. then
+    bad "serve.telemetry.disabled_rps must be > 0";
+  let frac = num "overhead_frac" in
+  if frac >= 1. then
+    bad "serve.telemetry.overhead_frac must be < 1 (got %g)" frac
+
 (* The "serve" member records the socket load test (bench serve): client
    totals, latency quantiles, cache hit-rate, the byte-identity check
    against direct in-process calls, and the per-codec breakdown of the
@@ -96,7 +140,18 @@ let validate_serve_member serve =
        the direct library call";
   let codecs = member "serve" serve "codecs" in
   validate_codec_leg ~codec:"json" (member "serve.codecs" codecs "json");
-  validate_codec_leg ~codec:"binary" (member "serve.codecs" codecs "binary")
+  validate_codec_leg ~codec:"binary" (member "serve.codecs" codecs "binary");
+  (* Pre-telemetry baselines carry neither member; when present both
+     must be well-formed and stages must include the total clock. *)
+  (match member_opt serve "stages" with
+  | None -> ()
+  | Some stages ->
+    let rows = as_obj "serve.stages" stages in
+    if rows = [] then bad "serve.stages is empty";
+    if not (List.mem_assoc "total" rows) then
+      bad "serve.stages is missing the \"total\" stage";
+    List.iter (fun (stage, row) -> validate_stage ~stage row) rows);
+  Option.iter validate_telemetry_member (member_opt serve "telemetry")
 
 (* A nullable-number member as an option (num_or_null checks shape
    only); NaN — which Obs.Json emits as null — reads back as None. *)

@@ -256,17 +256,218 @@ let validate_reactor json_file bin_file =
     bin_file
     (List.length bin_lines - 1)
 
+(* `validate_serve --telemetry STATS RECORDER`: the telemetry-smoke
+   gate.  STATS holds two `stats` responses from one single-shard
+   reactor run with sampling forced to 1-in-1 — one served over JSON,
+   one over htlc-serve/b1.  Pins the stats document shape (telemetry
+   switches, rate window, per-kind x codec latency quantiles, stage
+   breakdown, recorder and trace health), that both codecs produced
+   traffic, that quantiles are ordered, and that the second response
+   observed strictly more finished requests than the first (the first
+   stats request itself).  RECORDER is the flight-recorder dump: a
+   header line whose counts must be internally consistent, then one
+   request record per held slot — ascending seq, known kinds/codecs,
+   every record sampled (rate 1), every record carrying a total
+   duration. *)
+
+let known_kinds =
+  [ "cutoffs"; "success_rate"; "sweep"; "quote"; "health"; "stats"; "error" ]
+
+let known_codecs = [ "json"; "binary"; "pipe"; "queue" ]
+
+let stage_keys =
+  [ "decode_ns"; "cache_ns"; "queue_ns"; "compute_ns"; "encode_ns";
+    "flush_ns"; "total_ns" ]
+
+let check_quantiles path obj =
+  let num key = as_num (path ^ "." ^ key) (member path obj key) in
+  if num "count" < 1. then bad "%s.count: must be >= 1" path;
+  let window = num "window" in
+  if window < 1. then bad "%s.window: must be >= 1" path;
+  if window > num "count" then bad "%s.window: exceeds count" path;
+  let qs = List.map num [ "p50_us"; "p90_us"; "p99_us"; "p999_us" ] in
+  List.iter (fun q -> if q < 0. then bad "%s: negative quantile" path) qs;
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      if a > b then bad "%s: quantiles are not monotone" path else ordered rest
+    | _ -> ()
+  in
+  ordered qs
+
+let validate_stats_line lineno line ~id =
+  let path key = Printf.sprintf "stats line %d: %s" lineno key in
+  let root =
+    try parse line with Bad msg -> bad "stats line %d: %s" lineno msg
+  in
+  if as_str (path "schema") (member (path "resp") root "schema")
+     <> "htlc-serve/v1"
+  then bad "stats line %d: wrong schema" lineno;
+  (match member (path "resp") root "id" with
+  | Str got when got = id -> ()
+  | _ -> bad "stats line %d: id was not echoed (want %S)" lineno id);
+  if as_str (path "req") (member (path "resp") root "req") <> "stats" then
+    bad "stats line %d: req must echo \"stats\"" lineno;
+  if as_str (path "status") (member (path "resp") root "status") <> "ok" then
+    bad "stats line %d: status must be ok" lineno;
+  let r = member (path "resp") root "result" in
+  let sect key = member (path key) r key in
+  let num sect_name sect key =
+    as_num (path (sect_name ^ "." ^ key)) (member (path sect_name) sect key)
+  in
+  let telemetry = sect "telemetry" in
+  (match member (path "telemetry") telemetry "enabled" with
+  | Bool true -> ()
+  | _ -> bad "stats line %d: telemetry.enabled must be true" lineno);
+  if num "telemetry" telemetry "sample_every" <> 1. then
+    bad "stats line %d: the smoke forces sample_every = 1" lineno;
+  let rate = sect "rate" in
+  let total = num "rate" rate "total" in
+  if total < 1. then bad "stats line %d: rate.total must be >= 1" lineno;
+  if num "rate" rate "rps" < 0. then bad "stats line %d: negative rps" lineno;
+  let latency = as_obj (path "latency") (sect "latency") in
+  if latency = [] then bad "stats line %d: latency section is empty" lineno;
+  List.iter
+    (fun (key, row) ->
+      (match String.split_on_char '.' key with
+      | [ kind; codec ]
+        when List.mem kind known_kinds && List.mem codec known_codecs ->
+        ()
+      | _ -> bad "stats line %d: unknown latency key %S" lineno key);
+      check_quantiles (path ("latency." ^ key)) row)
+    latency;
+  List.iter
+    (fun codec ->
+      if
+        not
+          (List.exists
+             (fun (key, _) ->
+               String.length key > String.length codec
+               && String.sub key
+                    (String.length key - String.length codec - 1)
+                    (String.length codec + 1)
+                  = "." ^ codec)
+             latency)
+      then bad "stats line %d: no latency entry for the %s codec" lineno codec)
+    [ "json"; "binary" ];
+  let stages = as_obj (path "stages") (sect "stages") in
+  List.iter
+    (fun stage ->
+      match List.assoc_opt stage stages with
+      | Some row ->
+        check_quantiles (path ("stages." ^ stage)) row;
+        if num ("stages." ^ stage) row "mean_us" < 0. then
+          bad "stats line %d: stages.%s.mean_us negative" lineno stage
+      | None -> bad "stats line %d: stage %S missing" lineno stage)
+    [ "decode"; "compute"; "encode"; "flush"; "total" ];
+  let recorder = sect "recorder" in
+  let capacity = num "recorder" recorder "capacity" in
+  let recorded = num "recorder" recorder "recorded" in
+  let pushed = num "recorder" recorder "pushed" in
+  if capacity <> 64. then
+    bad "stats line %d: the smoke bounds the recorder at 64" lineno;
+  if recorded < 1. || recorded > capacity then
+    bad "stats line %d: recorder.recorded outside [1, capacity]" lineno;
+  if num "recorder" recorder "dropped" <> pushed -. recorded then
+    bad "stats line %d: recorder.dropped must equal pushed - recorded" lineno;
+  let trace = sect "trace" in
+  if num "trace" trace "spans" < 1. then
+    bad "stats line %d: 1-in-1 sampling must have buffered spans" lineno;
+  if num "trace" trace "dropped" < 0. then
+    bad "stats line %d: trace.dropped negative" lineno;
+  total
+
+let validate_recorder file =
+  let lines = read_transcript file in
+  let header, records =
+    match lines with
+    | h :: r -> (h, r)
+    | [] -> bad "empty recorder dump"
+  in
+  let root = try parse header with Bad msg -> bad "header: %s" msg in
+  let num key = as_num ("header." ^ key) (member "header" root key) in
+  if as_str "header.schema" (member "header" root "schema") <> "htlc-obs/v1"
+  then bad "header: wrong schema";
+  if as_str "header.type" (member "header" root "type") <> "recorder" then
+    bad "header: type must be \"recorder\"";
+  if as_str "header.reason" (member "header" root "reason") = "" then
+    bad "header: empty reason";
+  if num "recorded" <> float_of_int (List.length records) then
+    bad "header.recorded: %g, but the dump holds %d records" (num "recorded")
+      (List.length records);
+  if num "recorded" > num "capacity" then bad "header: recorded > capacity";
+  if num "dropped" <> num "pushed" -. num "recorded" then
+    bad "header.dropped: must equal pushed - recorded";
+  let last_seq = ref (-1.) in
+  List.iteri
+    (fun i line ->
+      let n = i + 2 in
+      let path key = Printf.sprintf "record line %d: %s" n key in
+      let root =
+        try parse line with Bad msg -> bad "record line %d: %s" n msg
+      in
+      let str key = as_str (path key) (member (path key) root key) in
+      if str "schema" <> "htlc-obs/v1" then bad "record line %d: schema" n;
+      if str "type" <> "request" then bad "record line %d: type" n;
+      let seq = as_num (path "seq") (member (path "seq") root "seq") in
+      if seq <= !last_seq then
+        bad "record line %d: seq %g not ascending" n seq;
+      last_seq := seq;
+      if not (List.mem (str "kind") known_kinds) then
+        bad "record line %d: unknown kind %S" n (str "kind");
+      if not (List.mem (str "codec") known_codecs) then
+        bad "record line %d: unknown codec %S" n (str "codec");
+      if str "status" = "" then bad "record line %d: empty status" n;
+      (match member (path "sampled") root "sampled" with
+      | Bool true -> ()
+      | _ -> bad "record line %d: every record must be sampled at rate 1" n);
+      if as_num (path "total_ns") (member (path "total_ns") root "total_ns")
+         < 0.
+      then bad "record line %d: negative total_ns" n;
+      let stages = as_obj (path "stages") (member (path "stages") root "stages") in
+      if not (List.mem_assoc "total_ns" stages) then
+        bad "record line %d: stages must include total_ns" n;
+      List.iter
+        (fun (key, v) ->
+          if not (List.mem key stage_keys) then
+            bad "record line %d: unknown stage %S" n key;
+          if as_num (path ("stages." ^ key)) v < 0. then
+            bad "record line %d: negative stage %s" n key)
+        stages)
+    records;
+  List.length records
+
+let validate_telemetry stats_file recorder_file =
+  let stats_lines = read_transcript stats_file in
+  let t1, t2 =
+    match stats_lines with
+    | [ a; b ] ->
+      ( validate_stats_line 1 a ~id:"stats-json",
+        validate_stats_line 2 b ~id:"stats-b1" )
+    | _ -> bad "expected exactly 2 stats responses, got %d"
+             (List.length stats_lines)
+  in
+  (* The single-shard smoke finalises the first stats request before
+     the second is read, so the totals must strictly advance. *)
+  if not (t2 > t1) then
+    bad "stats line 2: rate.total %g did not advance past line 1's %g" t2 t1;
+  Printf.printf "%s: ok (2 stats responses, both codecs)\n" stats_file;
+  let records = validate_recorder recorder_file in
+  Printf.printf "%s: ok (recorder dump, %d records)\n" recorder_file records
+
 let () =
   let mode =
     match Sys.argv with
     | [| _; "--chaos"; file |] -> `Chaos file
     | [| _; "--reactor"; json_file; bin_file |] -> `Reactor (json_file, bin_file)
+    | [| _; "--telemetry"; stats_file; recorder_file |] ->
+      `Telemetry (stats_file, recorder_file)
     | [| _; file |] -> `Transcript file
     | _ ->
       prerr_endline
         "usage: validate_serve TRANSCRIPT\n\
         \       validate_serve --chaos BENCH_JSON\n\
-        \       validate_serve --reactor JSON_TRANSCRIPT BIN_TRANSCRIPT";
+        \       validate_serve --reactor JSON_TRANSCRIPT BIN_TRANSCRIPT\n\
+        \       validate_serve --telemetry STATS RECORDER";
       exit 2
   in
   match
@@ -274,16 +475,20 @@ let () =
     | `Chaos file -> validate_chaos file
     | `Transcript file -> validate_transcript file
     | `Reactor (json_file, bin_file) -> validate_reactor json_file bin_file
+    | `Telemetry (stats_file, recorder_file) ->
+      validate_telemetry stats_file recorder_file
   with
   | () -> ()
   | exception Bad msg ->
     let file =
-      match mode with `Chaos f | `Transcript f | `Reactor (f, _) -> f
+      match mode with
+      | `Chaos f | `Transcript f | `Reactor (f, _) | `Telemetry (f, _) -> f
     in
     Printf.eprintf "%s: INVALID serve %s: %s\n" file
       (match mode with
       | `Chaos _ -> "chaos run"
       | `Transcript _ -> "transcript"
-      | `Reactor _ -> "reactor run")
+      | `Reactor _ -> "reactor run"
+      | `Telemetry _ -> "telemetry run")
       msg;
     exit 1

@@ -689,11 +689,35 @@ let serve_cmd =
              a structured $(b,overloaded) reject instead — shutdown \
              waits only for requests already being computed.")
   in
+  let recorder_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recorder-dump" ] ~docv:"FILE"
+          ~doc:
+            "Arm the telemetry flight recorder's dump trigger: when a \
+             worker crashes (and is restarted by its supervisor) the \
+             last completed requests are written to $(docv) as \
+             $(b,htlc-obs/v1) JSONL — one recorder header line, then \
+             one line per held request record.")
+  in
+  let sample_every =
+    Arg.(
+      value & opt int 256
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Promote ~1/$(docv) of requests to full trace spans \
+             (deterministic in the request id, so the sampled set is \
+             identical at any shard or worker count; $(b,1) = every \
+             request).")
+  in
   let run params socket workers queue_capacity deadline_ms cache_capacity
-      cache_shards max_sweep table_mus table_sigmas shards drain jobs metrics
-      trace_out =
+      cache_shards max_sweep table_mus table_sigmas shards drain recorder_dump
+      sample_every jobs metrics trace_out =
     with_obs ~metrics ~trace_out @@ fun () ->
     Option.iter Numerics.Pool.set_jobs jobs;
+    Serve.Telemetry.set_sample_every sample_every;
+    Serve.Telemetry.set_dump_path recorder_dump;
     let mus =
       Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:(max 2 table_mus)
     in
@@ -754,10 +778,65 @@ let serve_cmd =
     Term.(
       const run $ params_term $ socket $ workers $ queue_capacity
       $ deadline_ms $ cache_capacity $ cache_shards $ max_sweep $ table_mus
-      $ table_sigmas $ shards $ drain $ jobs_term $ metrics_term
-      $ trace_out_term)
+      $ table_sigmas $ shards $ drain $ recorder_dump $ sample_every
+      $ jobs_term $ metrics_term $ trace_out_term)
 
 (* --- call ------------------------------------------------------------------ *)
+
+(* Human rendering of a stats response: latency and stage quantiles in
+   microseconds, the rate window, recorder and trace health.  Parses
+   with the strict JSON reader the validators share, so a shape drift
+   in the server is reported instead of silently mis-tabulated. *)
+let print_stats_table resp =
+  let module J = Obs.Json_parse in
+  let j = J.parse resp in
+  (match J.as_str "status" (J.member "response" j "status") with
+  | "ok" -> ()
+  | status ->
+    Printf.eprintf "stats request answered %S: %s\n" status resp;
+    exit 1);
+  let r = J.member "response" j "result" in
+  let num path o key = J.as_num (path ^ "." ^ key) (J.member path o key) in
+  let flag path o key = J.as_bool (path ^ "." ^ key) (J.member path o key) in
+  let telemetry = J.member "result" r "telemetry" in
+  let rate = J.member "result" r "rate" in
+  Printf.printf "telemetry %s, tracing 1 in %.0f requests\n"
+    (if flag "telemetry" telemetry "enabled" then "enabled" else "disabled")
+    (num "telemetry" telemetry "sample_every");
+  Printf.printf "rate      %.1f req/s over %.0f s window, %.0f finished total\n"
+    (num "rate" rate "rps")
+    (num "rate" rate "window_s")
+    (num "rate" rate "total");
+  let section title key =
+    match J.as_obj key (J.member "result" r key) with
+    | [] -> ()
+    | rows ->
+      Printf.printf "\n%s\n" title;
+      Printf.printf "  %-22s %8s %9s %9s %9s %9s\n" "" "count" "p50_us"
+        "p90_us" "p99_us" "p999_us";
+      List.iter
+        (fun (name, row) ->
+          let path = key ^ "." ^ name in
+          Printf.printf "  %-22s %8.0f %9.1f %9.1f %9.1f %9.1f\n" name
+            (num path row "count") (num path row "p50_us")
+            (num path row "p90_us") (num path row "p99_us")
+            (num path row "p999_us"))
+        rows
+  in
+  section "latency by kind.codec" "latency";
+  section "stage breakdown" "stages";
+  let recorder = J.member "result" r "recorder" in
+  Printf.printf
+    "\nrecorder  %.0f held (capacity %.0f), %.0f pushed, %.0f dropped\n"
+    (num "recorder" recorder "recorded")
+    (num "recorder" recorder "capacity")
+    (num "recorder" recorder "pushed")
+    (num "recorder" recorder "dropped");
+  let trace = J.member "result" r "trace" in
+  Printf.printf "trace     %s, %.0f spans buffered, %.0f dropped\n"
+    (if flag "trace" trace "enabled" then "enabled" else "disabled")
+    (num "trace" trace "spans")
+    (num "trace" trace "dropped")
 
 let call_cmd =
   let socket =
@@ -799,7 +878,25 @@ let call_cmd =
              responses, resets...) — exercises the retry path against a \
              real server.")
   in
-  let run socket max_attempts deadline_ms seed chaos_seed =
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Instead of reading request lines from stdin, send one \
+             $(b,stats) request and pretty-print the server's live \
+             telemetry: latency and stage quantiles, windowed req/s, \
+             flight-recorder and trace-ring health.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With $(b,--stats): print the raw response line unchanged \
+             instead of the table.")
+  in
+  let run socket max_attempts deadline_ms seed chaos_seed stats json =
     let dialer =
       let d = Serve.Client.socket_dialer ~path:socket in
       match chaos_seed with
@@ -812,25 +909,45 @@ let call_cmd =
         ~seed ()
     in
     let failures = ref 0 in
-    (try
-       while true do
-         let line = input_line stdin in
-         if String.trim line <> "" then
-           match Serve.Client.call client line with
-           | Ok resp -> print_endline resp
-           | Error e ->
-             incr failures;
-             Printf.printf
-               "{\"schema\":\"htlc-serve/v1\",\"id\":null,\"status\":\"error\",\"error\":%S,\"message\":%S,\"attempts\":%d}\n"
-               e.Serve.Client.code e.Serve.Client.message
-               e.Serve.Client.attempts
-       done
-     with End_of_file -> ());
+    if stats then begin
+      (match
+         Serve.Client.call client
+           "{\"schema\":\"htlc-serve/v1\",\"id\":\"cli-stats\",\"req\":\"stats\"}"
+       with
+      | Ok resp ->
+        if json then print_endline resp
+        else (
+          try print_stats_table resp
+          with Obs.Json_parse.Bad msg ->
+            Printf.eprintf "unexpected stats response shape (%s): %s\n" msg
+              resp;
+            incr failures)
+      | Error e ->
+        incr failures;
+        Printf.eprintf "stats request failed: %s (%s, %d attempts)\n"
+          e.Serve.Client.message e.Serve.Client.code e.Serve.Client.attempts)
+    end
+    else begin
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then
+             match Serve.Client.call client line with
+             | Ok resp -> print_endline resp
+             | Error e ->
+               incr failures;
+               Printf.printf
+                 "{\"schema\":\"htlc-serve/v1\",\"id\":null,\"status\":\"error\",\"error\":%S,\"message\":%S,\"attempts\":%d}\n"
+                 e.Serve.Client.code e.Serve.Client.message
+                 e.Serve.Client.attempts
+         done
+       with End_of_file -> ());
+      let s = Serve.Client.stats client in
+      Printf.eprintf "%d calls, %d retries, %d reconnects, %d failures\n"
+        s.Serve.Client.calls s.Serve.Client.retries s.Serve.Client.reconnects
+        s.Serve.Client.failures
+    end;
     Serve.Client.close client;
-    let s = Serve.Client.stats client in
-    Printf.eprintf "%d calls, %d retries, %d reconnects, %d failures\n"
-      s.Serve.Client.calls s.Serve.Client.retries s.Serve.Client.reconnects
-      s.Serve.Client.failures;
     if !failures > 0 then exit 1
   in
   Cmd.v
@@ -841,9 +958,13 @@ let call_cmd =
           response line to stdout.  Reconnects and retries (capped \
           exponential backoff, seeded jitter) through transport faults; \
           a response must echo the request id to count.  Exits nonzero \
-          if any request ultimately failed.")
+          if any request ultimately failed.  With $(b,--stats) it sends \
+          a single $(b,stats) request and renders the server's live \
+          telemetry as a table ($(b,--json) passes the raw response \
+          through).")
     Term.(
-      const run $ socket $ max_attempts $ deadline_ms $ seed $ chaos_seed)
+      const run $ socket $ max_attempts $ deadline_ms $ seed $ chaos_seed
+      $ stats_flag $ json_flag)
 
 (* --- obs ------------------------------------------------------------------ *)
 
@@ -860,7 +981,17 @@ let obs_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write the metrics snapshot to $(docv) instead of stdout.")
   in
-  let run params p_star trials jobs metrics_out trace_out =
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Export the metrics snapshot in the Prometheus text \
+             exposition format (counters as $(b,_total), histograms as \
+             cumulative $(b,_bucket)/$(b,_sum)/$(b,_count) series) \
+             instead of the one-line $(b,htlc-obs/v1) JSON.")
+  in
+  let run params p_star trials jobs metrics_out prometheus trace_out =
     (* A small fixed workload that touches every instrumented subsystem:
        the cutoff solver (cache misses then hits), a pooled Monte-Carlo
        run (chunk fan-out, spans), and one faulty protocol run with
@@ -883,13 +1014,15 @@ let obs_cmd =
     Printf.eprintf "workload: SR %.4f over %d trials; protocol %s\n"
       mc.Swap.Montecarlo.rate mc.Swap.Montecarlo.trials
       (Swap.Protocol.outcome_to_string proto.Swap.Protocol.outcome);
-    let json = Obs.Metrics.to_json (Obs.Metrics.snapshot ()) in
+    let snap = Obs.Metrics.snapshot () in
+    let rendered =
+      if prometheus then Obs.Metrics.to_prometheus snap
+      else Obs.Metrics.to_json snap ^ "\n"
+    in
     (match metrics_out with
-    | None -> print_endline json
+    | None -> print_string rendered
     | Some file ->
-      Out_channel.with_open_text file (fun oc ->
-          output_string oc json;
-          output_char oc '\n');
+      Out_channel.with_open_text file (fun oc -> output_string oc rendered);
       Printf.eprintf "wrote %s\n" file);
     Option.iter
       (fun file ->
@@ -902,10 +1035,12 @@ let obs_cmd =
        ~doc:
          "Run a fixed probe workload (cutoffs, pooled Monte-Carlo, one \
           faulty protocol run) and export the $(b,htlc-obs/v1) metrics \
-          snapshot and span trace.  Used by the $(b,obs-smoke) CI check.")
+          snapshot and span trace ($(b,--prometheus) switches the \
+          metrics rendering to the Prometheus text format).  Used by \
+          the $(b,obs-smoke) CI check.")
     Term.(
       const run $ params_term $ p_star_term $ trials $ jobs_term
-      $ metrics_out $ trace_out_term)
+      $ metrics_out $ prometheus $ trace_out_term)
 
 (* --- lint ----------------------------------------------------------------- *)
 

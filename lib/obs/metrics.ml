@@ -26,10 +26,22 @@ let n_buckets = 64
    magnitude we record lands in a real bucket. *)
 let bucket_offset = 30
 
+(* Histogram sums are a sharded *plain* float array (stride-padded so
+   shards sit on distinct cache lines), not [float Atomic.t] cells: a
+   flat float store is unboxed, while every CAS on a float atomic
+   allocates a fresh box — at one observation per request-stage that
+   was a measurable slice of serve-path GC traffic.  Two domains whose
+   ids collide mod [shards] can lose an increment to the read-add-write
+   race (64-bit float array stores don't tear, so the cell stays a
+   valid sample); the sum only feeds telemetry means, where a rare
+   lost sample is harmless.  Bucket counts stay exact — they are int
+   atomics. *)
+let sum_stride = 8
+
 type histogram = {
   h_name : string;
   buckets : int Atomic.t array; (* n_buckets cells *)
-  sums : float Atomic.t array; (* sharded *)
+  sums : float array; (* sharded, stride-padded, benign races *)
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -41,7 +53,6 @@ let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
 let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
-let atomic_farray n = Array.init n (fun _ -> Atomic.make 0.)
 
 let register name make unwrap kind =
   Mutex.lock registry_mutex;
@@ -78,7 +89,7 @@ let histogram name =
     (fun () ->
       Histogram
         { h_name = name; buckets = atomic_array n_buckets;
-          sums = atomic_farray shards })
+          sums = Array.make (shards * sum_stride) 0. })
     (function Histogram h -> Some h | _ -> None)
     "histogram"
 
@@ -98,17 +109,20 @@ let rec max_gauge g v =
       max_gauge g v
   end
 
-(* Boxed-float CAS loop: [Atomic.compare_and_set] compares the box we
-   just read, so the usual retry pattern is sound. *)
-let rec atomic_add_float cell x =
-  let seen = Atomic.get cell in
-  if not (Atomic.compare_and_set cell seen (seen +. x)) then
-    atomic_add_float cell x
-
+(* [Float.frexp]'s exponent, read straight from the IEEE-754 bits:
+   frexp allocates a (mantissa, exponent) tuple, and [observe] runs
+   once per request-stage on the serve hot path.  For a normal float
+   the biased exponent field is [frexp_e + 1022]; subnormals map to a
+   stand-in below every real bucket, which clamps to bucket 0 exactly
+   as frexp's [e <= -1021] did. *)
 let bucket_index v =
   if not (v > 0.) then 0
   else begin
-    let _, e = Float.frexp v in
+    let biased =
+      Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
+      land 0x7ff
+    in
+    let e = if biased = 0 then -1021 else biased - 1022 in
     let i = e + bucket_offset in
     if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
   end
@@ -118,7 +132,8 @@ let bucket_le i = Float.ldexp 1. (i - bucket_offset)
 let observe h v =
   if enabled () then begin
     Atomic.incr h.buckets.(bucket_index v);
-    atomic_add_float h.sums.(shard ()) v
+    let s = shard () * sum_stride in
+    h.sums.(s) <- h.sums.(s) +. v
   end
 
 (* --- reads -------------------------------------------------------------- *)
@@ -142,7 +157,7 @@ let hist_value (h : histogram) =
     count := !count + n;
     if n > 0 then buckets := (bucket_le i, n) :: !buckets
   done;
-  let sum = Array.fold_left (fun acc a -> acc +. Atomic.get a) 0. h.sums in
+  let sum = Array.fold_left ( +. ) 0. h.sums in
   { count = !count; sum; buckets = !buckets }
 
 let hist_name h = h.h_name
@@ -185,7 +200,7 @@ let reset () =
       | Gauge g -> Atomic.set g.g_cell 0.
       | Histogram h ->
         Array.iter (fun a -> Atomic.set a 0) h.buckets;
-        Array.iter (fun a -> Atomic.set a 0.) h.sums)
+        Array.fill h.sums 0 (Array.length h.sums) 0.)
     registry;
   Mutex.unlock registry_mutex
 [@@lint.allow hashtbl_order
@@ -254,8 +269,15 @@ let to_prometheus s =
       List.iter
         (fun (le, count) ->
           cum := !cum + count;
-          Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (Json.num le) !cum))
+          (* The top bucket is a clamp: every value beyond its bound is
+             recorded there, so exporting it under a finite [le] would
+             claim observations it cannot vouch for.  Fold it into the
+             +Inf terminal instead (the cumulative count already
+             includes it), keeping le-monotonicity and
+             _bucket{+Inf} = _count exact per the exposition spec. *)
+          if le < bucket_le (n_buckets - 1) then
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (Json.num le) !cum))
         h.buckets;
       Buffer.add_string b
         (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);

@@ -89,5 +89,8 @@ val to_json : snapshot -> string
       "gauges":{...},"histograms":{...}}]. *)
 
 val to_prometheus : snapshot -> string
-(** Prometheus text exposition format (dots mapped to underscores,
-    cumulative buckets with a [+Inf] terminal). *)
+(** Prometheus text exposition format (dots mapped to underscores).
+    Histogram buckets are cumulative with a [+Inf] terminal equal to
+    [_count]; the clamped top bucket (which absorbs every observation
+    beyond its bound) is folded into [+Inf] rather than exported under
+    a finite [le] it cannot vouch for. *)

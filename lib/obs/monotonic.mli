@@ -1,11 +1,18 @@
-(** Process-wide non-decreasing wall clock (nanosecond units,
-    microsecond resolution).  Readings are clamped through a global
-    atomic high-water mark, so across {e all} domains a later call never
-    returns a smaller value than an earlier one — span durations and
-    latency samples are always nonnegative. *)
+(** Process-wide non-decreasing clock (nanosecond units).  Backed by
+    [CLOCK_MONOTONIC] through a noalloc external — one vDSO call, no
+    allocation, no runtime-lock release — so it is cheap enough for
+    per-request telemetry stamps.  Linux guarantees the reading never
+    decreases across cores or domains, so span durations and latency
+    samples are always nonnegative.  The base is boot-relative, not the
+    epoch: only differences between readings are meaningful. *)
 
 val now_ns : unit -> int64
-(** Current time in nanoseconds since the epoch, clamped non-decreasing. *)
+(** Current [CLOCK_MONOTONIC] reading in nanoseconds. *)
+
+val now_int_ns : unit -> int
+(** {!now_ns} as a tagged [int] — no [int64] box is allocated, which
+    is what per-request telemetry stamps want.  63 bits of boot-relative
+    nanoseconds overflow after ~146 years. *)
 
 val now_s : unit -> float
 (** [now_ns] in seconds. *)

@@ -1,0 +1,103 @@
+(* Exact-quantile reservoir: a sliding window of the most recent
+   samples, sharded by domain id so concurrent [record]s from reactor
+   shards or pool workers never contend on one cache line.
+
+   Each shard is a power-of-two float ring written lock-free through an
+   atomic per-shard cursor; a snapshot gathers the retained window
+   (newest [capacity] samples per shard), sorts it, and reads exact
+   order statistics from the sorted array.  Unlike the log-bucketed
+   histograms in [Metrics] (factor-of-two resolution), quantiles read
+   from this window are exact over the retained samples — which is what
+   the serve `stats` endpoint exports as p50/p90/p99/p999.
+
+   Concurrency contract: [record] is wait-free (one fetch-and-add plus
+   an unboxed float store; float array stores cannot tear on 64-bit).
+   A concurrent [snapshot] may observe a slot mid-overwrite and return
+   a sample that is a few records stale — acceptable for telemetry,
+   never a crash. *)
+
+let shards = 8
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type t = {
+  q_name : string;
+  per_shard : int; (* power of two *)
+  rings : float array array; (* shards x per_shard *)
+  cursors : int Atomic.t array; (* total records per shard *)
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 4096) name =
+  if capacity < shards then
+    invalid_arg "Obs.Quantile.create: capacity must be >= 8";
+  let per_shard = pow2_at_least (capacity / shards) 1 in
+  {
+    q_name = name;
+    per_shard;
+    rings = Array.init shards (fun _ -> Array.make per_shard 0.);
+    cursors = Array.init shards (fun _ -> Atomic.make 0);
+  }
+
+let name t = t.q_name
+let capacity t = t.per_shard * shards
+
+let record t v =
+  let s = shard () in
+  let i = Atomic.fetch_and_add t.cursors.(s) 1 in
+  t.rings.(s).(i land (t.per_shard - 1)) <- v
+
+let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cursors
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cursors
+
+let snapshot t =
+  let total = ref 0 in
+  let held = Array.make shards 0 in
+  for s = 0 to shards - 1 do
+    let n = min (Atomic.get t.cursors.(s)) t.per_shard in
+    held.(s) <- n;
+    total := !total + n
+  done;
+  let out = Array.make !total 0. in
+  let k = ref 0 in
+  for s = 0 to shards - 1 do
+    for i = 0 to held.(s) - 1 do
+      out.(!k) <- t.rings.(s).(i);
+      incr k
+    done
+  done;
+  Array.sort compare out;
+  out
+
+(* Nearest-rank on a sorted array: the smallest sample with at least a
+   [q] fraction of the window at or below it. *)
+let quantile_of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    let i = if rank < 1 then 0 else rank - 1 in
+    sorted.(if i >= n then n - 1 else i)
+  end
+
+let quantile t q = quantile_of_sorted (snapshot t) q
+
+type summary = {
+  s_count : int; (* samples retained in the window *)
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;
+}
+
+let summary t =
+  let sorted = snapshot t in
+  {
+    s_count = Array.length sorted;
+    s_p50 = quantile_of_sorted sorted 0.50;
+    s_p90 = quantile_of_sorted sorted 0.90;
+    s_p99 = quantile_of_sorted sorted 0.99;
+    s_p999 = quantile_of_sorted sorted 0.999;
+  }

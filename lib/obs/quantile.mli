@@ -1,0 +1,52 @@
+(** Exact-quantile reservoir over a sliding sample window.
+
+    Complements the log-bucketed histograms in {!Metrics} (factor-of-two
+    bucket resolution) with exact order statistics over the most recent
+    [capacity] samples.  Writes are wait-free and sharded by domain id;
+    reads sort the retained window, so they are O(n log n) and meant for
+    the `stats`/export path, not per-request code. *)
+
+type t
+
+val create : ?capacity:int -> string -> t
+(** [create name] makes a reservoir retaining roughly [capacity]
+    (default 4096, rounded up to 8 x a power of two) recent samples.
+    @raise Invalid_argument when [capacity < 8]. *)
+
+val name : t -> string
+
+val capacity : t -> int
+(** Actual retained-window size after rounding. *)
+
+val record : t -> float -> unit
+(** Push one sample, overwriting the oldest in this domain's shard.
+    Wait-free; never blocks a reactor shard. *)
+
+val count : t -> int
+(** Total samples ever recorded (not just retained). *)
+
+val reset : t -> unit
+(** Empty the window (counts reset; stale cells are ignored). *)
+
+val snapshot : t -> float array
+(** The retained window, sorted ascending.  A concurrent [record] may
+    leave one sample a few records stale — telemetry tolerance. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] is the exact nearest-rank [q]-quantile of the
+    retained window ([q] clamped to [0,1]); [nan] when empty. *)
+
+val quantile_of_sorted : float array -> float -> float
+(** Nearest-rank quantile of an already-sorted sample array. *)
+
+type summary = {
+  s_count : int;  (** samples retained in the window *)
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;
+}
+
+val summary : t -> summary
+(** One sorted pass yielding the standard export quantiles
+    (p50/p90/p99/p999); all [nan] when the window is empty. *)

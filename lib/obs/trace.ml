@@ -44,12 +44,22 @@ let ring = ref (Array.make 4096 None)
 let next_slot = ref 0
 let stored = ref 0
 
+(* The ring drops (overwrites) the oldest span once full.  That loss
+   used to be silent; now it is counted — exactly, in [dropped_total]
+   (reset by [clear]/[set_capacity]), and cumulatively in the
+   registry-visible "trace.dropped" counter so snapshots and the serve
+   `stats` endpoint can surface it. *)
+let dropped_total = Atomic.make 0
+let m_dropped = Metrics.counter "trace.dropped"
+let dropped () = Atomic.get dropped_total
+
 let set_capacity n =
   if n < 1 then invalid_arg "Obs.Trace.set_capacity: capacity must be >= 1";
   Mutex.lock ring_mutex;
   ring := Array.make n None;
   next_slot := 0;
   stored := 0;
+  Atomic.set dropped_total 0;
   Mutex.unlock ring_mutex
 
 let clear () =
@@ -57,11 +67,16 @@ let clear () =
   Array.fill !ring 0 (Array.length !ring) None;
   next_slot := 0;
   stored := 0;
+  Atomic.set dropped_total 0;
   Mutex.unlock ring_mutex
 
 let push_finished f =
   Mutex.lock ring_mutex;
   let cap = Array.length !ring in
+  if !stored = cap then begin
+    Atomic.incr dropped_total;
+    Metrics.incr m_dropped
+  end;
   !ring.(!next_slot) <- Some f;
   next_slot := (!next_slot + 1) mod cap;
   if !stored < cap then incr stored;
@@ -125,6 +140,23 @@ let finish s =
         f_annotations = List.rev s.annotations;
       }
   end
+
+(* Push an already-timed span straight into the ring, bypassing the
+   global [enabled] gate.  Used by samplers (e.g. the serve telemetry
+   layer) that keep their own admission policy: the caller decided this
+   request deserves a span, whether or not ambient tracing is on. *)
+let emit ?parent ~name ~start_ns ~stop_ns ~annotations () =
+  let id = Atomic.fetch_and_add next_id 1 in
+  push_finished
+    {
+      f_id = id;
+      f_parent = parent;
+      f_name = name;
+      f_start_ns = start_ns;
+      f_stop_ns = stop_ns;
+      f_annotations = annotations;
+    };
+  id
 
 let with_span ?parent name f =
   if not (enabled ()) then f dummy

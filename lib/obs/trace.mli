@@ -38,8 +38,26 @@ val finish : span -> unit
 val annotate : span -> string -> string -> unit
 (** Attach a key/value annotation (kept in insertion order). *)
 
+val emit :
+  ?parent:int ->
+  name:string ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  annotations:(string * string) list ->
+  unit ->
+  int
+(** Push an already-timed span into the ring, bypassing the global
+    {!enabled} gate, and return its id.  For samplers that keep their
+    own admission policy (e.g. the serve telemetry layer promoting a
+    deterministic ~1/256 of requests to spans). *)
+
 val spans : unit -> finished list
 (** Ring contents, oldest first. *)
+
+val dropped : unit -> int
+(** Spans lost to ring overwrite since the last {!clear} /
+    {!set_capacity} (the cumulative count is also surfaced as the
+    ["trace.dropped"] counter in {!Metrics} snapshots). *)
 
 val clear : unit -> unit
 

@@ -9,6 +9,7 @@
    - Frame: [u32 payload_len][payload], [payload_len <= max_frame].
    - Request payload:
        [u8 kind]      1=cutoffs 2=success_rate 3=sweep 4=quote 5=health
+                      6=stats
        [u8 flags]     bit0 = id present, bit1 = params present
        [u16 id_len][id bytes]                    (if bit0)
        [10 x f64]     alpha_a alpha_b r_a r_b tau_a tau_b eps_b p0 mu
@@ -19,6 +20,7 @@
          sweep         [f64 q][f64 lo][f64 hi][u32 n]
          quote         [f64 mu][f64 sigma][f64 spot]
          health        (none)
+         stats         (none)
    - Response frame: [u32 len][body] where [body] is byte-for-byte the
      canonical htlc-serve/v1 JSON response (sans trailing newline).
 
@@ -57,6 +59,7 @@ let kind_tag = function
   | Request.Sweep _ -> 3
   | Request.Quote _ -> 4
   | Request.Health -> 5
+  | Request.Stats -> 6
 
 let add_params b (p : Swap.Params.t) =
   add_f64 b p.alice.alpha;
@@ -77,7 +80,7 @@ let body_params = function
     (* The shared defaults record travels as "omitted" — the decoder
        resurrects the same physical value. *)
     if params == Swap.Params.defaults then None else Some params
-  | Request.Quote _ | Request.Health -> None
+  | Request.Quote _ | Request.Health | Request.Stats -> None
 
 let encode_payload (req : Request.t) =
   let b = Buffer.create 64 in
@@ -110,7 +113,7 @@ let encode_payload (req : Request.t) =
     add_f64 b mu;
     add_f64 b sigma;
     add_f64 b spot
-  | Request.Health -> ());
+  | Request.Health | Request.Stats -> ());
   Buffer.contents b
 
 let frame payload =
@@ -253,6 +256,9 @@ let decode_payload payload : (Request.t, Request.error) result =
       | 5 ->
         if flags land 2 <> 0 then parse_error "health carries no params block";
         Request.Health
+      | 6 ->
+        if flags land 2 <> 0 then parse_error "stats carries no params block";
+        Request.Stats
       | t -> parse_error "unknown kind tag %d" t
     in
     if c.pos <> String.length payload then

@@ -52,6 +52,7 @@
 type job = {
   req : Request.t;
   enqueued_ns : int64;
+  clock : Telemetry.clock;
   cell_mutex : Mutex.t;
   cell_cond : Condition.t;
   mutable resp : string option;
@@ -118,6 +119,7 @@ let m_req_cutoffs = Obs.Metrics.counter "serve.req.cutoffs"
 let m_req_success_rate = Obs.Metrics.counter "serve.req.success_rate"
 let m_req_sweep = Obs.Metrics.counter "serve.req.sweep"
 let m_req_health = Obs.Metrics.counter "serve.req.health"
+let m_req_stats = Obs.Metrics.counter "serve.req.stats"
 let m_req_quote = Obs.Metrics.counter "serve.req.quote"
 
 let m_kind = function
@@ -125,6 +127,7 @@ let m_kind = function
   | "success_rate" -> m_req_success_rate
   | "sweep" -> m_req_sweep
   | "health" -> m_req_health
+  | "stats" -> m_req_stats
   | _ -> m_req_quote
 
 (* --- evaluation ---------------------------------------------------------- *)
@@ -195,50 +198,94 @@ let compute_result t (req : Request.t) =
          (Atomic.get t.n_restarts)
          (Atomic.get t.n_internal) (Cache.length t.cache) (Cache.capacity t.cache)
          cs.Cache.hits cs.Cache.misses cs.Cache.evictions)
+  | Stats ->
+    (* Live telemetry: like Health, never cached. *)
+    Ok (Telemetry.stats_json ())
 
-let computed_body t (req : Request.t) kind =
+let computed_body t ?(clock = Telemetry.none) (req : Request.t) kind =
   Obs.Trace.with_span "serve.compute" (fun span ->
       Obs.Trace.annotate span "req" kind;
+      Telemetry.stamp_compute_start clock;
       match compute_result t req with
       | Ok result ->
+        Telemetry.stamp_compute_stop clock;
         Atomic.incr t.n_ok;
         Obs.Metrics.incr m_ok;
         Response.ok_body ~req:kind ~result
       | Error (code, message) ->
+        Telemetry.stamp_compute_stop clock;
+        Telemetry.set_status clock "error";
         Atomic.incr t.n_errors;
         Obs.Metrics.incr m_errors;
         Response.error_body ~req:kind ~code ~message ())
 
+(* A cached body may be an ok or a cached error body ([invalid_params]
+   sweeps, quote misses); the stage clock wants the status without
+   re-deriving it, so scan the fixed [..,"status":".."] field near the
+   front of the body.  Only runs on real clocks (cache hits with
+   telemetry enabled). *)
+let body_is_ok body =
+  let pat = "\"status\":\"ok\"" in
+  let m = String.length pat in
+  let limit = min (String.length body - m) 48 in
+  (* Char-by-char, not [String.sub = pat]: the sub would allocate per
+     probe position, and this scans on every cache hit. *)
+  let rec matches i j =
+    j >= m
+    || (String.unsafe_get body (i + j) = String.unsafe_get pat j
+       && matches i (j + 1))
+  in
+  let rec go i = i <= limit && (matches i 0 || go (i + 1)) in
+  go 0
+
 (* Compute (or fetch) the response body for a parsed request, then
    assemble with the caller's id. *)
-let respond t (req : Request.t) =
+let respond ?(clock = Telemetry.none) t (req : Request.t) =
   let kind = Request.kind req in
+  Telemetry.set_kind clock kind;
+  Telemetry.set_id clock req.id;
   Atomic.incr t.n_requests;
   Obs.Metrics.incr m_requests;
   Obs.Metrics.incr (m_kind kind);
-  let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_ns () else 0L in
+  let t0 = if Obs.Metrics.enabled () then Obs.Monotonic.now_int_ns () else 0 in
   let body =
     match req.body with
-    | Health ->
+    | Health | Stats ->
       (* Live state: never cached, recomputed on every ask. *)
-      computed_body t req kind
+      computed_body t ~clock req kind
     | _ -> (
       let key = Request.key req in
       match Cache.find t.cache key with
-      | Some body -> body
+      | Some body ->
+        if Telemetry.is_real clock then begin
+          Telemetry.stamp_cache clock ~hit:true;
+          if not (body_is_ok body) then Telemetry.set_status clock "error"
+        end;
+        body
       | None ->
-        let body = computed_body t req kind in
+        Telemetry.stamp_cache clock ~hit:false;
+        let body = computed_body t ~clock req kind in
         Cache.add t.cache key body;
         body)
   in
-  if t0 <> 0L then
-    Obs.Metrics.observe m_latency (Obs.Monotonic.elapsed_s ~since_ns:t0);
-  Response.assemble ~id:req.id body
+  if t0 <> 0 then
+    Obs.Metrics.observe m_latency
+      (float_of_int (Obs.Monotonic.now_int_ns () - t0) *. 1e-9);
+  let resp = Response.assemble ~id:req.id body in
+  Telemetry.stamp_encode clock;
+  resp
 
-let parse_failure t (err : Request.error) =
+let parse_failure ?(clock = Telemetry.none) t (err : Request.error) =
+  if Telemetry.is_real clock then begin
+    Telemetry.set_kind clock "error";
+    Telemetry.set_id clock err.err_id;
+    Telemetry.set_status clock "error"
+  end;
   Atomic.incr t.n_parse_errors;
   Obs.Metrics.incr m_parse_errors;
-  Response.error ~id:err.err_id ~code:err.code ~message:err.message ()
+  let resp = Response.error ~id:err.err_id ~code:err.code ~message:err.message () in
+  Telemetry.stamp_encode clock;
+  resp
 
 let internal_error_response ?req ~id exn =
   Response.error ~id ?req ~code:"internal_error"
@@ -249,19 +296,28 @@ let internal_error_response ?req ~id exn =
 (* The synchronous path has no worker to restart: absorb the crash
    into a structured response so pipe servers, the reactor and batch
    callers keep their one-response-per-request contract. *)
-let handle_decoded t (req : Request.t) =
-  try respond t req
+let handle_decoded ?(clock = Telemetry.none) t (req : Request.t) =
+  try respond ~clock t req
   with exn ->
     Atomic.incr t.n_internal;
     Obs.Metrics.incr m_internal;
-    internal_error_response ~req:(Request.kind req) ~id:req.Request.id exn
+    Telemetry.set_status clock "error";
+    let resp =
+      internal_error_response ~req:(Request.kind req) ~id:req.Request.id exn
+    in
+    Telemetry.stamp_encode clock;
+    resp
 
-let reject t err = parse_failure t err
+let reject ?clock t err = parse_failure ?clock t err
 
-let handle t line =
+let handle ?(clock = Telemetry.none) t line =
   match Request.decode line with
-  | Error err -> parse_failure t err
-  | Ok req -> handle_decoded t req
+  | Error err ->
+    Telemetry.stamp_decode clock;
+    parse_failure ~clock t err
+  | Ok req ->
+    Telemetry.stamp_decode clock;
+    handle_decoded ~clock t req
 
 let handle_batch ?jobs t lines = Numerics.Pool.map_array ?jobs (handle t) lines
 
@@ -291,13 +347,16 @@ let run_job t job =
     if expired then begin
       Atomic.incr t.n_deadline;
       Obs.Metrics.incr m_deadline;
+      Telemetry.set_status job.clock "error";
       Response.error ~id:job.req.Request.id ~req:(Request.kind job.req)
         ~code:"deadline_exceeded"
         ~message:"request waited past the server deadline" ()
     end
-    else respond t job.req
+    else respond ~clock:job.clock t job.req
   in
-  finish_job job resp
+  finish_job job resp;
+  (* The ticket resolving is the worker path's "flush". *)
+  Telemetry.finish_now job.clock
 
 (* Run one queued task.  A crash (evaluation exception or an injected
    poison task) completes the ticket with [internal_error] and then
@@ -313,6 +372,8 @@ let run_task t task =
       finish_job job
         (internal_error_response ~req:(Request.kind job.req)
            ~id:job.req.Request.id exn);
+      Telemetry.set_status job.clock "error";
+      Telemetry.finish_now job.clock;
       raise Crashed)
   | Crash job ->
     Atomic.incr t.n_internal;
@@ -333,10 +394,16 @@ let await (job : ticket) =
   Mutex.unlock job.cell_mutex;
   r
 
-let enqueue t ~make_task (req : Request.t) =
+let enqueue ?(clock = Telemetry.none) t ~make_task (req : Request.t) =
   let shed message =
     Atomic.incr t.n_shed;
     Obs.Metrics.incr m_shed;
+    if Telemetry.is_real clock then begin
+      Telemetry.set_kind clock (Request.kind req);
+      Telemetry.set_id clock req.Request.id;
+      Telemetry.set_status clock "error";
+      Telemetry.finish_now clock
+    end;
     `Done
       (Response.error ~id:req.Request.id ~req:(Request.kind req)
          ~code:"overloaded" ~message ())
@@ -351,10 +418,13 @@ let enqueue t ~make_task (req : Request.t) =
     shed "submission queue is full"
   end
   else begin
+    let enqueued_ns = Obs.Monotonic.now_ns () in
+    Telemetry.stamp_queue_at clock (Int64.to_int enqueued_ns);
     let job =
       {
         req;
-        enqueued_ns = Obs.Monotonic.now_ns ();
+        enqueued_ns;
+        clock;
         cell_mutex = Mutex.create ();
         cell_cond = Condition.create ();
         resp = None;
@@ -367,10 +437,24 @@ let enqueue t ~make_task (req : Request.t) =
     `Ticket job
   end
 
-let submit t line =
+let submit ?clock t line =
+  let clock =
+    match clock with
+    | Some c -> c
+    | None ->
+      (* The worker path is its own transport: no reactor read stamp,
+         so the clock starts when the line reaches [submit]. *)
+      Telemetry.make ~codec:"queue" ~read_ns:(Telemetry.now_ns ())
+  in
   match Request.decode line with
-  | Error err -> `Done (parse_failure t err)
-  | Ok req -> enqueue t ~make_task:(fun j -> Job j) req
+  | Error err ->
+    Telemetry.stamp_decode clock;
+    let resp = parse_failure ~clock t err in
+    Telemetry.finish_now clock;
+    `Done resp
+  | Ok req ->
+    Telemetry.stamp_decode clock;
+    enqueue ~clock t ~make_task:(fun j -> Job j) req
 
 let inject_crash ?(id = "crash") t =
   (* The body is irrelevant (the task never reaches [respond]); Health
@@ -416,6 +500,10 @@ let supervised_worker t =
     | exception _ ->
       Atomic.incr t.n_restarts;
       Obs.Metrics.incr m_restarts;
+      (* Flight-recorder crash trigger: the last N completed requests
+         at the moment a worker died, written to the configured dump
+         path (no-op when none is set). *)
+      Telemetry.dump_to_path ~reason:"worker_crash";
       if not (draining t) then go ()
   in
   go ();

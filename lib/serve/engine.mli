@@ -8,8 +8,8 @@
     spliced in at assembly.  Cached, batched ({!handle_batch} at any
     jobs count), and worker-pool responses are therefore byte-identical
     to a direct {!handle} call on an identically configured engine.
-    [Health] is the one deliberate exception: it reports live
-    queue/worker/cache state and is never cached.
+    [Health] and [Stats] are the deliberate exceptions: they report
+    live engine state / telemetry and are never cached.
 
     {b Backpressure.}  {!submit} sheds with an [overloaded] error the
     moment the queue is full (never queueing without bound), and a
@@ -54,18 +54,21 @@ val create :
     (default 4096) caps sweep sizes with an [invalid_params] answer.
     @raise Invalid_argument on non-positive capacities or deadline. *)
 
-val handle : t -> string -> string
+val handle : ?clock:Telemetry.clock -> t -> string -> string
 (** Parse, answer from the cache or compute, and encode — synchronously
     on the calling domain.  Never sheds, never raises on request
-    evaluation (crashes become [internal_error] responses). *)
+    evaluation (crashes become [internal_error] responses).  [clock]
+    (default {!Telemetry.none}) receives the decode / cache-lookup /
+    compute / encode stage stamps; the transport that owns the clock
+    finalises it at flush. *)
 
-val handle_decoded : t -> Request.t -> string
+val handle_decoded : ?clock:Telemetry.clock -> t -> Request.t -> string
 (** {!handle} for an already-decoded request — the binary codec's
     compute path (its decoder is not line-based, so the reactor decodes
     and hands the typed request straight in).  Same crash absorption,
     caching and byte-identity contract as {!handle}. *)
 
-val reject : t -> Request.error -> string
+val reject : ?clock:Telemetry.clock -> t -> Request.error -> string
 (** The structured response for a request that failed decoding
     (either codec): counts the parse error and encodes
     [code]/[message] with the best-effort id echo. *)
@@ -76,13 +79,16 @@ val handle_batch : ?jobs:int -> t -> string array -> string array
 
 type ticket
 
-val submit : t -> string -> [ `Done of string | `Ticket of ticket ]
+val submit :
+  ?clock:Telemetry.clock -> t -> string -> [ `Done of string | `Ticket of ticket ]
 (** Hand a request line to the worker pool.  [`Done] carries an
     immediate response: a parse error, or an [overloaded] shed when the
     queue is full (admission control) or the engine is stopping.
     [`Ticket] resolves via {!await} — always, even if the worker
     handling it crashes ([internal_error]) or {!shutdown} rejects it
-    ([overloaded]). *)
+    ([overloaded]).  Without an explicit [clock] the worker path stamps
+    its own (codec ["queue"], queue-admit at enqueue, finalised when
+    the ticket resolves). *)
 
 val await : ticket -> string
 (** Block until a worker (or {!pump}) answers the ticket. *)

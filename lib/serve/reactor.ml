@@ -81,6 +81,21 @@ type conn = {
   mutable codec : codec;
   mutable eof : bool;  (* peer half-closed; flush what is owed, then close *)
   mutable dead : bool;  (* closed; reaped at the end of the loop pass *)
+  (* Stage clocks of answered-but-unflushed requests, in arrival
+     order; finalised when the write buffer drains to the kernel, or
+     at [kill].  A growable array rather than a list: appending a cons
+     cell per request and reversing at flush cost ~6 words/request,
+     and the array doubles rarely then never allocates again.  Empty
+     whenever telemetry is disabled. *)
+  mutable pending : Telemetry.clock array;
+  mutable n_pending : int;
+  (* Finalised clocks recycled through [Telemetry.reinit]: a pipelining
+     connection reuses the same few records instead of allocating one
+     per request (the flight recorder copies, so a finalised clock has
+     no other owner).  Overflow past the stack just falls back to
+     [Telemetry.make]. *)
+  spares : Telemetry.clock array;
+  mutable n_spare : int;
 }
 
 type shard = {
@@ -124,9 +139,47 @@ let rec drain_wake s buf =
 
 (* --- per-connection state machine ----------------------------------------- *)
 
+let add_pending conn clock =
+  let n = conn.n_pending in
+  if n = Array.length conn.pending then begin
+    let bigger = Array.make (max 16 (2 * n)) Telemetry.none in
+    Array.blit conn.pending 0 bigger 0 n;
+    conn.pending <- bigger
+  end;
+  conn.pending.(n) <- clock;
+  conn.n_pending <- n + 1
+
+let finalize_pending conn =
+  if conn.n_pending > 0 then begin
+    let now = Telemetry.now_ns () in
+    for i = 0 to conn.n_pending - 1 do
+      let c = conn.pending.(i) in
+      conn.pending.(i) <- Telemetry.none;
+      Telemetry.finish c ~flush_ns:now;
+      if conn.n_spare < Array.length conn.spares then begin
+        conn.spares.(conn.n_spare) <- c;
+        conn.n_spare <- conn.n_spare + 1
+      end
+    done;
+    conn.n_pending <- 0
+  end
+
+let take_clock conn ~codec ~read_ns =
+  if conn.n_spare > 0 then begin
+    let n = conn.n_spare - 1 in
+    conn.n_spare <- n;
+    let c = conn.spares.(n) in
+    conn.spares.(n) <- Telemetry.none;
+    Telemetry.reinit c ~codec ~read_ns
+  end
+  else Telemetry.make ~codec ~read_ns
+
 let kill conn =
   if not conn.dead then begin
     conn.dead <- true;
+    (* Whatever was answered but never flushed still finalises — the
+       flight recorder must see requests that died mid-write. *)
+    finalize_pending conn;
     (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
@@ -151,17 +204,22 @@ let detect conn =
   end
   else false
 
-let answer_json t conn line =
+let answer_json t conn ~read_ns line =
   if String.trim line <> "" then begin
     Obs.Metrics.incr m_conn_requests;
-    Iobuf.add_string conn.wbuf (Engine.handle t.engine line);
-    Iobuf.add_char conn.wbuf '\n'
+    let clock = take_clock conn ~codec:"json" ~read_ns in
+    Iobuf.add_string conn.wbuf (Engine.handle ~clock t.engine line);
+    Iobuf.add_char conn.wbuf '\n';
+    if Telemetry.is_real clock then add_pending conn clock
   end
 
-let rec process t conn =
+(* [read_ns] is the read-complete stamp for every request in this
+   batch: pipelined requests that arrived in one readiness event share
+   the timestamp of the read that completed them. *)
+let rec process t conn ~read_ns =
   if not conn.dead then
     match conn.codec with
-    | Detecting -> if detect conn then process t conn
+    | Detecting -> if detect conn then process t conn ~read_ns
     | Json -> (
       match Iobuf.index conn.rbuf '\n' with
       | -1 ->
@@ -172,8 +230,8 @@ let rec process t conn =
       | i ->
         let line = Iobuf.sub conn.rbuf 0 i in
         Iobuf.consume conn.rbuf (i + 1);
-        answer_json t conn line;
-        process t conn)
+        answer_json t conn ~read_ns line;
+        process t conn ~read_ns)
     | Binary_b1 -> (
       match Binary.decode_frame conn.rbuf with
       | `Need_more -> ()
@@ -182,13 +240,19 @@ let rec process t conn =
         kill conn
       | `Frame payload ->
         Obs.Metrics.incr m_conn_requests;
+        let clock = take_clock conn ~codec:"binary" ~read_ns in
         let body =
           match Binary.decode_payload payload with
-          | Ok req -> Engine.handle_decoded t.engine req
-          | Error err -> Engine.reject t.engine err
+          | Ok req ->
+            Telemetry.stamp_decode clock;
+            Engine.handle_decoded ~clock t.engine req
+          | Error err ->
+            Telemetry.stamp_decode clock;
+            Engine.reject ~clock t.engine err
         in
         Iobuf.add_string conn.wbuf (Binary.frame_response body);
-        process t conn)
+        if Telemetry.is_real clock then add_pending conn clock;
+        process t conn ~read_ns)
 
 let rec try_flush conn =
   if (not conn.dead) && not (Iobuf.is_empty conn.wbuf) then
@@ -207,6 +271,11 @@ let rec try_flush conn =
 
 let flush_and_reap conn =
   try_flush conn;
+  (* Every buffered response reached the kernel: that is the flush
+     stamp for everything answered on this connection so far.  (On a
+     partial flush the clocks wait for the next writable pass — the
+     flush stage measures the peer's drain, which is the point.) *)
+  if (not conn.dead) && Iobuf.is_empty conn.wbuf then finalize_pending conn;
   if (not conn.dead) && conn.eof && Iobuf.is_empty conn.wbuf then kill conn
 
 let handle_read t conn =
@@ -228,12 +297,15 @@ let handle_read t conn =
         let line = Iobuf.sub conn.rbuf 0 (Iobuf.length conn.rbuf) in
         Iobuf.consume conn.rbuf (Iobuf.length conn.rbuf);
         conn.codec <- Json;
-        answer_json t conn line
+        answer_json t conn ~read_ns:(Telemetry.now_ns ()) line
       end
     | Binary_b1 -> ());
     flush_and_reap conn
   | _n ->
-    process t conn;
+    let read_ns =
+      if Telemetry.enabled () then Telemetry.now_ns () else 0
+    in
+    process t conn ~read_ns;
     flush_and_reap conn
 
 (* --- shard event loop ------------------------------------------------------ *)
@@ -246,6 +318,10 @@ let make_conn fd =
     codec = Detecting;
     eof = false;
     dead = false;
+    pending = [||];
+    n_pending = 0;
+    spares = Array.make 128 Telemetry.none;
+    n_spare = 0;
   }
 
 let shard_loop t s =

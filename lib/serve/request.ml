@@ -23,6 +23,7 @@ type body =
   | Sweep of { params : Swap.Params.t; q : float; spec : sweep_spec }
   | Quote of { mu : float; sigma : float; spot : float }
   | Health
+  | Stats
 
 type t = { id : string option; body : body }
 
@@ -35,6 +36,7 @@ let kind t =
   | Sweep _ -> "sweep"
   | Quote _ -> "quote"
   | Health -> "health"
+  | Stats -> "stats"
 
 (* --- canonical encoding ------------------------------------------------- *)
 
@@ -73,6 +75,7 @@ let body_fields = function
     Printf.sprintf "\"req\":\"quote\",\"mu\":%s,\"sigma\":%s,\"spot\":%s"
       (J.num mu) (J.num sigma) (J.num spot)
   | Health -> "\"req\":\"health\""
+  | Stats -> "\"req\":\"stats\""
 
 let key t =
   Printf.sprintf "{\"schema\":%s,%s}" (J.str schema) (body_fields t.body)
@@ -217,6 +220,11 @@ let decode_root root =
            nothing to parameterise and nothing to cache. *)
         check_keys "request" [ "schema"; "id"; "req" ] fields;
         Health
+      | "stats" ->
+        (* Like health: live telemetry, nothing to parameterise or
+           cache. *)
+        check_keys "request" [ "schema"; "id"; "req" ] fields;
+        Stats
       | other -> P.bad "unknown req %S" other
     in
     { id; body }
@@ -367,6 +375,10 @@ let decode_fast line =
     else if looking_at sc "health\"" then begin
       sc.sp <- sc.sp + 7;
       Health
+    end
+    else if looking_at sc "stats\"" then begin
+      sc.sp <- sc.sp + 6;
+      Stats
     end
     else raise Slow
   in

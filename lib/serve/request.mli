@@ -26,6 +26,11 @@ type body =
           cache counters.  Never cached (the answer is a snapshot, not
           a pure function of the request), so it sits outside the
           byte-identity contract. *)
+  | Stats
+      (** Live serve telemetry: per-kind/per-codec latency quantiles,
+          stage breakdowns, windowed req/s, sampler and flight-recorder
+          status.  Like [Health], never cached and outside the
+          byte-identity contract. *)
 
 type t = { id : string option; body : body }
 
@@ -36,8 +41,9 @@ type error = { err_id : string option; code : string; message : string }
     rejections stay client-correlatable. *)
 
 val kind : t -> string
-(** ["cutoffs" | "success_rate" | "sweep" | "quote" | "health"] — the
-    wire [req] tag, echoed in responses and used as a metric label. *)
+(** ["cutoffs" | "success_rate" | "sweep" | "quote" | "health" |
+    "stats"] — the wire [req] tag, echoed in responses and used as a
+    metric label. *)
 
 val decode : string -> (t, error) result
 (** Parse one request line.  Requires [schema]; [id] is optional;

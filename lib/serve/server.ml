@@ -28,9 +28,13 @@ let serve_pipe engine ic oc =
      while true do
        let line = input_line ic in
        if String.trim line <> "" then begin
-         output_string oc (Engine.handle engine line);
+         let clock =
+           Telemetry.make ~codec:"pipe" ~read_ns:(Telemetry.now_ns ())
+         in
+         output_string oc (Engine.handle ~clock engine line);
          output_char oc '\n';
          flush oc;
+         Telemetry.finish_now clock;
          incr served
        end
      done

@@ -7,6 +7,11 @@ let check = Alcotest.check
 let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* --- metrics registry --------------------------------------------------- *)
 
 let test_counter_basics () =
@@ -155,7 +160,136 @@ let test_trace_ring_bound () =
   check_int "ring keeps only the newest spans" 8 (List.length spans);
   check Alcotest.string "oldest retained span" "s12"
     (List.hd spans).Obs.Trace.f_name;
-  Obs.Trace.set_capacity 4096
+  check_int "overwrites are counted exactly" 12 (Obs.Trace.dropped ());
+  check_bool "registry counter mirrors the drops" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "trace.dropped") >= 12);
+  Obs.Trace.set_capacity 4096;
+  check_int "set_capacity resets the exact count" 0 (Obs.Trace.dropped ())
+
+let test_trace_emit_bypasses_gate () =
+  Obs.Trace.clear ();
+  check_bool "ambient tracing off" false (Obs.Trace.enabled ());
+  let id =
+    Obs.Trace.emit ~name:"sampled" ~start_ns:10L ~stop_ns:35L
+      ~annotations:[ ("k", "v") ] ()
+  in
+  (match Obs.Trace.spans () with
+  | [ f ] ->
+    check_int "allocated id is echoed" id f.Obs.Trace.f_id;
+    check Alcotest.string "name" "sampled" f.Obs.Trace.f_name;
+    check_bool "timestamps are caller-supplied" true
+      (f.Obs.Trace.f_start_ns = 10L && f.Obs.Trace.f_stop_ns = 35L);
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+      "annotations kept in order"
+      [ ("k", "v") ]
+      f.Obs.Trace.f_annotations
+  | spans ->
+    Alcotest.failf "expected 1 emitted span, got %d" (List.length spans));
+  Obs.Trace.clear ()
+
+(* --- exact-quantile reservoir -------------------------------------------- *)
+
+let test_quantile_exact () =
+  let q = Obs.Quantile.create ~capacity:4096 "test.quantile_exact" in
+  (* Insertion order must not matter: record descending. *)
+  for i = 100 downto 1 do
+    Obs.Quantile.record q (float_of_int i)
+  done;
+  check_int "count" 100 (Obs.Quantile.count q);
+  let s = Obs.Quantile.summary q in
+  check_int "window retains everything" 100 s.Obs.Quantile.s_count;
+  check (Alcotest.float 0.) "p50 nearest-rank" 50. s.Obs.Quantile.s_p50;
+  check (Alcotest.float 0.) "p90" 90. s.Obs.Quantile.s_p90;
+  check (Alcotest.float 0.) "p99" 99. s.Obs.Quantile.s_p99;
+  check (Alcotest.float 0.) "p999 is the max" 100. s.Obs.Quantile.s_p999;
+  check (Alcotest.float 0.) "low quantile" 1. (Obs.Quantile.quantile q 0.001);
+  Obs.Quantile.reset q;
+  check_int "reset empties the count" 0 (Obs.Quantile.count q);
+  check_bool "empty summary is nan" true
+    (Float.is_nan (Obs.Quantile.summary q).Obs.Quantile.s_p50);
+  match Obs.Quantile.create ~capacity:4 "test.quantile_tiny" with
+  | _ -> Alcotest.fail "capacity < 8 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_quantile_window_slides () =
+  (* Capacity 8 = one slot per shard: a single-domain writer retains
+     only its newest sample, and [count] keeps the exact total. *)
+  let q = Obs.Quantile.create ~capacity:8 "test.quantile_window" in
+  for i = 1 to 20 do
+    Obs.Quantile.record q (float_of_int i)
+  done;
+  check_int "count is total ever" 20 (Obs.Quantile.count q);
+  let s = Obs.Quantile.summary q in
+  check_int "window holds the newest sample" 1 s.Obs.Quantile.s_count;
+  check (Alcotest.float 0.) "quantiles collapse to it" 20. s.Obs.Quantile.s_p50
+
+(* --- windowed rate meter -------------------------------------------------- *)
+
+let test_rate_window () =
+  let r = Obs.Rate.create ~window_s:16 () in
+  let ns_of_s s = s * 1_000_000_000 in
+  for sec = 100 to 103 do
+    for _ = 1 to 5 do
+      Obs.Rate.observe_at r ~now_ns:(ns_of_s sec)
+    done
+  done;
+  check_int "total is exact" 20 (Obs.Rate.total r);
+  check_int "window sees all four seconds" 20
+    (Obs.Rate.events_in_window r ~window_s:10 ~now_ns:(ns_of_s 103));
+  check (Alcotest.float 1e-9) "mean rate over the window" 2.
+    (Obs.Rate.per_second_at r ~window_s:10 ~now_ns:(ns_of_s 103));
+  check_int "a narrow window clips old seconds" 10
+    (Obs.Rate.events_in_window r ~window_s:2 ~now_ns:(ns_of_s 103));
+  check_int "events age out" 0
+    (Obs.Rate.events_in_window r ~window_s:4 ~now_ns:(ns_of_s 150));
+  Obs.Rate.observe_at r ~now_ns:(ns_of_s 150);
+  check_int "total stays cumulative" 21 (Obs.Rate.total r);
+  Obs.Rate.reset r;
+  check_int "reset" 0 (Obs.Rate.total r)
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+let test_recorder_last_n () =
+  let r = Obs.Recorder.create ~capacity:16 () in
+  check_int "capacity honoured" 16 (Obs.Recorder.capacity r);
+  for i = 0 to 39 do
+    Obs.Recorder.push r i
+  done;
+  check_int "pushed is exact" 40 (Obs.Recorder.pushed r);
+  check_int "holds exactly the bound" 16 (Obs.Recorder.recorded r);
+  check_int "dropped = pushed - recorded" 24 (Obs.Recorder.dropped r);
+  let entries = Obs.Recorder.dump r in
+  check_int "dump size" 16 (List.length entries);
+  (* The last [capacity] pushes survive, in completion order, even
+     though every push came from one domain. *)
+  List.iteri
+    (fun i (seq, v) ->
+      check_int (Printf.sprintf "entry %d seq" i) (24 + i) seq;
+      check_int (Printf.sprintf "entry %d value" i) (24 + i) v)
+    entries;
+  Obs.Recorder.reset r;
+  check_int "reset empties" 0 (Obs.Recorder.recorded r);
+  check_int "reset zeroes pushed" 0 (Obs.Recorder.pushed r);
+  match Obs.Recorder.create ~capacity:4 () with
+  | _ -> Alcotest.fail "capacity < 8 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- prometheus histogram export ------------------------------------------ *)
+
+let test_prometheus_clamped_bucket () =
+  let h = Obs.Metrics.histogram "test.prom_clamp" in
+  Obs.Metrics.observe h 0.75;
+  (* Far beyond the top bucket bound (2^33 s): clamped into it. *)
+  Obs.Metrics.observe h 1e12;
+  let prom = Obs.Metrics.to_prometheus (Obs.Metrics.snapshot ()) in
+  check_bool "+Inf terminal equals _count" true
+    (contains prom "test_prom_clamp_bucket{le=\"+Inf\"} 2"
+    && contains prom "test_prom_clamp_count 2");
+  check_bool "clamped top bucket exports no finite le" true
+    (not (contains prom "test_prom_clamp_bucket{le=\"8589934592\"}"));
+  check_bool "ordinary buckets still export cumulatively" true
+    (contains prom "test_prom_clamp_bucket{le=\"1\"} 1")
 
 (* --- sink --------------------------------------------------------------- *)
 
@@ -189,11 +323,6 @@ let test_sink_event_json () =
     (Obs.Sink.event_to_json e)
 
 (* --- json parser strictness ---------------------------------------------- *)
-
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
 
 let test_json_duplicate_keys () =
   (* Strict decoding: without the check the last duplicate would win
@@ -335,6 +464,24 @@ let () =
           Alcotest.test_case "disabled records nothing" `Quick
             test_trace_disabled_is_free;
           Alcotest.test_case "bounded ring" `Quick test_trace_ring_bound;
+          Alcotest.test_case "emit bypasses the gate" `Quick
+            test_trace_emit_bypasses_gate;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "nearest-rank exactness" `Quick
+            test_quantile_exact;
+          Alcotest.test_case "window slides" `Quick
+            test_quantile_window_slides;
+        ] );
+      ( "rate",
+        [ Alcotest.test_case "trailing window" `Quick test_rate_window ] );
+      ( "recorder",
+        [ Alcotest.test_case "last-N ring" `Quick test_recorder_last_n ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "clamped bucket folds into +Inf" `Quick
+            test_prometheus_clamped_bucket;
         ] );
       ( "sink",
         [

@@ -1114,6 +1114,194 @@ let test_quote_table_reasons () =
     (Market.Quote_table.gaps table);
   check_bool "grid size" true (Market.Quote_table.nodes table = (2, 2))
 
+(* --- telemetry ------------------------------------------------------------ *)
+
+let with_sampling every f =
+  let prev = Serve.Telemetry.sample_every () in
+  Serve.Telemetry.set_sample_every every;
+  Fun.protect ~finally:(fun () -> Serve.Telemetry.set_sample_every prev) f
+
+let test_sampling_deterministic () =
+  let ids = List.init 512 (fun i -> Some (Printf.sprintf "req-%d" i)) in
+  with_sampling 4 (fun () ->
+      let pick () = List.map Serve.Telemetry.should_sample_id ids in
+      let base = pick () in
+      check_bool "pure in the id: replay is identical" true (base = pick ());
+      (* Shard/worker-count invariance: the decision must not depend on
+         the calling domain. *)
+      Array.iter
+        (fun got -> check_bool "same set from every domain" true (got = base))
+        (Array.map Domain.join (Array.init 4 (fun _ -> Domain.spawn pick)));
+      let n = List.length (List.filter Fun.id base) in
+      check_bool "rate 4 selects some but not all" true (n > 0 && n < 512));
+  with_sampling 1 (fun () ->
+      check_bool "rate 1 samples everything" true
+        (List.for_all Serve.Telemetry.should_sample_id ids
+        && Serve.Telemetry.should_sample_id None));
+  match Serve.Telemetry.set_sample_every 0 with
+  | _ -> Alcotest.fail "rate < 1 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_byte_identity_with_telemetry () =
+  let lines =
+    [
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"t1\",\"req\":\"cutoffs\",\"p_star\":2}";
+      sr_line "t2";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"t3\",\"req\":\"quote\",\"mu\":0.01,\"sigma\":0.05,\"spot\":2}";
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"t4\",\"req\":\"sweep\",\"lo\":1.8,\"hi\":2.2,\"n\":3}";
+      "not a request at all";
+      sr_line "t2";
+    ]
+  in
+  (* A fresh identically configured engine per run: cache state cannot
+     leak between the instrumented and the bare pass. *)
+  let run () =
+    let e = make_engine ~workers:0 () in
+    let out =
+      List.map
+        (fun line ->
+          let clock =
+            Serve.Telemetry.make ~codec:"pipe"
+              ~read_ns:(Serve.Telemetry.now_ns ())
+          in
+          let resp = Serve.Engine.handle ~clock e line in
+          Serve.Telemetry.finish_now clock;
+          resp)
+        lines
+    in
+    Serve.Engine.stop e;
+    out
+  in
+  let traced =
+    with_sampling 1 (fun () ->
+        Serve.Telemetry.set_enabled true;
+        Obs.Trace.set_enabled true;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.set_enabled false;
+            Obs.Trace.clear ())
+          run)
+  in
+  let bare =
+    Serve.Telemetry.set_enabled false;
+    Fun.protect ~finally:(fun () -> Serve.Telemetry.set_enabled true) run
+  in
+  List.iteri
+    (fun i (a, b) ->
+      check_str
+        (Printf.sprintf "response #%d identical with telemetry on/off" i)
+        b a)
+    (List.combine traced bare)
+
+let test_flight_recorder_dump () =
+  Serve.Telemetry.set_recorder_capacity 16;
+  Serve.Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Telemetry.set_recorder_capacity 512;
+      Serve.Telemetry.reset ())
+  @@ fun () ->
+  with_sampling 1 @@ fun () ->
+  let e = make_engine ~workers:0 () in
+  let input = Filename.temp_file "htlc-recorder" ".in" in
+  let output = Filename.temp_file "htlc-recorder" ".out" in
+  let dump = Filename.temp_file "htlc-recorder" ".jsonl" in
+  Out_channel.with_open_text input (fun oc ->
+      for i = 0 to 39 do
+        output_string oc (sr_line (Printf.sprintf "fr%d" i));
+        output_char oc '\n'
+      done);
+  let served =
+    In_channel.with_open_text input (fun ic ->
+        Out_channel.with_open_text output (fun oc ->
+            Serve.Server.serve_pipe e ic oc))
+  in
+  Serve.Engine.stop e;
+  check_int "all requests served" 40 served;
+  check_int "every request was pushed" 40 (Serve.Telemetry.recorder_pushed ());
+  check_int "ring holds its bound" 16 (Serve.Telemetry.recorder_recorded ());
+  check_int "overwrites counted" 24 (Serve.Telemetry.recorder_dropped ());
+  Out_channel.with_open_text dump
+    (Serve.Telemetry.write_recorder ~reason:"unit-test");
+  let lines =
+    In_channel.with_open_text dump In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_int "header + one line per held record" 17 (List.length lines);
+  let module J = Obs.Json_parse in
+  let header = J.parse (List.hd lines) in
+  let hnum key = J.as_num key (J.member "header" header key) in
+  check_str "header schema" "htlc-obs/v1"
+    (J.as_str "schema" (J.member "header" header "schema"));
+  check_str "header type" "recorder"
+    (J.as_str "type" (J.member "header" header "type"));
+  check_str "header reason" "unit-test"
+    (J.as_str "reason" (J.member "header" header "reason"));
+  check_bool "header counts" true
+    (hnum "capacity" = 16. && hnum "recorded" = 16. && hnum "pushed" = 40.
+   && hnum "dropped" = 24.);
+  let last_seq = ref (-1.) in
+  List.iteri
+    (fun i line ->
+      let r = J.parse line in
+      let path key = Printf.sprintf "record %d: %s" i key in
+      check_str (path "type") "request"
+        (J.as_str (path "type") (J.member (path "r") r "type"));
+      check_str (path "kind") "success_rate"
+        (J.as_str (path "kind") (J.member (path "r") r "kind"));
+      check_str (path "codec") "pipe"
+        (J.as_str (path "codec") (J.member (path "r") r "codec"));
+      check_str (path "status") "ok"
+        (J.as_str (path "status") (J.member (path "r") r "status"));
+      (match J.member (path "r") r "sampled" with
+      | J.Bool true -> ()
+      | _ -> Alcotest.failf "record %d: must be sampled at rate 1" i);
+      let seq = J.as_num (path "seq") (J.member (path "r") r "seq") in
+      check_bool (path "seq ascending") true (seq > !last_seq);
+      last_seq := seq;
+      let stages =
+        J.as_obj (path "stages") (J.member (path "r") r "stages")
+      in
+      check_bool (path "stages present") true
+        (List.mem_assoc "total_ns" stages && List.mem_assoc "decode_ns" stages))
+    (List.tl lines);
+  check_bool "newest record survived" true (!last_seq = 39.);
+  List.iter Sys.remove [ input; output; dump ]
+
+let test_stats_request () =
+  let e = make_engine ~workers:0 () in
+  let stats_line id =
+    Printf.sprintf
+      "{\"schema\":\"htlc-serve/v1\",\"id\":\"%s\",\"req\":\"stats\"}" id
+  in
+  let resp = Serve.Engine.handle e (stats_line "st1") in
+  check_bool "stats answers ok with the telemetry sections" true
+    (contains resp "\"id\":\"st1\",\"req\":\"stats\",\"status\":\"ok\""
+    && contains resp "\"latency\""
+    && contains resp "\"stages\""
+    && contains resp "\"recorder\""
+    && contains resp "\"trace\"");
+  (* Live state, never cached: a repeat must not hit the cache. *)
+  let misses_before =
+    (Serve.Engine.stats e).Serve.Engine.cache.Serve.Cache.misses
+  in
+  let hits_before =
+    (Serve.Engine.stats e).Serve.Engine.cache.Serve.Cache.hits
+  in
+  ignore (Serve.Engine.handle e (stats_line "st1"));
+  let after = (Serve.Engine.stats e).Serve.Engine.cache in
+  check_int "no cache miss recorded" misses_before after.Serve.Cache.misses;
+  check_int "no cache hit recorded" hits_before after.Serve.Cache.hits;
+  Serve.Engine.stop e;
+  (* Both codecs carry the kind. *)
+  let req = { Serve.Request.id = Some "st2"; body = Serve.Request.Stats } in
+  check_str "canonical JSON roundtrip" (Serve.Request.encode req)
+    (roundtrip (Serve.Request.encode req));
+  match Serve.Binary.decode_payload (Serve.Binary.encode_payload req) with
+  | Ok got ->
+    check_bool "binary roundtrip preserves stats" true (got = req)
+  | Error err -> Alcotest.failf "binary stats decode failed: %s" err.message
+
 let () =
   Alcotest.run "serve"
     [
@@ -1185,4 +1373,14 @@ let () =
         [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ] );
       ( "quote-table",
         [ Alcotest.test_case "reasons + gaps" `Quick test_quote_table_reasons ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "byte identity on/off" `Quick
+            test_byte_identity_with_telemetry;
+          Alcotest.test_case "flight-recorder dump" `Quick
+            test_flight_recorder_dump;
+          Alcotest.test_case "stats request kind" `Quick test_stats_request;
+        ] );
     ]
