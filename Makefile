@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke telemetry-smoke chaos-serve-smoke lint lint-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke telemetry-smoke chaos-serve-smoke graph-smoke lint lint-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -48,6 +48,13 @@ telemetry-smoke:
 # of @ci).
 chaos-serve-smoke:
 	dune build @chaos-serve-smoke
+
+# Graph smoke: a tiny `swap_cli graph-sweep --json` run (every topology
+# family, two random seeds, two slacks) validated structurally —
+# staggered-expiry schedules, probability SRs, and routes that exist
+# edge-by-edge in the served token universe (also part of @ci).
+graph-smoke:
+	dune build @graph-smoke
 
 # Static analysis: parse the whole source tree and enforce the
 # determinism/domain-safety invariants (DESIGN.md §10); fails on any

@@ -228,11 +228,39 @@ let kernel_uncertainty =
     (stage (fun () ->
          ignore (Swap.Bayesian.ex_ante_success_rate p ~belief_on_alice:b ~p_star:2.)))
 
-let kernel_multihop =
-  let spec = Swap.Multihop.make ~parties:4 ~p_star:2. p in
-  Test.make ~name:"multihop/4-party-run"
+let kernel_graph_assign =
+  let g = Swapgraph.Topology.generate Swapgraph.Topology.Random ~n:64 ~seed:7 in
+  Test.make ~name:"swapgraph/assign-timelocks"
     (stage (fun () ->
-         ignore (Swap.Multihop.run ~price_paths:(fun _ _ -> 2.) spec)))
+         let s = Swapgraph.Timelock.assign g ~tau:4. ~eps:1. in
+         match Swapgraph.Timelock.validate g s with
+         | Ok () -> ()
+         | Error e -> failwith e))
+
+let kernel_graph_solve =
+  let g = Swapgraph.Topology.cycle 8 in
+  let s = Swap.Graphlink.schedule p g in
+  Test.make ~name:"swapgraph/solve-cycle-8"
+    (stage (fun () ->
+         ignore (Swapgraph.Game.analyse g (Swap.Graphlink.payoffs p g s))))
+
+let kernel_graph_sweep =
+  let specs =
+    List.init 100 (fun i ->
+        {
+          Swapgraph.Sweep.family = Swapgraph.Topology.Random;
+          size = 4 + (i mod 5);
+          slack = 0.;
+          topo_seed = i;
+        })
+  in
+  Test.make ~name:"swapgraph/sweep-100-topologies"
+    (stage (fun () ->
+         ignore
+           (Swapgraph.Sweep.run ~jobs:1 ~trials:64 ~tau:p.Swap.Params.tau_b
+              ~eps:p.Swap.Params.eps_b
+              ~policy:(Swap.Graphlink.depth_aware_policy p ~p_star:2.)
+              ~payoffs:(Swap.Graphlink.payoffs p) specs)))
 
 (* --- substrate micro-kernels -------------------------------------------- *)
 
@@ -286,7 +314,8 @@ let all_tests =
     kernel_fig9; kernel_mc; kernel_lattice; kernel_baselines; kernel_jumps;
     kernel_optionality; kernel_selection; kernel_frictions; kernel_backtest;
     kernel_crash; kernel_chaos; kernel_ac3; kernel_waiting; kernel_stablecoin;
-    kernel_negotiation; kernel_security; kernel_multihop; kernel_uncertainty;
+    kernel_negotiation; kernel_security; kernel_graph_assign;
+    kernel_graph_solve; kernel_graph_sweep; kernel_uncertainty;
     kernel_ac3wn; kernel_attribution; kernel_presets; kernel_scorecard;
     kernel_sha256; kernel_erfc; kernel_gbm_sample; kernel_quadrature;
     kernel_chain_cycle;
@@ -1216,6 +1245,13 @@ let () =
   | Some file ->
     let tests = if o.smoke then smoke_tests else all_tests in
     let quota = if o.smoke then 0.02 else 0.3 in
+    (* Kernel rows are sequential per-run costs: pin the pool to one
+       domain while timing so a --jobs flag (which the determinism
+       record below applies explicitly) cannot thrash the timed runs
+       on a small host — otherwise a smoke run at --jobs 2 on one core
+       measures scheduler contention, not the kernel, and trips the
+       budget gate against a jobs=1 baseline. *)
+    Numerics.Pool.set_jobs 1;
     let rows = run_benchmarks ~quota tests in
     print_benchmarks rows;
     (* A junk OLS fit means the ns/run column is noise, not a

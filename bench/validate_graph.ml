@@ -1,0 +1,192 @@
+(* Structural validator for the htlc-graph/v1 document `swap_cli
+   graph-sweep --json` emits — the @graph-smoke gate.
+
+   Beyond schema shape it enforces the invariants the sweep is supposed
+   to guarantee: every success rate is a probability, each topology's
+   leader sits at depth 0 with arcs inside the vertex range, claim
+   expiries strictly decrease as the sender's Herlihy depth grows (the
+   staggered-expiry ordering that makes cascaded claims safe), and every
+   reported optimum route exists edge-by-edge in the served token
+   universe within its hop bound. *)
+
+open Obs.Json_parse
+
+let as_int path j =
+  let v = as_num path j in
+  if Float.rem v 1. <> 0. then bad "%s: expected an integer" path;
+  int_of_float v
+
+let probability path j =
+  let v = as_num path j in
+  if not (Float.is_finite v) then bad "%s: not finite" path;
+  if v < 0. || v > 1. then bad "%s: %g outside [0, 1]" path v;
+  v
+
+(* --- topologies ----------------------------------------------------------- *)
+
+let validate_topology i topo =
+  let path = Printf.sprintf "topologies[%d]" i in
+  let mem key = member path topo key in
+  ignore (as_str (path ^ ".family") (mem "family"));
+  let n = as_int (path ^ ".n") (mem "n") in
+  if n < 2 then bad "%s.n: %d is too small for a swap" path n;
+  let slack = as_num (path ^ ".slack") (mem "slack") in
+  if slack < 0. then bad "%s.slack: negative" path;
+  ignore (as_int (path ^ ".seed") (mem "seed"));
+  let leader = as_int (path ^ ".leader") (mem "leader") in
+  let depths =
+    List.mapi
+      (fun k d -> as_int (Printf.sprintf "%s.depths[%d]" path k) d)
+      (as_arr (path ^ ".depths") (mem "depths"))
+  in
+  if List.length depths <> n then
+    bad "%s.depths: %d entries for %d parties" path (List.length depths) n;
+  if leader < 0 || leader >= n then bad "%s.leader: out of range" path;
+  if List.nth depths leader <> 0 then
+    bad "%s: leader must sit at depth 0" path;
+  let depth_of = Array.of_list depths in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n then bad "%s.depths: entry %d out of range" path d)
+    depth_of;
+  let arcs = as_arr (path ^ ".arcs") (mem "arcs") in
+  if arcs = [] then bad "%s.arcs: empty" path;
+  (* Worst (latest) expiry per sender depth, then the staggered-expiry
+     check: a deeper sender's claim must expire strictly earlier, or a
+     party could be claimed from after its own window closed.  Depths
+     are bounded by n, so a flat array gives a stable ascending walk. *)
+  let by_depth = Array.make n Float.neg_infinity in
+  List.iteri
+    (fun j arc ->
+      let apath = Printf.sprintf "%s.arcs[%d]" path j in
+      let src = as_int (apath ^ ".src") (member apath arc "src") in
+      let dst = as_int (apath ^ ".dst") (member apath arc "dst") in
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        bad "%s: endpoint outside 0..%d" apath (n - 1);
+      if src = dst then bad "%s: self-loop" apath;
+      let lock = as_num (apath ^ ".lock") (member apath arc "lock") in
+      let expiry = as_num (apath ^ ".expiry") (member apath arc "expiry") in
+      if not (Float.is_finite lock && Float.is_finite expiry) then
+        bad "%s: non-finite timelock" apath;
+      if lock < 0. then bad "%s.lock: negative" apath;
+      if expiry <= lock then bad "%s: expiry precedes lock" apath;
+      let d = depth_of.(src) in
+      by_depth.(d) <- Float.max by_depth.(d) expiry)
+    arcs;
+  let prev = ref None in
+  Array.iteri
+    (fun d worst ->
+      if Float.is_finite worst then begin
+        (match !prev with
+        | Some (pd, pw) when worst >= pw ->
+          bad
+            "%s: expiries not strictly decreasing along the Herlihy order \
+             (depth %d worst %g, depth %d worst %g)"
+            path pd pw d worst
+        | _ -> ());
+        prev := Some (d, worst)
+      end)
+    by_depth;
+  ignore (probability (path ^ ".sr") (mem "sr"));
+  let griefing = as_num (path ^ ".griefing") (mem "griefing") in
+  if (not (Float.is_finite griefing)) || griefing < 0. then
+    bad "%s.griefing: must be finite and non-negative" path;
+  ignore
+    (as_bool (path ^ ".equilibrium_success") (mem "equilibrium_success"))
+
+(* --- universe + routes ---------------------------------------------------- *)
+
+let validate_universe universe =
+  List.mapi
+    (fun i e ->
+      let path = Printf.sprintf "universe[%d]" i in
+      let src = as_str (path ^ ".src") (member path e "src") in
+      let dst = as_str (path ^ ".dst") (member path e "dst") in
+      if src = "" || dst = "" then bad "%s: empty token name" path;
+      if src = dst then bad "%s: self-edge" path;
+      ignore (probability (path ^ ".sr") (member path e "sr"));
+      let rate = as_num (path ^ ".rate") (member path e "rate") in
+      if (not (Float.is_finite rate)) || rate <= 0. then
+        bad "%s.rate: must be finite and positive" path;
+      (src, dst))
+    universe
+
+let validate_route edges i route =
+  let path = Printf.sprintf "routes[%d]" i in
+  let mem key = member path route key in
+  let from_tok = as_str (path ^ ".from") (mem "from") in
+  let to_tok = as_str (path ^ ".to") (mem "to") in
+  let max_hops = as_int (path ^ ".max_hops") (mem "max_hops") in
+  if max_hops < 1 then bad "%s.max_hops: must be positive" path;
+  match mem "path" with
+  | Null -> false
+  | Arr hops_json ->
+    let hops =
+      List.mapi
+        (fun k h -> as_str (Printf.sprintf "%s.path[%d]" path k) h)
+        hops_json
+    in
+    let legs = List.length hops - 1 in
+    if legs < 1 then bad "%s.path: needs at least two tokens" path;
+    if legs <> as_int (path ^ ".hops") (mem "hops") then
+      bad "%s.hops: disagrees with path length" path;
+    if legs > max_hops then bad "%s: path exceeds max_hops" path;
+    if List.hd hops <> from_tok then bad "%s.path: does not start at from" path;
+    if List.nth hops legs <> to_tok then bad "%s.path: does not end at to" path;
+    ignore (probability (path ^ ".sr") (mem "sr"));
+    let rate = as_num (path ^ ".rate") (mem "rate") in
+    if (not (Float.is_finite rate)) || rate <= 0. then
+      bad "%s.rate: must be finite and positive" path;
+    ignore
+      (List.fold_left
+         (fun prev tok ->
+           (match prev with
+           | Some prev_tok when not (List.mem (prev_tok, tok) edges) ->
+             bad "%s.path: %s->%s is not a universe edge" path prev_tok tok
+           | _ -> ());
+           Some tok)
+         None hops);
+    true
+  | _ -> bad "%s.path: expected an array or null" path
+
+(* --- document ------------------------------------------------------------- *)
+
+let validate root =
+  let schema = as_str "schema" (member "top level" root "schema") in
+  if schema <> "htlc-graph/v1" then bad "unknown schema %S" schema;
+  ignore (as_obj "params" (member "top level" root "params"));
+  let topologies =
+    as_arr "topologies" (member "top level" root "topologies")
+  in
+  if topologies = [] then bad "topologies: empty sweep";
+  List.iteri validate_topology topologies;
+  let universe = as_arr "universe" (member "top level" root "universe") in
+  if universe = [] then bad "universe: no served token pairs";
+  let edges = validate_universe universe in
+  let routes = as_arr "routes" (member "top level" root "routes") in
+  if routes = [] then bad "routes: no routed pairs";
+  let found =
+    List.fold_left ( + ) 0
+      (List.mapi
+         (fun i r -> if validate_route edges i r then 1 else 0)
+         routes)
+  in
+  if found = 0 then bad "routes: no pair was routable at all";
+  (List.length topologies, List.length universe, List.length routes, found)
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ ->
+      prerr_endline "usage: validate_graph GRAPH_JSON";
+      exit 2
+  in
+  match validate (parse (In_channel.with_open_text file In_channel.input_all))
+  with
+  | n_topo, n_edges, n_routes, n_found ->
+    Printf.printf "%s: ok (%d topologies, %d universe edges, %d/%d pairs routed)\n"
+      file n_topo n_edges n_found n_routes
+  | exception Bad msg ->
+    Printf.eprintf "INVALID graph document: %s\n" msg;
+    exit 1

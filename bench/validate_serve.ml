@@ -271,7 +271,10 @@ let validate_reactor json_file bin_file =
    duration. *)
 
 let known_kinds =
-  [ "cutoffs"; "success_rate"; "sweep"; "quote"; "health"; "stats"; "error" ]
+  [
+    "cutoffs"; "success_rate"; "sweep"; "quote"; "health"; "stats"; "route";
+    "error";
+  ]
 
 let known_codecs = [ "json"; "binary"; "pipe"; "queue" ]
 

@@ -838,6 +838,256 @@ let print_stats_table resp =
     (num "trace" trace "spans")
     (num "trace" trace "dropped")
 
+(* --- route ---------------------------------------------------------------- *)
+
+let route_cmd =
+  let from_tok =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"TOKEN" ~doc:"Token sold (e.g. $(b,XMR)).")
+  in
+  let to_tok =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"TOKEN" ~doc:"Token bought (e.g. $(b,USDC)).")
+  in
+  let max_hops =
+    Arg.(
+      value & opt int 4
+      & info [ "max-hops" ] ~docv:"N"
+          ~doc:"Largest number of swap legs considered (1-16).")
+  in
+  let run params from_tok to_tok max_hops metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
+    (* The same path a network client takes: encode a canonical route
+       request, hand the line to the serve engine, print the response
+       line.  The tiny quote grid keeps startup instant — route never
+       touches it. *)
+    let engine =
+      Serve.Engine.create ~workers:0
+        ~mus:(Numerics.Grid.linspace ~lo:(-0.01) ~hi:0.01 ~n:2)
+        ~sigmas:(Numerics.Grid.linspace ~lo:0.02 ~hi:0.16 ~n:2)
+        ~base:params ()
+    in
+    let line =
+      Serve.Request.encode
+        {
+          Serve.Request.id = Some "cli-route";
+          body = Serve.Request.Route { from_tok; to_tok; max_hops };
+        }
+    in
+    print_endline (Serve.Engine.handle engine line)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Best multi-hop swap path between two tokens: the $(b,route) \
+          request kind answered by the serve engine over its default \
+          token universe (pairs priced by the 2-party solver).  Prints \
+          the $(b,htlc-serve/v1) response line.")
+    Term.(
+      const run $ params_term $ from_tok $ to_tok $ max_hops $ metrics_term
+      $ trace_out_term)
+
+(* --- graph-sweep ----------------------------------------------------------- *)
+
+let graph_sweep_cmd =
+  let max_parties =
+    Arg.(
+      value & opt int 8
+      & info [ "max-parties" ] ~docv:"N"
+          ~doc:"Largest graph size generated per family (at least 3).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 2000
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo paths per topology.")
+  in
+  let seed =
+    Arg.(value & opt int 0x9af & info [ "seed" ] ~doc:"Monte-Carlo seed.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Random-family topologies generated per (size, slack).")
+  in
+  let slacks =
+    Arg.(
+      value
+      & opt_all float [ 0. ]
+      & info [ "slack" ] ~docv:"H"
+          ~doc:
+            "Extra stagger per claim level, in hours (repeatable; the \
+             sweep crosses every slack with every topology).")
+  in
+  let max_hops =
+    Arg.(
+      value & opt int 4
+      & info [ "max-hops" ] ~docv:"N"
+          ~doc:"Hop bound for the routed token-pair report.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full sweep as an $(b,htlc-graph/v1) JSON document \
+             to $(docv) (topologies with schedules and results, the \
+             served token universe, and best routes for every ordered \
+             token pair) instead of the summary table.")
+  in
+  let run params max_parties trials seed seeds slacks max_hops json_out jobs
+      metrics trace_out =
+    with_obs ~metrics ~trace_out @@ fun () ->
+    Option.iter Numerics.Pool.set_jobs jobs;
+    if max_parties < 3 then failwith "graph-sweep: --max-parties must be >= 3";
+    let slacks = List.sort_uniq compare slacks in
+    let specs =
+      List.concat_map
+        (fun family ->
+          List.concat_map
+            (fun size ->
+              List.concat_map
+                (fun slack ->
+                  let mk topo_seed =
+                    { Swapgraph.Sweep.family; size; slack; topo_seed }
+                  in
+                  match family with
+                  | Swapgraph.Topology.Random ->
+                    List.init seeds mk
+                  | Swapgraph.Topology.Bridge when size < 5 -> []
+                  | _ -> [ mk 0 ])
+                slacks)
+            (List.init (max_parties - 2) (fun i -> i + 3)))
+        Swapgraph.Topology.all_families
+    in
+    let rows =
+      Swapgraph.Sweep.run ~trials ~seed ~tau:params.Swap.Params.tau_b
+        ~eps:params.Swap.Params.eps_b
+        ~policy:(Swap.Graphlink.depth_aware_policy params ~p_star:2.)
+        ~payoffs:(Swap.Graphlink.payoffs params) specs
+    in
+    let griefing (r : Swapgraph.Sweep.row) =
+      Array.fold_left Float.max 0.
+        (Swap.Graphlink.griefing_value params r.graph r.schedule)
+    in
+    match json_out with
+    | None ->
+      let line (r : Swapgraph.Sweep.row) =
+        [
+          Swapgraph.Topology.family_to_string r.spec.Swapgraph.Sweep.family;
+          string_of_int r.spec.Swapgraph.Sweep.size;
+          Printf.sprintf "%g" r.spec.Swapgraph.Sweep.slack;
+          string_of_int r.spec.Swapgraph.Sweep.topo_seed;
+          Printf.sprintf "%.4f" r.sr;
+          Printf.sprintf "%.2f" r.max_exposure_hours;
+          Printf.sprintf "%.4f" (griefing r);
+          (if r.equilibrium_success then "yes" else "no");
+        ]
+      in
+      print_string
+        (Experiments.Render.table
+           ~header:
+             [
+               "family"; "parties"; "slack"; "seed"; "SR";
+               "max exposure (h)"; "griefing"; "eq";
+             ]
+           ~rows:(List.map line rows))
+    | Some file ->
+      let b = Buffer.create 65536 in
+      let n = Obs.Json.num and s = Obs.Json.str and i = Obs.Json.int in
+      Buffer.add_string b "{\"schema\":\"htlc-graph/v1\",\"params\":";
+      Buffer.add_string b (Serve.Request.params_json params);
+      Buffer.add_string b ",\"topologies\":[";
+      List.iteri
+        (fun k (r : Swapgraph.Sweep.row) ->
+          if k > 0 then Buffer.add_char b ',';
+          let g = r.graph and sc = r.schedule in
+          let arcs = Swapgraph.Graph.arcs g in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"family\":%s,\"n\":%s,\"slack\":%s,\"seed\":%s,\"leader\":%s,\"depths\":[%s],\"arcs\":[%s],\"sr\":%s,\"griefing\":%s,\"equilibrium_success\":%b}"
+               (s
+                  (Swapgraph.Topology.family_to_string
+                     r.spec.Swapgraph.Sweep.family))
+               (i r.spec.Swapgraph.Sweep.size)
+               (n r.spec.Swapgraph.Sweep.slack)
+               (i r.spec.Swapgraph.Sweep.topo_seed)
+               (i (Swapgraph.Graph.leader g))
+               (String.concat ","
+                  (Array.to_list (Array.map i (Swapgraph.Graph.depths g))))
+               (String.concat ","
+                  (List.init (Array.length arcs) (fun j ->
+                       Printf.sprintf
+                         "{\"src\":%s,\"dst\":%s,\"lock\":%s,\"expiry\":%s}"
+                         (i arcs.(j).Swapgraph.Graph.src)
+                         (i arcs.(j).Swapgraph.Graph.dst)
+                         (n sc.Swapgraph.Timelock.lock_time.(j))
+                         (n sc.Swapgraph.Timelock.expiry.(j)))))
+               (n r.sr) (n (griefing r)) r.equilibrium_success))
+        rows;
+      Buffer.add_string b "],\"universe\":[";
+      let universe = Swap.Graphlink.default_universe ~base:params () in
+      List.iteri
+        (fun k (e : Swapgraph.Router.edge) ->
+          if k > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"src\":%s,\"dst\":%s,\"sr\":%s,\"rate\":%s}"
+               (s e.src) (s e.dst) (n e.sr) (n e.rate)))
+        (Swapgraph.Router.edges universe);
+      Buffer.add_string b "],\"routes\":[";
+      let tokens = Swapgraph.Router.tokens universe in
+      let first = ref true in
+      List.iter
+        (fun from_tok ->
+          List.iter
+            (fun to_tok ->
+              if from_tok <> to_tok then begin
+                if not !first then Buffer.add_char b ',';
+                first := false;
+                let found =
+                  match
+                    Swapgraph.Router.best universe ~from_tok ~to_tok
+                      ~max_hops
+                  with
+                  | Ok { Swapgraph.Router.hops; sr; rate } ->
+                    Printf.sprintf
+                      "\"path\":[%s],\"hops\":%s,\"sr\":%s,\"rate\":%s"
+                      (String.concat "," (List.map s hops))
+                      (i (List.length hops - 1))
+                      (n sr) (n rate)
+                  | Error _ -> "\"path\":null"
+                in
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"from\":%s,\"to\":%s,\"max_hops\":%s,%s}" (s from_tok)
+                     (s to_tok) (i max_hops) found)
+              end)
+            tokens)
+        tokens;
+      Buffer.add_string b "]}\n";
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Buffer.contents b));
+      Printf.eprintf "wrote %s (%d topologies, %d routed pairs)\n" file
+        (List.length rows)
+        (List.length tokens * (List.length tokens - 1))
+  in
+  Cmd.v
+    (Cmd.info "graph-sweep"
+       ~doc:
+         "Sweep generated N-party swap graphs (cycles, stars, bridges, \
+          random connected digraphs) through the Herlihy timelock \
+          assignment, the graph game and the depth-aware Monte Carlo; \
+          report SR and griefing exposure per topology.  Pool-parallel \
+          across topologies and bit-identical at any $(b,--jobs) count.")
+    Term.(
+      const run $ params_term $ max_parties $ trials $ seed $ seeds $ slacks
+      $ max_hops $ json_out $ jobs_term $ metrics_term $ trace_out_term)
+
 let call_cmd =
   let socket =
     Arg.(
@@ -1096,7 +1346,8 @@ let main_cmd =
     (Cmd.info "swap_cli" ~version:"1.0.0" ~doc)
     [
       cutoffs_cmd; success_cmd; sweep_cmd; simulate_cmd; protocol_cmd;
-      ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; call_cmd; experiment_cmd;
+      ac3_cmd; backtest_cmd; quote_cmd; serve_cmd; route_cmd;
+      graph_sweep_cmd; call_cmd; experiment_cmd;
       obs_cmd;
       lint_cmd;
     ]

@@ -1,0 +1,192 @@
+(* N-party swap graphs beyond the cycle: sweep thousands of generated
+   topologies (families x sizes x slack x seeds) through the Herlihy
+   timelock assignment, the graph game and the depth-aware Monte
+   Carlo, and read off how structure moves the success rate and the
+   worst-case griefing exposure. *)
+
+let name = "graphs"
+
+let description =
+  "Topology sweep: SR and griefing exposure vs family, size and slack"
+
+let p = Swap.Params.defaults
+let p_star = 2.
+
+let sweep ?(trials = 400) specs =
+  Swapgraph.Sweep.run ~trials ~tau:p.Swap.Params.tau_b
+    ~eps:p.Swap.Params.eps_b
+    ~policy:(Swap.Graphlink.depth_aware_policy p ~p_star)
+    ~payoffs:(Swap.Graphlink.payoffs p) specs
+
+let spec family size slack topo_seed =
+  { Swapgraph.Sweep.family; size; slack; topo_seed }
+
+let mean xs =
+  List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
+
+let fraction pred rows =
+  mean (List.map (fun r -> if pred r then 1. else 0.) rows)
+
+let sr (r : Swapgraph.Sweep.row) = r.sr
+let exposure (r : Swapgraph.Sweep.row) = r.max_exposure_hours
+let eq (r : Swapgraph.Sweep.row) = r.equilibrium_success
+
+(* --- block 1: named families across sizes -------------------------------- *)
+
+(* Cycle / star / bridge are canonical per (family, n); the random
+   family is summarised over a bundle of generator seeds. *)
+let random_seeds = 40
+
+let family_block () =
+  let sizes = [ 3; 4; 5; 6; 8 ] in
+  let deterministic family =
+    List.filter_map
+      (fun n ->
+        if family = Swapgraph.Topology.Bridge && n < 5 then None
+        else Some (spec family n 0. 0))
+      sizes
+  in
+  let det_rows =
+    sweep
+      (deterministic Swapgraph.Topology.Cycle
+      @ deterministic Swapgraph.Topology.Star
+      @ deterministic Swapgraph.Topology.Bridge)
+  in
+  let rand_rows =
+    List.map
+      (fun n ->
+        let rows =
+          sweep
+            (List.init random_seeds (fun s ->
+                 spec Swapgraph.Topology.Random n 0. s))
+        in
+        (n, rows))
+      sizes
+  in
+  let fmt_row family n depth sr_s exposure_s eq_s =
+    [ family; string_of_int n; depth; sr_s; exposure_s; eq_s ]
+  in
+  let det_line (r : Swapgraph.Sweep.row) =
+    fmt_row
+      (Swapgraph.Topology.family_to_string r.spec.Swapgraph.Sweep.family)
+      r.spec.Swapgraph.Sweep.size
+      (string_of_int (Swapgraph.Graph.max_depth r.graph))
+      (Render.fmt r.sr)
+      (Render.fmt r.max_exposure_hours)
+      (if r.equilibrium_success then "yes" else "no")
+  in
+  let rand_line (n, rows) =
+    fmt_row "random(mean)" n
+      (Render.fmt
+         (mean
+            (List.map
+               (fun (r : Swapgraph.Sweep.row) ->
+                 float_of_int (Swapgraph.Graph.max_depth r.graph))
+               rows)))
+      (Render.fmt (mean (List.map sr rows)))
+      (Render.fmt (mean (List.map exposure rows)))
+      (Render.fmt (fraction eq rows))
+  in
+  ( List.length det_rows + (List.length sizes * random_seeds),
+    Render.table
+      ~header:
+        [ "family"; "parties"; "depth"; "SR"; "max exposure (h)"; "eq" ]
+      ~rows:(List.map det_line det_rows @ List.map rand_line rand_rows) )
+
+(* --- block 2: slack on a fixed family ------------------------------------- *)
+
+let slack_seeds = 50
+
+let slack_block () =
+  let slacks = [ 0.; 1.; 2.; 4. ] in
+  let per_slack =
+    List.map
+      (fun slack ->
+        let rows =
+          sweep
+            (List.init slack_seeds (fun s ->
+                 spec Swapgraph.Topology.Random 6 slack s))
+        in
+        (slack, rows))
+      slacks
+  in
+  ( List.length slacks * slack_seeds,
+    Render.table
+      ~header:
+        [ "slack (h)"; "mean SR"; "mean max exposure (h)"; "eq fraction" ]
+      ~rows:
+        (List.map
+           (fun (slack, rows) ->
+             [
+               Render.fmt slack;
+               Render.fmt (mean (List.map sr rows));
+               Render.fmt (mean (List.map exposure rows));
+               Render.fmt (fraction eq rows);
+             ])
+           per_slack) )
+
+(* --- block 3: the bulk sweep ---------------------------------------------- *)
+
+let bulk_seeds = 250
+
+let bulk_block () =
+  let sizes = [ 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  let per_size =
+    List.map
+      (fun n ->
+        let rows =
+          sweep ~trials:200
+            (List.init bulk_seeds (fun s ->
+                 spec Swapgraph.Topology.Random n 1. s))
+        in
+        (n, rows))
+      sizes
+  in
+  let min_sr rows = List.fold_left Float.min 1. (List.map sr rows) in
+  ( List.length sizes * bulk_seeds,
+    Render.table
+      ~header:
+        [
+          "parties"; "topologies"; "mean SR"; "min SR";
+          "mean max exposure (h)"; "eq fraction";
+        ]
+      ~rows:
+        (List.map
+           (fun (n, rows) ->
+             [
+               string_of_int n;
+               string_of_int (List.length rows);
+               Render.fmt (mean (List.map sr rows));
+               Render.fmt (min_sr rows);
+               Render.fmt (mean (List.map exposure rows));
+               Render.fmt (fraction eq rows);
+             ])
+           per_size) )
+
+let run () =
+  let n1, b1 = family_block () in
+  let n2, b2 = slack_block () in
+  let n3, b3 = bulk_block () in
+  Render.section "Success rate by topology family (slack 0)"
+  ^ b1
+  ^ "\nStars keep every non-hub at depth 1, so their lock phase and\n\
+     exposure stay flat as the graph grows and SR decays slowly; cycles\n\
+     and bridges deepen with n, stretching the late parties' windows\n\
+     until the depth-aware bands collapse.  Griefing exposure is the\n\
+     mirror image: the hub of a star absorbs almost all of it.\n\n"
+  ^ Render.section "Timelock slack on random 6-party graphs"
+  ^ b2
+  ^ "\nSlack widens every claim window, which buys safety against\n\
+     congestion but bills every party for the longer lock-up: griefing\n\
+     exposure grows linearly with slack while SR drifts down as deeper\n\
+     parties face longer price diffusion before their decision.\n\n"
+  ^ Render.section "Bulk sweep over random connected digraphs"
+  ^ b3
+  ^ Printf.sprintf
+      "\nSwept %d topologies in total (%d + %d + %d), every schedule\n\
+       validated against the staggered-expiry invariants and every graph\n\
+       game solved by backward induction.  The cycle's geometric SR decay\n\
+       is the general rule: success degrades with depth, not raw party\n\
+       count, and the equilibrium flips to abort exactly where the\n\
+       premium no longer covers the deepest party's griefing exposure.\n"
+      (n1 + n2 + n3) n1 n2 n3

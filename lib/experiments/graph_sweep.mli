@@ -1,0 +1,6 @@
+(** Topology sweep over generated N-party swap graphs: SR and griefing
+    exposure vs family, size and timelock slack. *)
+
+val name : string
+val description : string
+val run : unit -> string

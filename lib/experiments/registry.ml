@@ -38,6 +38,7 @@ let all =
     experiment Negotiation.name Negotiation.description Negotiation.run;
     experiment Security.name Security.description Security.run;
     experiment Multihop_exp.name Multihop_exp.description Multihop_exp.run;
+    experiment Graph_sweep.name Graph_sweep.description Graph_sweep.run;
     experiment Uncertainty.name Uncertainty.description Uncertainty.run;
     experiment Attribution.name Attribution.description Attribution.run;
     experiment Scorecard.name Scorecard.description Scorecard.run;

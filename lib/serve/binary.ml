@@ -9,7 +9,7 @@
    - Frame: [u32 payload_len][payload], [payload_len <= max_frame].
    - Request payload:
        [u8 kind]      1=cutoffs 2=success_rate 3=sweep 4=quote 5=health
-                      6=stats
+                      6=stats 7=route
        [u8 flags]     bit0 = id present, bit1 = params present
        [u16 id_len][id bytes]                    (if bit0)
        [10 x f64]     alpha_a alpha_b r_a r_b tau_a tau_b eps_b p0 mu
@@ -21,6 +21,7 @@
          quote         [f64 mu][f64 sigma][f64 spot]
          health        (none)
          stats         (none)
+         route         [u16 from_len][from][u16 to_len][to][u8 max_hops]
    - Response frame: [u32 len][body] where [body] is byte-for-byte the
      canonical htlc-serve/v1 JSON response (sans trailing newline).
 
@@ -60,6 +61,7 @@ let kind_tag = function
   | Request.Quote _ -> 4
   | Request.Health -> 5
   | Request.Stats -> 6
+  | Request.Route _ -> 7
 
 let add_params b (p : Swap.Params.t) =
   add_f64 b p.alice.alpha;
@@ -80,7 +82,7 @@ let body_params = function
     (* The shared defaults record travels as "omitted" — the decoder
        resurrects the same physical value. *)
     if params == Swap.Params.defaults then None else Some params
-  | Request.Quote _ | Request.Health | Request.Stats -> None
+  | Request.Quote _ | Request.Route _ | Request.Health | Request.Stats -> None
 
 let encode_payload (req : Request.t) =
   let b = Buffer.create 64 in
@@ -113,6 +115,18 @@ let encode_payload (req : Request.t) =
     add_f64 b mu;
     add_f64 b sigma;
     add_f64 b spot
+  | Request.Route { from_tok; to_tok; max_hops } ->
+    let add_token name tok =
+      if String.length tok > 0xffff then
+        invalid_arg
+          (Printf.sprintf
+             "Binary.encode_payload: %s token longer than 65535 bytes" name);
+      add_u16 b (String.length tok);
+      Buffer.add_string b tok
+    in
+    add_token "from" from_tok;
+    add_token "to" to_tok;
+    Buffer.add_char b (Char.chr (max_hops land 0xff))
   | Request.Health | Request.Stats -> ());
   Buffer.contents b
 
@@ -259,6 +273,17 @@ let decode_payload payload : (Request.t, Request.error) result =
       | 6 ->
         if flags land 2 <> 0 then parse_error "stats carries no params block";
         Request.Stats
+      | 7 ->
+        if flags land 2 <> 0 then parse_error "route carries no params block";
+        let from_tok = take c (u16 c) in
+        let to_tok = take c (u16 c) in
+        if from_tok = "" then invalid "from: must be a non-empty token";
+        if to_tok = "" then invalid "to: must be a non-empty token";
+        if to_tok = from_tok then invalid "to: must differ from \"from\"";
+        let max_hops = u8 c in
+        if max_hops < 1 || max_hops > 16 then
+          invalid "max_hops: must be an integer in [1, 16]";
+        Request.Route { from_tok; to_tok; max_hops }
       | t -> parse_error "unknown kind tag %d" t
     in
     if c.pos <> String.length payload then

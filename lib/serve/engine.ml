@@ -78,6 +78,7 @@ type stats = {
 type t = {
   base : Swap.Params.t;
   table : Market.Quote_table.t;
+  universe : Swapgraph.Router.t;
   cache : Cache.t;
   max_sweep_n : int;
   deadline_s : float option;
@@ -120,6 +121,7 @@ let m_req_success_rate = Obs.Metrics.counter "serve.req.success_rate"
 let m_req_sweep = Obs.Metrics.counter "serve.req.sweep"
 let m_req_health = Obs.Metrics.counter "serve.req.health"
 let m_req_stats = Obs.Metrics.counter "serve.req.stats"
+let m_req_route = Obs.Metrics.counter "serve.req.route"
 let m_req_quote = Obs.Metrics.counter "serve.req.quote"
 
 let m_kind = function
@@ -128,6 +130,7 @@ let m_kind = function
   | "sweep" -> m_req_sweep
   | "health" -> m_req_health
   | "stats" -> m_req_stats
+  | "route" -> m_req_route
   | _ -> m_req_quote
 
 (* --- evaluation ---------------------------------------------------------- *)
@@ -188,6 +191,23 @@ let compute_result t (req : Request.t) =
       Error
         ( Market.Quote_table.reason_to_string reason,
           "no quote at these calibrated parameters" ))
+  | Route { from_tok; to_tok; max_hops } -> (
+    match Swapgraph.Router.best t.universe ~from_tok ~to_tok ~max_hops with
+    | Ok { Swapgraph.Router.hops; sr; rate } ->
+      Ok
+        (Printf.sprintf "{\"path\":[%s],\"hops\":%s,\"sr\":%s,\"rate\":%s}"
+           (String.concat "," (List.map Obs.Json.str hops))
+           (Obs.Json.int (List.length hops - 1))
+           (Obs.Json.num sr) (Obs.Json.num rate))
+    | Error (Swapgraph.Router.Unknown_token tok) ->
+      Error
+        ( "invalid_params",
+          Printf.sprintf "unknown token %S in this server's swap graph" tok )
+    | Error Swapgraph.Router.No_route ->
+      Error
+        ( "no_route",
+          Printf.sprintf "no path from %S to %S within %d hops" from_tok
+            to_tok max_hops ))
   | Health ->
     let cs = Cache.stats t.cache in
     Ok
@@ -513,7 +533,7 @@ let supervised_worker t =
 
 let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
     ?(cache_capacity = 1024) ?(max_sweep_n = 4096) ?mus ?sigmas ?table
-    ?(base = Swap.Params.defaults) () =
+    ?universe ?(base = Swap.Params.defaults) () =
   if queue_capacity < 1 then
     invalid_arg "Engine.create: queue_capacity must be >= 1";
   (match deadline_s with
@@ -537,6 +557,13 @@ let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
         (match table with
         | Some tb -> tb
         | None -> Market.Quote_table.build ?mus ?sigmas base);
+      (* The route universe is engine configuration like the quote
+         grid: built once (a handful of 2-party solves), then every
+         route answer is a pure function of (universe, query). *)
+      universe =
+        (match universe with
+        | Some u -> u
+        | None -> Swap.Graphlink.default_universe ~base ());
       cache = Cache.create ~shards:cache_shards ~capacity:cache_capacity ();
       max_sweep_n;
       deadline_s;
@@ -564,6 +591,7 @@ let create ?workers ?(queue_capacity = 128) ?deadline_s ?(cache_shards = 8)
 let workers t = List.length t.worker_domains
 let quote_table t = t.table
 let base_params t = t.base
+let route_universe t = t.universe
 
 let shutdown ?(drain = true) t =
   Mutex.lock t.q_mutex;

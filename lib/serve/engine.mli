@@ -38,6 +38,7 @@ val create :
   ?mus:float array ->
   ?sigmas:float array ->
   ?table:Market.Quote_table.t ->
+  ?universe:Swapgraph.Router.t ->
   ?base:Swap.Params.t ->
   unit ->
   t
@@ -48,7 +49,11 @@ val create :
     {!handle_batch} and {!pump} still work).  [table] supplies a
     prebuilt quote table instead (then [mus]/[sigmas] are ignored) —
     for callers standing up several engines that must share one grid,
-    e.g. a served engine and its byte-identity reference.
+    e.g. a served engine and its byte-identity reference.  [universe]
+    supplies the swap graph the [route] kind searches (default:
+    {!Swap.Graphlink.default_universe} over [base]) — like the quote
+    grid it is engine configuration, so route answers stay pure
+    functions of the canonical request bytes and cache cleanly.
     [queue_capacity] (default 128) bounds the submission queue;
     [deadline_s] (default none) bounds queue wait; [max_sweep_n]
     (default 4096) caps sweep sizes with an [invalid_params] answer.
@@ -137,6 +142,9 @@ val draining : t -> bool
 
 val quote_table : t -> Market.Quote_table.t
 val base_params : t -> Swap.Params.t
+
+val route_universe : t -> Swapgraph.Router.t
+(** The swap graph behind the [route] kind (configured or default). *)
 
 type stats = {
   requests : int;  (** Parsed requests (all modes). *)

@@ -22,6 +22,7 @@ type body =
   | Success_rate of { params : Swap.Params.t; p_star : float; q : float }
   | Sweep of { params : Swap.Params.t; q : float; spec : sweep_spec }
   | Quote of { mu : float; sigma : float; spot : float }
+  | Route of { from_tok : string; to_tok : string; max_hops : int }
   | Health
   | Stats
 
@@ -35,6 +36,7 @@ let kind t =
   | Success_rate _ -> "success_rate"
   | Sweep _ -> "sweep"
   | Quote _ -> "quote"
+  | Route _ -> "route"
   | Health -> "health"
   | Stats -> "stats"
 
@@ -74,6 +76,9 @@ let body_fields = function
   | Quote { mu; sigma; spot } ->
     Printf.sprintf "\"req\":\"quote\",\"mu\":%s,\"sigma\":%s,\"spot\":%s"
       (J.num mu) (J.num sigma) (J.num spot)
+  | Route { from_tok; to_tok; max_hops } ->
+    Printf.sprintf "\"req\":\"route\",\"from\":%s,\"to\":%s,\"max_hops\":%s"
+      (J.str from_tok) (J.str to_tok) (J.int max_hops)
   | Health -> "\"req\":\"health\""
   | Stats -> "\"req\":\"stats\""
 
@@ -215,6 +220,30 @@ let decode_root root =
         let sigma = finite_num "sigma" (require root "sigma") in
         let spot = finite_num "spot" (require root "spot") in
         Quote { mu; sigma; spot }
+      | "route" ->
+        (* No [params]: routing is priced off the server's configured
+           token universe, not per-request model parameters. *)
+        check_keys "request"
+          [ "schema"; "id"; "req"; "from"; "to"; "max_hops" ]
+          fields;
+        let token name =
+          let tok = P.as_str name (require root name) in
+          if tok = "" then invalid "%s: must be a non-empty token" name;
+          tok
+        in
+        let from_tok = token "from" in
+        let to_tok = token "to" in
+        if to_tok = from_tok then invalid "to: must differ from \"from\"";
+        let max_hops =
+          match P.member_opt root "max_hops" with
+          | None -> 4
+          | Some v ->
+            let h = finite_num "max_hops" v in
+            if (not (Float.is_integer h)) || h < 1. || h > 16. then
+              invalid "max_hops: must be an integer in [1, 16]";
+            int_of_float h
+        in
+        Route { from_tok; to_tok; max_hops }
       | "health" ->
         (* No params: health reports live engine state, so there is
            nothing to parameterise and nothing to cache. *)
@@ -371,6 +400,20 @@ let decode_fast line =
       let sigma = scan_num sc in
       lit sc ",\"spot\":";
       Quote { mu; sigma; spot = scan_num sc }
+    end
+    else if looking_at sc "route\",\"from\":" then begin
+      sc.sp <- sc.sp + 14;
+      (* Tokens reuse the plain-string scanner: anything escaped bails
+         to the general parser. *)
+      let from_tok = scan_id sc in
+      if from_tok = "" then raise Slow;
+      lit sc ",\"to\":";
+      let to_tok = scan_id sc in
+      if to_tok = "" || to_tok = from_tok then raise Slow;
+      lit sc ",\"max_hops\":";
+      let h = scan_num sc in
+      if (not (Float.is_integer h)) || h < 1. || h > 16. then raise Slow;
+      Route { from_tok; to_tok; max_hops = int_of_float h }
     end
     else if looking_at sc "health\"" then begin
       sc.sp <- sc.sp + 7;

@@ -21,6 +21,11 @@ type body =
       (** SR across [n] rates in [lo, hi]. *)
   | Quote of { mu : float; sigma : float; spot : float }
       (** SR-optimal rate off the warm {!Market.Quote_table}. *)
+  | Route of { from_tok : string; to_tok : string; max_hops : int }
+      (** Best multi-hop path between two tokens over the server's
+          configured swap graph (maximal product of per-leg success
+          rates, at most [max_hops] legs).  Cached like the other
+          computed kinds; unknown tokens answer [invalid_params]. *)
   | Health
       (** Live engine state: queue depth, workers alive, restart and
           cache counters.  Never cached (the answer is a snapshot, not
@@ -41,9 +46,9 @@ type error = { err_id : string option; code : string; message : string }
     rejections stay client-correlatable. *)
 
 val kind : t -> string
-(** ["cutoffs" | "success_rate" | "sweep" | "quote" | "health" |
-    "stats"] — the wire [req] tag, echoed in responses and used as a
-    metric label. *)
+(** ["cutoffs" | "success_rate" | "sweep" | "quote" | "route" |
+    "health" | "stats"] — the wire [req] tag, echoed in responses and
+    used as a metric label. *)
 
 val decode : string -> (t, error) result
 (** Parse one request line.  Requires [schema]; [id] is optional;

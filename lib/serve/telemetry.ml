@@ -215,7 +215,10 @@ let set_status c s = if c.real then c.status <- s
 (* --- aggregation sinks ---------------------------------------------------- *)
 
 let kind_names =
-  [| "cutoffs"; "success_rate"; "sweep"; "quote"; "health"; "stats"; "error" |]
+  [|
+    "cutoffs"; "success_rate"; "sweep"; "quote"; "health"; "stats"; "route";
+    "error";
+  |]
 
 let kind_index = function
   | "cutoffs" -> 0
@@ -224,7 +227,8 @@ let kind_index = function
   | "quote" -> 3
   | "health" -> 4
   | "stats" -> 5
-  | _ -> 6
+  | "route" -> 6
+  | _ -> 7
 
 let codec_names = [| "json"; "binary"; "pipe"; "queue" |]
 

@@ -1,4 +1,10 @@
-open Chainsim
+(* Multi-party cyclic swaps — now a thin compatibility shim over
+   lib/swapgraph specialised to the cycle topology.  The graph
+   library carries the general machinery (arbitrary well-formed
+   digraphs, Herlihy timelock assignment, chain execution, Monte
+   Carlo); this module keeps the historical cycle-shaped API and
+   semantics: on an n-cycle the generalised schedule, execution and
+   per-leg rational rule reproduce the original implementation. *)
 
 type spec = { parties : int; params : Params.t; p_star : float }
 
@@ -8,18 +14,20 @@ let make ?(parties = 3) ?p_star (params : Params.t) =
   { parties; params; p_star }
 
 let tau spec = spec.params.Params.tau_b
-let eps spec = spec.params.Params.eps_b
-let lock_phase_hours spec = float_of_int spec.parties *. tau spec
 
-(* Claim on chain j is submitted at n tau + (n-1-j) eps and confirms one
-   tau later; the expiry is set exactly there (Herlihy's staggering:
-   deadlines grow toward the leader's outgoing chain 0). *)
+let graph spec = Swapgraph.Topology.cycle spec.parties
+
+(* Arc [j] of the canonical cycle is [j -> j+1 mod n]: arc indices
+   coincide with the historical leg indices. *)
+let schedule spec = Graphlink.schedule spec.params (graph spec)
+
+let lock_phase_hours spec = (schedule spec).Swapgraph.Timelock.lock_phase_end
+
 let claim_submit_time spec j =
-  lock_phase_hours spec
-  +. (float_of_int (spec.parties - 1 - j) *. eps spec)
+  (schedule spec).Swapgraph.Timelock.claim_time.(j)
 
 let expiry_schedule spec =
-  Array.init spec.parties (fun j -> claim_submit_time spec j +. tau spec)
+  Array.copy (schedule spec).Swapgraph.Timelock.expiry
 
 let total_success_hours spec = claim_submit_time spec 0 +. tau spec
 
@@ -35,154 +43,29 @@ type result = {
   trace : (float * string) list;
 }
 
-let party_name i = Printf.sprintf "party%d" i
-let contract_name i = Printf.sprintf "hop:%d" i
-
 let run ?(decisions = fun _i ~price:_ -> Agent.Cont) ?(offline = [])
     ?(price_paths = fun _i _t -> 2.) ?(seed = 0xcafe) spec =
-  let n = spec.parties in
-  let trace = ref [] in
-  let log t msg = trace := (t, msg) :: !trace in
-  let online i at =
-    not (List.exists (fun (j, from) -> j = i && at >= from) offline)
+  let g = graph spec in
+  let r =
+    Swapgraph.Exec.run
+      ~decisions:(fun v ~price ->
+        match decisions v ~price with
+        | Agent.Cont -> Swapgraph.Exec.Cont
+        | Agent.Stop -> Swapgraph.Exec.Stop)
+      ~offline ~prices:price_paths ~seed g (schedule spec)
   in
-  let chains =
-    Array.init n (fun i ->
-        Chain.create
-          ~name:(Printf.sprintf "chain%d" i)
-          ~token:(Printf.sprintf "asset%d" i)
-          ~tau:(tau spec) ~mempool_delay:(eps spec) ())
+  let outcome =
+    match r.Swapgraph.Exec.outcome with
+    | Swapgraph.Exec.Success -> Success
+    | Swapgraph.Exec.Abort_at_lock v -> Abort_at_lock v
+    | Swapgraph.Exec.Abort_no_reveal -> Abort_no_reveal
+    | Swapgraph.Exec.Anomalous msg -> Anomalous msg
   in
-  Array.iteri
-    (fun i chain -> Chain.mint chain ~account:(party_name i) ~amount:1.)
-    chains;
-  let secret = Secret.generate (Numerics.Rng.create ~seed ()) in
-  let expiries = expiry_schedule spec in
-  let horizon =
-    expiries.(0) +. (2. *. tau spec) +. 1.
-  in
-  let finish outcome =
-    Array.iter (fun c -> ignore (Chain.advance c ~until:horizon)) chains;
-    let deltas =
-      Array.init n (fun i ->
-          let outgoing =
-            Chain.balance chains.(i) ~account:(party_name i) -. 1.
-          in
-          let incoming =
-            Chain.balance chains.((i - 1 + n) mod n) ~account:(party_name i)
-          in
-          (outgoing, incoming))
-    in
-    { outcome; deltas; trace = List.rev !trace }
-  in
-  (* Lock phase: party i locks asset_i for party i+1 at time i tau,
-     after the previous leg confirmed. *)
-  let rec lock_phase i =
-    if i = n then None
-    else begin
-      let at = float_of_int i *. tau spec in
-      let price = price_paths i at in
-      let decision =
-        if not (online i at) then begin
-          log at (Printf.sprintf "%s offline: no lock" (party_name i));
-          Agent.Stop
-        end
-        else if i = 0 then
-          (* The leader's strategic choice is the reveal; initiating the
-             cycle is taken as given (like Alice's t1 in the 2-party
-             game). *)
-          Agent.Cont
-        else decisions i ~price
-      in
-      match decision with
-      | Agent.Stop ->
-        log at (Printf.sprintf "%s declines to lock (price %g)" (party_name i) price);
-        Some i
-      | Agent.Cont ->
-        log at (Printf.sprintf "%s locks asset%d for %s" (party_name i) i
-                  (party_name ((i + 1) mod n)));
-        ignore
-          (Chain.submit chains.(i) ~at
-             (Tx.Htlc_lock
-                {
-                  contract_id = contract_name i;
-                  sender = party_name i;
-                  recipient = party_name ((i + 1) mod n);
-                  amount = 1.;
-                  hash = secret.Secret.hash;
-                  expiry = expiries.(i);
-                }));
-        ignore (Chain.advance chains.(i) ~until:(at +. tau spec));
-        lock_phase (i + 1)
-    end
-  in
-  match lock_phase 0 with
-  | Some i -> finish (Abort_at_lock i)
-  | None ->
-    (* Reveal: the leader claims their incoming leg (chain n-1). *)
-    let reveal_at = lock_phase_hours spec in
-    let leader_price = price_paths (n - 1) reveal_at in
-    let leader_decision =
-      if not (online 0 reveal_at) then begin
-        log reveal_at "leader offline: secret never revealed";
-        Agent.Stop
-      end
-      else decisions 0 ~price:leader_price
-    in
-    (match leader_decision with
-    | Agent.Stop ->
-      log reveal_at "leader withholds the secret"
-    | Agent.Cont ->
-      log reveal_at "leader reveals the secret on the last chain";
-      ignore
-        (Chain.submit chains.(n - 1) ~at:reveal_at
-           (Tx.Htlc_claim
-              {
-                contract_id = contract_name (n - 1);
-                preimage = secret.Secret.preimage;
-              }));
-      (* Cascade: party j+1 claims chain j once the secret is public. *)
-      for j = n - 2 downto 0 do
-        let at = claim_submit_time spec j in
-        let claimer = (j + 1) mod n in
-        if online claimer at then begin
-          log at (Printf.sprintf "%s claims asset%d" (party_name claimer) j);
-          ignore
-            (Chain.submit chains.(j) ~at
-               (Tx.Htlc_claim
-                  {
-                    contract_id = contract_name j;
-                    preimage = secret.Secret.preimage;
-                  }))
-        end
-        else
-          log at (Printf.sprintf "%s offline: claim missed" (party_name claimer))
-      done);
-    (* Outcome from the contracts' final states. *)
-    Array.iter (fun c -> ignore (Chain.advance c ~until:horizon)) chains;
-    let states =
-      Array.init n (fun i ->
-          match Chain.htlc chains.(i) ~contract_id:(contract_name i) with
-          | Some h -> h.Htlc.state
-          | None -> Htlc.Refunded { at = 0. })
-    in
-    let claimed =
-      Array.for_all (function Htlc.Claimed _ -> true | _ -> false) states
-    in
-    let refunded =
-      Array.for_all (function Htlc.Refunded _ -> true | _ -> false) states
-    in
-    if claimed then finish Success
-    else if refunded then finish Abort_no_reveal
-    else
-      finish
-        (Anomalous
-           (String.concat ", "
-              (Array.to_list
-                 (Array.mapi
-                    (fun i s ->
-                      Printf.sprintf "hop%d=%s" i (Htlc.state_to_string s))
-                    states))))
+  {
+    outcome;
+    deltas = r.Swapgraph.Exec.deltas;
+    trace = r.Swapgraph.Exec.trace;
+  }
 
 type mc_result = {
   trials : int;
@@ -193,38 +76,17 @@ type mc_result = {
 
 let mc_success_rate ?(trials = 20_000) ?(seed = 0x40b) spec =
   let n = spec.parties in
-  let p = spec.params in
-  let gbm = Params.gbm p in
-  let rng = Numerics.Rng.create ~seed () in
-  let band = Cutoff.p_t2_band p ~p_star:spec.p_star in
-  let k3 = Cutoff.p_t3_low p ~p_star:spec.p_star in
-  let aborted_at = Array.make (n + 1) 0 in
-  let success = ref 0 in
-  for _ = 1 to trials do
-    (* Followers test their band at their lock time; the leader tests
-       the reveal cutoff at the cascade start.  Legs are i.i.d. *)
-    let rec followers i =
-      if i >= n then true
-      else begin
-        let t = float_of_int i *. tau spec in
-        let price = Stochastic.Gbm.sample rng gbm ~p0:p.Params.p0 ~tau:t in
-        if Intervals.contains band price then followers (i + 1)
-        else begin
-          aborted_at.(i) <- aborted_at.(i) + 1;
-          false
-        end
-      end
-    in
-    if followers 1 then begin
-      let t = lock_phase_hours spec in
-      let price = Stochastic.Gbm.sample rng gbm ~p0:p.Params.p0 ~tau:t in
-      if price > k3 then incr success
-      else aborted_at.(n) <- aborted_at.(n) + 1
-    end
-  done;
+  let g = graph spec in
+  let r =
+    Swapgraph.Mc.estimate ~trials ~seed g (schedule spec)
+      (Graphlink.uniform_policy spec.params ~p_star:spec.p_star)
+  in
   {
     trials;
-    success = !success;
-    rate = float_of_int !success /. float_of_int trials;
-    aborted_at;
+    success = r.Swapgraph.Mc.success;
+    rate = r.Swapgraph.Mc.rate;
+    aborted_at =
+      Array.init (n + 1) (fun i ->
+          if i < n then r.Swapgraph.Mc.aborted_lock.(i)
+          else r.Swapgraph.Mc.aborted_reveal);
   }

@@ -1,0 +1,88 @@
+(* The swap graph as a finite extensive-form game, solved by backward
+   induction with lib/gametree.
+
+   Move order is the protocol's own: non-leader parties decide
+   lock-or-abort in canonical decision order (leader distance, then
+   index), and once every lock is in place the leader decides
+   reveal-or-withhold.  Each abort ends the game — earlier locks
+   refund at their expiries — so the tree is a chain of binary
+   decisions, one per party, and the subgame-perfect equilibrium is
+   exactly the paper's sequential-rationality analysis lifted to N
+   parties: the swap completes iff no party strictly prefers its
+   outside option at its own node.
+
+   Payoffs are injected per terminal: the caller (typically
+   [Swap.Graphlink]) prices premiums and time-value from the model
+   parameters and the timelock schedule; this module only knows the
+   shape of the game. *)
+
+type payoffs = {
+  success : float array;
+  no_reveal : float array;
+  abort_at : int -> float array;
+}
+
+(* Abort/withhold is listed first at every node: gametree resolves
+   ties to the first action, and the paper resolves indifference to
+   stopping (Alice's t3 tie). *)
+let build g payoffs =
+  let order = Graph.decision_order g in
+  let leader = Graph.leader g in
+  let reveal_node =
+    Gametree.Game.decision ~label:"reveal" ~player:leader
+      [
+        ("withhold", Gametree.Game.terminal ~label:"no_reveal" payoffs.no_reveal);
+        ("reveal", Gametree.Game.terminal ~label:"success" payoffs.success);
+      ]
+  in
+  let rec locks i =
+    if i >= Array.length order then reveal_node
+    else begin
+      let v = order.(i) in
+      if v = leader then locks (i + 1)
+      else
+        Gametree.Game.decision
+          ~label:(Printf.sprintf "lock:%d" v)
+          ~player:v
+          [
+            ( "abort",
+              Gametree.Game.terminal
+                ~label:(Printf.sprintf "abort@%d" v)
+                (payoffs.abort_at v) );
+            ("lock", locks (i + 1));
+          ]
+    end
+  in
+  locks 0
+
+type analysis = {
+  solved : Gametree.Solve.solved;
+  equilibrium : float array;
+  conforming : float array;
+  success : bool;
+  deviator : int option;
+}
+
+let analyse g payoffs =
+  let solved = Gametree.Solve.solve (build g payoffs) in
+  (* Walk the principal line: the first chosen abort/withhold names
+     the deviating party; reaching "success" means conforming play is
+     subgame perfect. *)
+  let rec principal = function
+    | Gametree.Solve.S_terminal { label; _ } -> (label = "success", None)
+    | Gametree.Solve.S_decision { player; chosen; branches; _ } ->
+      if chosen = "abort" || chosen = "withhold" then (false, Some player)
+      else principal (List.assoc chosen branches)
+    | Gametree.Solve.S_chance { branches; _ } -> (
+      match branches with
+      | (_, b) :: _ -> principal b
+      | [] -> (false, None))
+  in
+  let success, deviator = principal solved in
+  {
+    solved;
+    equilibrium = Gametree.Solve.value solved;
+    conforming = Array.copy payoffs.success;
+    success;
+    deviator;
+  }

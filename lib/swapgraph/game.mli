@@ -1,0 +1,32 @@
+(** The swap graph as a finite extensive-form game, solved by backward
+    induction ([Gametree.Solve]).
+
+    Parties move in protocol order: non-leaders choose lock-or-abort by
+    canonical decision order, then the leader chooses
+    reveal-or-withhold.  Any abort ends the game (earlier locks refund
+    at expiry).  Abort is listed first at every node, so indifference
+    resolves to stopping — the paper's tie rule. *)
+
+type payoffs = {
+  success : float array;  (** Per-vertex utility when every leg claims. *)
+  no_reveal : float array;
+      (** Everyone locked, leader withheld: refunds at expiry. *)
+  abort_at : int -> float array;
+      (** [abort_at v]: utilities when [v] declines at its lock node
+          (parties that acted before [v] refund at expiry). *)
+}
+
+val build : Graph.t -> payoffs -> Gametree.Game.t
+
+type analysis = {
+  solved : Gametree.Solve.solved;
+  equilibrium : float array;  (** Subgame-perfect value per vertex. *)
+  conforming : float array;  (** The all-continue payoffs ([success]). *)
+  success : bool;
+      (** Conforming play is subgame perfect: no party strictly prefers
+          its outside option at its own decision node. *)
+  deviator : int option;
+      (** First party on the principal line that aborts/withholds. *)
+}
+
+val analyse : Graph.t -> payoffs -> analysis

@@ -1,0 +1,97 @@
+(* Monte-Carlo success-rate estimation for a swap graph under a
+   per-leg rational policy, parallelised on Numerics.Pool with
+   bit-identical results at any jobs count.
+
+   A trial walks the decision chain the game reduction solves: each
+   non-leader party samples its deciding leg's price at its lock time
+   and applies [lock_ok]; if every level locks, the leader samples its
+   incoming leg at the cascade start and applies [reveal_ok].  Leg
+   prices are i.i.d. draws from [price_at] (one per decision, in
+   canonical decision order), so a chunk's draws depend only on the
+   chunk's own generator — [Rng.of_stream ~seed ~stream:chunk] — and
+   the chunk decomposition depends only on [chunk_size] and [trials],
+   never on the jobs count. *)
+
+type policy = {
+  price_at : Numerics.Rng.t -> t:float -> float;
+  lock_ok : int -> t:float -> price:float -> bool;
+  reveal_ok : t:float -> price:float -> bool;
+}
+
+type result = {
+  trials : int;
+  success : int;
+  rate : float;
+  aborted_lock : int array;
+  aborted_reveal : int;
+}
+
+type chunk_acc = {
+  mutable c_success : int;
+  c_aborted : int array;
+  mutable c_reveal : int;
+}
+
+let estimate ?(trials = 20_000) ?(seed = 0x40b) ?jobs ?(chunk_size = 1024) g
+    (s : Timelock.schedule) policy =
+  if trials < 1 then invalid_arg "Mc.estimate: trials must be >= 1";
+  let n = Graph.n g in
+  let leader = Graph.leader g in
+  let order = Graph.decision_order g in
+  let deciders =
+    Array.of_list
+      (List.filter (fun v -> v <> leader) (Array.to_list order))
+  in
+  let lock_at =
+    Array.map
+      (fun v -> s.Timelock.lock_time.(List.hd (Graph.out_arcs g v)))
+      deciders
+  in
+  let reveal_t = s.Timelock.lock_phase_end in
+  let parts =
+    Numerics.Pool.map_chunks ?jobs ~chunk_size ~n:trials
+      (fun ~chunk ~lo ~hi ->
+        let rng = Numerics.Rng.of_stream ~seed ~stream:chunk () in
+        let acc =
+          { c_success = 0; c_aborted = Array.make n 0; c_reveal = 0 }
+        in
+        for _ = lo to hi - 1 do
+          let rec levels i =
+            if i >= Array.length deciders then true
+            else begin
+              let v = deciders.(i) in
+              let t = lock_at.(i) in
+              let price = policy.price_at rng ~t in
+              if policy.lock_ok v ~t ~price then levels (i + 1)
+              else begin
+                acc.c_aborted.(v) <- acc.c_aborted.(v) + 1;
+                false
+              end
+            end
+          in
+          if levels 0 then begin
+            let price = policy.price_at rng ~t:reveal_t in
+            if policy.reveal_ok ~t:reveal_t ~price then
+              acc.c_success <- acc.c_success + 1
+            else acc.c_reveal <- acc.c_reveal + 1
+          end
+        done;
+        acc)
+  in
+  let aborted_lock = Array.make n 0 in
+  let success = ref 0 and reveal = ref 0 in
+  Array.iter
+    (fun acc ->
+      success := !success + acc.c_success;
+      reveal := !reveal + acc.c_reveal;
+      Array.iteri
+        (fun v c -> aborted_lock.(v) <- aborted_lock.(v) + c)
+        acc.c_aborted)
+    parts;
+  {
+    trials;
+    success = !success;
+    rate = float_of_int !success /. float_of_int trials;
+    aborted_lock;
+    aborted_reveal = !reveal;
+  }

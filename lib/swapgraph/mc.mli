@@ -1,0 +1,36 @@
+(** Monte-Carlo success-rate estimation for a swap graph under a
+    per-leg rational policy, parallelised on [Numerics.Pool].
+
+    Bit-identical at any jobs count: trials are covered by fixed-size
+    chunks, each chunk draws from its own
+    [Rng.of_stream ~seed ~stream:chunk] generator, and the chunk
+    decomposition never depends on the jobs count. *)
+
+type policy = {
+  price_at : Numerics.Rng.t -> t:float -> float;
+      (** I.i.d. leg-price sample at decision time [t]. *)
+  lock_ok : int -> t:float -> price:float -> bool;
+      (** Non-leader party's lock rule at its level. *)
+  reveal_ok : t:float -> price:float -> bool;
+      (** Leader's reveal rule at the cascade start. *)
+}
+
+type result = {
+  trials : int;
+  success : int;
+  rate : float;
+  aborted_lock : int array;  (** Per vertex: aborts at its lock node. *)
+  aborted_reveal : int;  (** Leader withheld at the reveal node. *)
+}
+
+val estimate :
+  ?trials:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  Graph.t ->
+  Timelock.schedule ->
+  policy ->
+  result
+(** Defaults: 20000 trials, seed [0x40b], the pool's jobs setting,
+    chunk size 1024.  @raise Invalid_argument on [trials < 1]. *)

@@ -1,0 +1,126 @@
+(* Multi-hop route search over a token universe.
+
+   The universe is a directed graph of tradable pairs, each edge
+   carrying the success rate and exchange rate of its best 2-party
+   swap.  A route's success rate is the product of its legs' (legs
+   fail independently), so "best" maximises that product under a hop
+   bound — a longest-reliability path, found by dynamic programming
+   over hop counts with a total deterministic tie order (higher SR,
+   then fewer hops, then lexicographic token path), which keeps the
+   served answer a pure function of (universe, query). *)
+
+type edge = { src : string; dst : string; sr : float; rate : float }
+
+type t = { tokens : string array; edges : edge array }
+
+let compare_edge a b =
+  match compare a.src b.src with 0 -> compare a.dst b.dst | c -> c
+
+let make edges =
+  let bad = ref None in
+  List.iter
+    (fun e ->
+      let fail msg = if !bad = None then bad := Some msg in
+      if e.src = "" || e.dst = "" then fail "router: empty token name"
+      else if e.src = e.dst then
+        fail (Printf.sprintf "router: self-edge on %S" e.src)
+      else if not (Float.is_finite e.sr && e.sr >= 0. && e.sr <= 1.) then
+        fail (Printf.sprintf "router: %s->%s: sr outside [0,1]" e.src e.dst)
+      else if not (Float.is_finite e.rate && e.rate > 0.) then
+        fail (Printf.sprintf "router: %s->%s: rate must be > 0" e.src e.dst))
+    edges;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    let arr = Array.of_list edges in
+    Array.sort compare_edge arr;
+    let dup = ref None in
+    Array.iteri
+      (fun i e ->
+        if i > 0 && compare_edge arr.(i - 1) e = 0 then dup := Some e)
+      arr;
+    (match !dup with
+    | Some e ->
+      Error (Printf.sprintf "router: duplicate pair %s->%s" e.src e.dst)
+    | None ->
+      let seen = Hashtbl.create 16 in
+      let toks = ref [] in
+      Array.iter
+        (fun e ->
+          List.iter
+            (fun tok ->
+              if not (Hashtbl.mem seen tok) then begin
+                Hashtbl.replace seen tok ();
+                toks := tok :: !toks
+              end)
+            [ e.src; e.dst ])
+        arr;
+      let tokens = Array.of_list (List.sort compare !toks) in
+      Ok { tokens; edges = arr })
+
+let make_exn edges =
+  match make edges with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Swapgraph.Router.make: " ^ msg)
+
+let tokens t = Array.to_list t.tokens
+let edges t = Array.to_list t.edges
+let mem t tok = Array.exists (fun x -> x = tok) t.tokens
+
+type path = { hops : string list; sr : float; rate : float }
+
+type error = Unknown_token of string | No_route
+
+(* [a] strictly better than [b]: higher SR; ties to fewer hops, then
+   the lexicographically smaller token path. *)
+let better a b =
+  a.sr > b.sr
+  || (a.sr = b.sr
+     && (List.length a.hops < List.length b.hops
+        || (List.length a.hops = List.length b.hops && a.hops < b.hops)))
+
+let best t ~from_tok ~to_tok ~max_hops =
+  if not (mem t from_tok) then Error (Unknown_token from_tok)
+  else if not (mem t to_tok) then Error (Unknown_token to_tok)
+  else begin
+    (* DP over hop counts: [best_to.(k)] = best route from [from_tok]
+       to token [k] found so far.  Paths are kept reversed while
+       relaxing and flipped once at the end. *)
+    let nt = Array.length t.tokens in
+    let index tok =
+      let rec go i = if t.tokens.(i) = tok then i else go (i + 1) in
+      go 0
+    in
+    let best_to = Array.make nt None in
+    best_to.(index from_tok) <- Some { hops = [ from_tok ]; sr = 1.; rate = 1. };
+    for _hop = 1 to max_hops do
+      (* Relax against a frozen copy so each round adds exactly one
+         hop — the hop bound stays exact. *)
+      let frozen = Array.copy best_to in
+      Array.iter
+        (fun e ->
+          match frozen.(index e.src) with
+          | None -> ()
+          | Some p ->
+            let cand =
+              {
+                hops = e.dst :: p.hops;
+                sr = p.sr *. e.sr;
+                rate = p.rate *. e.rate;
+              }
+            in
+            (* No revisits: a token already on the path never improves
+               the product (sr <= 1), and cycles would inflate rates. *)
+            if not (List.mem e.dst p.hops) then begin
+              match best_to.(index e.dst) with
+              | None -> best_to.(index e.dst) <- Some cand
+              | Some cur ->
+                if better cand cur then best_to.(index e.dst) <- Some cand
+            end)
+        t.edges
+    done;
+    match best_to.(index to_tok) with
+    | Some p when List.length p.hops > 1 ->
+      Ok { p with hops = List.rev p.hops }
+    | Some _ | None -> Error No_route
+  end

@@ -1,0 +1,37 @@
+(** Multi-hop route search over a token universe: a directed graph of
+    tradable pairs, each edge carrying the success rate and exchange
+    rate of its best 2-party swap.  The best route maximises the
+    product of leg success rates under a hop bound, with a total
+    deterministic tie order (higher SR, then fewer hops, then
+    lexicographic token path) — the served answer is a pure function
+    of (universe, query). *)
+
+type edge = { src : string; dst : string; sr : float; rate : float }
+
+type t
+
+val make : edge list -> (t, string) result
+(** Rejects empty token names, self-edges, duplicate pairs, SR outside
+    [0, 1] and non-positive rates.  Edges are canonically sorted. *)
+
+val make_exn : edge list -> t
+(** @raise Invalid_argument where {!make} returns [Error]. *)
+
+val tokens : t -> string list
+(** Sorted, deduplicated. *)
+
+val edges : t -> edge list
+val mem : t -> string -> bool
+
+type path = {
+  hops : string list;  (** Tokens visited, endpoints included. *)
+  sr : float;  (** Product of leg success rates. *)
+  rate : float;  (** Product of leg exchange rates. *)
+}
+
+type error = Unknown_token of string | No_route
+
+val best :
+  t -> from_tok:string -> to_tok:string -> max_hops:int -> (path, error) result
+(** Best simple path with at most [max_hops] legs; [No_route] also
+    covers [from_tok = to_tok]. *)

@@ -1,0 +1,37 @@
+(** Pool-parallel sweep over generated topologies: per spec, build the
+    graph, assign Herlihy timelocks, solve the graph game and
+    Monte-Carlo the success rate.  Parallelism is across rows with
+    per-row seeds derived from the base seed and row index only, so
+    results are bit-identical at any jobs count. *)
+
+type spec = {
+  family : Topology.family;
+  size : int;
+  slack : float;  (** Extra stagger per claim level (hours). *)
+  topo_seed : int;  (** Generator seed (matters for {!Topology.Random}). *)
+}
+
+type row = {
+  spec : spec;
+  graph : Graph.t;
+  schedule : Timelock.schedule;
+  sr : float;  (** Monte-Carlo success rate under the policy. *)
+  max_exposure_hours : float;
+      (** Worst per-vertex griefing exposure ({!Timelock.exposure_hours}). *)
+  equilibrium_success : bool;
+      (** Conforming play subgame perfect in the graph game. *)
+  deviator : int option;
+}
+
+val run :
+  ?jobs:int ->
+  ?trials:int ->
+  ?seed:int ->
+  tau:float ->
+  eps:float ->
+  policy:(Graph.t -> Timelock.schedule -> Mc.policy) ->
+  payoffs:(Graph.t -> Timelock.schedule -> Game.payoffs) ->
+  spec list ->
+  row list
+(** Defaults: 5000 trials per row, seed [0x9af], the pool's jobs
+    setting.  Rows come back in spec order. *)

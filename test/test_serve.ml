@@ -55,7 +55,21 @@ let test_codec_golden () =
   in
   check_bool "sweep encoding carries params and spec" true
     (contains (Serve.Request.encode sweep)
-       "\"req\":\"sweep\",\"params\":{\"alpha_a\":")
+       "\"req\":\"sweep\",\"params\":{\"alpha_a\":");
+  let route =
+    {
+      Serve.Request.id = Some "rt";
+      body =
+        Serve.Request.Route
+          { from_tok = "BTC"; to_tok = "USDC"; max_hops = 4 };
+    }
+  in
+  check_str "canonical route encoding"
+    "{\"schema\":\"htlc-serve/v1\",\"id\":\"rt\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"USDC\",\"max_hops\":4}"
+    (Serve.Request.encode route);
+  check_str "route key drops the id only"
+    "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"USDC\",\"max_hops\":4}"
+    (Serve.Request.key route)
 
 let roundtrip line =
   match Serve.Request.decode line with
@@ -75,6 +89,7 @@ let test_codec_roundtrip () =
           spec = { lo = 1.6; hi = 2.4; n = 7 };
         };
       Serve.Request.Quote { mu = 0.003; sigma = 0.07; spot = 1.9 };
+      Serve.Request.Route { from_tok = "XMR"; to_tok = "ETH"; max_hops = 3 };
     ]
   in
   List.iteri
@@ -148,7 +163,36 @@ let test_codec_errors () =
     decode_err
       "{\"schema\":\"htlc-serve/v1\",\"req\":\"success_rate\",\"p_star\":2,\"params\":{\"sigma\":-1}}"
   in
-  check_str "params are validated" "invalid_params" e.Serve.Request.code
+  check_str "params are validated" "invalid_params" e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"BTC\",\"max_hops\":4}"
+  in
+  check_str "route tokens must differ" "invalid_params" e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"\",\"to\":\"ETH\",\"max_hops\":4}"
+  in
+  check_str "route rejects an empty token" "invalid_params"
+    e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"ETH\",\"max_hops\":0}"
+  in
+  check_str "route hop bound must be >= 1" "invalid_params"
+    e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"ETH\",\"max_hops\":2.5}"
+  in
+  check_str "route hop bound must be integral" "invalid_params"
+    e.Serve.Request.code;
+  let e =
+    decode_err
+      "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"ETH\",\"via\":\"SOL\"}"
+  in
+  check_str "route rejects unknown keys" "invalid_params"
+    e.Serve.Request.code
 
 let test_decode_fastpath_agreement () =
   (* The canonical scanner and the general JSON parser must agree: for
@@ -171,6 +215,9 @@ let test_decode_fastpath_agreement () =
       );
       ( "{\"schema\":\"htlc-serve/v1\",\"id\":\"h\",\"req\":\"health\"}",
         "{ \"req\":\"health\", \"id\":\"h\", \"schema\":\"htlc-serve/v1\" }" );
+      ( "{\"schema\":\"htlc-serve/v1\",\"req\":\"route\",\"from\":\"BTC\",\"to\":\"ETH\",\"max_hops\":4}",
+        "{\"max_hops\":4, \"to\":\"ETH\", \"from\":\"BTC\", \"req\":\"route\", \"schema\":\"htlc-serve/v1\"}"
+      );
     ]
   in
   List.iteri
@@ -253,7 +300,17 @@ let test_binary_golden () =
   (* u32 n is the last field — the torn-cursor regression case. *)
   check_str "sweep payload"
     ("\x03\x00" ^ f64_be 0.25 ^ f64_be 1.6 ^ f64_be 2.4 ^ "\x00\x00\x00\x09")
-    (Serve.Binary.encode_payload sweep)
+    (Serve.Binary.encode_payload sweep);
+  let route =
+    {
+      Serve.Request.id = Some "r";
+      body =
+        Serve.Request.Route { from_tok = "BTC"; to_tok = "ETH"; max_hops = 4 };
+    }
+  in
+  (* Tag 7, id block, then u16-length-prefixed tokens and a u8 bound. *)
+  check_str "route payload" "\x07\x01\x00\x01r\x00\x03BTC\x00\x03ETH\x04"
+    (Serve.Binary.encode_payload route)
 
 let test_binary_roundtrip () =
   let custom =
@@ -272,6 +329,7 @@ let test_binary_roundtrip () =
           spec = { lo = 1.6; hi = 2.4; n = 7 };
         };
       Serve.Request.Quote { mu = 0.003; sigma = 0.07; spot = 1.9 };
+      Serve.Request.Route { from_tok = "XMR"; to_tok = "USDC"; max_hops = 5 };
       Serve.Request.Health;
     ]
   in
@@ -331,7 +389,17 @@ let test_binary_errors () =
   in
   check_str "sweep needs n >= 2" "invalid_params" e.Serve.Request.code;
   let e = bin_err ("\x01\x00" ^ f64_be Float.nan) in
-  check_str "non-finite field" "invalid_params" e.Serve.Request.code
+  check_str "non-finite field" "invalid_params" e.Serve.Request.code;
+  let e = bin_err "\x07\x02\x00\x03BTC\x00\x03ETH\x04" in
+  check_str "route refuses a params block" "parse_error" e.Serve.Request.code;
+  let e = bin_err "\x07\x00\x00\x03BTC\x00\x03BTC\x04" in
+  check_str "route tokens must differ (binary)" "invalid_params"
+    e.Serve.Request.code;
+  let e = bin_err "\x07\x00\x00\x03BTC\x00\x03ETH\x00" in
+  check_str "route hop bound must be >= 1 (binary)" "invalid_params"
+    e.Serve.Request.code;
+  let e = bin_err "\x07\x00\x00\x05BT" in
+  check_str "truncated route token" "parse_error" e.Serve.Request.code
 
 let test_binary_incremental () =
   (* The incremental decoder must reassemble frames identically no
@@ -612,6 +680,48 @@ let test_engine_cache_identity () =
   let s = Serve.Engine.stats e in
   check_int "second answer came from the cache"
     1 s.Serve.Engine.cache.Serve.Cache.hits;
+  Serve.Engine.stop e
+
+let test_engine_route () =
+  let e = make_engine ~workers:0 () in
+  let line = function
+    | Some (from_tok, to_tok, hops) ->
+      Printf.sprintf
+        "{\"schema\":\"htlc-serve/v1\",\"id\":\"r\",\"req\":\"route\",\"from\":%S,\"to\":%S,\"max_hops\":%d}"
+        from_tok to_tok hops
+    | None -> assert false
+  in
+  (* The default universe keeps XMR two hops from the smart-contract
+     chains, so a 4-hop budget routes and a 1-hop budget cannot. *)
+  let ok = Serve.Engine.handle e (line (Some ("XMR", "USDC", 4))) in
+  check_bool "route answers a path" true
+    (contains ok "\"status\":\"ok\"" && contains ok "\"path\":[\"XMR\"");
+  check_bool "route reports product SR" true (contains ok "\"sr\":");
+  let resp = Serve.Engine.handle e (line (Some ("XMR", "USDC", 1))) in
+  check_bool "hop-starved pair is no_route" true
+    (contains resp "\"error\":\"no_route\"");
+  let resp = Serve.Engine.handle e (line (Some ("DOGE", "USDC", 4))) in
+  check_bool "unknown token is invalid_params" true
+    (contains resp "\"error\":\"invalid_params\"" && contains resp "DOGE");
+  (* Byte identity across codecs: the binary decode of the same request
+     must produce the same response bytes (spliced id included), served
+     from the cache the JSON path populated. *)
+  let req =
+    {
+      Serve.Request.id = Some "r";
+      body =
+        Serve.Request.Route
+          { from_tok = "XMR"; to_tok = "USDC"; max_hops = 4 };
+    }
+  in
+  let hits_before = (Serve.Engine.stats e).cache.Serve.Cache.hits in
+  (match Serve.Binary.decode_payload (Serve.Binary.encode_payload req) with
+  | Ok decoded ->
+    check_str "binary-decoded route is byte-identical" ok
+      (Serve.Engine.handle_decoded e decoded)
+  | Error err -> Alcotest.failf "route payload must decode: %s" err.message);
+  let hits_after = (Serve.Engine.stats e).cache.Serve.Cache.hits in
+  check_int "route is cache-keyed across codecs" (hits_before + 1) hits_after;
   Serve.Engine.stop e
 
 let test_engine_shed_and_pump () =
@@ -1333,6 +1443,7 @@ let () =
         [
           Alcotest.test_case "handle + dispatch" `Quick test_engine_handle;
           Alcotest.test_case "cache identity" `Quick test_engine_cache_identity;
+          Alcotest.test_case "route kind" `Quick test_engine_route;
           Alcotest.test_case "shed + pump" `Quick test_engine_shed_and_pump;
           Alcotest.test_case "deadline" `Quick test_engine_deadline;
           Alcotest.test_case "jobs invariance" `Quick test_determinism_guard;
