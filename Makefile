@@ -1,4 +1,4 @@
-.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke telemetry-smoke chaos-serve-smoke graph-smoke lint lint-smoke bench-baseline serve-bench clean
+.PHONY: build test ci chaos bench-smoke obs-smoke serve-smoke reactor-smoke telemetry-smoke chaos-serve-smoke graph-smoke lint lint-deep lint-smoke lint-deep-smoke bench-baseline serve-bench clean
 
 build:
 	dune build
@@ -62,10 +62,25 @@ graph-smoke:
 lint:
 	dune build @lint
 
+# Whole-program static analysis: build the cross-module call graph
+# from the .cmt typedtrees and run the interprocedural passes —
+# nondeterminism taint into deterministic sinks, blocking syscalls on
+# the reactor's per-connection hot path, cross-unit lock discipline
+# (DESIGN.md §15); fails on any unsuppressed error (also part of @ci).
+lint-deep:
+	dune build @lint-deep
+
 # Lint plumbing check: swap_lint over the deliberately broken fixture
 # tree, htlc-lint/v1 document shape validated (also part of @ci).
 lint-smoke:
 	dune build @lint-smoke
+
+# Deep-lint plumbing check: the fixture's compiled half through the
+# whole-program pass — cross-module taint, hot-path blocking, and
+# cross-unit lock chains all reported, deep suppression round-trip
+# counted, htlc-lint/v2 shape validated (also part of @ci).
+lint-deep-smoke:
+	dune build @lint-deep-smoke
 
 # Full recorded perf baseline: every kernel + the 20k-trial Monte-Carlo
 # wall clock at jobs=1 vs jobs=N, written to BENCH_mc.json.

@@ -1,0 +1,7 @@
+(* The nondeterminism source of the deep fixture: a wall-clock read
+   ("market data arrival jitter") two calls away from the cache key in
+   Keyer.  The deep pass must follow Keyer.cache_key -> stamp ->
+   jitter -> Unix.gettimeofday across module boundaries. *)
+
+let jitter () = Unix.gettimeofday ()
+let stamp label = Printf.sprintf "%s@%.0f" label (jitter ())

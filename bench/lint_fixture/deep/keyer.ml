@@ -1,0 +1,12 @@
+(* The deterministic sink of the deep fixture (the config names
+   deep/keyer.ml as a sink file): cache keys must be pure functions of
+   their inputs, but cache_key reaches Unix.gettimeofday through
+   Feed — the cross-module deep_taint error the lint-deep-smoke pins.
+   salted_key stages the same leak under a justified allowance, proving
+   deep-finding suppression round-trips through the v2 document. *)
+
+let cache_key venue = "key:" ^ Feed.stamp venue
+
+let salted_key venue = "salted:" ^ Feed.stamp venue
+[@@lint.allow deep_taint
+    "fixture: proves a justified allowance suppresses a deep finding"]

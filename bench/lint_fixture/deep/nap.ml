@@ -1,0 +1,4 @@
+(* The blocking syscall one call below the hot loop: invisible to a
+   per-file lint, caught by the deep reachability pass. *)
+
+let rest () = Unix.sleep 1

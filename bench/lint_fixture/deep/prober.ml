@@ -1,0 +1,5 @@
+(* The deep_lock violation: a cross-unit read of Registry's shared
+   table with no Mutex/Atomic anywhere in this body — it bypasses the
+   guard convention the defining module established. *)
+
+let census () = Hashtbl.length Registry.table

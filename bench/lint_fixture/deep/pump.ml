@@ -1,0 +1,11 @@
+(* The fixture's per-connection hot loop (the config names
+   deep/pump.ml's loop as a hot root): it reaches Unix.sleep through
+   Nap — the deep_blocking error the lint-deep-smoke pins, with the
+   Pump.loop -> Nap.rest -> Unix.sleep chain in the finding. *)
+
+let rec loop n =
+  if n = 0 then ()
+  else begin
+    Nap.rest ();
+    loop (n - 1)
+  end

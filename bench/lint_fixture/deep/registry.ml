@@ -1,0 +1,12 @@
+(* Guarded shared state, done right *in this module*: the defining
+   module holds the Mutex (so the syntactic shared_state rule passes).
+   The deep_lock case is Prober, which reaches the table from another
+   compilation unit without touching any guard. *)
+
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let record venue n =
+  Mutex.lock lock;
+  Hashtbl.replace table venue n;
+  Mutex.unlock lock

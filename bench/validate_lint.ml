@@ -1,14 +1,24 @@
-(* Shape validator for the htlc-lint/v1 document swap_lint emits over
-   the bench/lint_fixture tree.
+(* Shape validator for the htlc-lint documents swap_lint emits over
+   the bench/lint_fixture tree — v1 (syntactic, @lint-smoke) by
+   default, v2 (--deep, @lint-deep-smoke) with the flag.
 
-   Used by the @lint-smoke alias: beyond pinning the schema (field
-   names, types, severity/rule vocabularies, summary arithmetic), it
-   checks that every rule the fixture deliberately violates actually
-   fired — including the meta rules (a blank justification must surface
-   as bad_suppression, a stale allowance as unused_suppression) — and
-   that at least one finding is error-severity, which is what makes the
-   producing rule's pinned nonzero exit (and hence a red @ci on any
-   newly introduced error) meaningful. *)
+   Beyond pinning the schema (field names, types, severity/rule
+   vocabularies, summary arithmetic), it checks that every rule the
+   fixture deliberately violates actually fired — including the meta
+   rules (a blank justification must surface as bad_suppression, a
+   stale allowance as unused_suppression) — and that at least one
+   finding is error-severity, which is what makes the producing rule's
+   pinned nonzero exit (and hence a red @ci on any newly introduced
+   error) meaningful.
+
+   In --deep mode it additionally requires the whole-program pass to be
+   *live*: the "deep" summary present, the compiled fixture's
+   cross-module taint chain (Keyer -> Feed -> Unix.gettimeofday),
+   hot-path blocking chain (Pump -> Nap -> Unix.sleep), and cross-unit
+   lock violation (Prober -> Registry) all reported with at least two
+   chain frames each, and the justified deep suppression
+   (Keyer.salted_key) counted on top of the syntactic one.  A v1
+   document must NOT carry chains — the v1 byte format is frozen. *)
 
 open Obs.Json_parse
 
@@ -18,18 +28,38 @@ let known_rules =
   [
     "nondet_random"; "nondet_clock"; "hashtbl_order"; "shared_state";
     "catch_all"; "output"; "missing_mli"; "syntax"; "bad_suppression";
-    "unused_suppression";
+    "unused_suppression"; "deep_taint"; "deep_blocking"; "deep_lock";
+    "deep_load";
   ]
 
+let deep_rules = [ "deep_taint"; "deep_blocking"; "deep_lock" ]
+
 (* Every rule the fixture exercises, with the minimum count expected. *)
-let expected =
+let expected ~deep =
   [
     ("nondet_random", 2); ("nondet_clock", 1); ("hashtbl_order", 1);
     ("shared_state", 1); ("catch_all", 1); ("output", 1); ("missing_mli", 1);
     ("bad_suppression", 1); ("unused_suppression", 1);
   ]
+  @ (if deep then [ ("deep_taint", 1); ("deep_blocking", 1); ("deep_lock", 1) ]
+     else [])
 
-let validate_finding i f =
+let validate_chain ~rule path chain =
+  let frames = as_arr path chain in
+  List.iteri
+    (fun j frame ->
+      let fpath key = Printf.sprintf "%s[%d].%s" path j key in
+      if as_str (fpath "symbol") (member (fpath "symbol") frame "symbol") = ""
+      then bad "%s is empty" (fpath "symbol");
+      if as_str (fpath "file") (member (fpath "file") frame "file") = "" then
+        bad "%s is empty" (fpath "file");
+      if as_num (fpath "line") (member (fpath "line") frame "line") < 1. then
+        bad "%s must be >= 1" (fpath "line"))
+    frames;
+  if List.mem rule deep_rules && List.length frames < 2 then
+    bad "%s: a %s finding must carry its call chain (>= 2 frames)" path rule
+
+let validate_finding ~deep i f =
   let path key = Printf.sprintf "findings[%d].%s" i key in
   let str key = as_str (path key) (member (path key) f key) in
   let num key = as_num (path key) (member (path key) f key) in
@@ -43,27 +73,50 @@ let validate_finding i f =
   if not (List.mem severity known_severities) then
     bad "%s: unknown severity %S" (path "severity") severity;
   if str "message" = "" then bad "%s is empty" (path "message");
+  (match (deep, member_opt f "chain") with
+  | true, Some chain -> validate_chain ~rule (path "chain") chain
+  | true, None -> bad "%s: v2 findings carry a chain array" (path "chain")
+  | false, Some _ -> bad "%s: the frozen v1 format has no chain" (path "chain")
+  | false, None -> ());
   (rule, severity)
 
+let validate_deep_summary root =
+  let deep = member "top level" root "deep" in
+  let d key = as_num ("deep." ^ key) (member "deep" deep key) in
+  (* The compiled fixture has 6 modules + the library wrapper. *)
+  if d "cmt_files" < 6. then
+    bad "deep.cmt_files: the compiled fixture has at least 6 units";
+  if d "nodes" < 8. then
+    bad "deep.nodes: the fixture defines at least 8 module-level bindings";
+  if d "edges" < 3. then
+    bad "deep.edges: the fixture's cross-module references are missing";
+  if d "wall_s" < 0. then bad "deep.wall_s must be nonnegative"
+
 let () =
-  let file =
+  let deep, file =
     match Sys.argv with
-    | [| _; f |] -> f
+    | [| _; f |] -> (false, f)
+    | [| _; "--deep"; f |] -> (true, f)
     | _ ->
-      prerr_endline "usage: validate_lint LINT_JSON";
+      prerr_endline "usage: validate_lint [--deep] LINT_JSON";
       exit 2
   in
   let root = parse (In_channel.with_open_text file In_channel.input_all) in
   let schema = as_str "schema" (member "top level" root "schema") in
-  if schema <> "htlc-lint/v1" then bad "unknown schema %S" schema;
+  let want_schema = if deep then "htlc-lint/v2" else "htlc-lint/v1" in
+  if schema <> want_schema then
+    bad "schema: expected %S, got %S" want_schema schema;
   let doc_type = as_str "type" (member "top level" root "type") in
   if doc_type <> "lint" then bad "type must be \"lint\" (got %S)" doc_type;
   if as_num "files_scanned" (member "top level" root "files_scanned") < 3. then
     bad "files_scanned: the fixture tree has at least 3 files";
   if as_num "wall_s" (member "top level" root "wall_s") < 0. then
     bad "wall_s must be nonnegative";
+  if deep then validate_deep_summary root
+  else if member_opt root "deep" <> None then
+    bad "deep: the v1 document has no deep section";
   let findings = as_arr "findings" (member "top level" root "findings") in
-  let tallies = List.mapi validate_finding findings in
+  let tallies = List.mapi (validate_finding ~deep) findings in
   let count pred = List.length (List.filter pred tallies) in
   let summary = member "top level" root "summary" in
   let s key = as_num ("summary." ^ key) (member "summary" summary key) in
@@ -73,8 +126,13 @@ let () =
   then bad "summary.warnings disagrees with the findings array";
   if s "errors" < 1. then
     bad "the fixture must produce at least one error-severity finding";
-  if s "suppressed" < 1. then
-    bad "summary.suppressed: the justified [@@lint.allow] round-trip is gone";
+  let min_suppressed = if deep then 2. else 1. in
+  if s "suppressed" < min_suppressed then
+    bad
+      "summary.suppressed (%g): the justified [@@lint.allow] round-trip%s is \
+       gone"
+      (s "suppressed")
+      (if deep then " (syntactic + deep)" else "");
   let by_rule = as_obj "summary.by_rule" (member "summary" summary "by_rule") in
   List.iter
     (fun (rule, n) ->
@@ -93,6 +151,7 @@ let () =
       if n < at_least then
         bad "fixture rule %S: expected >= %d finding(s), got %d" rule at_least
           n)
-    expected;
-  Printf.printf "lint json ok (%d findings, %g suppressed)\n"
+    (expected ~deep);
+  Printf.printf "lint json ok (%s, %d findings, %g suppressed)\n"
+    (if deep then "deep" else "syntactic")
     (List.length findings) (s "suppressed")

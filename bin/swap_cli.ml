@@ -1309,10 +1309,33 @@ let lint_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit the $(b,htlc-lint/v1) JSON document (one line) instead \
-             of the text report.")
+            "Emit the $(b,htlc-lint/v1) JSON document (one line; \
+             $(b,htlc-lint/v2) with $(b,--deep)) instead of the text \
+             report.")
   in
-  let run roots json metrics trace_out =
+  let deep_flag =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the whole-program analyses over the build's \
+             $(b,.cmt) typedtrees: cross-module nondeterminism taint \
+             into deterministic sinks, blocking calls reachable from \
+             the reactor's per-connection hot path, and cross-unit \
+             lock discipline for toplevel mutable state.  Findings \
+             carry the full call chain.")
+  in
+  let cmt_root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cmt-root" ] ~docv:"DIR"
+          ~doc:
+            "Where to look for $(b,.cmt) files (default: \
+             $(b,_build/default) when it exists, else the current \
+             directory).")
+  in
+  let run roots json deep cmt_root metrics trace_out =
     with_obs ~metrics ~trace_out @@ fun () ->
     let roots =
       match roots with
@@ -1325,7 +1348,7 @@ let lint_cmd =
       Printf.eprintf "swap_cli: lint: no such root: %s\n"
         (String.concat ", " missing);
       exit 2);
-    let result = Lint.Driver.run ~roots () in
+    let result = Lint.Driver.run ~deep ?cmt_root ~roots () in
     if json then print_endline (Lint.Driver.render_json result)
     else print_string (Lint.Driver.render_text result);
     if Lint.Driver.exit_code result <> 0 then exit 1
@@ -1336,9 +1359,13 @@ let lint_cmd =
          "Statically check the source tree against the repo's determinism \
           and domain-safety invariants (htlc-lint): nondeterminism \
           sources, unguarded shared state in Pool-reachable libraries, \
-          exception and output hygiene, interface coverage.  Exits \
+          exception and output hygiene, interface coverage — plus, with \
+          $(b,--deep), the whole-program taint, hot-path, and \
+          lock-discipline analyses over the build's typedtrees.  Exits \
           nonzero on any error-severity finding.")
-    Term.(const run $ roots $ json_flag $ metrics_term $ trace_out_term)
+    Term.(
+      const run $ roots $ json_flag $ deep_flag $ cmt_root_arg
+      $ metrics_term $ trace_out_term)
 
 let main_cmd =
   let doc = "Game-theoretic analysis of cross-chain atomic swaps with HTLCs" in

@@ -1,25 +1,39 @@
 (* htlc-lint: self-hosted static analysis for the repo's determinism
    and domain-safety invariants.
 
-     swap_lint [--json FILE|-] [--metrics] [root ...]
+     swap_lint [--deep] [--cmt-root DIR] [--json FILE|-] [--metrics] [root ...]
 
    Scans the given roots (default: lib bin bench test examples) and
    exits nonzero when any error-severity finding survives suppression —
    the @lint alias runs exactly this over the source tree on every
-   `dune build @ci`. *)
+   `dune build @ci`.  With --deep it also loads the .cmt typedtrees the
+   build produced and runs the whole-program analyses (cross-module
+   nondeterminism taint, hot-path blocking calls, cross-unit lock
+   discipline) — the @lint-deep alias. *)
 
-let usage = "swap_lint [--json FILE|-] [--metrics] [root ...]"
+let usage =
+  "swap_lint [--deep] [--cmt-root DIR] [--json FILE|-] [--metrics] [root ...]"
 
 let () =
   let json_out = ref None in
   let metrics = ref false in
+  let deep = ref false in
+  let cmt_root = ref None in
   let roots = ref [] in
   let spec =
     [
+      ( "--deep",
+        Arg.Set deep,
+        " run the whole-program analyses over the build's .cmt \
+         typedtrees (emits the htlc-lint/v2 schema with call chains)" );
+      ( "--cmt-root",
+        Arg.String (fun s -> cmt_root := Some s),
+        "DIR  where to look for .cmt files (default: _build/default \
+         when it exists, else the current directory)" );
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
-        "FILE  write the htlc-lint/v1 JSON document to FILE ('-' for \
-         stdout) instead of the text report" );
+        "FILE  write the htlc-lint/v1 (or v2 with --deep) JSON document \
+         to FILE ('-' for stdout) instead of the text report" );
       ( "--metrics",
         Arg.Set metrics,
         " print an htlc-obs/v1 metrics snapshot (lint.* counters) to \
@@ -38,7 +52,7 @@ let () =
     Printf.eprintf "swap_lint: no such root: %s\n"
       (String.concat ", " missing);
     exit 2);
-  let result = Lint.Driver.run ~roots () in
+  let result = Lint.Driver.run ~deep:!deep ?cmt_root:!cmt_root ~roots () in
   (match !json_out with
   | None -> print_string (Lint.Driver.render_text result)
   | Some "-" -> print_endline (Lint.Driver.render_json result)

@@ -1,6 +1,8 @@
 (** Rule scoping: which paths each invariant applies to.  Matching is
     textual on normalized relative paths, so the directory layout is the
-    contract — no knowledge of the dune build graph required. *)
+    contract — no knowledge of the dune build graph required.  The deep
+    (whole-program) pass shares the same vocabulary: sinks and hot-path
+    roots are (file prefix, binding-name prefix) pairs. *)
 
 type t = {
   random_allowed : string list;
@@ -15,17 +17,28 @@ type t = {
   pool_prefixes : string list;
       (** Unguarded toplevel mutable state and catch-all exception
           handlers are errors here (code reachable from
-          [Numerics.Pool] workers). *)
+          [Numerics.Pool] workers).  The deep lock-discipline analysis
+          checks every toplevel mutable defined here against all its
+          cross-module access sites. *)
   output_prefixes : string list;
       (** [print_*]/[Printf.printf]/[prerr_*] are errors here. *)
   mli_prefixes : string list;  (** Every [.ml] here must ship a [.mli]. *)
   mli_exempt : string list;  (** ... except under these prefixes. *)
   skip_dirs : string list;
       (** Directory basenames the file walk never descends into. *)
+  deep_sinks : (string * string) list;
+      (** (file prefix, binding-name prefix) pairs naming deterministic
+          sinks for the taint analysis; [""] as the name prefix covers
+          the whole file. *)
+  hot_roots : (string * string list) list;
+      (** (file prefix, binding names) naming per-connection hot-path
+          roots for the blocking-call analysis; [[]] covers every
+          binding in the file. *)
 }
 
 val default : t
-(** The scoping derived from this repository's layout. *)
+(** The scoping derived from this repository's layout, plus the
+    ["deep/"] entries that re-root the compiled deep-fixture tree. *)
 
 val normalize : string -> string
 (** Forward slashes; leading ["./"] and ["../"] runs stripped; anything
@@ -38,3 +51,10 @@ val in_any : string list -> string -> bool
 
 val allowed_file : string list -> string -> bool
 (** Does the normalized path end with (or equal) any of the suffixes? *)
+
+val sink_of : t -> string -> string -> (string * string) option
+(** [sink_of config path name] — the sink spec covering binding [name]
+    in [path], if any. *)
+
+val is_hot_root : t -> string -> string -> bool
+(** [is_hot_root config path name] — is this binding a hot-path root? *)

@@ -1,21 +1,42 @@
-(* The whole-tree pass: walk the requested roots, run {!Rules.check} on
-   every .ml, add the interface-coverage rule (R5, which needs the file
-   set rather than an AST), and render the result as a human report or
-   as an htlc-lint/v1 JSON document.  Summary counters go through
-   Obs.Metrics so `swap_cli lint --metrics` composes with the rest of
-   the observability layer. *)
+(* The whole-tree pass: walk the requested roots, scan every .ml once
+   (Rules.scan — findings plus suppression table), add the
+   interface-coverage rule (R5, which needs the file set rather than an
+   AST), optionally run the deep whole-program pass over the .cmt
+   typedtrees (Callgraph + Taint + Reach), and render the result as a
+   human report or as an htlc-lint/v1 / v2 JSON document.  Summary
+   counters go through Obs.Metrics so `swap_cli lint --metrics`
+   composes with the rest of the observability layer.
+
+   The suppression tables collected by the syntactic scan are the
+   single source of truth for the deep pass too: deep findings anchor
+   at real source lines (the taint sink's definition, the blocking
+   call, the unguarded access), so the same line-span match applies,
+   and taint sources are neutralised through {!Rules.covers} against
+   the same tables — one parse per file per run, whatever the mode. *)
 
 let m_files = Obs.Metrics.counter "lint.files_scanned"
 let m_errors = Obs.Metrics.counter "lint.errors"
 let m_warnings = Obs.Metrics.counter "lint.warnings"
 let m_suppressed = Obs.Metrics.counter "lint.suppressed"
 let m_wall = Obs.Metrics.gauge "lint.wall_s"
+let m_deep_cmts = Obs.Metrics.counter "lint.deep.cmt_files"
+let m_deep_nodes = Obs.Metrics.counter "lint.deep.nodes"
+let m_deep_edges = Obs.Metrics.counter "lint.deep.edges"
+let m_deep_wall = Obs.Metrics.gauge "lint.deep.wall_s"
+
+type deep_summary = {
+  cmt_files : int;
+  nodes : int;
+  edges : int;
+  deep_wall_s : float;
+}
 
 type result = {
   findings : Finding.t list;
   files_scanned : int;
   suppressed : int;
   wall_s : float;
+  deep : deep_summary option;
 }
 
 (* --- file discovery ------------------------------------------------------ *)
@@ -66,6 +87,7 @@ let missing_mli ~(config : Config.t) files =
                 "library module without an interface: every lib/ module \
                  ships a .mli so its public surface (and what stays \
                  private) is reviewed, not accidental";
+              chain = [];
             }
         else None)
     files
@@ -93,22 +115,99 @@ let by_rule findings =
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
 
-let run ?(config = Config.default) ~roots () =
+let default_cmt_root () =
+  if Sys.file_exists "_build/default" && Sys.is_directory "_build/default"
+  then "_build/default"
+  else "."
+
+(* The deep pass proper: build the graph, run the three analyses, drop
+   findings a justified allowance covers (counting them suppressed),
+   and surface unreadable cmts as deep_load warnings so a broken build
+   cannot masquerade as a clean analysis. *)
+let run_deep ~config ~cmt_root ~tables ~suppressed =
+  let t0 = Obs.Monotonic.now_ns () in
+  let graph = Callgraph.build ~config ~cmt_root () in
+  let covers ~file ~line ~rule =
+    match Hashtbl.find_opt tables file with
+    | None -> false
+    | Some supps -> Rules.covers supps ~line ~rule
+  in
+  let raw =
+    Taint.taint_findings ~config ~covers graph
+    @ Reach.hot_findings ~config graph
+    @ Taint.lock_findings ~config graph
+  in
+  let kept = List.filter (fun (f : Finding.t) -> not (covers ~file:f.file ~line:f.line ~rule:f.rule)) raw in
+  suppressed := !suppressed + (List.length raw - List.length kept);
+  let load =
+    List.map
+      (fun (cmt_path, reason) ->
+        {
+          Finding.file = Config.normalize cmt_path;
+          line = 1;
+          col = 0;
+          rule = "deep_load";
+          severity = Finding.Warning;
+          message =
+            Printf.sprintf
+              "cmt not analysed (%s); the deep pass is blind to this unit"
+              reason;
+          chain = [];
+        })
+      graph.load_notes
+  in
+  let summary =
+    {
+      cmt_files = graph.cmt_files;
+      nodes = List.length graph.nodes;
+      edges = graph.edges;
+      deep_wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0;
+    }
+  in
+  (kept @ load, summary)
+
+let run ?(config = Config.default) ?(deep = false) ?cmt_root ~roots () =
   let t0 = Obs.Monotonic.now_ns () in
   let files = list_files ~config roots in
   let suppressed = ref 0 in
-  let findings =
-    List.concat_map
+  (* One parse per file: syntactic findings applied against the file's
+     own suppression table, the table kept for the deep pass. *)
+  let tables = Hashtbl.create 64 in
+  let scanned =
+    List.filter_map
       (fun path ->
-        if Filename.check_suffix path ".ml" then (
-          let fs, n = Rules.check ~config ~path ~source:(read_file path) in
+        if not (Filename.check_suffix path ".ml") then None
+        else begin
+          let raw, supps =
+            Rules.scan ~config ~path ~source:(read_file path)
+          in
+          let kept, n = Rules.apply raw supps in
           suppressed := !suppressed + n;
-          fs)
-        else [])
+          Hashtbl.replace tables (Config.normalize path) supps;
+          Some (path, supps, kept)
+        end)
       files
   in
+  let syntactic = List.concat_map (fun (_, _, kept) -> kept) scanned in
+  let deep_findings, deep_summary =
+    if deep then begin
+      let cmt_root =
+        match cmt_root with Some r -> r | None -> default_cmt_root ()
+      in
+      let fs, summary = run_deep ~config ~cmt_root ~tables ~suppressed in
+      (fs, Some summary)
+    end
+    else ([], None)
+  in
+  (* Staleness only after every consumer of the tables has run. *)
+  let unused =
+    List.concat_map
+      (fun (path, supps, _) -> Rules.unused_report ~path ~deep_ran:deep supps)
+      scanned
+  in
   let findings =
-    List.sort Finding.compare_finding (findings @ missing_mli ~config files)
+    List.sort Finding.compare_finding
+      (syntactic @ deep_findings @ unused @ missing_mli ~config files)
   in
   let result =
     {
@@ -116,6 +215,7 @@ let run ?(config = Config.default) ~roots () =
       files_scanned = List.length files;
       suppressed = !suppressed;
       wall_s = Obs.Monotonic.elapsed_s ~since_ns:t0;
+      deep = deep_summary;
     }
   in
   Obs.Metrics.add m_files result.files_scanned;
@@ -123,6 +223,13 @@ let run ?(config = Config.default) ~roots () =
   Obs.Metrics.add m_warnings (warnings result);
   Obs.Metrics.add m_suppressed result.suppressed;
   Obs.Metrics.set_gauge m_wall result.wall_s;
+  Option.iter
+    (fun d ->
+      Obs.Metrics.add m_deep_cmts d.cmt_files;
+      Obs.Metrics.add m_deep_nodes d.nodes;
+      Obs.Metrics.add m_deep_edges d.edges;
+      Obs.Metrics.set_gauge m_deep_wall d.deep_wall_s)
+    deep_summary;
   List.iter
     (fun (rule, n) -> Obs.Metrics.add (Obs.Metrics.counter ("lint.findings." ^ rule)) n)
     (by_rule result.findings);
@@ -136,14 +243,26 @@ let check_source ?(config = Config.default) ~path source =
 let render_text r =
   let b = Buffer.create 1024 in
   List.iter
-    (fun f ->
+    (fun (f : Finding.t) ->
       Buffer.add_string b (Finding.to_line f);
-      Buffer.add_char b '\n')
+      Buffer.add_char b '\n';
+      if f.chain <> [] then begin
+        Buffer.add_string b "    via ";
+        Buffer.add_string b (Finding.chain_to_string f.chain);
+        Buffer.add_char b '\n'
+      end)
     r.findings;
   Buffer.add_string b
     (Printf.sprintf
        "lint: %d files scanned, %d errors, %d warnings, %d suppressed\n"
        r.files_scanned (errors r) (warnings r) r.suppressed);
+  Option.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "deep: %d cmt files, %d nodes, %d edges, %.3fs\n" d.cmt_files
+           d.nodes d.edges d.deep_wall_s))
+    r.deep;
   List.iter
     (fun (rule, n) ->
       Buffer.add_string b (Printf.sprintf "  %-20s %d\n" rule n))
@@ -152,14 +271,28 @@ let render_text r =
 
 let render_json r =
   let b = Buffer.create 4096 in
+  let schema, finding_to_json =
+    match r.deep with
+    | None -> (Finding.schema, Finding.to_json)
+    | Some _ -> (Finding.schema_v2, Finding.to_json_v2)
+  in
   Buffer.add_string b
     (Printf.sprintf "{\"schema\":%s,\"type\":\"lint\",\"files_scanned\":%s"
-       (Obs.Json.str Finding.schema)
+       (Obs.Json.str schema)
        (Obs.Json.int r.files_scanned));
   Buffer.add_string b
-    (Printf.sprintf ",\"wall_s\":%s,\"summary\":{\"errors\":%s"
-       (Obs.Json.num r.wall_s)
-       (Obs.Json.int (errors r)));
+    (Printf.sprintf ",\"wall_s\":%s" (Obs.Json.num r.wall_s));
+  Option.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"deep\":{\"cmt_files\":%s,\"nodes\":%s,\"edges\":%s,\"wall_s\":%s}"
+           (Obs.Json.int d.cmt_files) (Obs.Json.int d.nodes)
+           (Obs.Json.int d.edges)
+           (Obs.Json.num d.deep_wall_s)))
+    r.deep;
+  Buffer.add_string b
+    (Printf.sprintf ",\"summary\":{\"errors\":%s" (Obs.Json.int (errors r)));
   Buffer.add_string b
     (Printf.sprintf ",\"warnings\":%s,\"suppressed\":%s,\"by_rule\":{"
        (Obs.Json.int (warnings r))
@@ -174,7 +307,7 @@ let render_json r =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Finding.to_json f))
+      Buffer.add_string b (finding_to_json f))
     r.findings;
   Buffer.add_string b "]}";
   Buffer.contents b

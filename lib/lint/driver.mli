@@ -1,23 +1,45 @@
-(** The whole-tree lint pass: file discovery, per-file rules
-    ({!Rules.check}), interface coverage (R5), and the text /
-    [htlc-lint/v1] JSON renderings.  Summary counters ([lint.*]) are
-    recorded through [Obs.Metrics]. *)
+(** The whole-tree lint pass: file discovery, per-file rules (one
+    {!Rules.scan} parse per file), interface coverage (R5), the
+    optional deep whole-program pass ({!Callgraph} / {!Taint} /
+    {!Reach} over [.cmt] typedtrees), and the text / JSON renderings.
+    Summary counters ([lint.*], [lint.deep.*]) are recorded through
+    [Obs.Metrics]. *)
+
+type deep_summary = {
+  cmt_files : int;  (** [.cmt] files discovered under the cmt root. *)
+  nodes : int;  (** Module-level bindings in the call graph. *)
+  edges : int;  (** In-graph references. *)
+  deep_wall_s : float;
+}
 
 type result = {
   findings : Finding.t list;  (** Sorted by file, line, column, rule. *)
   files_scanned : int;  (** [.ml] and [.mli] files visited. *)
   suppressed : int;  (** Findings removed by [\[@lint.allow\]]. *)
   wall_s : float;
+  deep : deep_summary option;  (** Present iff the deep pass ran. *)
 }
 
-val run : ?config:Config.t -> roots:string list -> unit -> result
+val run :
+  ?config:Config.t ->
+  ?deep:bool ->
+  ?cmt_root:string ->
+  roots:string list ->
+  unit ->
+  result
 (** Walk [roots] (skipping [config.skip_dirs] by basename), check every
-    [.ml], and require interfaces where the config demands them. *)
+    [.ml], and require interfaces where the config demands them.  With
+    [~deep:true], also build the whole-program call graph from the
+    [.cmt] files under [cmt_root] (default: [_build/default] when it
+    exists, else [.]) and run the taint, hot-path, and lock-discipline
+    analyses; unreadable cmts surface as [deep_load] warnings.  The
+    suppression tables from the syntactic scan apply to deep findings
+    too — each source file is parsed exactly once per run. *)
 
 val check_source :
   ?config:Config.t -> path:string -> string -> Finding.t list * int
-(** Check one in-memory source (tests; no file I/O).  R5 does not apply
-    here — it needs the file set. *)
+(** Check one in-memory source (tests; no file I/O).  R5 and the deep
+    pass do not apply here — they need the file set / the build. *)
 
 val errors : result -> int
 val warnings : result -> int
@@ -26,11 +48,17 @@ val exit_code : result -> int
 (** [1] when any error-severity finding survived, [0] otherwise. *)
 
 val render_text : result -> string
-(** One [file:line:col: \[severity\] rule: message] line per finding,
-    then a summary with per-rule counts. *)
+(** One [file:line:col: \[severity\] rule: message] line per finding —
+    followed by an indented [via sym (file:line) -> ...] chain line for
+    deep findings — then a summary with per-rule counts. *)
 
 val render_json : result -> string
-(** The [htlc-lint/v1] document (one line, fixed field order):
+(** Without the deep pass: the [htlc-lint/v1] document, byte-identical
+    to previous releases (one line, fixed field order):
     [{"schema":"htlc-lint/v1","type":"lint","files_scanned":..,
       "wall_s":..,"summary":{"errors":..,"warnings":..,"suppressed":..,
-      "by_rule":{..}},"findings":[..]}]. *)
+      "by_rule":{..}},"findings":[..]}].
+    With it: [htlc-lint/v2] — the same shape plus a top-level
+    ["deep":{"cmt_files":..,"nodes":..,"edges":..,"wall_s":..}] after
+    [wall_s], and a ["chain":[{"symbol":..,"file":..,"line":..},..]]
+    array on every finding (empty for syntactic findings). *)

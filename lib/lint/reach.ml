@@ -1,0 +1,194 @@
+(* Deterministic reachability over the call graph, and the hot-path
+   blocking analysis built on it.
+
+   All traversals are plain breadth-first searches over
+   [Callgraph.succs] (sorted, deduped adjacency) seeded from sorted
+   root lists, so the predecessor tree — and therefore every chain we
+   print — is a pure function of the graph.  BFS also means chains are
+   hop-shortest: the finding shows the most direct route from a root to
+   the offending call, not whichever route a DFS stumbled on first.
+
+   The blocking rule: nothing reachable from a per-connection hot-path
+   root (Config.hot_roots — the reactor's connection machinery and the
+   telemetry fold) may call a syscall that can park the shard domain.
+   One stalled connection must cost one connection, never the event
+   loop.  Unix.read/write on the connection fds are deliberately NOT in
+   the blocking set: the reactor runs them on nonblocking fds, and a
+   path-based analysis cannot see fd flags — that false-negative class
+   is documented in DESIGN.md §15 rather than papered over with noisy
+   guesses. *)
+
+(* Syscalls that can park the calling domain indefinitely. *)
+let blocking_ops =
+  [
+    ([ "Unix"; "sleep" ], "blocks the domain for whole seconds");
+    ([ "Unix"; "sleepf" ], "blocks the domain");
+    ([ "Thread"; "delay" ], "blocks the thread");
+    ([ "Condition"; "wait" ], "parks the domain until signalled");
+    ([ "Unix"; "system" ], "forks and waits for a child process");
+    ([ "Unix"; "wait" ], "waits for a child process");
+    ([ "Unix"; "waitpid" ], "waits for a child process");
+    ([ "Unix"; "select" ], "blocks until fd activity or timeout");
+    ([ "Unix"; "connect" ], "blocks during the TCP handshake");
+    ([ "Domain"; "join" ], "blocks until the domain terminates");
+  ]
+
+(* BFS from [roots]; returns visited id -> predecessor id (None for a
+   root).  Roots are visited in the order given — pass them sorted. *)
+let reachable graph roots =
+  let preds = Hashtbl.create 256 in
+  let q = Queue.create () in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if not (Hashtbl.mem preds n.id) then begin
+        Hashtbl.replace preds n.id None;
+        Queue.add n q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    List.iter
+      (fun ((s : Callgraph.node), _line) ->
+        if not (Hashtbl.mem preds s.id) then begin
+          Hashtbl.replace preds s.id (Some n.id);
+          Queue.add s q
+        end)
+      (Callgraph.succs graph n)
+  done;
+  preds
+
+(* Root-first path ending at [id], read off the predecessor tree. *)
+let path_of preds graph id =
+  let rec climb id acc =
+    match Callgraph.find graph id with
+    | None -> acc
+    | Some n -> (
+      match Hashtbl.find_opt preds id with
+      | Some (Some pred) -> climb pred (n :: acc)
+      | Some None | None -> n :: acc)
+  in
+  climb id []
+
+(* Ids from which a node satisfying [targets] is reachable (forward
+   edges) — i.e. BFS over the reversed graph seeded from the targets. *)
+let reverse_reachable graph ~targets =
+  let rev = Hashtbl.create 256 in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      List.iter
+        (fun ((s : Callgraph.node), _) ->
+          Hashtbl.replace rev s.id
+            (n.id :: (Option.value ~default:[] (Hashtbl.find_opt rev s.id))))
+        (Callgraph.succs graph n))
+    graph.Callgraph.nodes;
+  let seen = Hashtbl.create 256 in
+  let q = Queue.create () in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if targets n.id && not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.replace seen n.id ();
+        Queue.add n.id q
+      end)
+    graph.Callgraph.nodes;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    List.iter
+      (fun caller ->
+        if not (Hashtbl.mem seen caller) then begin
+          Hashtbl.replace seen caller ();
+          Queue.add caller q
+        end)
+      (List.sort compare
+         (Option.value ~default:[] (Hashtbl.find_opt rev id)))
+  done;
+  seen
+
+(* Shortest forward path from [src] to the first node satisfying
+   [dest], as a src-first node list. *)
+let shortest_to graph ~(src : Callgraph.node) ~dest =
+  if dest src.id then Some [ src ]
+  else begin
+    let preds = Hashtbl.create 64 in
+    Hashtbl.replace preds src.id None;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let n = Queue.pop q in
+      List.iter
+        (fun ((s : Callgraph.node), _) ->
+          if !found = None && not (Hashtbl.mem preds s.id) then begin
+            Hashtbl.replace preds s.id (Some n.id);
+            if dest s.id then found := Some s.id else Queue.add s q
+          end)
+        (Callgraph.succs graph n)
+    done;
+    Option.map (fun id -> path_of preds graph id) !found
+  end
+
+let frame_of (n : Callgraph.node) =
+  { Finding.sym = n.id; file = n.file; line = n.line }
+
+let chain_of_path path = List.map frame_of path
+
+(* --- the hot-path rule --------------------------------------------------- *)
+
+(* For every hot root (sorted by id), walk what it reaches; any
+   blocking op found is an error anchored at the call site, carrying
+   the root-to-callee chain plus the call itself as the final frame.
+   When several roots reach the same call site, the first root in
+   sorted order claims it — one finding per site, deterministically. *)
+let hot_findings ~(config : Config.t) graph =
+  let roots =
+    List.filter
+      (fun (n : Callgraph.node) -> Config.is_hot_root config n.file n.name)
+      graph.Callgraph.nodes
+  in
+  let claimed = Hashtbl.create 16 in
+  let findings = ref [] in
+  List.iter
+    (fun (root : Callgraph.node) ->
+      let preds = reachable graph [ root ] in
+      List.iter
+        (fun (node : Callgraph.node) ->
+          if Hashtbl.mem preds node.id then
+            List.iter
+              (fun (op : Callgraph.op) ->
+                match List.assoc_opt op.op_path blocking_ops with
+                | None -> ()
+                | Some why ->
+                  let key = (node.id, op.op_line, op.op_path) in
+                  if not (Hashtbl.mem claimed key) then begin
+                    Hashtbl.replace claimed key root.id;
+                    let op_name = String.concat "." op.op_path in
+                    let chain =
+                      chain_of_path (path_of preds graph node.id)
+                      @ [
+                          {
+                            Finding.sym = op_name;
+                            file = node.file;
+                            line = op.op_line;
+                          };
+                        ]
+                    in
+                    findings :=
+                      {
+                        Finding.file = node.file;
+                        line = op.op_line;
+                        col = 0;
+                        rule = "deep_blocking";
+                        severity = Finding.Error;
+                        message =
+                          Printf.sprintf
+                            "%s %s, but it is reachable from the \
+                             per-connection hot path rooted at %s; one \
+                             stalled call here parks the whole shard"
+                            op_name why root.id;
+                        chain;
+                      }
+                      :: !findings
+                  end)
+              node.ops)
+        graph.Callgraph.nodes)
+    roots;
+  List.sort Finding.compare_finding !findings

@@ -1,0 +1,45 @@
+(** Deterministic reachability over the call graph, and the hot-path
+    blocking rule ([deep_blocking]) built on it.
+
+    Every traversal is a breadth-first search over the sorted adjacency
+    {!Callgraph.succs} seeded from sorted roots, so predecessor trees —
+    and the chains printed in findings — are pure functions of the
+    graph, and BFS makes them hop-shortest. *)
+
+val blocking_ops : (string list * string) list
+(** Syscalls that can park the calling domain, with the reason used in
+    messages.  [Unix.read]/[write] are deliberately absent: the reactor
+    runs them on nonblocking fds, which a path analysis cannot see
+    (documented false-negative class, DESIGN.md §15). *)
+
+val reachable :
+  Callgraph.t -> Callgraph.node list -> (string, string option) Hashtbl.t
+(** BFS from the given roots (pass them sorted); visited id ->
+    predecessor id, [None] for a root. *)
+
+val path_of :
+  (string, string option) Hashtbl.t -> Callgraph.t -> string ->
+  Callgraph.node list
+(** Root-first path ending at the given id, read off a {!reachable}
+    predecessor tree. *)
+
+val reverse_reachable :
+  Callgraph.t -> targets:(string -> bool) -> (string, unit) Hashtbl.t
+(** The ids from which some node satisfying [targets] is reachable
+    along forward (caller -> callee) edges. *)
+
+val shortest_to :
+  Callgraph.t -> src:Callgraph.node -> dest:(string -> bool) ->
+  Callgraph.node list option
+(** Hop-shortest forward path from [src] to the first node satisfying
+    [dest], src-first; [Some [src]] if [src] itself satisfies it. *)
+
+val frame_of : Callgraph.node -> Finding.frame
+val chain_of_path : Callgraph.node list -> Finding.frame list
+
+val hot_findings : config:Config.t -> Callgraph.t -> Finding.t list
+(** The [deep_blocking] analysis: for every {!Config.t.hot_roots}
+    binding, flag each reachable blocking op, anchored at the call site
+    and carrying the root-to-call chain.  When several roots reach the
+    same site, the first in sorted order claims it — one finding per
+    site.  Result is sorted. *)

@@ -25,7 +25,14 @@
    mandatory and must be non-blank; a malformed annotation is itself an
    error (bad_suppression), and an annotation that matches no finding
    is a warning (unused_suppression) so stale allowances cannot
-   accumulate. *)
+   accumulate.
+
+   The file is parsed exactly once: [scan] returns the raw findings
+   *and* the collected suppression table, and {!Driver} owns applying
+   the table — the deep (interprocedural) pass consumes the same table
+   for its own findings and for neutralising taint sources, so a
+   [--deep] run never re-parses a source the syntactic pass already
+   walked. *)
 
 open Parsetree
 
@@ -111,7 +118,7 @@ let parse_allow_payload (attr : attribute) =
 
 (* --- the checker --------------------------------------------------------- *)
 
-let check ~(config : Config.t) ~path ~source =
+let scan ~(config : Config.t) ~path ~source =
   let npath = Config.normalize path in
   let findings = ref [] in
   let suppressions = ref [] in
@@ -124,6 +131,7 @@ let check ~(config : Config.t) ~path ~source =
         rule;
         severity;
         message;
+        chain = [];
       }
       :: !findings
   in
@@ -141,11 +149,11 @@ let check ~(config : Config.t) ~path ~source =
     let loc = Syntaxerr.location_of_error err in
     add ~loc ~rule:"syntax" ~severity:Finding.Error
       "file does not parse; the determinism rules cannot run";
-    (List.rev !findings, 0)
+    (List.rev !findings, [])
   | exception exn ->
     add ~loc:Location.none ~rule:"syntax" ~severity:Finding.Error
       (Printf.sprintf "file does not parse: %s" (Printexc.to_string exn));
-    (List.rev !findings, 0)
+    (List.rev !findings, [])
   | structure ->
     (* Pass 0: does this module use a Mutex or Atomic anywhere?  That is
        the guard convention for toplevel shared state. *)
@@ -325,43 +333,76 @@ let check ~(config : Config.t) ~path ~source =
         items
     in
     if in_pool && not !module_guarded then scan_toplevel structure;
-    (* Apply suppressions, then report the unused ones. *)
-    let suppressions = !suppressions in
-    let suppressed = ref 0 in
-    let kept =
-      List.filter
-        (fun (f : Finding.t) ->
-          let matched =
-            List.exists
-              (fun s ->
-                if s.s_rule = f.rule && f.line >= s.lo && f.line <= s.hi then (
-                  s.used <- true;
-                  true)
-                else false)
-              suppressions
-          in
-          if matched then incr suppressed;
-          not matched)
-        (List.rev !findings)
-    in
-    let unused =
-      List.filter_map
-        (fun s ->
-          if s.used then None
-          else
-            Some
-              {
-                Finding.file = npath;
-                line = s.s_line;
-                col = s.s_col;
-                rule = "unused_suppression";
-                severity = Finding.Warning;
-                message =
-                  Printf.sprintf
-                    "[@lint.allow %s] matched no finding; remove it so \
-                     allowances cannot go stale"
-                    s.s_rule;
-              })
-        suppressions
-    in
-    (List.sort Finding.compare_finding (kept @ unused), !suppressed)
+    (List.rev !findings, List.rev !suppressions)
+
+(* --- applying a suppression table ---------------------------------------- *)
+
+(* Drop findings covered by a matching allowance (marking it used) and
+   count them.  Shared by the syntactic and deep passes: a deep finding
+   is anchored at its sink / blocking call / access site, so the same
+   line-span match applies. *)
+let apply findings suppressions =
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        let matched =
+          List.exists
+            (fun s ->
+              if s.s_rule = f.rule && f.line >= s.lo && f.line <= s.hi then (
+                s.used <- true;
+                true)
+              else false)
+            suppressions
+        in
+        if matched then incr suppressed;
+        not matched)
+      findings
+  in
+  (kept, !suppressed)
+
+(* A suppression at (file, line) for [rule] — the deep pass asks this
+   to neutralise taint sources at their definition site ([nondet_*] /
+   [hashtbl_order] allowances vouch for the op, not just the syntactic
+   finding). *)
+let covers suppressions ~line ~rule =
+  List.exists
+    (fun s ->
+      if s.s_rule = rule && line >= s.lo && line <= s.hi then (
+        s.used <- true;
+        true)
+      else false)
+    suppressions
+
+(* Stale-allowance report.  Suppressions naming deep-only rules are
+   exempt when the deep pass did not run: a syntactic-only run cannot
+   tell whether they are earning their keep. *)
+let unused_report ~path ~deep_ran suppressions =
+  let npath = Config.normalize path in
+  List.filter_map
+    (fun s ->
+      if s.used then None
+      else if (not deep_ran) && List.mem s.s_rule Finding.deep_only_rules then
+        None
+      else
+        Some
+          {
+            Finding.file = npath;
+            line = s.s_line;
+            col = s.s_col;
+            rule = "unused_suppression";
+            severity = Finding.Warning;
+            message =
+              Printf.sprintf
+                "[@lint.allow %s] matched no finding; remove it so \
+                 allowances cannot go stale"
+                s.s_rule;
+            chain = [];
+          })
+    suppressions
+
+let check ~(config : Config.t) ~path ~source =
+  let raw, suppressions = scan ~config ~path ~source in
+  let kept, suppressed = apply raw suppressions in
+  let unused = unused_report ~path ~deep_ran:false suppressions in
+  (List.sort Finding.compare_finding (kept @ unused), suppressed)

@@ -1,15 +1,50 @@
 (** The per-file rule pass: parse one [.ml] source with the compiler's
     own frontend and run the expression- and structure-level rules
     (nondeterminism sources, toplevel shared state, catch-all handlers,
-    output discipline), honouring [\[@lint.allow rule "justification"\]]
+    output discipline), collecting [\[@lint.allow rule "justification"\]]
     suppressions.  Interface coverage (R5) lives in {!Driver}, which
-    owns the file set. *)
+    owns the file set; the deep interprocedural rules live in
+    {!Taint} / {!Reach} and reuse the suppression table collected
+    here — each source is parsed exactly once per run. *)
+
+type suppression = {
+  s_rule : string;
+  s_line : int;  (** The annotation's own location (unused reports). *)
+  s_col : int;
+  lo : int;
+  hi : int;  (** The line span the allowance covers. *)
+  mutable used : bool;
+}
+
+val scan :
+  config:Config.t ->
+  path:string ->
+  source:string ->
+  Finding.t list * suppression list
+(** One parse: the raw (unsuppressed) syntactic findings in source
+    order, plus every collected allowance.  A file that fails to parse
+    yields a single [syntax] error finding and no suppressions.
+    Malformed allowances surface as [bad_suppression] errors. *)
+
+val apply : Finding.t list -> suppression list -> Finding.t list * int
+(** Drop findings covered by a matching allowance (marking it used);
+    returns the survivors and the number dropped.  Works for syntactic
+    and deep findings alike — both anchor at a line the annotation's
+    span can cover. *)
+
+val covers : suppression list -> line:int -> rule:string -> bool
+(** Is there an allowance for [rule] covering [line]?  Marks it used.
+    The deep pass asks this to neutralise taint sources at their
+    definition site. *)
+
+val unused_report :
+  path:string -> deep_ran:bool -> suppression list -> Finding.t list
+(** [unused_suppression] warnings for allowances that vouched for
+    nothing.  When [deep_ran] is false, allowances naming
+    {!Finding.deep_only_rules} are exempt. *)
 
 val check :
   config:Config.t -> path:string -> source:string -> Finding.t list * int
-(** [check ~config ~path ~source] parses [source] (reported as [path],
-    normalized) and returns the surviving findings sorted by location,
-    plus the number of findings removed by suppressions.  A file that
-    fails to parse yields a single [syntax] error finding.  Malformed or
-    unmatched suppressions surface as [bad_suppression] errors and
-    [unused_suppression] warnings. *)
+(** [scan] + [apply] + [unused_report] in one step (the syntactic-only
+    path used by {!Driver.check_source}): surviving findings sorted by
+    location, plus the suppressed count. *)

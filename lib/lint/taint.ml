@@ -1,0 +1,177 @@
+(* The two value-flow rules over the call graph: nondeterminism taint
+   into deterministic sinks (deep_taint) and lock discipline for
+   toplevel mutable state (deep_lock).
+
+   Taint model: a *source* is a module-level binding whose body
+   mentions a nondeterministic primitive (the global Random, a
+   wall-clock read, hash-order iteration, Domain.self) — unless the
+   file is the sanctioned implementation (Numerics.Rng, Obs.Monotonic)
+   or a justified [@lint.allow] covers the mention.  A *sink* is a
+   binding Config.deep_sinks names: cache keys, codec encoders,
+   Monte-Carlo trial bodies, the bench baseline emitter — code whose
+   output must be a pure function of its inputs.  A sink that can reach
+   a source along call edges is an error, and the finding prints the
+   hop-shortest route plus the offending primitive so the reader can
+   follow the leak without rerunning anything.
+
+   This is reachability taint, not data-flow taint: a sink that calls a
+   nondeterministic function and provably discards the result is still
+   flagged (rare in practice, and suppressible with a justification —
+   the justification is exactly the proof the analysis cannot do).
+   Conversely, nondeterminism smuggled through mutable state written
+   elsewhere is missed; DESIGN.md §15 owns that trade.
+
+   Lock model: a toplevel mutable (Callgraph.node.alloc) defined in a
+   Pool-reachable library must only be touched by code that
+   participates in the guard convention.  The syntactic rule already
+   forces the *defining* module to hold a Mutex/Atomic; the deep rule
+   extends the contract across compilation units — a binding in
+   another unit that mentions the mutable but no Mutex/Atomic anywhere
+   in its own body is bypassing the guard. *)
+
+let source_rules =
+  [
+    (* op-path head(s) -> rule, matcher returns the display name. *)
+    (fun (op : Callgraph.op) ~random_ok ~clock_ok ->
+      ignore clock_ok;
+      match op.op_path with
+      | "Random" :: fn :: _ when not random_ok ->
+        Some ("nondet_random", "Random." ^ fn)
+      | _ -> None);
+    (fun op ~random_ok ~clock_ok ->
+      ignore random_ok;
+      match op.op_path with
+      | ([ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] | [ "Sys"; "time" ])
+        when not clock_ok ->
+        Some ("nondet_clock", String.concat "." op.op_path)
+      | _ -> None);
+    (fun op ~random_ok ~clock_ok ->
+      ignore random_ok;
+      ignore clock_ok;
+      match op.op_path with
+      | [ "Hashtbl"; (("iter" | "fold") as fn) ] ->
+        Some ("hashtbl_order", "Hashtbl." ^ fn)
+      | [ "Domain"; "self" ] -> Some ("nondet_domain", "Domain.self")
+      | _ -> None);
+  ]
+
+type source = {
+  src_node : Callgraph.node;
+  src_op : Callgraph.op;
+  src_rule : string;
+  src_name : string; (* "Unix.gettimeofday" *)
+}
+
+(* Every unneutralised source mention in the graph, in node order.
+   [covers ~file ~line ~rule] consults the per-file suppression tables
+   (marking matches used): an allowance on the mention vouches for the
+   op itself, not just the syntactic finding at the same spot. *)
+let collect_sources ~(config : Config.t) ~covers graph =
+  List.concat_map
+    (fun (node : Callgraph.node) ->
+      let random_ok = Config.allowed_file config.random_allowed node.file in
+      let clock_ok = Config.allowed_file config.clock_allowed node.file in
+      List.filter_map
+        (fun (op : Callgraph.op) ->
+          List.find_map (fun rule -> rule op ~random_ok ~clock_ok) source_rules
+          |> Option.map (fun (rule, name) -> (op, rule, name)))
+        node.ops
+      |> List.filter_map (fun (op, rule, name) ->
+             if covers ~file:node.file ~line:op.Callgraph.op_line ~rule then
+               None
+             else
+               Some
+                 { src_node = node; src_op = op; src_rule = rule;
+                   src_name = name }))
+    graph.Callgraph.nodes
+
+let taint_findings ~(config : Config.t) ~covers graph =
+  let sources = collect_sources ~config ~covers graph in
+  let source_ids = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem source_ids s.src_node.Callgraph.id) then
+        Hashtbl.replace source_ids s.src_node.Callgraph.id s)
+    sources;
+  let is_source id = Hashtbl.mem source_ids id in
+  let tainted = Reach.reverse_reachable graph ~targets:is_source in
+  graph.Callgraph.nodes
+  |> List.filter_map (fun (sink : Callgraph.node) ->
+         match Config.sink_of config sink.file sink.name with
+         | None -> None
+         | Some _ when not (Hashtbl.mem tainted sink.id) -> None
+         | Some _ -> (
+           match Reach.shortest_to graph ~src:sink ~dest:is_source with
+           | None -> None (* tainted set and path disagree: impossible *)
+           | Some path ->
+             let last = List.nth path (List.length path - 1) in
+             let src = Hashtbl.find source_ids last.Callgraph.id in
+             let chain =
+               Reach.chain_of_path path
+               @ [
+                   {
+                     Finding.sym = src.src_name;
+                     file = src.src_node.file;
+                     line = src.src_op.op_line;
+                   };
+                 ]
+             in
+             Some
+               {
+                 Finding.file = sink.file;
+                 line = sink.line;
+                 col = 0;
+                 rule = "deep_taint";
+                 severity = Finding.Error;
+                 message =
+                   Printf.sprintf
+                     "deterministic sink %s reaches %s (%s, %d call%s away); \
+                      its output is no longer a pure function of its inputs"
+                     sink.id src.src_name src.src_rule
+                     (List.length path - 1)
+                     (if List.length path = 2 then "" else "s");
+                 chain;
+               }))
+  |> List.sort Finding.compare_finding
+
+(* --- lock discipline ----------------------------------------------------- *)
+
+let lock_findings ~(config : Config.t) graph =
+  let mutables =
+    List.filter
+      (fun (n : Callgraph.node) ->
+        n.alloc <> None && Config.in_any config.pool_prefixes n.file)
+      graph.Callgraph.nodes
+  in
+  List.concat_map
+    (fun (m : Callgraph.node) ->
+      let alloc = Option.value ~default:"?" m.alloc in
+      List.filter_map
+        (fun (accessor : Callgraph.node) ->
+          if accessor.unit_id = m.unit_id || accessor.guarded then None
+          else
+            match List.assoc_opt m.id accessor.refs with
+            | None -> None
+            | Some line ->
+              Some
+                {
+                  Finding.file = accessor.file;
+                  line;
+                  col = 0;
+                  rule = "deep_lock";
+                  severity = Finding.Error;
+                  message =
+                    Printf.sprintf
+                      "%s touches the shared %s %s from another compilation \
+                       unit with no Mutex/Atomic in its own body; every \
+                       access site must participate in the guard convention"
+                      accessor.id alloc m.id;
+                  chain =
+                    [
+                      { Finding.sym = accessor.id; file = accessor.file; line };
+                      Reach.frame_of m;
+                    ];
+                })
+        graph.Callgraph.nodes)
+    mutables
+  |> List.sort Finding.compare_finding

@@ -1,0 +1,45 @@
+(** The value-flow rules over the call graph: nondeterminism taint into
+    deterministic sinks ([deep_taint]) and cross-unit lock discipline
+    for toplevel mutable state ([deep_lock]).
+
+    Taint is reachability taint, not data-flow taint: a sink that calls
+    a nondeterministic primitive and discards the result is still
+    flagged (the justified suppression is the proof the analysis cannot
+    do), while nondeterminism smuggled through mutable state is missed
+    — both trades are documented in DESIGN.md §15. *)
+
+type source = {
+  src_node : Callgraph.node;
+  src_op : Callgraph.op;
+  src_rule : string;
+      (** [nondet_random] / [nondet_clock] / [hashtbl_order] /
+          [nondet_domain]. *)
+  src_name : string;  (** Display name, e.g. ["Unix.gettimeofday"]. *)
+}
+
+val collect_sources :
+  config:Config.t ->
+  covers:(file:string -> line:int -> rule:string -> bool) ->
+  Callgraph.t ->
+  source list
+(** Every unneutralised nondeterminism mention, in node order.
+    [covers] consults the per-file suppression tables (marking matches
+    used): an allowance at the mention's line vouches for the op, not
+    just the syntactic finding anchored there. *)
+
+val taint_findings :
+  config:Config.t ->
+  covers:(file:string -> line:int -> rule:string -> bool) ->
+  Callgraph.t ->
+  Finding.t list
+(** One [deep_taint] error per {!Config.t.deep_sinks} binding that can
+    reach a source, anchored at the sink's definition line (so an
+    allowance on the sink binding suppresses it), carrying the
+    hop-shortest sink-to-source chain with the primitive as the final
+    frame.  Sorted. *)
+
+val lock_findings : config:Config.t -> Callgraph.t -> Finding.t list
+(** One [deep_lock] error per (toplevel mutable, foreign accessor)
+    pair where the accessor's body holds no Mutex/Atomic, anchored at
+    the access site, chain = access frame then definition frame.
+    Sorted. *)

@@ -2,8 +2,16 @@
    (string-parsed — no tempfile I/O): each rule's positive and negative
    cases, the scoping that turns rules on/off by path, the suppression
    annotation round-trip (including the mandatory justification), the
-   golden htlc-lint/v1 rendering, and a clean-repo integration check
-   over the real lib/ tree. *)
+   golden htlc-lint/v1 and v2 renderings, and clean-repo integration
+   checks over the real lib/ tree — syntactic and deep (the deep pass
+   reads the .cmt typedtrees the build produced; the dune deps order
+   cmt production first).
+
+   The deep suite also drives the whole-program pass end to end over
+   the compiled half of bench/lint_fixture: cross-module taint,
+   hot-path blocking, and cross-unit lock findings with their chains
+   pinned, the justified deep suppression counted, and byte-identical
+   findings across repeated runs. *)
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -193,6 +201,7 @@ let test_json_golden () =
             rule = "output";
             severity = Lint.Finding.Error;
             message = "say \"no\"";
+            chain = [];
           };
           {
             Lint.Finding.file = "lib/b.ml";
@@ -201,11 +210,13 @@ let test_json_golden () =
             rule = "unused_suppression";
             severity = Lint.Finding.Warning;
             message = "stale";
+            chain = [];
           };
         ];
       files_scanned = 5;
       suppressed = 1;
       wall_s = 0.25;
+      deep = None;
     }
   in
   check_str "golden document"
@@ -226,6 +237,178 @@ let test_json_golden () =
   | _ -> ()
   | exception Obs.Json_parse.Bad msg ->
     Alcotest.failf "render_json does not re-parse: %s" msg
+
+let test_json_v2_golden () =
+  (* With a deep summary present the document switches to htlc-lint/v2:
+     a "deep" section after wall_s and a chain array on every finding
+     (empty for syntactic ones). *)
+  let result =
+    {
+      Lint.Driver.findings =
+        [
+          {
+            Lint.Finding.file = "deep/keyer.ml";
+            line = 8;
+            col = 0;
+            rule = "deep_taint";
+            severity = Lint.Finding.Error;
+            message = "leaks";
+            chain =
+              [
+                { Lint.Finding.sym = "K.key"; file = "deep/keyer.ml"; line = 8 };
+                { Lint.Finding.sym = "Unix.gettimeofday";
+                  file = "deep/feed.ml"; line = 6 };
+              ];
+          };
+        ];
+      files_scanned = 2;
+      suppressed = 0;
+      wall_s = 0.5;
+      deep = Some { cmt_files = 7; nodes = 10; edges = 9; deep_wall_s = 0.25 };
+    }
+  in
+  check_str "golden v2 document"
+    ("{\"schema\":\"htlc-lint/v2\",\"type\":\"lint\",\"files_scanned\":2,"
+   ^ "\"wall_s\":0.5,\"deep\":{\"cmt_files\":7,\"nodes\":10,\"edges\":9,"
+   ^ "\"wall_s\":0.25},\"summary\":{\"errors\":1,\"warnings\":0,"
+   ^ "\"suppressed\":0,\"by_rule\":{\"deep_taint\":1}},"
+   ^ "\"findings\":[{\"file\":\"deep/keyer.ml\",\"line\":8,\"col\":0,"
+   ^ "\"rule\":\"deep_taint\",\"severity\":\"error\",\"message\":\"leaks\","
+   ^ "\"chain\":[{\"symbol\":\"K.key\",\"file\":\"deep/keyer.ml\",\"line\":8},"
+   ^ "{\"symbol\":\"Unix.gettimeofday\",\"file\":\"deep/feed.ml\","
+   ^ "\"line\":6}]}]}")
+    (Lint.Driver.render_json result);
+  match Obs.Json_parse.parse (Lint.Driver.render_json result) with
+  | _ -> ()
+  | exception Obs.Json_parse.Bad msg ->
+    Alcotest.failf "render_json (v2) does not re-parse: %s" msg
+
+(* --- the deep pass over the compiled fixture ------------------------------ *)
+
+(* Under [dune runtest] the cwd is [_build/default/test]; the fixture
+   tree and its cmts sit one level up under bench/. *)
+let fixture_root = "../bench/lint_fixture"
+let fixture_cmts = "../bench/lint_fixture/deep"
+
+let run_fixture_deep () =
+  Lint.Driver.run ~deep:true ~cmt_root:fixture_cmts ~roots:[ fixture_root ] ()
+
+let find_rule rule (r : Lint.Driver.result) =
+  match
+    List.find_opt (fun (f : Lint.Finding.t) -> f.rule = rule) r.findings
+  with
+  | Some f -> f
+  | None -> Alcotest.failf "no %s finding in the fixture run" rule
+
+let test_deep_fixture_findings () =
+  let r = run_fixture_deep () in
+  (* The cross-module taint chain, pinned end to end. *)
+  let taint = find_rule "deep_taint" r in
+  check_str "taint anchors at the sink" "deep/keyer.ml" taint.file;
+  check_str "taint chain"
+    ("Lint_fixture_deep.Keyer.cache_key (deep/keyer.ml:8) -> "
+   ^ "Lint_fixture_deep.Feed.stamp (deep/feed.ml:7) -> "
+   ^ "Lint_fixture_deep.Feed.jitter (deep/feed.ml:6) -> "
+   ^ "Unix.gettimeofday (deep/feed.ml:6)")
+    (Lint.Finding.chain_to_string taint.chain);
+  (* The hot-path blocking chain. *)
+  let blocking = find_rule "deep_blocking" r in
+  check_str "blocking anchors at the call site" "deep/nap.ml" blocking.file;
+  check_str "blocking chain"
+    ("Lint_fixture_deep.Pump.loop (deep/pump.ml:6) -> "
+   ^ "Lint_fixture_deep.Nap.rest (deep/nap.ml:4) -> "
+   ^ "Unix.sleep (deep/nap.ml:4)")
+    (Lint.Finding.chain_to_string blocking.chain);
+  (* The cross-unit lock violation: access frame, then definition. *)
+  let lock = find_rule "deep_lock" r in
+  check_str "lock anchors at the access site" "deep/prober.ml" lock.file;
+  check_str "lock chain"
+    ("Lint_fixture_deep.Prober.census (deep/prober.ml:5) -> "
+   ^ "Lint_fixture_deep.Registry.table (deep/registry.ml:7)")
+    (Lint.Finding.chain_to_string lock.chain);
+  (* Keyer.salted_key stages the same taint under a justified allowance:
+     it must be gone from the findings and counted — the deep
+     suppression round-trip (on top of the syntactic one in lib/). *)
+  check_int "exactly one taint sink survives" 1
+    (List.length
+       (List.filter (fun (f : Lint.Finding.t) -> f.rule = "deep_taint")
+          r.findings));
+  check_int "syntactic + deep suppressions counted" 2 r.suppressed;
+  (* The deep summary reflects the compiled fixture. *)
+  match r.deep with
+  | None -> Alcotest.fail "deep summary missing"
+  | Some d ->
+    check_bool "all fixture cmts loaded" true (d.cmt_files >= 6);
+    check_bool "nodes collected" true (d.nodes >= 8);
+    check_bool "cross-module edges found" true (d.edges >= 3)
+
+let test_deep_determinism () =
+  (* Byte-identical findings across repeated runs: same files, same
+     order, same chains, same rendered bytes. *)
+  let render (r : Lint.Driver.result) =
+    String.concat "\n" (List.map Lint.Finding.to_json_v2 r.findings)
+  in
+  let a = run_fixture_deep () and b = run_fixture_deep () in
+  check_str "repeated deep runs render identically" (render a) (render b)
+
+let test_deep_only_suppression_dormant () =
+  (* A nondet_domain allowance neutralises a *deep* taint source, so a
+     syntactic-only run must not report it stale — it cannot tell. *)
+  let src =
+    "let shard () = (Domain.self () :> int) land 7\n\
+     [@@lint.allow nondet_domain \"striped counter, sums commute\"]\n"
+  in
+  check_int "no unused_suppression from a syntactic-only run" 0
+    (List.length (lint src));
+  (* An allowance for a syntactic rule still rots visibly. *)
+  check_bool "syntactic allowances still age" true
+    (List.mem "unused_suppression"
+       (rules (lint "let x = 1 [@@lint.allow output \"stale\"]\n")))
+
+(* --- the call graph over the real lib/ tree ------------------------------- *)
+
+let test_callgraph_structure () =
+  let graph = Lint.Callgraph.build ~cmt_root:"../lib" () in
+  check_bool "every lib unit loaded" true (graph.cmt_files > 50);
+  check_bool "module-level bindings collected" true
+    (List.length graph.nodes > 300);
+  check_bool "cross-module references resolved" true (graph.edges > 500);
+  check_int "no unreadable cmts" 0 (List.length graph.load_notes);
+  (* Spot-check the naming scheme on known bindings. *)
+  List.iter
+    (fun id ->
+      match Lint.Callgraph.find graph id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "expected %s in the call graph" id)
+    [ "Serve.Reactor.process"; "Obs.Metrics.incr"; "Numerics.Pool.map_chunks" ];
+  check_str "wrapped names display dotted" "Serve.Reactor"
+    (Lint.Callgraph.display_modname "Serve__Reactor");
+  check_str "executables drop the Dune__exe prefix" "Main"
+    (Lint.Callgraph.display_modname "Dune__exe__Main");
+  (* Sorted node ids = deterministic traversal base. *)
+  let ids = List.map (fun (n : Lint.Callgraph.node) -> n.id) graph.nodes in
+  check_bool "nodes sorted by id" true (List.sort compare ids = ids)
+
+let test_repo_deep_lints_clean () =
+  (* The real gate is @lint-deep over the whole tree; this pins the
+     library half: the taint, hot-path, and lock analyses all run and
+     everything they flag is covered by the two documented nondet_domain
+     allowances (striped metrics cells) — which neutralise sources
+     without inflating the suppressed count. *)
+  let result =
+    Lint.Driver.run ~deep:true ~cmt_root:"../lib" ~roots:[ "../lib" ] ()
+  in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Printf.eprintf "unexpected: %s\n" (Lint.Finding.to_line f))
+    result.findings;
+  check_int "no unsuppressed findings in lib/ under --deep" 0
+    (List.length result.findings);
+  check_int "still exactly the two syntactic suppressions" 2
+    result.suppressed;
+  match result.deep with
+  | None -> Alcotest.fail "deep summary missing"
+  | Some d -> check_bool "the deep pass saw the tree" true (d.nodes > 300)
 
 (* --- clean-repo integration ----------------------------------------------- *)
 
@@ -269,10 +452,24 @@ let () =
           Alcotest.test_case "hygiene" `Quick test_suppression_hygiene;
         ] );
       ( "export",
-        [ Alcotest.test_case "htlc-lint/v1 golden" `Quick test_json_golden ] );
+        [
+          Alcotest.test_case "htlc-lint/v1 golden" `Quick test_json_golden;
+          Alcotest.test_case "htlc-lint/v2 golden" `Quick test_json_v2_golden;
+        ] );
+      ( "deep",
+        [
+          Alcotest.test_case "fixture chains" `Quick test_deep_fixture_findings;
+          Alcotest.test_case "determinism" `Quick test_deep_determinism;
+          Alcotest.test_case "deep-only suppressions dormant" `Quick
+            test_deep_only_suppression_dormant;
+          Alcotest.test_case "call graph structure" `Quick
+            test_callgraph_structure;
+        ] );
       ( "integration",
         [
           Alcotest.test_case "repo lib/ lints clean" `Quick
             test_repo_lints_clean;
+          Alcotest.test_case "repo lib/ lints clean under --deep" `Quick
+            test_repo_deep_lints_clean;
         ] );
     ]
